@@ -1,0 +1,121 @@
+//! Prior hardware voltage-drop-reduction designs (paper Table II, §III-B).
+//!
+//! * **DSGB** — double-sided ground biasing (Xu et al., HPCA 2015): a second
+//!   row decoder grounds *both* ends of the selected word-line, halving the
+//!   worst-case WL drop.
+//! * **DSWD** — double-sided write drivers (Zhang et al., DAC 2017): a second
+//!   copy of the column multiplexers and write drivers lets a bit-line be
+//!   reset from both ends, halving the worst-case BL drop.
+//! * **D-BL** — dummy bit-lines (Kawahara et al., JSSC 2013): every column
+//!   multiplexer owning no RESET in the current write resets its dummy BL
+//!   instead, forcing an always-8-bit RESET that partitions the word-line —
+//!   at the cost of a doubled charge pump and extra wear.
+
+use crate::line::Sinks;
+
+/// Which prior hardware techniques are present in the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct HardwareDesign {
+    /// Double-sided ground biasing on word-lines.
+    pub dsgb: bool,
+    /// Double-sided write drivers on bit-lines.
+    pub dswd: bool,
+    /// Dummy bit-lines per column multiplexer.
+    pub dummy_bl: bool,
+}
+
+impl HardwareDesign {
+    /// The plain baseline array (no prior technique).
+    #[must_use]
+    pub fn baseline() -> Self {
+        Self::default()
+    }
+
+    /// The paper's `Hard` configuration: DSGB + DSWD + D-BL together.
+    #[must_use]
+    pub fn hard() -> Self {
+        Self {
+            dsgb: true,
+            dswd: true,
+            dummy_bl: true,
+        }
+    }
+
+    /// Sink configuration of the selected word-line in an array of `size`
+    /// columns.
+    #[must_use]
+    pub fn wl_sinks(&self, size: usize) -> Sinks {
+        if self.dsgb {
+            Sinks::Double { last: size - 1 }
+        } else {
+            Sinks::Single
+        }
+    }
+
+    /// Sink configuration of the selected bit-line in an array of `size`
+    /// rows.
+    #[must_use]
+    pub fn bl_sinks(&self, size: usize) -> Sinks {
+        if self.dswd {
+            Sinks::Double { last: size - 1 }
+        } else {
+            Sinks::Single
+        }
+    }
+
+    /// Number of concurrent RESETs D-BL enforces for a write that really
+    /// resets `real_resets` bits of a `data_width`-bit array: every column
+    /// multiplexer without a real RESET fires its dummy BL.
+    ///
+    /// Returns `real_resets` unchanged when D-BL is absent or when nothing
+    /// is being reset (no RESET phase → no dummy activity).
+    #[must_use]
+    pub fn concurrent_resets(&self, real_resets: usize, data_width: usize) -> usize {
+        if self.dummy_bl && real_resets > 0 {
+            data_width
+        } else {
+            real_resets
+        }
+    }
+
+    /// Dummy-BL RESETs added on top of `real_resets` real ones.
+    #[must_use]
+    pub fn dummy_resets(&self, real_resets: usize, data_width: usize) -> usize {
+        self.concurrent_resets(real_resets, data_width) - real_resets.min(data_width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_single_sided() {
+        let d = HardwareDesign::baseline();
+        assert_eq!(d.wl_sinks(512), Sinks::Single);
+        assert_eq!(d.bl_sinks(512), Sinks::Single);
+        assert_eq!(d.concurrent_resets(2, 8), 2);
+        assert_eq!(d.dummy_resets(2, 8), 0);
+    }
+
+    #[test]
+    fn hard_enables_everything() {
+        let d = HardwareDesign::hard();
+        assert_eq!(d.wl_sinks(512), Sinks::Double { last: 511 });
+        assert_eq!(d.bl_sinks(512), Sinks::Double { last: 511 });
+        assert_eq!(d.concurrent_resets(2, 8), 8);
+    }
+
+    #[test]
+    fn dummy_bl_fires_only_during_reset_phases() {
+        let d = HardwareDesign {
+            dummy_bl: true,
+            ..HardwareDesign::default()
+        };
+        assert_eq!(d.concurrent_resets(0, 8), 0);
+        assert_eq!(d.dummy_resets(0, 8), 0);
+        assert_eq!(d.concurrent_resets(1, 8), 8);
+        assert_eq!(d.dummy_resets(1, 8), 7);
+        assert_eq!(d.dummy_resets(8, 8), 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Cell and selector electrical parameters (paper Table I).
+
+use reram_circuit::{CellDevice, CompliantCell, PolySelector};
+
+/// Electrical parameters of one ReRAM cell with its bipolar access device.
+///
+/// Defaults come straight from the paper's Table I: `Ion = 90 µA` RESET
+/// current for a fully selected LRS cell, half-bias nonlinearity `Kr = 1000`
+/// (the MASiM selector of the Kawahara prototype), and 3 V full RESET/SET
+/// voltage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellParams {
+    /// Fully-selected LRS cell current during RESET, amperes (Table I `Ion`).
+    pub i_on: f64,
+    /// Selector half-bias nonlinearity `Kr = I(V)/I(V/2)` (Table I).
+    pub kr: f64,
+    /// Fully-selected RESET/SET voltage, volts (Table I `Vrst`/`Vset`).
+    pub v_full: f64,
+    /// HRS/LRS current ratio at full bias; HRS cells conduct `i_on /
+    /// hrs_ratio`. The paper's worst-case study assumes all-LRS arrays, so
+    /// this only matters for data-dependent (RBDL) evaluations.
+    pub hrs_ratio: f64,
+    /// Multiplier on the half-selected sneak currents, default 1.0 (all-LRS
+    /// worst case). The row-biased data layout (RBDL) spreads LRS cells
+    /// evenly over the bit-lines, so the *worst* BL carries roughly the
+    /// average LRS density instead of an all-LRS column — modeled as a
+    /// sneak scale ≈ 0.55 (50 % LRS plus the HRS residue).
+    pub sneak_scale: f64,
+}
+
+impl CellParams {
+    /// Half-selected (half-bias) sneak current of an LRS cell, amperes,
+    /// including the [`sneak_scale`](Self::sneak_scale) data-layout factor.
+    #[must_use]
+    pub fn i_half(&self) -> f64 {
+        self.i_on / self.kr * self.sneak_scale
+    }
+
+    /// Half-selected sneak current of an HRS cell, amperes.
+    #[must_use]
+    pub fn i_half_hrs(&self) -> f64 {
+        self.i_half() / self.hrs_ratio
+    }
+
+    /// Parameters with a different selector nonlinearity (the paper's Fig. 20
+    /// sweeps `Kr ∈ {500, 1000, 2000}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kr <= 1`.
+    #[must_use]
+    pub fn with_kr(mut self, kr: f64) -> Self {
+        assert!(kr > 1.0, "Kr must exceed 1");
+        self.kr = kr;
+        self
+    }
+
+    /// Parameters with a different sneak scale (see
+    /// [`sneak_scale`](Self::sneak_scale)).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < scale <= 1`.
+    #[must_use]
+    pub fn with_sneak_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0, "sneak scale must be in (0, 1]");
+        self.sneak_scale = scale;
+        self
+    }
+
+    /// Circuit-solver device for a half-/un-selected LRS cell.
+    #[must_use]
+    pub fn lrs_device(&self) -> CellDevice {
+        CellDevice::Selector(PolySelector::new(self.i_on, self.v_full, self.kr))
+    }
+
+    /// Circuit-solver device for a half-/un-selected HRS cell.
+    #[must_use]
+    pub fn hrs_device(&self) -> CellDevice {
+        CellDevice::Selector(PolySelector::new(
+            self.i_on / self.hrs_ratio,
+            self.v_full,
+            self.kr,
+        ))
+    }
+
+    /// Circuit-solver device for the *selected* cell during a RESET: a
+    /// compliance-limited source drawing `Ion`, matching the paper's
+    /// fixed-current drop analysis (see the crate-level fidelity note).
+    #[must_use]
+    pub fn selected_device(&self) -> CellDevice {
+        CellDevice::Compliant(CompliantCell::new(self.i_on, 0.25))
+    }
+}
+
+impl Default for CellParams {
+    fn default() -> Self {
+        Self {
+            i_on: 90e-6,
+            kr: 1000.0,
+            v_full: 3.0,
+            hrs_ratio: 100.0,
+            sneak_scale: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_i() {
+        let p = CellParams::default();
+        assert_eq!(p.i_on, 90e-6);
+        assert_eq!(p.kr, 1000.0);
+        assert_eq!(p.v_full, 3.0);
+    }
+
+    #[test]
+    fn half_current_is_ion_over_kr() {
+        let p = CellParams::default();
+        assert!((p.i_half() - 90e-9).abs() < 1e-15);
+        assert!((p.i_half_hrs() - 0.9e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn with_kr_rescales_sneak() {
+        let p = CellParams::default().with_kr(500.0);
+        assert!((p.i_half() - 180e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn devices_reflect_states() {
+        let p = CellParams::default();
+        let v = 1.5;
+        let i_lrs = p.lrs_device().current(v);
+        let i_hrs = p.hrs_device().current(v);
+        assert!(i_lrs > i_hrs * 10.0);
+        // Selected device saturates near Ion at full bias.
+        let i_sel = p.selected_device().current(3.0);
+        assert!((i_sel - p.i_on).abs() / p.i_on < 1e-6);
+    }
+
+    #[test]
+    fn sneak_scale_shrinks_half_current() {
+        let p = CellParams::default().with_sneak_scale(0.5);
+        assert!((p.i_half() - 45e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "sneak scale")]
+    fn bad_sneak_scale_panics() {
+        let _ = CellParams::default().with_sneak_scale(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Kr")]
+    fn bad_kr_panics() {
+        let _ = CellParams::default().with_kr(1.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Array geometry: MAT size, data path width, column grouping, DRVR sections.
+
+/// Geometry of one cross-point MAT and its data path.
+///
+/// The paper's design point (after the design-space exploration of Xu et al.,
+/// HPCA 2015) is a 512×512 MAT with an 8-bit data path: eight sense
+/// amplifiers / write drivers per MAT, each behind a 64:1 column multiplexer.
+/// Bit `b` of the data path can therefore only select bit-lines in the
+/// *column group* `[64·b, 64·(b+1))`, which is what lets UDRVR assign one
+/// RESET-voltage level per write driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArrayGeometry {
+    size: usize,
+    data_width: usize,
+    drvr_sections: usize,
+}
+
+impl ArrayGeometry {
+    /// Creates an `size × size` MAT with `data_width` write drivers.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `size` is a positive multiple of `data_width` and of
+    /// `drvr_sections` (8, the number of RESET-voltage levels selected by the
+    /// 3 MSBs of the row address).
+    #[must_use]
+    pub fn new(size: usize, data_width: usize) -> Self {
+        const DRVR_SECTIONS: usize = 8;
+        assert!(size > 0 && data_width > 0, "geometry must be non-trivial");
+        assert!(
+            size.is_multiple_of(data_width),
+            "MAT size must be a multiple of the data width"
+        );
+        assert!(
+            size.is_multiple_of(DRVR_SECTIONS),
+            "MAT size must be a multiple of the 8 DRVR sections"
+        );
+        Self {
+            size,
+            data_width,
+            drvr_sections: DRVR_SECTIONS,
+        }
+    }
+
+    /// The paper's baseline geometry: 512×512 with an 8-bit data path.
+    #[must_use]
+    pub fn baseline() -> Self {
+        Self::new(512, 8)
+    }
+
+    /// Number of word-lines (= number of bit-lines).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Width of the data path (write drivers per MAT).
+    #[must_use]
+    pub fn data_width(&self) -> usize {
+        self.data_width
+    }
+
+    /// Bit-lines behind each column multiplexer (`size / data_width`).
+    #[must_use]
+    pub fn cols_per_group(&self) -> usize {
+        self.size / self.data_width
+    }
+
+    /// The data-path bit (write driver / column group) owning column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of bounds.
+    #[must_use]
+    pub fn group_of_col(&self, j: usize) -> usize {
+        assert!(j < self.size, "column out of bounds");
+        j / self.cols_per_group()
+    }
+
+    /// First column of data-path bit `b`'s group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b >= data_width`.
+    #[must_use]
+    pub fn group_start(&self, b: usize) -> usize {
+        assert!(b < self.data_width, "bit out of bounds");
+        b * self.cols_per_group()
+    }
+
+    /// Number of DRVR voltage sections along a bit-line (always 8: the level
+    /// is picked by the 3 MSBs of the row address).
+    #[must_use]
+    pub fn drvr_sections(&self) -> usize {
+        self.drvr_sections
+    }
+
+    /// Rows per DRVR section.
+    #[must_use]
+    pub fn rows_per_section(&self) -> usize {
+        self.size / self.drvr_sections
+    }
+
+    /// The DRVR section of row `i` (0 = nearest the write drivers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn section_of_row(&self, i: usize) -> usize {
+        assert!(i < self.size, "row out of bounds");
+        i / self.rows_per_section()
+    }
+
+    /// First row of DRVR section `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= 8`.
+    #[must_use]
+    pub fn section_start(&self, s: usize) -> usize {
+        assert!(s < self.drvr_sections, "section out of bounds");
+        s * self.rows_per_section()
+    }
+}
+
+impl Default for ArrayGeometry {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_512_by_8() {
+        let g = ArrayGeometry::baseline();
+        assert_eq!(g.size(), 512);
+        assert_eq!(g.data_width(), 8);
+        assert_eq!(g.cols_per_group(), 64);
+        assert_eq!(g.rows_per_section(), 64);
+    }
+
+    #[test]
+    fn groups_tile_the_columns() {
+        let g = ArrayGeometry::baseline();
+        assert_eq!(g.group_of_col(0), 0);
+        assert_eq!(g.group_of_col(63), 0);
+        assert_eq!(g.group_of_col(64), 1);
+        assert_eq!(g.group_of_col(511), 7);
+        assert_eq!(g.group_start(7), 448);
+    }
+
+    #[test]
+    fn sections_tile_the_rows() {
+        let g = ArrayGeometry::baseline();
+        assert_eq!(g.section_of_row(0), 0);
+        assert_eq!(g.section_of_row(511), 7);
+        assert_eq!(g.section_start(1), 64);
+    }
+
+    #[test]
+    fn alternative_sizes() {
+        for size in [256usize, 512, 1024] {
+            let g = ArrayGeometry::new(size, 8);
+            assert_eq!(g.cols_per_group() * g.data_width(), size);
+            assert_eq!(g.rows_per_section() * g.drvr_sections(), size);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn indivisible_size_panics() {
+        let _ = ArrayGeometry::new(100, 8);
+    }
+}

@@ -1,0 +1,260 @@
+//! RESET kinetics (paper Eq. 1) and cell endurance (paper Eq. 2).
+//!
+//! * `Trst(Veff) = β · exp(−k · Veff)` — the RESET latency is inversely
+//!   exponentially proportional to the effective RESET voltage on the cell.
+//! * `Endurance(Trst) = (Trst / T0)^C` — faster RESETs over-RESET the cell
+//!   and wear it out exponentially sooner (`C = 3` after Zhang et al.,
+//!   ISCA 2016).
+//!
+//! Both are calibrated from anchors printed in the paper: a zero-drop cell
+//! RESETs in 15 ns and tolerates 5×10⁶ writes; the worst-case cell of the
+//! 512×512 baseline sees 1.7 V effective and needs 2.3 µs. A write fails
+//! outright if the effective voltage is below 1.7 V.
+
+/// Outcome classification of applying a RESET pulse at some effective voltage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WriteOutcome {
+    /// The RESET completes in the given time (nanoseconds).
+    Completes {
+        /// RESET latency, nanoseconds.
+        latency_ns: f64,
+    },
+    /// The effective voltage is below the write-failure threshold; the CF
+    /// cannot be ruptured reliably (Ning et al., IMW 2013).
+    Fails {
+        /// The effective voltage that was available, volts.
+        veff: f64,
+    },
+}
+
+/// Eq. 1: RESET latency as a function of effective RESET voltage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResetKinetics {
+    beta_ns: f64,
+    k_per_volt: f64,
+    v_fail: f64,
+}
+
+impl ResetKinetics {
+    /// Calibrates `β` and `k` from two (voltage, latency) anchors.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `v_fast > v_slow` and both latencies are positive with
+    /// `t_slow > t_fast`.
+    #[must_use]
+    pub fn from_anchors(v_fast: f64, t_fast_ns: f64, v_slow: f64, t_slow_ns: f64) -> Self {
+        assert!(v_fast > v_slow, "anchors must be ordered by voltage");
+        assert!(
+            t_slow_ns > t_fast_ns && t_fast_ns > 0.0,
+            "latency must decrease with voltage"
+        );
+        let k = (t_slow_ns / t_fast_ns).ln() / (v_fast - v_slow);
+        let beta = t_fast_ns * (k * v_fast).exp();
+        Self {
+            beta_ns: beta,
+            k_per_volt: k,
+            v_fail: 1.7,
+        }
+    }
+
+    /// Effective voltage of the worst-case cell in the paper's 512×512
+    /// baseline under 3 V, as computed exactly by the drop model
+    /// (`11.5 Ω × [511·90 µA + 130305·90 nA]` per line, both lines). The
+    /// paper rounds this to "≈ 1.7 V".
+    pub const V_WORST_BASELINE: f64 = 1.6725;
+
+    /// The paper's calibration: 15 ns at 3.0 V (zero-drop cell), 2.3 µs at
+    /// the worst-case cell of the 512×512 baseline (≈ 1.7 V effective).
+    ///
+    /// The write-failure threshold is placed at 1.65 V, just below the
+    /// worst-case cell: the paper quotes both "worst-case effective Vrst =
+    /// 1.7 V" and "failure below 1.7 V", which only coexist if the worst
+    /// case sits at-or-above the threshold — so we pin the threshold right
+    /// under the exactly-computed worst case.
+    #[must_use]
+    pub fn paper() -> Self {
+        let mut k = Self::from_anchors(3.0, 15.0, Self::V_WORST_BASELINE, 2300.0);
+        k.v_fail = 1.65;
+        k
+    }
+
+    /// Fitting constant `β`, nanoseconds.
+    #[must_use]
+    pub fn beta_ns(&self) -> f64 {
+        self.beta_ns
+    }
+
+    /// Fitting constant `k`, 1/volt.
+    #[must_use]
+    pub fn k_per_volt(&self) -> f64 {
+        self.k_per_volt
+    }
+
+    /// Write-failure threshold, volts.
+    #[must_use]
+    pub fn v_fail(&self) -> f64 {
+        self.v_fail
+    }
+
+    /// RESET latency at effective voltage `veff`, nanoseconds, ignoring the
+    /// failure threshold. Prefer [`ResetKinetics::outcome`] in write paths.
+    #[must_use]
+    pub fn latency_ns(&self, veff: f64) -> f64 {
+        self.beta_ns * (-self.k_per_volt * veff).exp()
+    }
+
+    /// Classifies a RESET at effective voltage `veff`.
+    #[must_use]
+    pub fn outcome(&self, veff: f64) -> WriteOutcome {
+        if veff < self.v_fail {
+            WriteOutcome::Fails { veff }
+        } else {
+            WriteOutcome::Completes {
+                latency_ns: self.latency_ns(veff),
+            }
+        }
+    }
+}
+
+impl Default for ResetKinetics {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Eq. 2: cell endurance as a function of its RESET latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnduranceModel {
+    t0_ns: f64,
+    c_exp: f64,
+}
+
+impl EnduranceModel {
+    /// Calibrates `T0` from one (latency, endurance) anchor and the exponent
+    /// `C`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all arguments are strictly positive.
+    #[must_use]
+    pub fn from_anchor(t_rst_ns: f64, endurance_writes: f64, c_exp: f64) -> Self {
+        assert!(
+            t_rst_ns > 0.0 && endurance_writes > 0.0 && c_exp > 0.0,
+            "anchor values must be positive"
+        );
+        Self {
+            t0_ns: t_rst_ns / endurance_writes.powf(1.0 / c_exp),
+            c_exp,
+        }
+    }
+
+    /// The paper's calibration: a 15 ns (zero-drop) RESET yields 5×10⁶-write
+    /// endurance with `C = 3`.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::from_anchor(15.0, 5e6, 3.0)
+    }
+
+    /// Fitting constant `T0`, nanoseconds.
+    #[must_use]
+    pub fn t0_ns(&self) -> f64 {
+        self.t0_ns
+    }
+
+    /// Exponent `C`.
+    #[must_use]
+    pub fn c_exp(&self) -> f64 {
+        self.c_exp
+    }
+
+    /// Endurance in writes for a cell that is RESET in `t_rst_ns`.
+    #[must_use]
+    pub fn writes(&self, t_rst_ns: f64) -> f64 {
+        (t_rst_ns / self.t0_ns).powf(self.c_exp)
+    }
+}
+
+impl Default for EnduranceModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_anchors_round_trip() {
+        let k = ResetKinetics::paper();
+        assert!((k.latency_ns(3.0) - 15.0).abs() < 1e-9);
+        assert!((k.latency_ns(ResetKinetics::V_WORST_BASELINE) - 2300.0).abs() < 1e-6);
+        // k ≈ 3.79 V⁻¹ (DESIGN.md §3 derives 3.87 for a rounded 1.7 V anchor).
+        assert!((k.k_per_volt() - 3.791).abs() < 1e-3);
+    }
+
+    #[test]
+    fn latency_is_monotone_decreasing_in_voltage() {
+        let k = ResetKinetics::paper();
+        let mut prev = f64::INFINITY;
+        for step in 0..30 {
+            let v = 1.7 + step as f64 * 0.07;
+            let t = k.latency_ns(v);
+            assert!(t < prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn outcome_flags_write_failure() {
+        let k = ResetKinetics::paper();
+        assert!(matches!(k.outcome(1.64), WriteOutcome::Fails { .. }));
+        match k.outcome(2.0) {
+            WriteOutcome::Completes { latency_ns } => assert!(latency_ns > 15.0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn a_0_4v_drop_costs_about_10x_latency() {
+        // §II-B: "a 0.4 V voltage drop can increase the ReRAM RESET latency
+        // by 10×" — our calibrated k gives e^(0.4k) ≈ 4.7, the right order of
+        // magnitude given the paper's own anchors (which we match exactly).
+        let k = ResetKinetics::paper();
+        let ratio = k.latency_ns(2.6) / k.latency_ns(3.0);
+        assert!(ratio > 4.0 && ratio < 11.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn endurance_anchor_round_trips() {
+        let e = EnduranceModel::paper();
+        assert!((e.writes(15.0) - 5e6).abs() / 5e6 < 1e-12);
+        assert!((e.t0_ns() - 0.08772).abs() < 1e-4);
+    }
+
+    #[test]
+    fn worst_case_cell_outlives_1e12() {
+        // Fig. 4d: the top-right (2.3 µs) cell tolerates more than 10¹² writes.
+        let e = EnduranceModel::paper();
+        assert!(e.writes(2300.0) > 1e12);
+    }
+
+    #[test]
+    fn endurance_monotone_in_latency() {
+        let e = EnduranceModel::paper();
+        assert!(e.writes(30.0) > e.writes(15.0));
+        assert!(e.writes(15.0) > e.writes(7.0));
+    }
+
+    #[test]
+    fn over_reset_at_high_voltage_crushes_endurance() {
+        // §IV-A: a 3.7 V static supply leaves the zero-drop cells with only
+        // 1.5 K – 5 K writes.
+        let k = ResetKinetics::paper();
+        let e = EnduranceModel::paper();
+        let writes = e.writes(k.latency_ns(3.7));
+        assert!(writes < 1e4, "writes = {writes}");
+        assert!(writes > 1e2);
+    }
+}

@@ -1,0 +1,60 @@
+//! ReRAM cross-point array micro-architecture model.
+//!
+//! This crate models everything the HPCA 2020 paper's evaluation needs from
+//! the array itself:
+//!
+//! * technology parameters — per-junction wire resistance across process
+//!   nodes ([`tech`]), selector/cell electrical parameters ([`device`]);
+//! * the calibrated RESET-kinetics and endurance equations
+//!   (Eq. 1 and Eq. 2 of the paper, [`kinetics`]);
+//! * the analytic IR-drop model for bit-lines and word-lines, including
+//!   double-sided grounding/driving, data-dependent sneak, and the oracle
+//!   `ora-m×m` windows ([`drop_model`], [`line`](mod@line));
+//! * the paper's lumped multi-bit RESET (partitioning) model used by
+//!   Partition RESET and the dummy-BL baseline ([`multibit`]);
+//! * the prior hardware baselines DSGB / DSWD / D-BL and their area and
+//!   leakage overheads ([`design`], [`overhead`]);
+//! * whole-array maps of effective RESET voltage, latency and endurance
+//!   (the quantities plotted in Figs. 4, 6, 11 and 13; [`vmap`]);
+//! * a bridge to the full nonlinear circuit solver of [`reram_circuit`] for
+//!   validating the analytic model ([`model::ArrayModel::to_crosspoint`]).
+//!
+//! # Fidelity note
+//!
+//! The analytic model follows the paper's own (fixed-current) equivalent
+//! circuits: selected cells draw `Ion` regardless of their own drop, and
+//! half-selected cells draw `Ion/Kr`. That assumption is what anchors the
+//! paper's published numbers (a 0.66 V end-to-end BL drop and a 1.7 V
+//! worst-case effective RESET voltage in a 512×512 array). A self-consistent
+//! KCL solve of the same mesh ([`reram_circuit`]) yields a milder drop, and
+//! does **not** reproduce the multi-bit optimum of the paper's Fig. 11a on a
+//! flat mesh with a single word-line ground — the partitioning benefit
+//! requires the hierarchical local-WL ground taps the paper's Fig. 3 array
+//! has. Both views are available; the architecture-level results reproduce
+//! the paper's model. See `DESIGN.md` §3 and `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod design;
+pub mod device;
+pub mod drop_model;
+pub mod geometry;
+pub mod kinetics;
+pub mod line;
+pub mod model;
+pub mod multibit;
+pub mod overhead;
+pub mod tech;
+pub mod vmap;
+
+pub use design::HardwareDesign;
+pub use device::CellParams;
+pub use drop_model::DropModel;
+pub use geometry::ArrayGeometry;
+pub use kinetics::{EnduranceModel, ResetKinetics, WriteOutcome};
+pub use model::ArrayModel;
+pub use multibit::{PartitionModel, Spread};
+pub use overhead::ChipOverhead;
+pub use tech::TechNode;
+pub use vmap::{BlockReduced, Grid, VoltageMaps};

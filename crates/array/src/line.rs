@@ -1,0 +1,198 @@
+//! IR drop along one discrete resistive line (a word-line or bit-line).
+//!
+//! A line is a chain of junctions `0, 1, 2, …` separated by wire segments of
+//! resistance `r` ohms each. Current is injected at junctions by the cells
+//! hanging off the line (the selected cell's RESET current, half-selected
+//! sneak currents) and drains into one *sink* — the write driver or the row
+//! decoder's ground at junction 0 — or two sinks when the line is
+//! double-sided (DSGB grounds both ends of the selected WL; DSWD drives the
+//! selected BL from both ends).
+//!
+//! Everything here is linear superposition over the line's discrete Green's
+//! function, which is exact for this 1-D topology:
+//!
+//! * single sink at 0: `G(m, x) = min(m, x)` segments are shared by the
+//!   paths of an injection at `m` and the observation point `x`;
+//! * sinks at both 0 and `L`: `G(m, x) = m·(L−x)/L` for `m ≤ x`, else
+//!   `x·(L−m)/L` (the discrete two-point boundary-value Green's function).
+//!
+//! Voltages returned are *rises above the sink potential* at the observation
+//! junction, i.e. exactly the IR drop the paper subtracts from the applied
+//! RESET voltage.
+
+/// Sink (ground / driver) configuration of a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sinks {
+    /// One sink at junction 0 — the baseline array.
+    Single,
+    /// Sinks at junction 0 and junction `last` — DSGB (word-lines) or DSWD
+    /// (bit-lines).
+    Double {
+        /// Index of the far-end junction holding the second sink.
+        last: usize,
+    },
+}
+
+impl Sinks {
+    /// Green's function: volts of rise at junction `x` per ampere injected at
+    /// junction `m` per ohm of segment resistance.
+    #[must_use]
+    pub fn green(&self, m: usize, x: usize) -> f64 {
+        match *self {
+            Sinks::Single => m.min(x) as f64,
+            Sinks::Double { last } => {
+                debug_assert!(m <= last && x <= last, "junction beyond line end");
+                if last == 0 {
+                    return 0.0;
+                }
+                let l = last as f64;
+                let (m, x) = (m as f64, x as f64);
+                if m <= x {
+                    m * (l - x) / l
+                } else {
+                    x * (l - m) / l
+                }
+            }
+        }
+    }
+}
+
+/// IR rise at junction `x` from a set of `(junction, amperes)` injections on
+/// a line with segment resistance `r_ohms`.
+#[must_use]
+pub fn drop_at(
+    r_ohms: f64,
+    sinks: Sinks,
+    injections: impl IntoIterator<Item = (usize, f64)>,
+    x: usize,
+) -> f64 {
+    let mut v = 0.0;
+    for (m, i) in injections {
+        v += i * sinks.green(m, x);
+    }
+    v * r_ohms
+}
+
+/// IR rise at `x` from a *uniform* injection of `i_each` amperes at every
+/// junction `1..=n` except `x` itself, plus a point injection `i_point` at
+/// `x` — the standard "selected cell + distributed sneak" load of a RESET.
+///
+/// Closed form for the single-sink case; falls back to summation for double
+/// sinks.
+#[must_use]
+pub fn reset_line_drop(
+    r_ohms: f64,
+    sinks: Sinks,
+    n: usize,
+    i_point: f64,
+    i_each: f64,
+    x: usize,
+) -> f64 {
+    match sinks {
+        Sinks::Single => {
+            // Σ_{m=1..n, m≠x} min(m, x) = x(x+1)/2 + x(n−x) − x   (m = x excluded)
+            let (xf, nf) = (x as f64, n as f64);
+            let sneak_weight = xf * (xf + 1.0) / 2.0 + xf * (nf - xf) - xf;
+            r_ohms * (i_point * xf + i_each * sneak_weight)
+        }
+        Sinks::Double { .. } => {
+            let mut v = i_point * sinks.green(x, x);
+            for m in 1..=n {
+                if m != x {
+                    v += i_each * sinks.green(m, x);
+                }
+            }
+            v * r_ohms
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_sink_point_injection_is_ohms_law() {
+        // 90 µA injected at junction 511 through 511 segments of 11.5 Ω.
+        let v = drop_at(11.5, Sinks::Single, [(511, 90e-6)], 511);
+        assert!((v - 11.5 * 511.0 * 90e-6).abs() < 1e-12);
+        assert!((v - 0.5289).abs() < 1e-3, "v = {v}");
+    }
+
+    #[test]
+    fn paper_bl_drop_anchor() {
+        // DESIGN.md §3: cell current 90 µA at junction 511 plus 90 nA sneak at
+        // every other junction of a 512-junction BL gives ≈ 0.66 V — the
+        // end-to-end effective-Vrst spread of Fig. 7b.
+        let v = reset_line_drop(11.5, Sinks::Single, 511, 90e-6, 90e-9, 511);
+        assert!((v - 0.664).abs() < 0.005, "v = {v}");
+    }
+
+    #[test]
+    fn closed_form_matches_summation() {
+        let r = 11.5;
+        for x in [1usize, 7, 100, 300, 511] {
+            let closed = reset_line_drop(r, Sinks::Single, 511, 90e-6, 90e-9, x);
+            let mut inj: Vec<(usize, f64)> = (1..=511)
+                .filter(|&m| m != x)
+                .map(|m| (m, 90e-9))
+                .collect();
+            inj.push((x, 90e-6));
+            let summed = drop_at(r, Sinks::Single, inj, x);
+            assert!((closed - summed).abs() < 1e-9, "x={x}: {closed} vs {summed}");
+        }
+    }
+
+    #[test]
+    fn double_sink_halves_worst_case() {
+        // With grounds at both ends the worst point injection sits mid-line
+        // and sees L/4 (parallel of two L/2 paths) instead of L.
+        let l = 511;
+        let worst_single = drop_at(11.5, Sinks::Single, [(l, 90e-6)], l);
+        let mid = l / 2;
+        let worst_double = drop_at(11.5, Sinks::Double { last: l }, [(mid, 90e-6)], mid);
+        assert!(worst_double < worst_single * 0.51);
+        assert!(worst_double > worst_single * 0.2);
+    }
+
+    #[test]
+    fn double_sink_far_end_has_no_drop() {
+        let l = 511;
+        let v = drop_at(11.5, Sinks::Double { last: l }, [(l, 90e-6)], l);
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn green_function_symmetry() {
+        let s = Sinks::Double { last: 100 };
+        for (m, x) in [(3, 70), (10, 90), (50, 50)] {
+            assert!((s.green(m, x) - s.green(x, m)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn green_zero_at_sinks() {
+        assert_eq!(Sinks::Single.green(0, 5), 0.0);
+        assert_eq!(Sinks::Single.green(5, 0), 0.0);
+        let d = Sinks::Double { last: 10 };
+        assert_eq!(d.green(0, 7), 0.0);
+        assert_eq!(d.green(10, 7), 0.0);
+    }
+
+    #[test]
+    fn drop_monotone_in_position_single_sink() {
+        let mut prev = -1.0;
+        for x in (0..=511).step_by(64) {
+            let v = reset_line_drop(11.5, Sinks::Single, 511, 90e-6, 90e-9, x);
+            assert!(v > prev, "x={x}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn degenerate_single_junction_line() {
+        let d = Sinks::Double { last: 0 };
+        assert_eq!(d.green(0, 0), 0.0);
+        assert_eq!(drop_at(1.0, d, [(0, 1.0)], 0), 0.0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Whole-array maps of effective Vrst, RESET latency and endurance.
+//!
+//! These are the quantities the paper plots as 3-D bar charts: Fig. 4b–d
+//! (baseline), Fig. 6 (DRVR), Fig. 11b–d (DRVR+PR) and Fig. 13 (UDRVR+PR),
+//! each reduced to the worst value per 64×64-cell block.
+
+use crate::kinetics::WriteOutcome;
+use crate::ArrayModel;
+
+/// A dense `rows × cols` grid of `f64` samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Grid {
+    /// Creates a grid filled by `f(i, j)`.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The sample at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[must_use]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        self.data[i * self.cols + j]
+    }
+
+    /// Minimum sample.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.data.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum sample.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Arithmetic mean of the samples.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.data.iter().sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Reduces the grid to `(rows/block) × (cols/block)` tiles, keeping each
+    /// tile's extreme value (`worst_is_max = true` keeps maxima — latency;
+    /// `false` keeps minima — effective voltage, endurance).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `block` divides both dimensions.
+    #[must_use]
+    pub fn block_reduce(&self, block: usize, worst_is_max: bool) -> BlockReduced {
+        assert!(
+            block > 0 && self.rows.is_multiple_of(block) && self.cols.is_multiple_of(block),
+            "block must divide both grid dimensions"
+        );
+        let br = self.rows / block;
+        let bc = self.cols / block;
+        let tiles = Grid::from_fn(br, bc, |bi, bj| {
+            let mut acc = if worst_is_max {
+                f64::NEG_INFINITY
+            } else {
+                f64::INFINITY
+            };
+            for i in bi * block..(bi + 1) * block {
+                for j in bj * block..(bj + 1) * block {
+                    let v = self.at(i, j);
+                    acc = if worst_is_max { acc.max(v) } else { acc.min(v) };
+                }
+            }
+            acc
+        });
+        BlockReduced { block, tiles }
+    }
+}
+
+/// A block-reduced view of a [`Grid`] (one worst value per tile).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockReduced {
+    block: usize,
+    tiles: Grid,
+}
+
+impl BlockReduced {
+    /// Tile edge length in cells.
+    #[must_use]
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// The reduced tile grid.
+    #[must_use]
+    pub fn tiles(&self) -> &Grid {
+        &self.tiles
+    }
+}
+
+/// Effective-voltage, latency and endurance maps of one array under a scheme.
+///
+/// The scheme is expressed as two closures so this crate stays independent of
+/// the mitigation policies: `applied(i, j)` is the RESET voltage driven on
+/// the BL for a write to cell `(i, j)` (constant 3 V for the baseline,
+/// row-section-dependent for DRVR, column-group-dependent for UDRVR), and
+/// `concurrency(i, j)` is the representative number of concurrent RESETs on
+/// the WL (1 for the baseline, the PR partition count under PR).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VoltageMaps {
+    /// Effective RESET voltage per cell, volts.
+    pub veff: Grid,
+    /// RESET latency per cell, nanoseconds (`f64::INFINITY` where the write
+    /// fails).
+    pub latency_ns: Grid,
+    /// Endurance per cell, writes (0 where the write fails).
+    pub endurance_writes: Grid,
+}
+
+impl VoltageMaps {
+    /// Computes the three maps for `model` under the given scheme closures.
+    #[must_use]
+    pub fn compute(
+        model: &ArrayModel,
+        applied: impl Fn(usize, usize) -> f64,
+        concurrency: impl Fn(usize, usize) -> usize,
+    ) -> Self {
+        let n = model.geometry().size();
+        let dm = model.drop_model();
+        // Precompute the per-position line drops: the per-cell total is
+        // separable, so this turns the O(n²) map into O(n) drop evaluations.
+        let bl: Vec<f64> = (0..n).map(|i| dm.bl_drop(i)).collect();
+        let veff = Grid::from_fn(n, n, |i, j| {
+            applied(i, j) - bl[i] - dm.wl_drop(j, concurrency(i, j))
+        });
+        let kin = model.kinetics();
+        let end = model.endurance();
+        let latency_ns = Grid::from_fn(n, n, |i, j| match kin.outcome(veff.at(i, j)) {
+            WriteOutcome::Completes { latency_ns } => latency_ns,
+            WriteOutcome::Fails { .. } => f64::INFINITY,
+        });
+        let endurance_writes = Grid::from_fn(n, n, |i, j| {
+            let t = latency_ns.at(i, j);
+            if t.is_finite() {
+                end.writes(t)
+            } else {
+                0.0
+            }
+        });
+        Self {
+            veff,
+            latency_ns,
+            endurance_writes,
+        }
+    }
+
+    /// The array RESET latency: the slowest cell in the map, nanoseconds.
+    #[must_use]
+    pub fn array_latency_ns(&self) -> f64 {
+        self.latency_ns.max()
+    }
+
+    /// The array endurance: the weakest cell in the map, writes.
+    #[must_use]
+    pub fn array_endurance_writes(&self) -> f64 {
+        self.endurance_writes.min()
+    }
+
+    /// True if some cell's RESET fails under this scheme.
+    #[must_use]
+    pub fn has_write_failure(&self) -> bool {
+        !self.array_latency_ns().is_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_from_fn_and_at() {
+        let g = Grid::from_fn(3, 4, |i, j| (i * 10 + j) as f64);
+        assert_eq!(g.at(0, 0), 0.0);
+        assert_eq!(g.at(2, 3), 23.0);
+        assert_eq!(g.rows(), 3);
+        assert_eq!(g.cols(), 4);
+        assert_eq!(g.max(), 23.0);
+        assert_eq!(g.min(), 0.0);
+    }
+
+    #[test]
+    fn block_reduce_keeps_extremes() {
+        let g = Grid::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let max_tiles = g.block_reduce(2, true);
+        assert_eq!(max_tiles.tiles().at(0, 0), 5.0);
+        assert_eq!(max_tiles.tiles().at(1, 1), 15.0);
+        let min_tiles = g.block_reduce(2, false);
+        assert_eq!(min_tiles.tiles().at(0, 0), 0.0);
+        assert_eq!(min_tiles.tiles().at(1, 1), 10.0);
+    }
+
+    #[test]
+    fn baseline_maps_match_fig4() {
+        let m = ArrayModel::paper_baseline();
+        let maps = VoltageMaps::compute(&m, |_, _| 3.0, |_, _| 1);
+        // Fig. 4b: effective Vrst spans ≈ 1.7 V (far corner) to 3 V.
+        assert!((maps.veff.at(0, 0) - 3.0).abs() < 1e-9);
+        assert!((maps.veff.at(511, 511) - 1.67).abs() < 0.03);
+        // Fig. 4c: array latency ≈ 2.3 µs.
+        assert!((maps.array_latency_ns() - 2300.0) / 2300.0 < 0.10);
+        // Fig. 4d: weakest cell is the zero-drop corner at 5e6 writes, and
+        // the far corner exceeds 1e12.
+        assert!((maps.array_endurance_writes() - 5e6).abs() / 5e6 < 1e-6);
+        assert!(maps.endurance_writes.at(511, 511) > 1e12);
+        assert!(!maps.has_write_failure());
+    }
+
+    #[test]
+    fn static_overvoltage_crushes_near_corner_endurance() {
+        // Fig. 6a: a static 3.7 V supply leaves the bottom-left cells with
+        // only 1.5 K – 5 K writes.
+        let m = ArrayModel::paper_baseline();
+        let maps = VoltageMaps::compute(&m, |_, _| 3.7, |_, _| 1);
+        let worst = maps.array_endurance_writes();
+        assert!(worst < 1e4, "worst = {worst}");
+        assert!(worst > 1e2);
+    }
+
+    #[test]
+    fn failure_is_reported() {
+        let m = ArrayModel::paper_baseline();
+        let maps = VoltageMaps::compute(&m, |_, _| 2.5, |_, _| 1);
+        assert!(maps.has_write_failure());
+        assert_eq!(maps.endurance_writes.min(), 0.0);
+    }
+
+    #[test]
+    fn mean_of_constant_grid() {
+        let g = Grid::from_fn(5, 5, |_, _| 2.5);
+        assert!((g.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "block")]
+    fn bad_block_panics() {
+        let g = Grid::from_fn(4, 4, |_, _| 0.0);
+        let _ = g.block_reduce(3, true);
+    }
+}

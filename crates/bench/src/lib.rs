@@ -1,0 +1,13 @@
+//! Criterion benchmarks for the `reram-vdrop` workspace.
+//!
+//! Two bench suites live under `benches/`:
+//!
+//! * `kernels` — the performance-critical primitives: the nonlinear
+//!   cross-point solve, the analytic drop model, PR vector construction,
+//!   Flip-N-Write encoding, wear-leveling remap, write planning, and the
+//!   memory controller's scheduling loop.
+//! * `figures` — one group per paper table/figure, running the same
+//!   experiment functions as the `experiments` binary on reduced budgets,
+//!   so `cargo bench` exercises every experiment end to end.
+
+#![forbid(unsafe_code)]

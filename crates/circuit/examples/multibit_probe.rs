@@ -1,0 +1,34 @@
+//! Probes what *clustered* multi-bit RESETs do to the worst-case cell on a
+//! flat mesh with a single word-line ground: the currents only coalesce, so
+//! the effective voltage collapses monotonically with N — the measurement
+//! behind `Spread::Clustered` and EXPERIMENTS.md fidelity note 2. (The
+//! paper's Fig. 11a optimum requires hierarchical local-WL ground taps.)
+//!
+//! Run with `cargo run --release -p reram-circuit --example multibit_probe`.
+
+use reram_circuit::*;
+
+fn main() {
+    let n = 512;
+    for nb in [1usize, 2, 3, 4, 5, 6, 8] {
+        // One reset per 64-column group, at the far end of each group, using
+        // the last nb groups (so the worst cell at column 511 is always in).
+        let cols: Vec<usize> = (8 - nb..8).map(|b| 64 * b + 63).collect();
+        let lrs = CellDevice::Selector(PolySelector::new(90e-6, 3.0, 1000.0));
+        let mut cp = Crosspoint::uniform(n, n, 11.5, lrs);
+        let row = n - 1;
+        for i in 0..n {
+            cp.set_wl_left(i, if i == row { LineEnd::ground() } else { LineEnd::driven(1.5) });
+        }
+        for j in 0..n {
+            cp.set_bl_near(j, if cols.contains(&j) { LineEnd::driven(3.0) } else { LineEnd::driven(1.5) });
+        }
+        for &c in &cols {
+            cp.set_cell(row, c, CellDevice::Compliant(CompliantCell::new(90e-6, 0.25)));
+        }
+        let sol = cp.solve(&SolveOptions::default()).unwrap();
+        let veff: Vec<f64> = cols.iter().map(|&c| sol.cell_voltage(row, c)).collect();
+        println!("N={nb}: worst-cell(col511) Veff = {:.4}  all = {:?}", veff[veff.len()-1],
+                 veff.iter().map(|v| (v*1000.0).round()/1000.0).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,117 @@
+//! Boundary conditions at the ends of word-lines and bit-lines.
+
+/// Electrical condition at one end of a word-line or bit-line.
+///
+/// In the paper's bias scheme (Fig. 2) the selected BL is driven to `Vrst`
+/// by its write driver, the selected WL is grounded at the row decoder,
+/// unselected lines are driven to `Vrst/2` at their near end and their far
+/// end is left floating. Structural baselines change these conditions:
+/// DSGB grounds *both* ends of the selected WL; DSWD drives the selected BL
+/// from both ends.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub enum LineEnd {
+    /// The end is connected to an ideal voltage source through an optional
+    /// series resistance (driver output impedance), in ohms.
+    Driven {
+        /// Source voltage, volts.
+        volts: f64,
+        /// Series (driver) resistance, ohms. Zero models an ideal driver.
+        series_ohms: f64,
+    },
+    /// The end is electrically floating (no connection).
+    #[default]
+    Floating,
+}
+
+impl LineEnd {
+    /// An ideal driver holding the end at `volts`.
+    #[must_use]
+    pub fn driven(volts: f64) -> Self {
+        LineEnd::Driven {
+            volts,
+            series_ohms: 0.0,
+        }
+    }
+
+    /// A driver with output impedance `series_ohms` holding the end at `volts`.
+    #[must_use]
+    pub fn driven_with_impedance(volts: f64, series_ohms: f64) -> Self {
+        assert!(series_ohms >= 0.0, "driver impedance must be non-negative");
+        LineEnd::Driven { volts, series_ohms }
+    }
+
+    /// An ideal connection to ground (0 V).
+    #[must_use]
+    pub fn ground() -> Self {
+        Self::driven(0.0)
+    }
+
+    /// A floating (unconnected) end.
+    #[must_use]
+    pub fn floating() -> Self {
+        LineEnd::Floating
+    }
+
+    /// Returns `(conductance_to_source, source_volts)` for assembling the
+    /// nodal equations; `(0.0, 0.0)` for a floating end.
+    ///
+    /// Ideal drivers are stamped as a large but finite conductance
+    /// (`1e6 S`), which keeps every junction a free node and the line systems
+    /// uniformly tridiagonal; the voltage error this introduces is below a
+    /// nanovolt at the milliamp currents seen in these arrays.
+    #[must_use]
+    pub(crate) fn stamp(&self) -> (f64, f64) {
+        match *self {
+            LineEnd::Driven { volts, series_ohms } => {
+                let g = if series_ohms > 0.0 {
+                    1.0 / series_ohms
+                } else {
+                    1e6
+                };
+                (g, volts)
+            }
+            LineEnd::Floating => (0.0, 0.0),
+        }
+    }
+
+    /// True if this end is connected to a source.
+    #[must_use]
+    pub fn is_driven(&self) -> bool {
+        matches!(self, LineEnd::Driven { .. })
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_is_zero_volt_ideal_driver() {
+        let g = LineEnd::ground();
+        assert!(g.is_driven());
+        let (cond, v) = g.stamp();
+        assert_eq!(v, 0.0);
+        assert_eq!(cond, 1e6);
+    }
+
+    #[test]
+    fn floating_stamps_nothing() {
+        assert_eq!(LineEnd::floating().stamp(), (0.0, 0.0));
+        assert!(!LineEnd::Floating.is_driven());
+    }
+
+    #[test]
+    fn impedance_becomes_conductance() {
+        let e = LineEnd::driven_with_impedance(3.0, 50.0);
+        let (g, v) = e.stamp();
+        assert!((g - 0.02).abs() < 1e-15);
+        assert_eq!(v, 3.0);
+    }
+
+    #[test]
+    fn default_is_floating() {
+        assert_eq!(LineEnd::default(), LineEnd::Floating);
+    }
+}

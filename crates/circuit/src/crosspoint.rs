@@ -1,0 +1,239 @@
+//! Cross-point array topology: cells, wires, and line-end boundary conditions.
+
+use crate::{CellDevice, LineEnd};
+
+/// A rectangular cross-point resistive network.
+///
+/// The array has `rows × cols` cells. Indexing follows the physical layout
+/// used throughout this workspace (paper Fig. 4a):
+///
+/// * **Row `i`** is the distance of a junction from the **write-driver (WD)
+///   side** of its bit-line; the column multiplexer and WDs sit at `i = 0`.
+/// * **Column `j`** is the distance from the **row-decoder side** of its
+///   word-line; the row decoder (the RESET ground) sits at `j = 0`.
+///
+/// Word-line `i` spans columns `0..cols` and terminates in
+/// [`wl_left`](Self::wl_left) (`j = 0`, decoder side) and
+/// [`wl_right`](Self::wl_right) (`j = cols-1`). Bit-line `j` spans rows
+/// `0..rows` and terminates in [`bl_near`](Self::bl_near) (`i = 0`, WD side)
+/// and [`bl_far`](Self::bl_far) (`i = rows-1`).
+///
+/// Adjacent junctions on a line are separated by one wire segment of
+/// resistance [`r_wire_wl`](Self::r_wire_wl) / [`r_wire_bl`](Self::r_wire_bl).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Crosspoint {
+    rows: usize,
+    cols: usize,
+    r_wire_wl: f64,
+    r_wire_bl: f64,
+    cells: Vec<CellDevice>,
+    wl_left: Vec<LineEnd>,
+    wl_right: Vec<LineEnd>,
+    bl_near: Vec<LineEnd>,
+    bl_far: Vec<LineEnd>,
+}
+
+impl Crosspoint {
+    /// Creates an array of `rows × cols` copies of `cell` with the same wire
+    /// resistance `r_wire` (ohms per junction) on both planes. All line ends
+    /// start [floating](LineEnd::Floating).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero, or `r_wire` is not positive.
+    #[must_use]
+    pub fn uniform(rows: usize, cols: usize, r_wire: f64, cell: CellDevice) -> Self {
+        assert!(rows > 0 && cols > 0, "array dimensions must be non-zero");
+        assert!(r_wire > 0.0, "wire resistance must be positive");
+        Self {
+            rows,
+            cols,
+            r_wire_wl: r_wire,
+            r_wire_bl: r_wire,
+            cells: vec![cell; rows * cols],
+            wl_left: vec![LineEnd::Floating; rows],
+            wl_right: vec![LineEnd::Floating; rows],
+            bl_near: vec![LineEnd::Floating; cols],
+            bl_far: vec![LineEnd::Floating; cols],
+        }
+    }
+
+    /// Number of rows (word-lines).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (bit-lines).
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Word-line wire resistance per junction, ohms.
+    #[must_use]
+    pub fn r_wire_wl(&self) -> f64 {
+        self.r_wire_wl
+    }
+
+    /// Bit-line wire resistance per junction, ohms.
+    #[must_use]
+    pub fn r_wire_bl(&self) -> f64 {
+        self.r_wire_bl
+    }
+
+    /// Sets distinct wire resistances for the WL and BL planes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either resistance is not positive.
+    pub fn set_wire_resistance(&mut self, r_wl: f64, r_bl: f64) {
+        assert!(r_wl > 0.0 && r_bl > 0.0, "wire resistance must be positive");
+        self.r_wire_wl = r_wl;
+        self.r_wire_bl = r_bl;
+    }
+
+    /// The device at row `i`, column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[must_use]
+    pub fn cell(&self, i: usize, j: usize) -> &CellDevice {
+        &self.cells[self.idx(i, j)]
+    }
+
+    /// Replaces the device at row `i`, column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn set_cell(&mut self, i: usize, j: usize, cell: CellDevice) {
+        let idx = self.idx(i, j);
+        self.cells[idx] = cell;
+    }
+
+    /// Boundary at the decoder-side end (`j = 0`) of word-line `i`.
+    #[must_use]
+    pub fn wl_left(&self, i: usize) -> LineEnd {
+        self.wl_left[i]
+    }
+
+    /// Boundary at the far end (`j = cols-1`) of word-line `i`.
+    #[must_use]
+    pub fn wl_right(&self, i: usize) -> LineEnd {
+        self.wl_right[i]
+    }
+
+    /// Boundary at the WD-side end (`i = 0`) of bit-line `j`.
+    #[must_use]
+    pub fn bl_near(&self, j: usize) -> LineEnd {
+        self.bl_near[j]
+    }
+
+    /// Boundary at the far end (`i = rows-1`) of bit-line `j`.
+    #[must_use]
+    pub fn bl_far(&self, j: usize) -> LineEnd {
+        self.bl_far[j]
+    }
+
+    /// Sets the decoder-side boundary of word-line `i`.
+    pub fn set_wl_left(&mut self, i: usize, end: LineEnd) {
+        self.wl_left[i] = end;
+    }
+
+    /// Sets the far boundary of word-line `i`.
+    pub fn set_wl_right(&mut self, i: usize, end: LineEnd) {
+        self.wl_right[i] = end;
+    }
+
+    /// Sets the WD-side boundary of bit-line `j`.
+    pub fn set_bl_near(&mut self, j: usize, end: LineEnd) {
+        self.bl_near[j] = end;
+    }
+
+    /// Sets the far boundary of bit-line `j`.
+    pub fn set_bl_far(&mut self, j: usize, end: LineEnd) {
+        self.bl_far[j] = end;
+    }
+
+    /// True if at least one line end is driven; a fully floating network has
+    /// no unique DC operating point.
+    #[must_use]
+    pub fn has_source(&self) -> bool {
+        self.wl_left
+            .iter()
+            .chain(&self.wl_right)
+            .chain(&self.bl_near)
+            .chain(&self.bl_far)
+            .any(LineEnd::is_driven)
+    }
+
+    #[inline]
+    pub(crate) fn idx(&self, i: usize, j: usize) -> usize {
+        assert!(i < self.rows && j < self.cols, "cell index out of bounds");
+        i * self.cols + j
+    }
+
+    #[inline]
+    pub(crate) fn cells(&self) -> &[CellDevice] {
+        &self.cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PolySelector;
+
+    fn lrs() -> CellDevice {
+        CellDevice::Selector(PolySelector::new(90e-6, 3.0, 1000.0))
+    }
+
+    #[test]
+    fn uniform_starts_floating() {
+        let cp = Crosspoint::uniform(4, 8, 11.5, lrs());
+        assert_eq!(cp.rows(), 4);
+        assert_eq!(cp.cols(), 8);
+        assert!(!cp.has_source());
+        assert_eq!(cp.wl_left(0), LineEnd::Floating);
+        assert_eq!(cp.bl_far(7), LineEnd::Floating);
+    }
+
+    #[test]
+    fn set_cell_round_trips() {
+        let mut cp = Crosspoint::uniform(3, 3, 11.5, lrs());
+        cp.set_cell(1, 2, CellDevice::Open);
+        assert_eq!(*cp.cell(1, 2), CellDevice::Open);
+        assert_eq!(*cp.cell(1, 1), lrs());
+    }
+
+    #[test]
+    fn has_source_detects_any_driven_end() {
+        let mut cp = Crosspoint::uniform(2, 2, 1.0, lrs());
+        assert!(!cp.has_source());
+        cp.set_bl_far(1, LineEnd::driven(3.0));
+        assert!(cp.has_source());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn cell_out_of_bounds_panics() {
+        let cp = Crosspoint::uniform(2, 2, 1.0, lrs());
+        let _ = cp.cell(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions")]
+    fn zero_rows_panics() {
+        let _ = Crosspoint::uniform(0, 2, 1.0, lrs());
+    }
+
+    #[test]
+    fn wire_resistance_setter() {
+        let mut cp = Crosspoint::uniform(2, 2, 1.0, lrs());
+        cp.set_wire_resistance(2.0, 3.0);
+        assert_eq!(cp.r_wire_wl(), 2.0);
+        assert_eq!(cp.r_wire_bl(), 3.0);
+    }
+}

@@ -1,0 +1,438 @@
+//! Two-terminal device models used at the cross-points of the array.
+//!
+//! The models are deliberately simple analytic forms whose parameters map
+//! directly onto the figures of merit quoted for real selectors: the ON
+//! current at full bias and the half-bias nonlinear selectivity `Kr`
+//! (the ratio `I(V) / I(V/2)` evaluated at the full write voltage).
+
+/// Logic state of a resistive memory element.
+///
+/// A SET cell is in the low resistance state ([`CellState::Lrs`], stores
+/// `1`); a RESET cell is in the high resistance state ([`CellState::Hrs`],
+/// stores `0`). LRS cells conduct more and therefore contribute more sneak
+/// current — the paper's worst-case analysis assumes an all-LRS array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CellState {
+    /// Low resistance state (stores a logical `1`).
+    #[default]
+    Lrs,
+    /// High resistance state (stores a logical `0`).
+    Hrs,
+}
+
+impl CellState {
+    /// Returns the state that stores the given bit.
+    #[must_use]
+    pub fn from_bit(bit: bool) -> Self {
+        if bit {
+            CellState::Lrs
+        } else {
+            CellState::Hrs
+        }
+    }
+
+    /// Returns the bit stored by a cell in this state.
+    #[must_use]
+    pub fn to_bit(self) -> bool {
+        self == CellState::Lrs
+    }
+}
+
+/// A power-law selector-plus-cell composite: `I(V) = sign(V)·Ion·(|V|/Vfull)^γ`.
+///
+/// The exponent `γ = log2(Kr)` is chosen so the half-bias selectivity matches
+/// the requested `Kr`: `I(Vfull/2) = Ion / Kr`. A small parallel leakage
+/// conductance keeps the model numerically well-behaved near 0 V (and models
+/// selector OFF-state leakage).
+///
+/// This is the composite I-V of a fully formed LRS cell stacked on a MASiM
+/// selector — the dominant contributor to both RESET current and sneak
+/// current in the paper's arrays (Table I: `Ion = 90 µA`, `Kr = 1000`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolySelector {
+    i_on: f64,
+    v_full: f64,
+    gamma: f64,
+    g_leak: f64,
+}
+
+impl PolySelector {
+    /// Default parallel leakage conductance in siemens.
+    pub const DEFAULT_G_LEAK: f64 = 1e-9;
+
+    /// Creates a selector model from its ON current `i_on` (amperes) at full
+    /// bias `v_full` (volts) and its half-bias nonlinearity `kr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i_on`, `v_full` are not strictly positive or `kr <= 1`.
+    #[must_use]
+    pub fn new(i_on: f64, v_full: f64, kr: f64) -> Self {
+        assert!(i_on > 0.0, "selector ON current must be positive");
+        assert!(v_full > 0.0, "full-bias voltage must be positive");
+        assert!(kr > 1.0, "half-bias nonlinearity Kr must exceed 1");
+        Self {
+            i_on,
+            v_full,
+            gamma: kr.log2(),
+            g_leak: Self::DEFAULT_G_LEAK,
+        }
+    }
+
+    /// Replaces the parallel leakage conductance (siemens).
+    #[must_use]
+    pub fn with_leakage(mut self, g_leak: f64) -> Self {
+        assert!(g_leak >= 0.0, "leakage conductance must be non-negative");
+        self.g_leak = g_leak;
+        self
+    }
+
+    /// ON current at full bias, in amperes.
+    #[must_use]
+    pub fn i_on(&self) -> f64 {
+        self.i_on
+    }
+
+    /// Full-bias voltage the model is anchored at, in volts.
+    #[must_use]
+    pub fn v_full(&self) -> f64 {
+        self.v_full
+    }
+
+    /// Half-bias nonlinearity `Kr = I(Vfull) / I(Vfull/2)`.
+    #[must_use]
+    pub fn kr(&self) -> f64 {
+        2f64.powf(self.gamma)
+    }
+
+    /// Current through the device at voltage `v`, in amperes.
+    #[must_use]
+    pub fn current(&self, v: f64) -> f64 {
+        let x = v.abs() / self.v_full;
+        v.signum() * self.i_on * x.powf(self.gamma) + self.g_leak * v
+    }
+
+    /// Differential conductance `dI/dV` at voltage `v`, in siemens.
+    #[must_use]
+    pub fn conductance(&self, v: f64) -> f64 {
+        let x = v.abs() / self.v_full;
+        let g = if x > 0.0 {
+            self.gamma * self.i_on / self.v_full * x.powf(self.gamma - 1.0)
+        } else {
+            0.0
+        };
+        g + self.g_leak
+    }
+}
+
+/// A memory element (linear resistor) in series with a [`PolySelector`].
+///
+/// Use this when the memory element resistance is a significant fraction of
+/// the total cell resistance (e.g. HRS cells). The series voltage split is
+/// resolved internally with a few Newton steps per evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesCell {
+    selector: PolySelector,
+    r_mem: f64,
+}
+
+impl SeriesCell {
+    /// Creates a series combination of `selector` and a memory element of
+    /// `r_mem` ohms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r_mem` is negative.
+    #[must_use]
+    pub fn new(selector: PolySelector, r_mem: f64) -> Self {
+        assert!(r_mem >= 0.0, "memory element resistance must be non-negative");
+        Self { selector, r_mem }
+    }
+
+    /// The selector component.
+    #[must_use]
+    pub fn selector(&self) -> &PolySelector {
+        &self.selector
+    }
+
+    /// Memory element resistance in ohms.
+    #[must_use]
+    pub fn r_mem(&self) -> f64 {
+        self.r_mem
+    }
+
+    /// Current through the series combination at total voltage `v`.
+    #[must_use]
+    pub fn current(&self, v: f64) -> f64 {
+        if self.r_mem == 0.0 {
+            return self.selector.current(v);
+        }
+        // Solve I = sel(v - I * r_mem) by Newton iteration on I.
+        let mut i = self.selector.current(v);
+        for _ in 0..32 {
+            let v_sel = v - i * self.r_mem;
+            let f = self.selector.current(v_sel) - i;
+            let df = -self.selector.conductance(v_sel) * self.r_mem - 1.0;
+            let step = f / df;
+            i -= step;
+            if step.abs() <= 1e-15 + 1e-9 * i.abs() {
+                break;
+            }
+        }
+        i
+    }
+
+    /// Differential conductance of the series combination at voltage `v`.
+    #[must_use]
+    pub fn conductance(&self, v: f64) -> f64 {
+        let i = self.current(v);
+        let g_sel = self.selector.conductance(v - i * self.r_mem);
+        g_sel / (1.0 + g_sel * self.r_mem)
+    }
+}
+
+/// A quasi-constant-current cell: `I(V) = Isat·tanh(V/Vknee)`.
+///
+/// Above the knee voltage the device behaves like a current source. This is
+/// the model the paper's voltage-drop analysis implies for the *selected*
+/// cell during a RESET: Table I specifies a fixed `Ion = 90 µA` "cell current
+/// of a LRS ReRAM during RESET", independent of the IR drop the cell suffers.
+/// Using this device for selected cells makes the circuit solver reproduce
+/// the paper's (pessimistic, fixed-current) drop figures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompliantCell {
+    i_sat: f64,
+    v_knee: f64,
+}
+
+impl CompliantCell {
+    /// Creates a compliance-limited cell saturating at `i_sat` amperes above
+    /// roughly `v_knee` volts.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both arguments are strictly positive.
+    #[must_use]
+    pub fn new(i_sat: f64, v_knee: f64) -> Self {
+        assert!(i_sat > 0.0 && v_knee > 0.0, "parameters must be positive");
+        Self { i_sat, v_knee }
+    }
+
+    /// Saturation current, amperes.
+    #[must_use]
+    pub fn i_sat(&self) -> f64 {
+        self.i_sat
+    }
+
+    /// Knee voltage, volts.
+    #[must_use]
+    pub fn v_knee(&self) -> f64 {
+        self.v_knee
+    }
+
+    /// Current at voltage `v`, amperes.
+    #[must_use]
+    pub fn current(&self, v: f64) -> f64 {
+        self.i_sat * (v / self.v_knee).tanh()
+    }
+
+    /// Differential conductance at voltage `v`, siemens.
+    #[must_use]
+    pub fn conductance(&self, v: f64) -> f64 {
+        let t = (v / self.v_knee).tanh();
+        self.i_sat / self.v_knee * (1.0 - t * t)
+    }
+}
+
+/// A device placed at one cross-point of the array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CellDevice {
+    /// An ideal linear conductance (siemens). Useful for tests with closed
+    /// forms, and for modeling shorted or stuck cells.
+    Linear(f64),
+    /// A selector-limited cell — the standard model for an LRS cell whose
+    /// filament resistance is negligible against the selector.
+    Selector(PolySelector),
+    /// A memory element in series with a selector — the standard model for an
+    /// HRS cell.
+    Series(SeriesCell),
+    /// A compliance-limited cell drawing a quasi-constant current — the
+    /// paper's model for the selected cell during a RESET.
+    Compliant(CompliantCell),
+    /// An open circuit (e.g. a removed or failed-open cell).
+    Open,
+}
+
+impl CellDevice {
+    /// Current through the device at voltage `v` (amperes).
+    #[must_use]
+    pub fn current(&self, v: f64) -> f64 {
+        match self {
+            CellDevice::Linear(g) => g * v,
+            CellDevice::Selector(s) => s.current(v),
+            CellDevice::Series(s) => s.current(v),
+            CellDevice::Compliant(c) => c.current(v),
+            CellDevice::Open => 0.0,
+        }
+    }
+
+    /// Differential conductance `dI/dV` at voltage `v` (siemens).
+    #[must_use]
+    pub fn conductance(&self, v: f64) -> f64 {
+        match self {
+            CellDevice::Linear(g) => *g,
+            CellDevice::Selector(s) => s.conductance(v),
+            CellDevice::Series(s) => s.conductance(v),
+            CellDevice::Compliant(c) => c.conductance(v),
+            CellDevice::Open => 0.0,
+        }
+    }
+
+    /// Norton linearization around operating voltage `v0`: returns `(g, i0)`
+    /// such that `I(v) ≈ g·v + i0` near `v0`.
+    #[must_use]
+    pub fn linearize(&self, v0: f64) -> (f64, f64) {
+        let g = self.conductance(v0);
+        let i0 = self.current(v0) - g * v0;
+        (g, i0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selector_half_bias_selectivity_matches_kr() {
+        let s = PolySelector::new(90e-6, 3.0, 1000.0).with_leakage(0.0);
+        let ratio = s.current(3.0) / s.current(1.5);
+        assert!((ratio - 1000.0).abs() / 1000.0 < 1e-9, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn selector_full_bias_current_is_i_on() {
+        let s = PolySelector::new(90e-6, 3.0, 1000.0).with_leakage(0.0);
+        assert!((s.current(3.0) - 90e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn selector_is_odd_symmetric() {
+        let s = PolySelector::new(90e-6, 3.0, 1000.0);
+        for v in [0.1, 0.7, 1.5, 2.9, 3.0] {
+            assert!((s.current(v) + s.current(-v)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn selector_conductance_matches_finite_difference() {
+        let s = PolySelector::new(90e-6, 3.0, 1000.0);
+        for v in [-2.5, -0.5, 0.3, 1.5, 2.9] {
+            let h = 1e-7;
+            let fd = (s.current(v + h) - s.current(v - h)) / (2.0 * h);
+            let g = s.conductance(v);
+            assert!(
+                (fd - g).abs() <= 1e-6 * g.abs().max(1e-9),
+                "v={v}: fd={fd}, g={g}"
+            );
+        }
+    }
+
+    #[test]
+    fn selector_kr_round_trips() {
+        for kr in [500.0, 1000.0, 2000.0] {
+            let s = PolySelector::new(90e-6, 3.0, kr);
+            assert!((s.kr() - kr).abs() / kr < 1e-12);
+        }
+    }
+
+    #[test]
+    fn series_cell_with_zero_resistance_equals_selector() {
+        let sel = PolySelector::new(90e-6, 3.0, 1000.0);
+        let cell = SeriesCell::new(sel, 0.0);
+        for v in [0.5, 1.5, 3.0] {
+            assert_eq!(cell.current(v), sel.current(v));
+        }
+    }
+
+    #[test]
+    fn series_cell_reduces_current() {
+        let sel = PolySelector::new(90e-6, 3.0, 1000.0);
+        let cell = SeriesCell::new(sel, 10_000.0);
+        // 90 µA across 10 kΩ would drop 0.9 V, so the selector sees less bias.
+        let i = cell.current(3.0);
+        assert!(i < 90e-6, "series resistance must reduce current: {i}");
+        assert!(i > 0.0);
+        // The series KVL must hold at the solution.
+        let v_sel = 3.0 - i * 10_000.0;
+        assert!((sel.current(v_sel) - i).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_conductance_matches_finite_difference() {
+        let sel = PolySelector::new(90e-6, 3.0, 1000.0);
+        let cell = SeriesCell::new(sel, 30_000.0);
+        for v in [0.4, 1.5, 2.8] {
+            let h = 1e-6;
+            let fd = (cell.current(v + h) - cell.current(v - h)) / (2.0 * h);
+            let g = cell.conductance(v);
+            assert!(
+                (fd - g).abs() <= 1e-4 * g.abs().max(1e-12),
+                "v={v}: fd={fd}, g={g}"
+            );
+        }
+    }
+
+    #[test]
+    fn linear_device_obeys_ohm() {
+        let d = CellDevice::Linear(0.01);
+        assert!((d.current(2.0) - 0.02).abs() < 1e-15);
+        assert_eq!(d.conductance(2.0), 0.01);
+    }
+
+    #[test]
+    fn open_device_carries_no_current() {
+        let d = CellDevice::Open;
+        assert_eq!(d.current(3.0), 0.0);
+        assert_eq!(d.conductance(3.0), 0.0);
+    }
+
+    #[test]
+    fn linearization_is_tangent() {
+        let d = CellDevice::Selector(PolySelector::new(90e-6, 3.0, 1000.0));
+        let v0 = 2.0;
+        let (g, i0) = d.linearize(v0);
+        assert!((g * v0 + i0 - d.current(v0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn compliant_cell_saturates() {
+        let c = CompliantCell::new(90e-6, 0.25);
+        assert!((c.current(3.0) - 90e-6).abs() < 1e-9);
+        assert!((c.current(1.0) - 90e-6).abs() < 1e-7);
+        assert!(c.current(0.1) < 90e-6 * 0.5);
+        assert!((c.current(2.0) + c.current(-2.0)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn compliant_conductance_matches_finite_difference() {
+        let c = CompliantCell::new(90e-6, 0.25);
+        // Tolerance is relative to the device's peak conductance: in the
+        // saturated tail both fd and g underflow toward zero and a relative
+        // check against g itself would amplify cancellation noise.
+        let scale = c.conductance(0.0);
+        for v in [-0.3, 0.05, 0.2, 1.0, 2.5] {
+            let h = 1e-7;
+            let fd = (c.current(v + h) - c.current(v - h)) / (2.0 * h);
+            let g = c.conductance(v);
+            assert!((fd - g).abs() <= 1e-5 * scale, "v={v}: fd={fd}, g={g}");
+        }
+    }
+
+    #[test]
+    fn cell_state_bit_round_trip() {
+        assert_eq!(CellState::from_bit(true), CellState::Lrs);
+        assert_eq!(CellState::from_bit(false), CellState::Hrs);
+        assert!(CellState::Lrs.to_bit());
+        assert!(!CellState::Hrs.to_bit());
+    }
+}

@@ -1,0 +1,65 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when the nonlinear solve does not reach the requested
+/// tolerance within the iteration budget.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// The relaxation did not converge. Carries the final residual (amperes)
+    /// and the number of sweeps performed.
+    NotConverged {
+        /// Worst Kirchhoff-current-law residual at any free node, amperes.
+        residual: f64,
+        /// Number of full line-relaxation sweeps performed.
+        sweeps: usize,
+    },
+    /// The iterate produced a non-finite node voltage (diverged).
+    Diverged {
+        /// Sweep index at which the non-finite value was detected.
+        sweep: usize,
+    },
+    /// No line end of the network is driven, so the DC operating point is
+    /// not meaningfully defined.
+    NoSource,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::NotConverged { residual, sweeps } => write!(
+                f,
+                "solve did not converge after {sweeps} sweeps (residual {residual:.3e} A)"
+            ),
+            SolveError::Diverged { sweep } => {
+                write!(f, "solve diverged at sweep {sweep} (non-finite voltage)")
+            }
+            SolveError::NoSource => write!(f, "network has no driven line end"),
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_residual() {
+        let e = SolveError::NotConverged {
+            residual: 1.5e-3,
+            sweeps: 10,
+        };
+        let s = e.to_string();
+        assert!(s.contains("10 sweeps"));
+        assert!(s.contains("1.500e-3") || s.contains("1.5e-3"), "{s}");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err<E: Error>(_: E) {}
+        takes_err(SolveError::Diverged { sweep: 3 });
+    }
+}

@@ -1,0 +1,674 @@
+//! DC operating-point computation for [`Crosspoint`] networks.
+//!
+//! The solver performs nonlinear line relaxation: every sweep re-linearizes
+//! each cross-point device around the current iterate (Newton) and solves
+//! each word-line and each bit-line exactly as a tridiagonal system holding
+//! the other plane fixed (block Gauss–Seidel). Because the plane-to-plane
+//! coupling (cell conductance, ≤ µS) is orders of magnitude weaker than the
+//! in-line coupling (wire conductance, ~0.1 S), the relaxation converges in
+//! a small number of sweeps even for 512×512 arrays.
+
+use crate::{solve_tridiagonal, Crosspoint, SolveError};
+
+/// A tiny conductance to ground added to every junction.
+///
+/// It regularizes otherwise-floating subnetworks (e.g. a floating line whose
+/// cells are all [`Open`](crate::CellDevice::Open)) without measurably
+/// perturbing driven networks: at the sub-milliampere currents of these
+/// arrays the voltage error it introduces is below a picovolt.
+const NODE_LEAK_S: f64 = 1e-12;
+
+/// Options controlling the nonlinear relaxation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveOptions {
+    /// Maximum number of full (all WLs + all BLs) sweeps.
+    pub max_sweeps: usize,
+    /// Declare convergence when no node moved by more than this per sweep
+    /// (volts) *and* the KCL residual is below [`tol_amps`](Self::tol_amps).
+    pub tol_volts: f64,
+    /// Maximum allowed Kirchhoff-current-law residual at any node (amperes).
+    pub tol_amps: f64,
+    /// Per-node, per-sweep update clamp (volts); damps the Newton updates of
+    /// strongly nonlinear selectors.
+    pub max_step_volts: f64,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        Self {
+            max_sweeps: 20_000,
+            tol_volts: 1e-10,
+            // An order of magnitude above the numerical floor the 1e6-S
+            // ideal-driver stamps leave in the residual.
+            tol_amps: 1e-8,
+            max_step_volts: 0.5,
+        }
+    }
+}
+
+/// Convergence statistics of a successful solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveStats {
+    /// Number of full sweeps performed.
+    pub sweeps: usize,
+    /// Final worst-node KCL residual, amperes.
+    pub residual_amps: f64,
+    /// Largest node update in the final sweep, volts.
+    pub max_delta_volts: f64,
+}
+
+/// The DC operating point of a [`Crosspoint`] network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    rows: usize,
+    cols: usize,
+    vw: Vec<f64>,
+    vb: Vec<f64>,
+    cell_currents: Vec<f64>,
+    src_wl_left: Vec<f64>,
+    src_wl_right: Vec<f64>,
+    src_bl_near: Vec<f64>,
+    src_bl_far: Vec<f64>,
+    stats: SolveStats,
+}
+
+impl Solution {
+    /// Voltage of the word-line-plane junction at row `i`, column `j` (volts).
+    #[must_use]
+    pub fn wl_voltage(&self, i: usize, j: usize) -> f64 {
+        self.vw[self.idx(i, j)]
+    }
+
+    /// Voltage of the bit-line-plane junction at row `i`, column `j` (volts).
+    #[must_use]
+    pub fn bl_voltage(&self, i: usize, j: usize) -> f64 {
+        self.vb[self.idx(i, j)]
+    }
+
+    /// Voltage across the cell at `(i, j)` in RESET polarity: `V(BL) − V(WL)`.
+    ///
+    /// During a RESET the selected BL is high and the selected WL grounded,
+    /// so the *effective RESET voltage* of the selected cell is exactly this
+    /// quantity; the applied voltage minus it is the cell's IR drop.
+    #[must_use]
+    pub fn cell_voltage(&self, i: usize, j: usize) -> f64 {
+        let idx = self.idx(i, j);
+        self.vb[idx] - self.vw[idx]
+    }
+
+    /// Current through the cell at `(i, j)`, positive when flowing from the
+    /// BL plane to the WL plane (RESET polarity), amperes.
+    #[must_use]
+    pub fn cell_current(&self, i: usize, j: usize) -> f64 {
+        self.cell_currents[self.idx(i, j)]
+    }
+
+    /// Current delivered *into* word-line `i` by its decoder-side source
+    /// (amperes); zero for a floating end. Negative values mean the line
+    /// sinks current into the source — e.g. the RESET ground.
+    #[must_use]
+    pub fn source_current_wl_left(&self, i: usize) -> f64 {
+        self.src_wl_left[i]
+    }
+
+    /// Current delivered into word-line `i` by its far-end source (amperes).
+    #[must_use]
+    pub fn source_current_wl_right(&self, i: usize) -> f64 {
+        self.src_wl_right[i]
+    }
+
+    /// Current delivered into bit-line `j` by its WD-side source (amperes).
+    #[must_use]
+    pub fn source_current_bl_near(&self, j: usize) -> f64 {
+        self.src_bl_near[j]
+    }
+
+    /// Current delivered into bit-line `j` by its far-end source (amperes).
+    #[must_use]
+    pub fn source_current_bl_far(&self, j: usize) -> f64 {
+        self.src_bl_far[j]
+    }
+
+    /// Sum of all source currents (amperes); ~0 by charge conservation up to
+    /// the node-leak regularization.
+    #[must_use]
+    pub fn total_source_current(&self) -> f64 {
+        self.src_wl_left
+            .iter()
+            .chain(&self.src_wl_right)
+            .chain(&self.src_bl_near)
+            .chain(&self.src_bl_far)
+            .sum()
+    }
+
+    /// Convergence statistics.
+    #[must_use]
+    pub fn stats(&self) -> SolveStats {
+        self.stats
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize) -> usize {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        i * self.cols + j
+    }
+}
+
+impl Crosspoint {
+    /// Computes the DC operating point of the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::NoSource`] if no line end is driven,
+    /// [`SolveError::Diverged`] if the iteration produced a non-finite
+    /// voltage, and [`SolveError::NotConverged`] if the tolerance was not met
+    /// within [`SolveOptions::max_sweeps`].
+    pub fn solve(&self, opts: &SolveOptions) -> Result<Solution, SolveError> {
+        if !self.has_source() {
+            return Err(SolveError::NoSource);
+        }
+        let rows = self.rows();
+        let cols = self.cols();
+        let n = rows * cols;
+        let g_wl = 1.0 / self.r_wire_wl();
+        let g_bl = 1.0 / self.r_wire_bl();
+
+        let (mut vw, mut vb) = self.initial_guess();
+
+        let line = rows.max(cols);
+        let mut sub = vec![0.0f64; line];
+        let mut diag = vec![0.0f64; line];
+        let mut sup = vec![0.0f64; line];
+        let mut rhs = vec![0.0f64; line];
+
+        let mut converged = None;
+        for sweep in 0..opts.max_sweeps {
+            let mut max_dv = 0.0f64;
+
+            // Word-line sweeps: solve vw[i][*] holding vb fixed.
+            for i in 0..rows {
+                let (gl, vl) = self.wl_left(i).stamp();
+                let (gr, vr) = self.wl_right(i).stamp();
+                for j in 0..cols {
+                    let idx = i * cols + j;
+                    let (g, i0) = self.cells()[idx].linearize(vb[idx] - vw[idx]);
+                    let mut d = g + NODE_LEAK_S;
+                    let mut r = g * vb[idx] + i0;
+                    if j > 0 {
+                        d += g_wl;
+                        sub[j] = -g_wl;
+                    } else {
+                        d += gl;
+                        r += gl * vl;
+                        sub[j] = 0.0;
+                    }
+                    if j + 1 < cols {
+                        d += g_wl;
+                        sup[j] = -g_wl;
+                    } else {
+                        d += gr;
+                        r += gr * vr;
+                        sup[j] = 0.0;
+                    }
+                    diag[j] = d;
+                    rhs[j] = r;
+                }
+                solve_tridiagonal(&sub[..cols], &mut diag[..cols], &mut sup[..cols], &mut rhs[..cols]);
+                #[allow(clippy::needless_range_loop)] // indexes several parallel arrays
+                for j in 0..cols {
+                    let idx = i * cols + j;
+                    let dv = (rhs[j] - vw[idx]).clamp(-opts.max_step_volts, opts.max_step_volts);
+                    vw[idx] += dv;
+                    max_dv = max_dv.max(dv.abs());
+                }
+            }
+
+            // Bit-line sweeps: solve vb[*][j] holding vw fixed.
+            for j in 0..cols {
+                let (gn, vn) = self.bl_near(j).stamp();
+                let (gf, vf) = self.bl_far(j).stamp();
+                for i in 0..rows {
+                    let idx = i * cols + j;
+                    let (g, i0) = self.cells()[idx].linearize(vb[idx] - vw[idx]);
+                    let mut d = g + NODE_LEAK_S;
+                    let mut r = g * vw[idx] - i0;
+                    if i > 0 {
+                        d += g_bl;
+                        sub[i] = -g_bl;
+                    } else {
+                        d += gn;
+                        r += gn * vn;
+                        sub[i] = 0.0;
+                    }
+                    if i + 1 < rows {
+                        d += g_bl;
+                        sup[i] = -g_bl;
+                    } else {
+                        d += gf;
+                        r += gf * vf;
+                        sup[i] = 0.0;
+                    }
+                    diag[i] = d;
+                    rhs[i] = r;
+                }
+                solve_tridiagonal(&sub[..rows], &mut diag[..rows], &mut sup[..rows], &mut rhs[..rows]);
+            #[allow(clippy::needless_range_loop)] // indexes several parallel arrays
+                for i in 0..rows {
+                    let idx = i * cols + j;
+                    let dv = (rhs[i] - vb[idx]).clamp(-opts.max_step_volts, opts.max_step_volts);
+                    vb[idx] += dv;
+                    max_dv = max_dv.max(dv.abs());
+                }
+            }
+
+            if !max_dv.is_finite() {
+                return Err(SolveError::Diverged { sweep });
+            }
+            if max_dv < opts.tol_volts {
+                let residual = self.kcl_residual(&vw, &vb, g_wl, g_bl);
+                if residual < opts.tol_amps {
+                    converged = Some(SolveStats {
+                        sweeps: sweep + 1,
+                        residual_amps: residual,
+                        max_delta_volts: max_dv,
+                    });
+                    break;
+                }
+            }
+        }
+
+        let stats = converged.ok_or_else(|| SolveError::NotConverged {
+            residual: self.kcl_residual(&vw, &vb, g_wl, g_bl),
+            sweeps: opts.max_sweeps,
+        })?;
+
+        let mut cell_currents = vec![0.0; n];
+        for idx in 0..n {
+            cell_currents[idx] = self.cells()[idx].current(vb[idx] - vw[idx]);
+        }
+        let src = |end: crate::LineEnd, v_node: f64| -> f64 {
+            let (g, v) = end.stamp();
+            g * (v - v_node)
+        };
+        let src_wl_left = (0..rows)
+            .map(|i| src(self.wl_left(i), vw[i * cols]))
+            .collect();
+        let src_wl_right = (0..rows)
+            .map(|i| src(self.wl_right(i), vw[i * cols + cols - 1]))
+            .collect();
+        let src_bl_near = (0..cols).map(|j| src(self.bl_near(j), vb[j])).collect();
+        let src_bl_far = (0..cols)
+            .map(|j| src(self.bl_far(j), vb[(rows - 1) * cols + j]))
+            .collect();
+
+        Ok(Solution {
+            rows,
+            cols,
+            vw,
+            vb,
+            cell_currents,
+            src_wl_left,
+            src_wl_right,
+            src_bl_near,
+            src_bl_far,
+            stats,
+        })
+    }
+
+    /// Builds a starting iterate from the boundary conditions: every line
+    /// whose end is driven starts at that source voltage; the rest start at
+    /// the mean of all driven voltages.
+    fn initial_guess(&self) -> (Vec<f64>, Vec<f64>) {
+        let rows = self.rows();
+        let cols = self.cols();
+        let mut driven_sum = 0.0;
+        let mut driven_n = 0usize;
+        let mut line_v = |a: crate::LineEnd, b: crate::LineEnd| -> Option<f64> {
+            for end in [a, b] {
+                if let crate::LineEnd::Driven { volts, .. } = end {
+                    driven_sum += volts;
+                    driven_n += 1;
+                    return Some(volts);
+                }
+            }
+            None
+        };
+        let wl_v: Vec<Option<f64>> = (0..rows)
+            .map(|i| line_v(self.wl_left(i), self.wl_right(i)))
+            .collect();
+        let bl_v: Vec<Option<f64>> = (0..cols)
+            .map(|j| line_v(self.bl_near(j), self.bl_far(j)))
+            .collect();
+        let mean = if driven_n > 0 {
+            driven_sum / driven_n as f64
+        } else {
+            0.0
+        };
+        let mut vw = vec![0.0; rows * cols];
+        let mut vb = vec![0.0; rows * cols];
+        for i in 0..rows {
+            let v = wl_v[i].unwrap_or(mean);
+            for j in 0..cols {
+                vw[i * cols + j] = v;
+            }
+        }
+        for j in 0..cols {
+            let v = bl_v[j].unwrap_or(mean);
+            for i in 0..rows {
+                vb[i * cols + j] = v;
+            }
+        }
+        (vw, vb)
+    }
+
+    /// Worst KCL residual over all junctions, using the *nonlinear* device
+    /// currents (amperes).
+    fn kcl_residual(&self, vw: &[f64], vb: &[f64], g_wl: f64, g_bl: f64) -> f64 {
+        let rows = self.rows();
+        let cols = self.cols();
+        let mut worst = 0.0f64;
+        for i in 0..rows {
+            let (gl, vl) = self.wl_left(i).stamp();
+            let (gr, vr) = self.wl_right(i).stamp();
+            for j in 0..cols {
+                let idx = i * cols + j;
+                let i_cell = self.cells()[idx].current(vb[idx] - vw[idx]);
+                // Currents leaving the WL-plane node.
+                let mut s = -i_cell + NODE_LEAK_S * vw[idx];
+                if j > 0 {
+                    s += g_wl * (vw[idx] - vw[idx - 1]);
+                } else {
+                    s += gl * (vw[idx] - vl);
+                }
+                if j + 1 < cols {
+                    s += g_wl * (vw[idx] - vw[idx + 1]);
+                } else {
+                    s += gr * (vw[idx] - vr);
+                }
+                worst = worst.max(s.abs());
+            }
+        }
+        for j in 0..cols {
+            let (gn, vn) = self.bl_near(j).stamp();
+            let (gf, vf) = self.bl_far(j).stamp();
+            for i in 0..rows {
+                let idx = i * cols + j;
+                let i_cell = self.cells()[idx].current(vb[idx] - vw[idx]);
+                // Currents leaving the BL-plane node.
+                let mut s = i_cell + NODE_LEAK_S * vb[idx];
+                if i > 0 {
+                    s += g_bl * (vb[idx] - vb[idx - cols]);
+                } else {
+                    s += gn * (vb[idx] - vn);
+                }
+                if i + 1 < rows {
+                    s += g_bl * (vb[idx] - vb[idx + cols]);
+                } else {
+                    s += gf * (vb[idx] - vf);
+                }
+                worst = worst.max(s.abs());
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CellDevice, LineEnd, PolySelector};
+
+    fn lrs() -> CellDevice {
+        CellDevice::Selector(PolySelector::new(90e-6, 3.0, 1000.0))
+    }
+
+    /// Standard RESET bias of cell (`ri`, `rj`) in an `n × n` array.
+    fn reset_bias(cp: &mut Crosspoint, ri: usize, rj: usize, vrst: f64) {
+        let n = cp.rows();
+        for i in 0..n {
+            cp.set_wl_left(
+                i,
+                if i == ri {
+                    LineEnd::ground()
+                } else {
+                    LineEnd::driven(vrst / 2.0)
+                },
+            );
+            cp.set_wl_right(i, LineEnd::floating());
+        }
+        for j in 0..cp.cols() {
+            cp.set_bl_near(
+                j,
+                if j == rj {
+                    LineEnd::driven(vrst)
+                } else {
+                    LineEnd::driven(vrst / 2.0)
+                },
+            );
+            cp.set_bl_far(j, LineEnd::floating());
+        }
+    }
+
+    #[test]
+    fn no_source_is_an_error() {
+        let cp = Crosspoint::uniform(2, 2, 11.5, lrs());
+        assert_eq!(
+            cp.solve(&SolveOptions::default()),
+            Err(SolveError::NoSource)
+        );
+    }
+
+    #[test]
+    fn single_linear_cell_divides_voltage() {
+        // 1×1 array, WL grounded, BL driven to 3 V, cell of 30 kΩ: nearly the
+        // whole 3 V lands on the cell (source stamps are 1e6 S).
+        let mut cp = Crosspoint::uniform(1, 1, 1.0, CellDevice::Linear(1.0 / 30_000.0));
+        cp.set_wl_left(0, LineEnd::ground());
+        cp.set_bl_near(0, LineEnd::driven(3.0));
+        let sol = cp.solve(&SolveOptions::default()).unwrap();
+        let v = sol.cell_voltage(0, 0);
+        assert!((v - 3.0).abs() < 1e-3, "v = {v}");
+        let i = sol.cell_current(0, 0);
+        assert!((i - 3.0 / 30_000.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn driver_impedance_drops_voltage() {
+        // Same cell, but the BL driver has 30 kΩ output impedance: exactly
+        // half the source voltage must appear on the cell.
+        let mut cp = Crosspoint::uniform(1, 1, 1.0, CellDevice::Linear(1.0 / 30_000.0));
+        cp.set_wl_left(0, LineEnd::ground());
+        cp.set_bl_near(0, LineEnd::driven_with_impedance(3.0, 30_000.0));
+        let sol = cp.solve(&SolveOptions::default()).unwrap();
+        assert!((sol.cell_voltage(0, 0) - 1.5).abs() < 1e-4);
+    }
+
+    /// Dense reference solve of the same stamped linear system, for
+    /// cross-checking the line relaxation on small linear networks.
+    fn dense_reference(cp: &Crosspoint) -> (Vec<f64>, Vec<f64>) {
+        let rows = cp.rows();
+        let cols = cp.cols();
+        let n = rows * cols;
+        let dim = 2 * n; // vw nodes then vb nodes
+        let mut a = vec![vec![0.0f64; dim]; dim];
+        let mut b = vec![0.0f64; dim];
+        let g_wl = 1.0 / cp.r_wire_wl();
+        let g_bl = 1.0 / cp.r_wire_bl();
+        for i in 0..rows {
+            for j in 0..cols {
+                let idx = i * cols + j;
+                let (g, _) = cp.cells()[idx].linearize(0.0);
+                let (w, bb) = (idx, n + idx);
+                // cell between w and b
+                a[w][w] += g + NODE_LEAK_S;
+                a[w][bb] -= g;
+                a[bb][bb] += g + NODE_LEAK_S;
+                a[bb][w] -= g;
+                // WL wires
+                if j > 0 {
+                    a[w][w] += g_wl;
+                    a[w][w - 1] -= g_wl;
+                } else {
+                    let (gs, vs) = cp.wl_left(i).stamp();
+                    a[w][w] += gs;
+                    b[w] += gs * vs;
+                }
+                if j + 1 < cols {
+                    a[w][w] += g_wl;
+                    a[w][w + 1] -= g_wl;
+                } else {
+                    let (gs, vs) = cp.wl_right(i).stamp();
+                    a[w][w] += gs;
+                    b[w] += gs * vs;
+                }
+                // BL wires
+                if i > 0 {
+                    a[bb][bb] += g_bl;
+                    a[bb][bb - cols] -= g_bl;
+                } else {
+                    let (gs, vs) = cp.bl_near(j).stamp();
+                    a[bb][bb] += gs;
+                    b[bb] += gs * vs;
+                }
+                if i + 1 < rows {
+                    a[bb][bb] += g_bl;
+                    a[bb][bb + cols] -= g_bl;
+                } else {
+                    let (gs, vs) = cp.bl_far(j).stamp();
+                    a[bb][bb] += gs;
+                    b[bb] += gs * vs;
+                }
+            }
+        }
+        // Gaussian elimination with partial pivoting.
+        for col in 0..dim {
+            let piv = (col..dim)
+                .max_by(|&x, &y| a[x][col].abs().partial_cmp(&a[y][col].abs()).unwrap())
+                .unwrap();
+            a.swap(col, piv);
+            b.swap(col, piv);
+            let p = a[col][col];
+            assert!(p.abs() > 1e-18);
+            for r in col + 1..dim {
+                let f = a[r][col] / p;
+                if f != 0.0 {
+            #[allow(clippy::needless_range_loop)] // indexes several parallel arrays
+                    for c in col..dim {
+                        a[r][c] -= f * a[col][c];
+                    }
+                    b[r] -= f * b[col];
+                }
+            }
+        }
+        for col in (0..dim).rev() {
+            let mut s = b[col];
+            for c in col + 1..dim {
+                s -= a[col][c] * b[c];
+            }
+            b[col] = s / a[col][col];
+        }
+        (b[..n].to_vec(), b[n..].to_vec())
+    }
+
+    #[test]
+    fn matches_dense_solver_on_linear_network() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut cp = Crosspoint::uniform(4, 5, 11.5, CellDevice::Linear(1e-5));
+        for i in 0..4 {
+            for j in 0..5 {
+                cp.set_cell(i, j, CellDevice::Linear(rng.gen_range(1e-7..1e-4)));
+            }
+        }
+        reset_bias(&mut cp, 3, 4, 3.0);
+        let sol = cp.solve(&SolveOptions::default()).unwrap();
+        let (vw_ref, vb_ref) = dense_reference(&cp);
+        for i in 0..4 {
+            for j in 0..5 {
+                let idx = i * 5 + j;
+                assert!(
+                    (sol.wl_voltage(i, j) - vw_ref[idx]).abs() < 1e-6,
+                    "vw({i},{j})"
+                );
+                assert!(
+                    (sol.bl_voltage(i, j) - vb_ref[idx]).abs() < 1e-6,
+                    "vb({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn worst_case_cell_sees_largest_drop() {
+        let n = 16;
+        // Near cell (0,0): almost no drop.
+        let mut cp = Crosspoint::uniform(n, n, 11.5, lrs());
+        reset_bias(&mut cp, 0, 0, 3.0);
+        let near = cp
+            .solve(&SolveOptions::default())
+            .unwrap()
+            .cell_voltage(0, 0);
+        // Far cell (n-1, n-1): worst-case drop.
+        let mut cp = Crosspoint::uniform(n, n, 11.5, lrs());
+        reset_bias(&mut cp, n - 1, n - 1, 3.0);
+        let far = cp
+            .solve(&SolveOptions::default())
+            .unwrap()
+            .cell_voltage(n - 1, n - 1);
+        assert!(near > far, "near {near} vs far {far}");
+        assert!(near > 2.99, "near cell should see almost full Vrst: {near}");
+        assert!(far < 3.0 && far > 2.0);
+    }
+
+    #[test]
+    fn charge_is_conserved() {
+        let n = 12;
+        let mut cp = Crosspoint::uniform(n, n, 11.5, lrs());
+        reset_bias(&mut cp, n - 1, n - 1, 3.0);
+        let sol = cp.solve(&SolveOptions::default()).unwrap();
+        assert!(
+            sol.total_source_current().abs() < 1e-8,
+            "net source current = {}",
+            sol.total_source_current()
+        );
+    }
+
+    #[test]
+    fn selected_bl_sources_reset_current() {
+        let n = 8;
+        let mut cp = Crosspoint::uniform(n, n, 11.5, lrs());
+        reset_bias(&mut cp, n - 1, n - 1, 3.0);
+        let sol = cp.solve(&SolveOptions::default()).unwrap();
+        // The selected BL must deliver at least the selected-cell current.
+        let i_bl = sol.source_current_bl_near(n - 1);
+        let i_cell = sol.cell_current(n - 1, n - 1);
+        assert!(i_cell > 50e-6, "i_cell = {i_cell}");
+        assert!(i_bl >= i_cell);
+        // The selected WL (ground) must sink current.
+        assert!(sol.source_current_wl_left(n - 1) < 0.0);
+    }
+
+    #[test]
+    fn stats_report_convergence() {
+        let mut cp = Crosspoint::uniform(4, 4, 11.5, lrs());
+        reset_bias(&mut cp, 3, 3, 3.0);
+        let sol = cp.solve(&SolveOptions::default()).unwrap();
+        let stats = sol.stats();
+        assert!(stats.sweeps > 0);
+        assert!(stats.residual_amps < 1e-8);
+    }
+
+    #[test]
+    fn iteration_budget_is_respected() {
+        let mut cp = Crosspoint::uniform(8, 8, 11.5, lrs());
+        reset_bias(&mut cp, 7, 7, 3.0);
+        let opts = SolveOptions {
+            max_sweeps: 1,
+            ..SolveOptions::default()
+        };
+        match cp.solve(&opts) {
+            Err(SolveError::NotConverged { sweeps, .. }) => assert_eq!(sweeps, 1),
+            other => panic!("expected NotConverged, got {other:?}"),
+        }
+    }
+}

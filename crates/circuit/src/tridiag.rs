@@ -1,0 +1,127 @@
+//! Tridiagonal linear solver (Thomas algorithm).
+
+/// Solves a tridiagonal system in place.
+///
+/// The system is `sub[i]·x[i-1] + diag[i]·x[i] + sup[i]·x[i+1] = rhs[i]`
+/// with `sub[0]` and `sup[n-1]` ignored. The solution overwrites `rhs`,
+/// `diag` and `sup` are used as scratch space.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if the slices disagree in length, and in all
+/// builds on an exactly-zero pivot, which cannot occur for the strictly
+/// diagonally dominant systems assembled by this crate.
+pub(crate) fn solve_tridiagonal(sub: &[f64], diag: &mut [f64], sup: &mut [f64], rhs: &mut [f64]) {
+    let n = rhs.len();
+    debug_assert_eq!(sub.len(), n);
+    debug_assert_eq!(diag.len(), n);
+    debug_assert_eq!(sup.len(), n);
+    if n == 0 {
+        return;
+    }
+    // Forward elimination.
+    for i in 1..n {
+        assert!(diag[i - 1] != 0.0, "zero pivot in tridiagonal solve");
+        let w = sub[i] / diag[i - 1];
+        diag[i] -= w * sup[i - 1];
+        rhs[i] -= w * rhs[i - 1];
+    }
+    // Back substitution.
+    assert!(diag[n - 1] != 0.0, "zero pivot in tridiagonal solve");
+    rhs[n - 1] /= diag[n - 1];
+    for i in (0..n - 1).rev() {
+        rhs[i] = (rhs[i] - sup[i] * rhs[i + 1]) / diag[i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn multiply(sub: &[f64], diag: &[f64], sup: &[f64], x: &[f64]) -> Vec<f64> {
+        let n = x.len();
+        (0..n)
+            .map(|i| {
+                let mut v = diag[i] * x[i];
+                if i > 0 {
+                    v += sub[i] * x[i - 1];
+                }
+                if i + 1 < n {
+                    v += sup[i] * x[i + 1];
+                }
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn solves_identity() {
+        let sub = vec![0.0; 4];
+        let mut diag = vec![1.0; 4];
+        let mut sup = vec![0.0; 4];
+        let mut rhs = vec![1.0, 2.0, 3.0, 4.0];
+        solve_tridiagonal(&sub, &mut diag, &mut sup, &mut rhs);
+        assert_eq!(rhs, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn solves_known_system() {
+        // Laplacian-like system with known solution.
+        let n = 6;
+        let sub = vec![-1.0; n];
+        let diag0 = vec![3.0; n];
+        let sup0 = vec![-1.0; n];
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64) * 0.5 - 1.0).collect();
+        let mut rhs = multiply(&sub, &diag0, &sup0, &x_true);
+        let mut diag = diag0.clone();
+        let mut sup = sup0.clone();
+        solve_tridiagonal(&sub, &mut diag, &mut sup, &mut rhs);
+        for (a, b) in rhs.iter().zip(&x_true) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn single_element() {
+        let sub = vec![0.0];
+        let mut diag = vec![4.0];
+        let mut sup = vec![0.0];
+        let mut rhs = vec![8.0];
+        solve_tridiagonal(&sub, &mut diag, &mut sup, &mut rhs);
+        assert_eq!(rhs[0], 2.0);
+    }
+
+    #[test]
+    fn empty_is_noop() {
+        let sub: Vec<f64> = vec![];
+        let mut diag: Vec<f64> = vec![];
+        let mut sup: Vec<f64> = vec![];
+        let mut rhs: Vec<f64> = vec![];
+        solve_tridiagonal(&sub, &mut diag, &mut sup, &mut rhs);
+        assert!(rhs.is_empty());
+    }
+
+    #[test]
+    fn random_diagonally_dominant_systems() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for n in [2usize, 3, 17, 100] {
+            let sub: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let sup0: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let diag0: Vec<f64> = (0..n)
+                .map(|i| {
+                    let m: f64 = sub[i].abs() + sup0[i].abs();
+                    m + rng.gen_range(0.5..2.0)
+                })
+                .collect();
+            let x_true: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+            let mut rhs = multiply(&sub, &diag0, &sup0, &x_true);
+            let mut diag = diag0.clone();
+            let mut sup = sup0.clone();
+            solve_tridiagonal(&sub, &mut diag, &mut sup, &mut rhs);
+            for (a, b) in rhs.iter().zip(&x_true) {
+                assert!((a - b).abs() < 1e-9, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Dynamic RESET voltage regulation (paper §IV-A, Fig. 7).
+//!
+//! The 512 cells on a bit-line are split into eight sections by the three
+//! most significant row-address bits (`RA0–RA2`). The charge pump supplies a
+//! distinct RESET level per section, sized to pre-compensate the BL IR drop
+//! accumulated up to the section's *first* row. Compensating at the section
+//! start (rather than its end) keeps every cell's effective voltage at or
+//! below the nominal `Vrst`, which is what lets DRVR preserve the baseline's
+//! worst-case endurance (its Fig. 6d) while shrinking the latency spread:
+//! with eight levels, the residual in-section spread is < 0.1 V — 3.3 % of
+//! the 3 V `Vrst` — versus the uncompensated 0.66 V end-to-end spread of
+//! Fig. 7b.
+
+use reram_array::ArrayModel;
+
+/// The per-section RESET-voltage table of one array under DRVR.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Drvr {
+    levels: Vec<f64>,
+    rows_per_section: usize,
+}
+
+impl Drvr {
+    /// Designs the eight levels for `model`, targeting `v_target` volts of
+    /// effective RESET voltage at each section's first row (the paper uses
+    /// the nominal 3 V).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v_target` is not positive.
+    #[must_use]
+    pub fn design(model: &ArrayModel, v_target: f64) -> Self {
+        assert!(v_target > 0.0, "target voltage must be positive");
+        let geom = model.geometry();
+        let dm = model.drop_model();
+        let levels = (0..geom.drvr_sections())
+            .map(|s| v_target + dm.bl_drop(geom.section_start(s)))
+            .collect();
+        Self {
+            levels,
+            rows_per_section: geom.rows_per_section(),
+        }
+    }
+
+    /// The RESET level applied for a write to row `i`, volts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is beyond the array.
+    #[must_use]
+    pub fn level_for_row(&self, i: usize) -> f64 {
+        let s = i / self.rows_per_section;
+        assert!(s < self.levels.len(), "row out of bounds");
+        self.levels[s]
+    }
+
+    /// All eight levels, nearest section first.
+    #[must_use]
+    pub fn levels(&self) -> &[f64] {
+        &self.levels
+    }
+
+    /// The highest level — what the charge pump must be able to output.
+    #[must_use]
+    pub fn max_level(&self) -> f64 {
+        self.levels.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Largest effective-voltage spread left *within* one section, volts
+    /// (the paper quotes < 0.1 V for eight levels on the left-most BL).
+    #[must_use]
+    pub fn max_residual_spread(&self, model: &ArrayModel) -> f64 {
+        let geom = model.geometry();
+        let dm = model.drop_model();
+        (0..geom.drvr_sections())
+            .map(|s| {
+                let start = geom.section_start(s);
+                let end = start + geom.rows_per_section() - 1;
+                dm.bl_drop(end) - dm.bl_drop(start)
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_section_gets_nominal_vrst() {
+        let m = ArrayModel::paper_baseline();
+        let d = Drvr::design(&m, 3.0);
+        assert_eq!(d.level_for_row(0), 3.0);
+        assert_eq!(d.level_for_row(63), 3.0);
+    }
+
+    #[test]
+    fn levels_increase_with_distance_from_wd() {
+        let m = ArrayModel::paper_baseline();
+        let d = Drvr::design(&m, 3.0);
+        for w in d.levels().windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn max_level_fits_the_3_66v_pump() {
+        // §IV-C/§VI: DRVR and UDRVR run from a pump upgraded to 3.66 V.
+        let m = ArrayModel::paper_baseline();
+        let d = Drvr::design(&m, 3.0);
+        assert!(d.max_level() <= 3.66, "max level = {}", d.max_level());
+        assert!(d.max_level() > 3.5);
+    }
+
+    #[test]
+    fn residual_spread_is_below_0_1v() {
+        // Fig. 7b: DRVR reduces the in-section effective-Vrst spread to
+        // < 0.1 V (< 3.3 % of 3 V).
+        let m = ArrayModel::paper_baseline();
+        let d = Drvr::design(&m, 3.0);
+        let spread = d.max_residual_spread(&m);
+        assert!(spread < 0.1, "spread = {spread}");
+        assert!(spread > 0.05);
+    }
+
+    #[test]
+    fn effective_vrst_stays_at_or_below_target() {
+        // Compensating at section starts means no cell is over-driven: this
+        // is what preserves the worst-case endurance (Fig. 6d).
+        let m = ArrayModel::paper_baseline();
+        let d = Drvr::design(&m, 3.0);
+        let dm = m.drop_model();
+        for i in (0..512).step_by(7) {
+            let veff_bl = d.level_for_row(i) - dm.bl_drop(i);
+            assert!(veff_bl <= 3.0 + 1e-9, "row {i}: {veff_bl}");
+            assert!(veff_bl > 2.9, "row {i}: {veff_bl}");
+        }
+    }
+
+    #[test]
+    fn level_boundaries_step_at_64_rows() {
+        let m = ArrayModel::paper_baseline();
+        let d = Drvr::design(&m, 3.0);
+        assert_eq!(d.level_for_row(63), d.level_for_row(0));
+        assert!(d.level_for_row(64) > d.level_for_row(63));
+    }
+}

@@ -1,0 +1,55 @@
+//! DRVR, Partition RESET and UDRVR — the contribution of the HPCA 2020 paper
+//! *Mitigating Voltage Drop in Resistive Memories by Dynamic RESET Voltage
+//! Regulation and Partition RESET* (Zokaee & Jiang).
+//!
+//! Three array micro-architecture techniques mitigate the RESET IR drop of
+//! ReRAM cross-point arrays:
+//!
+//! * [`Drvr`] — *dynamic RESET voltage regulation*: the 3 MSBs of the row
+//!   address pick one of eight charge-pump output levels, so cells far from
+//!   the write driver receive a RESET voltage pre-compensated for their
+//!   bit-line drop and every cell on a BL sees approximately the same
+//!   effective voltage.
+//! * [`pr`] — *partition RESET* (Algorithm 1): per 8-bit array write, dummy
+//!   RESET(+SET) pairs are inserted so each 2-bit group up to the last real
+//!   RESET fires, spreading 1–4 concurrent RESETs across the word-line and
+//!   partitioning the array into equivalent circuits with smaller WL drop.
+//! * [`Udrvr`] — *upgraded DRVR*: a per-write-driver variable-resistor-array
+//!   ladder additionally *lowers* the RESET voltage of the column groups
+//!   near the row decoder, eliminating over-RESET and restoring a >10-year
+//!   memory lifetime without lengthening the array RESET latency.
+//!
+//! [`WriteModel`] assembles any [`Scheme`] (the paper's proposals, the prior
+//! hardware/system baselines, and the `ora-m×m` oracles) into a per-write
+//! planner that the memory-system substrate (`reram-mem`) and the system
+//! simulator (`reram-sim`) consume.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use reram_core::{Scheme, WriteModel};
+//!
+//! let base = WriteModel::paper(Scheme::Baseline);
+//! let ours = WriteModel::paper(Scheme::UdrvrPr);
+//! // A write that RESETs bit 7 of every 8-bit array in a far row:
+//! let resets = [0x80u8; 64];
+//! let sets = [0x00u8; 64];
+//! let slow = base.plan_line_write(511, 63, &resets, &sets);
+//! let fast = ours.plan_line_write(511, 63, &resets, &sets);
+//! assert!(fast.reset_phase_ns < slow.reset_phase_ns / 10.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod drvr;
+pub mod pr;
+pub mod scheme;
+pub mod udrvr;
+pub mod write;
+
+pub use drvr::Drvr;
+pub use pr::{apply_plan, partition_reset, PrPlan};
+pub use scheme::Scheme;
+pub use udrvr::{Udrvr, VraOverhead};
+pub use write::{SetParams, WriteModel, WritePlan};

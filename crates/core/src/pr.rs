@@ -1,0 +1,245 @@
+//! Partition RESET — the paper's Algorithm 1 (§IV-B, Fig. 10).
+//!
+//! PR runs after Flip-N-Write has decided which cells really change. For
+//! each 8-bit array slice of the 64 B line it builds a *RESET bit vector*
+//! and a *SET bit vector*:
+//!
+//! * If no RESET falls in the last five bits (bits 3–7), the slice is left
+//!   alone — the first three bit-lines are close to the row decoder, suffer
+//!   little WL drop, and reset fast anyway.
+//! * Otherwise the eight bits are viewed as four 2-bit groups
+//!   `{0,1} {2,3} {4,5} {6,7}`. Walking down from the group holding the
+//!   last real RESET, every group without a RESET receives a *dummy* RESET
+//!   on its second bit, offset by a SET on the same bit in the SET vector.
+//!   The RESET phase then runs first, the SET phase second.
+//!
+//! The dummies guarantee 1–4 concurrent, evenly spread RESETs — the sweet
+//! spot of the partitioning model (its Fig. 11a) — at the cost of extra
+//! writes (its Fig. 14; ≈ +50 % cell writes over plain Flip-N-Write, still
+//! far below D-BL's +108 %).
+//!
+//! One refinement over the paper's pseudocode keeps the data exact: a dummy
+//! RESET+SET pair restores a cell only if the cell's final value is `1`
+//! (LRS). When both bits of an empty group end at `0`, the dummy is a RESET
+//! *without* the compensating SET — resetting an HRS cell is a no-op for
+//! state, so correctness holds either way.
+
+/// The per-slice outcome of Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrPlan {
+    /// Bits to drive in the RESET phase (real + dummy RESETs).
+    pub reset_bits: u8,
+    /// Bits to drive in the SET phase (real SETs + compensating SETs).
+    pub set_bits: u8,
+    /// The dummy RESETs PR inserted (subset of `reset_bits`).
+    pub dummy_resets: u8,
+    /// The compensating SETs PR inserted (subset of `set_bits`).
+    pub dummy_sets: u8,
+}
+
+impl PrPlan {
+    /// Number of concurrent RESETs in the RESET phase.
+    #[must_use]
+    pub fn concurrent_resets(&self) -> u32 {
+        self.reset_bits.count_ones()
+    }
+
+    /// Number of SETs in the SET phase.
+    #[must_use]
+    pub fn sets(&self) -> u32 {
+        self.set_bits.count_ones()
+    }
+
+    /// Cells written in total (a dummy RESET+SET pair wears its cell twice).
+    #[must_use]
+    pub fn cell_writes(&self) -> u32 {
+        self.reset_bits.count_ones() + self.set_bits.count_ones()
+    }
+}
+
+/// Runs Algorithm 1 on one 8-bit array slice.
+///
+/// `real_resets` / `real_sets` are the post-Flip-N-Write transition masks
+/// (bit `b` set ⇔ cell `b` must change state), and `final_data` is the value
+/// the slice must hold afterwards. Bit 0 is the bit-line group nearest the
+/// row decoder.
+#[must_use]
+pub fn partition_reset(real_resets: u8, real_sets: u8, final_data: u8) -> PrPlan {
+    debug_assert_eq!(
+        real_resets & real_sets,
+        0,
+        "a cell cannot both SET and RESET in one write"
+    );
+    let mut plan = PrPlan {
+        reset_bits: real_resets,
+        set_bits: real_sets,
+        dummy_resets: 0,
+        dummy_sets: 0,
+    };
+    // Nothing to accelerate unless a RESET falls in the far five bits.
+    if real_resets & 0b1111_1000 == 0 {
+        return plan;
+    }
+    let last = 7 - real_resets.leading_zeros() as u8; // index of last real RESET
+    let last_group = last / 2;
+    for g in 0..=last_group {
+        let group_mask = 0b11u8 << (2 * g);
+        if real_resets & group_mask == 0 {
+            let dummy = 2 * g + 1; // the group's second bit
+            plan.reset_bits |= 1 << dummy;
+            plan.dummy_resets |= 1 << dummy;
+            if final_data & (1 << dummy) != 0 {
+                // The cell must end LRS: RESET it, then SET it. When a real
+                // SET already targets the bit, the SET phase covers it.
+                if plan.set_bits & (1 << dummy) == 0 {
+                    plan.dummy_sets |= 1 << dummy;
+                }
+                plan.set_bits |= 1 << dummy;
+            }
+            // Otherwise the cell ends HRS and the dummy RESET is already
+            // state-preserving; no compensating SET is needed.
+        }
+    }
+    plan
+}
+
+/// Applies a plan's RESET phase then SET phase to `old_data`, returning the
+/// resulting slice value. Used by tests and the memory model to check and
+/// account data movement.
+#[must_use]
+pub fn apply_plan(old_data: u8, plan: &PrPlan) -> u8 {
+    (old_data & !plan.reset_bits) | plan.set_bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Flip-N-Write-style transition masks from old → new data (no flip).
+    fn transitions(old: u8, new: u8) -> (u8, u8) {
+        (old & !new, new & !old) // resets, sets
+    }
+
+    #[test]
+    fn fig10_write0_near_reset_is_untouched() {
+        // write0 resets only its first bit: the first three BLs are fast, so
+        // PR does nothing.
+        let plan = partition_reset(0b0000_0001, 0, 0b0000_0000);
+        assert_eq!(plan.dummy_resets, 0);
+        assert_eq!(plan.reset_bits, 0b0000_0001);
+        assert_eq!(plan.concurrent_resets(), 1);
+    }
+
+    #[test]
+    fn fig10_write1_far_reset_spreads_to_four() {
+        // write1 resets its last bit; PR adds RESETs (and SETs) on bits 1, 3
+        // and 5 — exactly the paper's example.
+        let final_data = 0b0111_1110; // bits 1,3,5 end LRS so the SETs restore them
+        let plan = partition_reset(0b1000_0000, 0, final_data);
+        assert_eq!(plan.reset_bits, 0b1010_1010);
+        assert_eq!(plan.dummy_resets, 0b0010_1010);
+        assert_eq!(plan.dummy_sets, 0b0010_1010);
+        assert_eq!(plan.concurrent_resets(), 4);
+    }
+
+    #[test]
+    fn dummy_on_hrs_cell_skips_the_compensating_set() {
+        // Bit 1's final value is 0: the dummy RESET needs no SET.
+        let plan = partition_reset(0b1000_0000, 0, 0b0000_0000);
+        assert_eq!(plan.dummy_resets & 0b10, 0b10);
+        assert_eq!(plan.dummy_sets & 0b10, 0);
+    }
+
+    #[test]
+    fn groups_between_resets_are_filled() {
+        // Real RESETs at bits 2 and 7; groups {0,1} and {4,5} are empty.
+        let plan = partition_reset(0b1000_0100, 0, 0xFF);
+        assert_eq!(plan.reset_bits, 0b1010_0110);
+        assert_eq!(plan.concurrent_resets(), 4);
+    }
+
+    #[test]
+    fn concurrency_capped_at_four_for_sparse_writes() {
+        for last in 3..8 {
+            let plan = partition_reset(1 << last, 0, 0xFF);
+            assert!(plan.concurrent_resets() <= 4, "last = {last}");
+        }
+    }
+
+    #[test]
+    fn dense_real_resets_pass_through() {
+        let plan = partition_reset(0xFF, 0, 0x00);
+        assert_eq!(plan.reset_bits, 0xFF);
+        assert_eq!(plan.dummy_resets, 0);
+        assert_eq!(plan.concurrent_resets(), 8);
+    }
+
+    #[test]
+    fn apply_plan_reset_then_set_order() {
+        // A dummy pair on bit 1: reset clears it, set restores it.
+        let plan = PrPlan {
+            reset_bits: 0b10,
+            set_bits: 0b10,
+            dummy_resets: 0b10,
+            dummy_sets: 0b10,
+        };
+        assert_eq!(apply_plan(0b10, &plan), 0b10);
+    }
+
+    proptest! {
+        /// PR never corrupts data: RESET phase then SET phase always lands
+        /// on exactly the intended final value.
+        #[test]
+        fn pr_preserves_data(old: u8, new: u8) {
+            let (resets, sets) = transitions(old, new);
+            let plan = partition_reset(resets, sets, new);
+            prop_assert_eq!(apply_plan(old, &plan), new);
+        }
+
+        /// Every 2-bit group up to the last real RESET carries at least one
+        /// RESET — the partitioning invariant.
+        #[test]
+        fn pr_covers_groups(old: u8, new: u8) {
+            let (resets, sets) = transitions(old, new);
+            let plan = partition_reset(resets, sets, new);
+            if resets & 0b1111_1000 != 0 {
+                let last_group = (7 - resets.leading_zeros() as u8) / 2;
+                for g in 0..=last_group {
+                    let mask = 0b11u8 << (2 * g);
+                    prop_assert!(plan.reset_bits & mask != 0, "group {} empty", g);
+                }
+            }
+        }
+
+        /// PR adds RESETs only when a far-bit RESET exists, and never more
+        /// than one per 2-bit group.
+        #[test]
+        fn pr_dummy_budget(old: u8, new: u8) {
+            let (resets, sets) = transitions(old, new);
+            let plan = partition_reset(resets, sets, new);
+            prop_assert!(plan.dummy_resets.count_ones() <= 3);
+            if resets & 0b1111_1000 == 0 {
+                prop_assert_eq!(plan.dummy_resets, 0);
+            }
+            for g in 0..4u8 {
+                let mask = 0b11u8 << (2 * g);
+                prop_assert!((plan.dummy_resets & mask).count_ones() <= 1);
+            }
+        }
+
+        /// Dummy RESETs never overlap real RESETs (they only fill empty
+        /// groups), dummy SETs are a subset of dummy RESETs and disjoint
+        /// from real SETs, and the final masks decompose exactly.
+        #[test]
+        fn pr_masks_are_consistent(old: u8, new: u8) {
+            let (resets, sets) = transitions(old, new);
+            let plan = partition_reset(resets, sets, new);
+            prop_assert_eq!(plan.dummy_resets & resets, 0);
+            prop_assert_eq!(plan.dummy_sets & sets, 0);
+            prop_assert_eq!(plan.dummy_sets & !plan.dummy_resets, 0);
+            prop_assert_eq!(plan.reset_bits, resets | plan.dummy_resets);
+            prop_assert_eq!(plan.set_bits, sets | plan.dummy_sets);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! The mitigation / baseline schemes the paper evaluates (§VI).
+
+use reram_array::{ChipOverhead, HardwareDesign};
+use std::fmt;
+
+/// A voltage-drop-mitigation configuration of the ReRAM main memory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scheme {
+    /// The plain baseline array: static 3 V RESETs, 1 bit at a time decides
+    /// the worst case, no prior technique.
+    Baseline,
+    /// A static over-voltage supply (the paper's 3.7 V strawman of §IV-A —
+    /// fast but destroys the near-corner cells' endurance).
+    StaticOver {
+        /// The static RESET voltage, volts.
+        volts: f64,
+    },
+    /// Prior hardware techniques combined: DSGB + DSWD + D-BL.
+    Hard,
+    /// [`Scheme::Hard`] plus the prior system techniques SCH (latency-aware
+    /// scheduling) and RBDL (row-biased data layout).
+    HardSys,
+    /// Dynamic RESET voltage regulation alone (8 row-section levels,
+    /// 3.66 V pump).
+    Drvr,
+    /// DRVR + Partition RESET.
+    DrvrPr,
+    /// Upgraded DRVR (per-write-driver levels) + Partition RESET — the
+    /// paper's full proposal.
+    UdrvrPr,
+    /// UDRVR sized for 1-bit RESETs with a 3.94 V pump, no PR (Fig. 17).
+    Udrvr394,
+    /// The `ora-m×m` oracle: ideal voltage taps every `window` cells.
+    Oracle {
+        /// Section length `m` of the oracle taps.
+        window: usize,
+    },
+}
+
+impl Scheme {
+    /// The schemes plotted in the paper's Fig. 15, in its order.
+    #[must_use]
+    pub fn evaluated() -> Vec<Scheme> {
+        vec![
+            Scheme::Hard,
+            Scheme::HardSys,
+            Scheme::Drvr,
+            Scheme::UdrvrPr,
+            Scheme::Oracle { window: 256 },
+            Scheme::Oracle { window: 128 },
+            Scheme::Oracle { window: 64 },
+        ]
+    }
+
+    /// True if Partition RESET shapes the RESET vectors.
+    #[must_use]
+    pub fn uses_pr(&self) -> bool {
+        matches!(self, Scheme::DrvrPr | Scheme::UdrvrPr)
+    }
+
+    /// True if writes are scheduled onto low-latency rows (SCH).
+    #[must_use]
+    pub fn uses_sch(&self) -> bool {
+        matches!(self, Scheme::HardSys)
+    }
+
+    /// True if the row-biased data layout (RBDL) spreads LRS cells.
+    #[must_use]
+    pub fn uses_rbdl(&self) -> bool {
+        matches!(self, Scheme::HardSys)
+    }
+
+    /// The prior hardware techniques this scheme builds into the array.
+    #[must_use]
+    pub fn hardware_design(&self) -> HardwareDesign {
+        match self {
+            Scheme::Hard | Scheme::HardSys => HardwareDesign::hard(),
+            _ => HardwareDesign::baseline(),
+        }
+    }
+
+    /// Chip area/leakage overhead versus the baseline chip (Fig. 5d, §IV-D).
+    #[must_use]
+    pub fn chip_overhead(&self) -> ChipOverhead {
+        match self {
+            Scheme::Baseline | Scheme::StaticOver { .. } | Scheme::Oracle { .. } => {
+                ChipOverhead::none()
+            }
+            Scheme::Hard => ChipOverhead::of_design(HardwareDesign::hard()),
+            Scheme::HardSys => ChipOverhead::hard_sys_quoted(),
+            // DRVR-family overhead is the upgraded pump (+VRA logic, which is
+            // negligible at chip scale).
+            Scheme::Drvr | Scheme::DrvrPr | Scheme::UdrvrPr => ChipOverhead::udrvr(),
+            Scheme::Udrvr394 => ChipOverhead::udrvr().plus(ChipOverhead {
+                area_frac: 0.11 * 0.23,
+                leakage_frac: 0.11 * 0.155,
+            }),
+        }
+    }
+
+    /// Short name used in result tables (matches the paper's labels).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            Scheme::Baseline => "Base".into(),
+            Scheme::StaticOver { volts } => format!("Static-{volts:.1}V"),
+            Scheme::Hard => "Hard".into(),
+            Scheme::HardSys => "Hard+Sys".into(),
+            Scheme::Drvr => "DRVR".into(),
+            Scheme::DrvrPr => "DRVR+PR".into(),
+            Scheme::UdrvrPr => "UDRVR+PR".into(),
+            Scheme::Udrvr394 => "UDRVR-3.94".into(),
+            Scheme::Oracle { window } => format!("ora-{window}x{window}"),
+        }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Scheme::UdrvrPr.to_string(), "UDRVR+PR");
+        assert_eq!(Scheme::Oracle { window: 64 }.to_string(), "ora-64x64");
+        assert_eq!(Scheme::StaticOver { volts: 3.7 }.to_string(), "Static-3.7V");
+    }
+
+    #[test]
+    fn pr_flags() {
+        assert!(Scheme::UdrvrPr.uses_pr());
+        assert!(Scheme::DrvrPr.uses_pr());
+        assert!(!Scheme::Drvr.uses_pr());
+        assert!(!Scheme::Udrvr394.uses_pr());
+    }
+
+    #[test]
+    fn system_technique_flags() {
+        assert!(Scheme::HardSys.uses_sch() && Scheme::HardSys.uses_rbdl());
+        assert!(!Scheme::Hard.uses_sch());
+    }
+
+    #[test]
+    fn hardware_designs() {
+        assert_eq!(Scheme::Hard.hardware_design(), HardwareDesign::hard());
+        assert_eq!(
+            Scheme::UdrvrPr.hardware_design(),
+            HardwareDesign::baseline()
+        );
+    }
+
+    #[test]
+    fn our_schemes_cost_less_than_prior_hardware() {
+        let ours = Scheme::UdrvrPr.chip_overhead();
+        let hard = Scheme::Hard.chip_overhead();
+        assert!(ours.area_frac < hard.area_frac / 5.0);
+        assert!(ours.leakage_frac < hard.leakage_frac / 5.0);
+    }
+}

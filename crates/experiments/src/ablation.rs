@@ -1,0 +1,156 @@
+//! Ablations of the design choices DESIGN.md calls out: DRVR's level count,
+//! PR's concurrency cap, and the partition-model coalescence weight.
+//!
+//! These are not paper figures — they answer "why 8 levels?", "why cap at
+//! one RESET per 2-bit group?", and "how sensitive is the Fig. 11a optimum
+//! to the coalescence calibration?" with the same models that reproduce the
+//! paper.
+
+use crate::table::fnum;
+use crate::ExpTable;
+use reram_array::{ArrayModel, PartitionModel, ResetKinetics, Spread};
+
+/// Ablation A: number of DRVR voltage levels (row sections).
+///
+/// The paper picks 8 (the 3 row-address MSBs). Fewer levels leave a larger
+/// in-section residual (slower worst case); more levels shave the residual
+/// with diminishing returns while complicating the `rst dec` and VRA.
+#[must_use]
+pub fn ablation_drvr_levels() -> ExpTable {
+    let mut t = ExpTable::new(
+        "ablation_drvr",
+        "DRVR level-count ablation (512x512, 20nm)",
+        &["levels", "residual V", "worst latency ns", "max pump V"],
+    );
+    let m = ArrayModel::paper_baseline();
+    let dm = m.drop_model();
+    let kin = ResetKinetics::paper();
+    let n = m.geometry().size();
+    let wl_worst = dm.wl_drop(n - 1, 1);
+    for sections in [1usize, 2, 4, 8, 16, 32] {
+        let rows = n / sections;
+        let mut residual = 0.0f64;
+        let mut max_level = 0.0f64;
+        for s in 0..sections {
+            let start = s * rows;
+            let end = start + rows - 1;
+            residual = residual.max(dm.bl_drop(end) - dm.bl_drop(start));
+            max_level = max_level.max(3.0 + dm.bl_drop(start));
+        }
+        // Worst cell: full residual on the BL plus the uncompensated WL drop.
+        let veff = 3.0 - residual - wl_worst;
+        let latency = kin.latency_ns(veff);
+        t.row(vec![
+            sections.to_string(),
+            fnum(residual),
+            fnum(latency),
+            fnum(max_level),
+        ]);
+    }
+    t.note("8 levels (the paper's 3 row-address bits) put the residual below 0.1V;");
+    t.note("16+ levels shave <50mV more while doubling the rst-dec/VRA fan-out.");
+    t
+}
+
+/// Ablation B: PR's concurrency target — what latency each cap would buy.
+#[must_use]
+pub fn ablation_pr_cap() -> ExpTable {
+    let mut t = ExpTable::new(
+        "ablation_pr",
+        "PR concurrency-cap ablation (far-column RESET)",
+        &["cap N", "WL factor", "worst latency ns", "wear x"],
+    );
+    let m = ArrayModel::paper_baseline();
+    let dm = m.drop_model();
+    let kin = ResetKinetics::paper();
+    let n = m.geometry().size();
+    for cap in 1..=8usize {
+        let f = m.partition().wl_factor(cap);
+        // (3.0 − DRVR's 0.096 V residual) − WL drop at this concurrency.
+        let veff = 3.0 - 0.096 - dm.wl_drop_spread(n - 1, cap, Spread::Even);
+        let latency = kin.latency_ns(veff);
+        // Dummies per 8-bit slice scale with the cap (one per 2-bit group
+        // at cap 4; proportionally elsewhere).
+        let wear = 1.0 + (cap.saturating_sub(1) as f64) * 0.17;
+        t.row(vec![
+            cap.to_string(),
+            fnum(f),
+            fnum(latency),
+            format!("{wear:.2}"),
+        ]);
+    }
+    t.note("Caps of 3-4 minimize latency (Fig. 11a); beyond 4 both latency and wear worsen —");
+    t.note("the reason Algorithm 1 inserts at most one RESET per 2-bit group.");
+    t
+}
+
+/// Ablation C: sensitivity of the multi-bit optimum to the coalescence
+/// weight `w_c` in `f(N) = 1/N + w_c(N−1)`.
+#[must_use]
+pub fn ablation_coalescence() -> ExpTable {
+    let mut t = ExpTable::new(
+        "ablation_wc",
+        "Partition-model coalescence-weight sensitivity",
+        &["w_c", "optimal N", "f(4)", "f(8)"],
+    );
+    for (label, wc) in [
+        ("1/24", 1.0 / 24.0),
+        ("1/12 (paper fit)", 1.0 / 12.0),
+        ("1/6", 1.0 / 6.0),
+        ("0.2 (clustered)", 0.2),
+    ] {
+        let p = PartitionModel::with_coalesce_weight(wc);
+        t.row(vec![
+            label.into(),
+            p.optimal_bits(8).to_string(),
+            fnum(p.wl_factor(4)),
+            fnum(p.wl_factor(8)),
+        ]);
+    }
+    t.note("The optimum stays at 2-5 concurrent RESETs across an 8x weight range;");
+    t.note("the paper-fit weight (1/12) pins it at the published 3-4.");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_levels_is_the_knee() {
+        let t = ablation_drvr_levels();
+        let residual = |row: usize| -> f64 { t.rows[row][1].parse().unwrap() };
+        // 1 → 8 levels shrinks the residual ~8x; 8 → 32 buys < 2x more.
+        assert!(residual(0) / residual(3) > 6.0);
+        assert!(residual(3) / residual(5) < 5.0);
+        let r8: f64 = t.rows[3][1].parse().unwrap();
+        assert!(r8 < 0.1, "8-level residual = {r8}");
+    }
+
+    #[test]
+    fn pr_cap_latency_minimized_at_3_or_4() {
+        let t = ablation_pr_cap();
+        let lat: Vec<f64> = t.rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        let best = lat
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0
+            + 1;
+        assert!((3..=4).contains(&best), "best cap = {best}");
+        assert!(lat[7] > lat[3]);
+    }
+
+    #[test]
+    fn optimum_stable_across_weights() {
+        let t = ablation_coalescence();
+        for row in &t.rows {
+            let n: usize = row[1].parse().unwrap();
+            assert!((2..=5).contains(&n), "{}: N = {n}", row[0]);
+        }
+        // The paper-fit row reproduces the published 3-4 optimum.
+        let fit: usize = t.rows[1][1].parse().unwrap();
+        assert!((3..=4).contains(&fit));
+    }
+}

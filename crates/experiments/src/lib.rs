@@ -1,0 +1,55 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (see `DESIGN.md` §4 for the experiment index).
+//!
+//! Each experiment is a function returning an [`ExpTable`] — the same rows
+//! the paper's table/figure reports — so the binary, the integration tests
+//! and the Criterion benches all share one implementation. The binary
+//! (`cargo run --release -p reram-experiments --bin experiments -- <exp>`)
+//! prints the table with a *paper-vs-measured* commentary and writes
+//! `results/<exp>.csv`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod lifetime_exp;
+pub mod micro;
+pub mod perf;
+pub mod table;
+pub mod traffic;
+
+pub use table::ExpTable;
+
+use reram_sim::SimConfig;
+
+/// How much simulation to spend on the performance figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Budget {
+    /// Tiny runs for bench harnesses and smoke tests.
+    Smoke,
+    /// A few seconds per figure — CI-friendly, noisier.
+    Quick,
+    /// The default: minutes for the full Fig. 15 matrix.
+    Standard,
+    /// Long runs for the smoothest series.
+    Full,
+}
+
+impl Budget {
+    /// Per-core instruction budget for simulator runs.
+    #[must_use]
+    pub fn instructions_per_core(&self) -> u64 {
+        match self {
+            Budget::Smoke => 12_000,
+            Budget::Quick => 60_000,
+            Budget::Standard => 250_000,
+            Budget::Full => 1_000_000,
+        }
+    }
+
+    /// The simulator configuration at this budget.
+    #[must_use]
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig::paper_baseline().with_instructions_per_core(self.instructions_per_core())
+    }
+}

@@ -1,0 +1,107 @@
+//! `experiments` — regenerate any table or figure of the paper.
+//!
+//! ```text
+//! experiments <exp>... [--quick|--full] [--out DIR]
+//! experiments all      [--quick|--full] [--out DIR]
+//! experiments list
+//! ```
+
+use reram_experiments::{ablation, lifetime_exp, micro, perf, traffic, Budget, ExpTable};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Registry {
+    budget: Budget,
+}
+
+impl Registry {
+    fn names(&self) -> Vec<&'static str> {
+        vec![
+            "table1", "table2", "table3", "table4", "fig1e", "fig4", "fig5b", "fig5c", "fig5d",
+            "fig6", "fig7", "fig9", "fig11", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+            "fig19", "fig20", "ablation_drvr", "ablation_pr", "ablation_wc",
+        ]
+    }
+
+    fn build(&self, name: &str) -> Option<ExpTable> {
+        Some(match name {
+            "table1" => micro::table1(),
+            "table2" => micro::table2(),
+            "table3" => micro::table3(),
+            "table4" => traffic::table4(),
+            "fig1e" => micro::fig1e(),
+            "fig4" => micro::fig4(),
+            "fig5b" => lifetime_exp::fig5b(),
+            "fig5c" => perf::fig5c(self.budget),
+            "fig5d" => lifetime_exp::fig5d(),
+            "fig6" => micro::fig6(),
+            "fig7" => micro::fig7(),
+            "fig9" => traffic::fig9(),
+            "fig11" | "fig11a" => micro::fig11(),
+            "fig13" | "fig11b" => micro::fig13(),
+            "fig14" => traffic::fig14(),
+            "fig15" => perf::fig15(self.budget),
+            "fig16" => perf::fig16(self.budget),
+            "fig17" => perf::fig17(self.budget),
+            "fig18" => perf::fig18(self.budget),
+            "fig19" => perf::fig19(self.budget),
+            "fig20" => perf::fig20(self.budget),
+            "ablation_drvr" => ablation::ablation_drvr_levels(),
+            "ablation_pr" => ablation::ablation_pr_cap(),
+            "ablation_wc" => ablation::ablation_coalescence(),
+            _ => return None,
+        })
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut budget = Budget::Standard;
+    let mut out = PathBuf::from("results");
+    let mut targets: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => budget = Budget::Quick,
+            "--full" => budget = Budget::Full,
+            "--out" => match it.next() {
+                Some(dir) => out = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => targets.push(other.to_string()),
+        }
+    }
+    let reg = Registry { budget };
+    if targets.is_empty() || targets[0] == "help" {
+        eprintln!("usage: experiments <exp>...|all|list [--quick|--full] [--out DIR]");
+        eprintln!("experiments: {}", reg.names().join(" "));
+        return ExitCode::SUCCESS;
+    }
+    if targets[0] == "list" {
+        for n in reg.names() {
+            println!("{n}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let names: Vec<String> = if targets.iter().any(|t| t == "all") {
+        reg.names().iter().map(ToString::to_string).collect()
+    } else {
+        targets
+    };
+    for name in &names {
+        let Some(table) = reg.build(name) else {
+            eprintln!("unknown experiment {name}; try `experiments list`");
+            return ExitCode::FAILURE;
+        };
+        println!("{}", table.render());
+        if let Err(e) = table.write_csv(&out) {
+            eprintln!("failed to write {name}.csv: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("CSV written to {}", out.display());
+    ExitCode::SUCCESS
+}

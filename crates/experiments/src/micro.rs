@@ -1,0 +1,285 @@
+//! Array-level experiments: Tables I–III, Fig. 1e, Fig. 4, Fig. 6, Fig. 7,
+//! Fig. 11a–d, Fig. 13.
+
+use crate::table::fnum;
+use crate::ExpTable;
+use reram_array::{ArrayModel, CellParams, Spread, TechNode, VoltageMaps};
+use reram_core::{Drvr, Scheme, Udrvr, WriteModel};
+use reram_mem::{ChargePump, MemoryConfig};
+
+/// Table I: the cell/array/bank model constants.
+#[must_use]
+pub fn table1() -> ExpTable {
+    let mut t = ExpTable::new("table1", "ReRAM cell, CP array and bank models", &[
+        "metric", "description", "value",
+    ]);
+    let c = CellParams::default();
+    let rows: Vec<(&str, &str, String)> = vec![
+        ("Ion", "LRS cell current during RESET", format!("{:.0}uA", c.i_on * 1e6)),
+        ("Kr", "selector nonlinear selectivity", format!("{:.0}", c.kr)),
+        ("A", "MAT size: A WLs x A BLs", "512".into()),
+        ("n", "bits per MAT data path", "8".into()),
+        ("Rwire", "wire resistance per junction", format!("{}ohm", TechNode::N20.r_wire_ohms())),
+        ("Vrst/Vset", "full-selected write voltage", format!("{}V", c.v_full)),
+        ("Vrd", "read voltage", "1.8V".into()),
+    ];
+    for (m, d, v) in rows {
+        t.row(vec![m.into(), d.into(), v]);
+    }
+    t.note("All values match the paper's Table I.");
+    t
+}
+
+/// Table II: the prior voltage-drop-reduction techniques and their wear-
+/// leveling compatibility.
+#[must_use]
+pub fn table2() -> ExpTable {
+    let mut t = ExpTable::new(
+        "table2",
+        "Prior voltage drop reduction techniques",
+        &["scheme", "function", "wear-leveling-compatible", "area+%", "leak+%"],
+    );
+    use reram_array::ChipOverhead;
+    let rows: Vec<(&str, &str, &str, ChipOverhead)> = vec![
+        ("DSGB", "WL resistance down (2nd ground)", "yes", ChipOverhead::dsgb()),
+        ("DSWD", "BL resistance down (2nd WDs)", "yes", ChipOverhead::dswd()),
+        ("D-BL", "WL partitioning via dummy BLs", "yes", ChipOverhead::dummy_bl()),
+        ("SCH", "hot pages to faster rows", "no", ChipOverhead::none()),
+        ("RBDL", "LRS cells spread per BL", "no", ChipOverhead::none()),
+    ];
+    for (s, f, w, o) in rows {
+        t.row(vec![
+            s.into(),
+            f.into(),
+            w.into(),
+            format!("{:.0}", o.area_frac * 100.0),
+            format!("{:.0}", o.leakage_frac * 100.0),
+        ]);
+    }
+    t
+}
+
+/// Table III: the baseline system configuration.
+#[must_use]
+pub fn table3() -> ExpTable {
+    let mut t = ExpTable::new("table3", "Baseline configuration", &["component", "value"]);
+    let m = MemoryConfig::paper_baseline();
+    let p = ChargePump::baseline();
+    for (k, v) in [
+        ("CPU", "8x 3.2GHz OoO cores, 8 MSHRs/core".to_string()),
+        ("main memory", format!("{} GB, {} ch x {} ranks x {} banks", m.total_bytes() >> 30, m.channels, m.ranks, m.banks_per_rank)),
+        ("arrays", "512x512 MATs, 8 SAs/WDs, 20nm, 4F2".into()),
+        ("charge pump", format!("1 stage, {}V out, {:.0}/{:.0}mA RESET/SET, {:.0}ns charge, {:.1}nJ", p.v_out, p.i_reset_budget * 1e3, p.i_set_budget * 1e3, p.charge_ns, p.charge_nj)),
+        ("pump efficiency", format!("{:.0}%", p.efficiency * 100.0)),
+        ("read", format!("tRCD={}ns tCL={}ns, 5.6nJ/line", m.t_rcd_ns, m.t_cl_ns)),
+        ("write", "RESET 3V/90uA varies with drop; SET 3V/98.6uA/29.8pJ".into()),
+        ("queues", format!("{} R/W entries per channel, write-burst on full", m.queue_entries)),
+    ] {
+        t.row(vec![k.into(), v]);
+    }
+    t
+}
+
+/// Fig. 1e: per-junction wire resistance across process nodes.
+#[must_use]
+pub fn fig1e() -> ExpTable {
+    let mut t = ExpTable::new("fig1e", "Rwire per junction vs process node", &[
+        "node", "Rwire (ohm)",
+    ]);
+    for node in TechNode::sweep() {
+        t.row(vec![node.to_string(), fnum(node.r_wire_ohms())]);
+    }
+    t.note("20nm is Table I's 11.5 ohm; 32/10nm estimated from the Fig. 1e trend, 10nm capped by Hard+Sys feasibility (DESIGN.md §3).");
+    t
+}
+
+fn map_rows(t: &mut ExpTable, label: &str, maps: &VoltageMaps) {
+    t.row(vec![
+        label.into(),
+        fnum(maps.veff.min()),
+        fnum(maps.veff.max()),
+        fnum(maps.array_latency_ns()),
+        fnum(maps.array_endurance_writes()),
+        fnum(maps.endurance_writes.max()),
+    ]);
+}
+
+/// Fig. 4b–d: effective Vrst, RESET latency and endurance of the baseline.
+#[must_use]
+pub fn fig4() -> ExpTable {
+    let mut t = ExpTable::new(
+        "fig4",
+        "Baseline array maps (3V static RESET)",
+        &["config", "Veff min", "Veff max", "latency ns", "endur min", "endur max"],
+    );
+    let m = ArrayModel::paper_baseline();
+    let maps = VoltageMaps::compute(&m, |_, _| 3.0, |_, _| 1);
+    map_rows(&mut t, "baseline 512x512", &maps);
+    t.note("Paper: Veff spans ~1.7..3.0V, array latency 2.3us, endurance 5e6..>1e12.");
+    t.note(format!(
+        "Measured worst-case Veff {:.3}V; latency {:.0}ns; endurance {:.1e}..{:.1e}.",
+        maps.veff.min(),
+        maps.array_latency_ns(),
+        maps.array_endurance_writes(),
+        maps.endurance_writes.max()
+    ));
+    t
+}
+
+/// Fig. 6: the static-3.7V over-RESET strawman and the DRVR maps.
+#[must_use]
+pub fn fig6() -> ExpTable {
+    let mut t = ExpTable::new(
+        "fig6",
+        "Over-RESET (static 3.7V) vs DRVR maps",
+        &["config", "Veff min", "Veff max", "latency ns", "endur min", "endur max"],
+    );
+    let m = ArrayModel::paper_baseline();
+    let over = VoltageMaps::compute(&m, |_, _| 3.7, |_, _| 1);
+    map_rows(&mut t, "static 3.7V", &over);
+    let drvr = Drvr::design(&m, 3.0);
+    let dm = VoltageMaps::compute(&m, |i, _| drvr.level_for_row(i), |_, _| 1);
+    map_rows(&mut t, "DRVR (8 levels)", &dm);
+    t.note("Paper Fig. 6a: 3.7V leaves the near corner with 1.5K-5K writes.");
+    t.note(format!(
+        "Measured static-3.7V worst endurance: {:.2e} writes.",
+        over.array_endurance_writes()
+    ));
+    t.note("Paper Fig. 6b-d: DRVR equalizes Veff per BL and keeps worst endurance 5e6.");
+    t.note(format!(
+        "Measured DRVR worst endurance {:.2e}; max pump level {:.3}V (<= 3.66V).",
+        dm.array_endurance_writes(),
+        drvr.max_level()
+    ));
+    t
+}
+
+/// Fig. 7b: effective Vrst along the left-most BL with and without DRVR.
+#[must_use]
+pub fn fig7() -> ExpTable {
+    let mut t = ExpTable::new(
+        "fig7",
+        "Effective Vrst along the left-most BL",
+        &["row", "no DRVR (V)", "DRVR (V)"],
+    );
+    let m = ArrayModel::paper_baseline();
+    let dm = m.drop_model();
+    let drvr = Drvr::design(&m, 3.0);
+    for i in (0..512).step_by(32) {
+        t.row(vec![
+            i.to_string(),
+            fnum(3.0 - dm.bl_drop(i)),
+            fnum(drvr.level_for_row(i) - dm.bl_drop(i)),
+        ]);
+    }
+    let spread_plain = dm.bl_drop(511) - dm.bl_drop(0);
+    let spread_drvr = drvr.max_residual_spread(&m);
+    t.note(format!(
+        "End-to-end spread: {:.3}V without DRVR (paper ~0.66V), {:.3}V within a DRVR section (paper <0.1V).",
+        spread_plain, spread_drvr
+    ));
+    t
+}
+
+/// Fig. 11a: worst-case effective Vrst under multi-bit RESETs, plus the
+/// Fig. 11b–d DRVR+PR maps.
+#[must_use]
+pub fn fig11() -> ExpTable {
+    let mut t = ExpTable::new(
+        "fig11a",
+        "Worst-case effective Vrst vs concurrent RESETs (even spread)",
+        &["N", "Veff (V)"],
+    );
+    let m = ArrayModel::paper_baseline();
+    let dm = m.drop_model();
+    for n in 1..=8 {
+        let veff = 3.0 - dm.bl_drop(511) - dm.wl_drop_spread(511, n, Spread::Even);
+        t.row(vec![n.to_string(), fnum(veff)]);
+    }
+    t.note("Paper: improves to 4 concurrent RESETs, then the coalesced WL current wins.");
+    let opt = m.partition().optimal_bits(8);
+    t.note(format!("Measured optimum: {opt} concurrent RESETs."));
+    t.note(
+        "Fidelity: a flat-mesh KCL solve shows no optimum (clustered currents only add); \
+         the paper's model relies on the hierarchical local-WL ground taps of its Fig. 3 bank.",
+    );
+    t
+}
+
+/// Fig. 11b–d and Fig. 13: the DRVR+PR and UDRVR+PR maps.
+#[must_use]
+pub fn fig13() -> ExpTable {
+    let mut t = ExpTable::new(
+        "fig13",
+        "DRVR+PR vs UDRVR+PR maps",
+        &["config", "Veff min", "Veff max", "latency ns", "endur min", "endur max"],
+    );
+    let m = ArrayModel::paper_baseline();
+    let drvr = Drvr::design(&m, 3.0);
+    let pr = VoltageMaps::compute(&m, |i, _| drvr.level_for_row(i), |_, _| 4);
+    map_rows(&mut t, "DRVR+PR", &pr);
+    let u = Udrvr::design(&m, 3.0, 4);
+    let upr = VoltageMaps::compute(&m, |i, j| u.level_for_col(i, j), |_, _| 4);
+    map_rows(&mut t, "UDRVR+PR", &upr);
+    t.note(format!(
+        "Paper: DRVR+PR reaches 71ns but keeps the weak 5e6 corner; measured {:.0}ns / {:.1e}.",
+        pr.array_latency_ns(),
+        pr.array_endurance_writes()
+    ));
+    t.note(format!(
+        "Paper: UDRVR+PR keeps ~71ns and lifts the weakest cells to 6.7e7; measured {:.0}ns / {:.1e}.",
+        upr.array_latency_ns(),
+        upr.array_endurance_writes()
+    ));
+    let wm394 = WriteModel::paper(Scheme::Udrvr394);
+    t.note(format!(
+        "UDRVR-3.94 (Fig. 17 companion): pump level {:.2}V (paper 3.94V), budgeted array latency {:.0}ns.",
+        Udrvr::design_for_effective(&m, Udrvr::design(&m, 3.0, 4).v_eff_target(), 1).max_level(),
+        wm394.array_reset_latency_ns().unwrap_or(f64::NAN)
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_render() {
+        for t in [table1(), table2(), table3(), fig1e()] {
+            assert!(!t.rows.is_empty());
+            assert!(!t.render().is_empty());
+        }
+    }
+
+    #[test]
+    fn fig4_hits_paper_anchors() {
+        let t = fig4();
+        // One data row with worst-case Veff ~1.67V and latency ~2.3us.
+        assert_eq!(t.rows.len(), 1);
+        let veff_min: f64 = t.rows[0][1].parse().unwrap();
+        assert!((veff_min - 1.6725).abs() < 0.01, "{veff_min}");
+    }
+
+    #[test]
+    fn fig11_optimum_at_four_or_less() {
+        let t = fig11();
+        let veffs: Vec<f64> = t.rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        let best = veffs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0
+            + 1;
+        assert!((3..=4).contains(&best), "optimum N = {best}");
+        assert!(veffs[7] < veffs[3], "8-bit must be worse than 4-bit");
+    }
+
+    #[test]
+    fn fig7_spreads_match_paper() {
+        let t = fig7();
+        let note = &t.notes[0];
+        assert!(note.contains("0.66"), "{note}");
+    }
+}

@@ -1,0 +1,291 @@
+//! System performance/energy experiments: Figs. 5c, 15, 16, 17 and the
+//! Fig. 18/19/20 sensitivity sweeps.
+
+use crate::{Budget, ExpTable};
+use reram_array::{ArrayGeometry, ArrayModel, CellParams, TechNode};
+use reram_core::Scheme;
+use reram_sim::{SimResult, Simulator};
+use reram_workloads::BenchProfile;
+
+/// Seed shared by all performance runs (deterministic results).
+const SEED: u64 = 2020;
+
+/// The benchmark subset used by the sensitivity sweeps (write-heavy, mixed,
+/// read-heavy, plus a mix — keeps the sweeps tractable while spanning the
+/// traffic space).
+fn sweep_benchmarks() -> Vec<BenchProfile> {
+    ["mcf_m", "ast_m", "gem_m", "mix_1"]
+        .iter()
+        .map(|n| BenchProfile::by_name(n).expect("table IV"))
+        .collect()
+}
+
+fn run(budget: Budget, scheme: Scheme, p: BenchProfile, array: Option<ArrayModel>) -> SimResult {
+    let sim = Simulator::new(budget.sim_config(), scheme, p, SEED);
+    match array {
+        Some(a) => sim.with_array(a).run(),
+        None => sim.run(),
+    }
+}
+
+/// Geometric mean of a slice of ratios.
+fn gmean(xs: &[f64]) -> f64 {
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Fig. 5c: the performance of the prior designs, normalized to ora-64×64.
+#[must_use]
+pub fn fig5c(budget: Budget) -> ExpTable {
+    let mut t = ExpTable::new(
+        "fig5c",
+        "Prior designs vs ora-64x64 (IPC ratio)",
+        &["name", "Hard", "Hard+Sys"],
+    );
+    let mut hard_all = Vec::new();
+    let mut hs_all = Vec::new();
+    for p in [
+        BenchProfile::by_name("mcf_m").expect("table IV"),
+        BenchProfile::by_name("xal_m").expect("table IV"),
+        BenchProfile::by_name("ast_m").expect("table IV"),
+    ] {
+        let ora = run(budget, Scheme::Oracle { window: 64 }, p, None);
+        let hard = run(budget, Scheme::Hard, p, None).speedup_over(&ora);
+        let hs = run(budget, Scheme::HardSys, p, None).speedup_over(&ora);
+        hard_all.push(hard);
+        hs_all.push(hs);
+        t.row(vec![p.name.into(), format!("{hard:.3}"), format!("{hs:.3}")]);
+    }
+    t.row(vec![
+        "gmean".into(),
+        format!("{:.3}", gmean(&hard_all)),
+        format!("{:.3}", gmean(&hs_all)),
+    ]);
+    t.note("Paper: hardware-only reaches <45% of ora-64x64 on mcf/xalancbmk; with SCH+RBDL <75%.");
+    t.note("There is a large gap between all prior techniques and the oracle — the paper's motivation.");
+    t
+}
+
+/// Fig. 15: the overall performance comparison, normalized to ora-64×64.
+#[must_use]
+pub fn fig15(budget: Budget) -> ExpTable {
+    let schemes = [
+        Scheme::Baseline,
+        Scheme::Hard,
+        Scheme::HardSys,
+        Scheme::Drvr,
+        Scheme::UdrvrPr,
+        Scheme::Oracle { window: 256 },
+        Scheme::Oracle { window: 128 },
+    ];
+    let mut headers = vec!["name".to_string()];
+    headers.extend(schemes.iter().map(|s| s.label()));
+    let mut t = ExpTable::new(
+        "fig15",
+        "Overall performance, normalized to ora-64x64",
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    for p in BenchProfile::table_iv() {
+        let ora = run(budget, Scheme::Oracle { window: 64 }, p, None);
+        let mut row = vec![p.name.to_string()];
+        for (k, &s) in schemes.iter().enumerate() {
+            let ratio = run(budget, s, p, None).speedup_over(&ora);
+            per_scheme[k].push(ratio);
+            row.push(format!("{ratio:.3}"));
+        }
+        t.row(row);
+    }
+    let mut row = vec!["gmean".to_string()];
+    for r in &per_scheme {
+        row.push(format!("{:.3}", gmean(r)));
+    }
+    t.row(row);
+    let udrvr = gmean(&per_scheme[4]);
+    let hardsys = gmean(&per_scheme[2]);
+    t.note(format!(
+        "UDRVR+PR over Hard+Sys: {:+.1}% (paper: +11.7% average).",
+        (udrvr / hardsys - 1.0) * 100.0
+    ));
+    t.note(format!(
+        "UDRVR+PR reaches {:.0}% of ora-64x64 (paper: ~90%).",
+        udrvr * 100.0
+    ));
+    t
+}
+
+/// Fig. 16: main-memory energy, normalized to Hard+Sys.
+#[must_use]
+pub fn fig16(budget: Budget) -> ExpTable {
+    let schemes = [Scheme::Hard, Scheme::Drvr, Scheme::UdrvrPr];
+    let mut t = ExpTable::new(
+        "fig16",
+        "Main-memory energy vs Hard+Sys",
+        &["name", "Hard", "DRVR", "UDRVR+PR", "UPR read", "UPR write", "UPR leak"],
+    );
+    let mut ratios = Vec::new();
+    for p in BenchProfile::table_iv() {
+        let hs = run(budget, Scheme::HardSys, p, None);
+        let mut row = vec![p.name.to_string()];
+        let mut upr = None;
+        for &s in &schemes {
+            let r = run(budget, s, p, None);
+            row.push(format!("{:.3}", r.energy_vs(&hs)));
+            if s == Scheme::UdrvrPr {
+                ratios.push(r.energy_vs(&hs));
+                upr = Some(r);
+            }
+        }
+        let upr = upr.expect("UDRVR+PR runs");
+        let tot = upr.energy.total_pj();
+        row.push(format!("{:.2}", upr.energy.read_pj / tot));
+        row.push(format!("{:.2}", upr.energy.write_pj / tot));
+        row.push(format!("{:.2}", upr.energy.leakage_pj / tot));
+        t.row(row);
+    }
+    t.note(format!(
+        "UDRVR+PR energy = {:.2}x Hard+Sys (paper: 0.53x, i.e. -46.6%): the prior techniques' leakage dominates.",
+        gmean(&ratios)
+    ));
+    t
+}
+
+/// Fig. 17: UDRVR-3.94 (no PR, bigger pump) vs UDRVR+PR.
+#[must_use]
+pub fn fig17(budget: Budget) -> ExpTable {
+    let mut t = ExpTable::new(
+        "fig17",
+        "UDRVR+PR speedup over UDRVR-3.94",
+        &["name", "speedup"],
+    );
+    let mut all = Vec::new();
+    for p in BenchProfile::table_iv() {
+        let u394 = run(budget, Scheme::Udrvr394, p, None);
+        let upr = run(budget, Scheme::UdrvrPr, p, None);
+        let s = upr.speedup_over(&u394);
+        all.push(s);
+        t.row(vec![p.name.into(), format!("{s:.3}")]);
+    }
+    t.row(vec!["gmean".into(), format!("{:.3}", gmean(&all))]);
+    t.note(format!(
+        "UDRVR+PR beats UDRVR-3.94 by {:+.1}% (paper: +7.2%): without PR, 3-6-bit data-driven",
+        (gmean(&all) - 1.0) * 100.0
+    ));
+    t.note("RESETs coalesce un-partitioned current that the latency budget must cover.");
+    t
+}
+
+fn sweep(
+    id: &str,
+    title: &str,
+    budget: Budget,
+    points: Vec<(String, ArrayModel)>,
+    paper: &str,
+) -> ExpTable {
+    let mut t = ExpTable::new(id, title, &["point", "UDRVR+PR / Hard+Sys", "paper"]);
+    let paper_vals: Vec<&str> = paper.split(',').collect();
+    for (k, (label, array)) in points.into_iter().enumerate() {
+        let mut ratios = Vec::new();
+        for p in sweep_benchmarks() {
+            let hs = run(budget, Scheme::HardSys, p, Some(array));
+            let upr = run(budget, Scheme::UdrvrPr, p, Some(array));
+            ratios.push(upr.speedup_over(&hs));
+        }
+        t.row(vec![
+            label,
+            format!("{:+.1}%", (gmean(&ratios) - 1.0) * 100.0),
+            paper_vals.get(k).unwrap_or(&"-").trim().to_string(),
+        ]);
+    }
+    t
+}
+
+/// Fig. 18: the array-size sweep (256 / 512 / 1024).
+#[must_use]
+pub fn fig18(budget: Budget) -> ExpTable {
+    let points = [256usize, 512, 1024]
+        .iter()
+        .map(|&s| {
+            (
+                format!("{s}x{s}"),
+                ArrayModel::paper_baseline().with_geometry(ArrayGeometry::new(s, 8)),
+            )
+        })
+        .collect();
+    let mut t = sweep(
+        "fig18",
+        "UDRVR+PR gain over Hard+Sys vs MAT size",
+        budget,
+        points,
+        "+6.7%, +11.7%, +18.2%",
+    );
+    t.note("Bigger arrays suffer more drop, so the mitigation matters more (paper Fig. 18).");
+    t
+}
+
+/// Fig. 19: the wire-resistance (process node) sweep.
+#[must_use]
+pub fn fig19(budget: Budget) -> ExpTable {
+    let points = TechNode::sweep()
+        .iter()
+        .map(|&n| (n.to_string(), ArrayModel::paper_baseline().with_tech(n)))
+        .collect();
+    let mut t = sweep(
+        "fig19",
+        "UDRVR+PR gain over Hard+Sys vs process node",
+        budget,
+        points,
+        "+1.4%, +11.7%, +18.3%",
+    );
+    t.note("Wire resistance grows as the node shrinks; so does the gain (paper Fig. 19).");
+    t
+}
+
+/// Fig. 20: the selector ON/OFF-ratio sweep.
+#[must_use]
+pub fn fig20(budget: Budget) -> ExpTable {
+    let points = [500.0f64, 1000.0, 2000.0]
+        .iter()
+        .map(|&kr| {
+            (
+                format!("Kr={kr:.0}"),
+                ArrayModel::paper_baseline().with_cell(CellParams::default().with_kr(kr)),
+            )
+        })
+        .collect();
+    let mut t = sweep(
+        "fig20",
+        "UDRVR+PR gain over Hard+Sys vs selector ON/OFF ratio",
+        budget,
+        points,
+        "+18.9%, +11.7%, +5.8%",
+    );
+    t.note("Leakier selectors sneak more; the mitigation matters more (paper Fig. 20).");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig17_favors_pr() {
+        let t = fig17(Budget::Quick);
+        let gmean_row = t.rows.last().unwrap();
+        let s: f64 = gmean_row[1].parse().unwrap();
+        assert!(s > 1.0, "UDRVR+PR vs UDRVR-3.94 = {s}");
+    }
+
+    #[test]
+    fn fig18_structure_and_512_point() {
+        // The paper's Fig. 18 trend (gain grows with MAT size) does NOT
+        // fully reproduce: at 1024×1024 DRVR's fixed 8 sections leave a
+        // ~0.14 V in-section residual and SCH's heterogeneity exploitation
+        // overtakes the uniform-latency design — recorded in EXPERIMENTS.md.
+        // We assert the table structure and that the paper's own design
+        // point (512×512) shows a solid positive gain.
+        let t = fig18(Budget::Quick);
+        assert_eq!(t.rows.len(), 3);
+        let gain = |r: &Vec<String>| -> f64 { r[1].trim_end_matches('%').parse().unwrap() };
+        assert!(gain(&t.rows[1]) > 0.0, "512x512 gain = {}", gain(&t.rows[1]));
+    }
+}

@@ -1,0 +1,189 @@
+//! Address mapping: line address → channel / rank / bank / MAT coordinates,
+//! and the SCH hot-line row mapper.
+
+use crate::MemoryConfig;
+
+/// A fully decomposed physical line location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LineAddress {
+    /// Channel index.
+    pub channel: usize,
+    /// Rank within the channel.
+    pub rank: usize,
+    /// Bank within the rank.
+    pub bank: usize,
+    /// Word-line index within the MAT (0 = nearest the write drivers).
+    pub mat_row: usize,
+    /// Bit-line offset within every 64-BL column-mux group.
+    pub col_offset: usize,
+}
+
+impl LineAddress {
+    /// Flat bank identifier across the whole memory.
+    #[must_use]
+    pub fn flat_bank(&self, cfg: &MemoryConfig) -> usize {
+        (self.channel * cfg.ranks + self.rank) * cfg.banks_per_rank + self.bank
+    }
+}
+
+/// How write rows are chosen: address-interleaved (baseline) or heat-ordered
+/// (the SCH scheduling baseline, which steers write-intensive lines to the
+/// fast rows near the write drivers — §III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RowMapper {
+    /// Rows follow the address interleaving (compatible with wear leveling).
+    #[default]
+    Interleaved,
+    /// Rows follow line heat: the hottest lines occupy the lowest (fastest)
+    /// rows. Incompatible with inter-line wear leveling (§III-B).
+    Sch,
+}
+
+impl RowMapper {
+    /// The fraction of lines SCH actively pins to fast rows; everything
+    /// colder stays wherever the address interleaving put it (SCH migrates
+    /// the write-intensive pages, it does not exile cold ones).
+    pub const SCH_HOT_CUTOFF: f64 = 0.5;
+
+    /// The MAT row for a line with interleaved row `row` and hotness
+    /// `heat ∈ [0, 1)` (0 = hottest line in the workload).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heat` is outside `[0, 1)` or `row >= mat_size`.
+    #[must_use]
+    pub fn row_for(&self, row: usize, heat: f64, mat_size: usize) -> usize {
+        assert!((0.0..1.0).contains(&heat), "heat must be in [0,1)");
+        assert!(row < mat_size, "row out of bounds");
+        match self {
+            RowMapper::Interleaved => row,
+            RowMapper::Sch => {
+                if heat < Self::SCH_HOT_CUTOFF {
+                    ((heat * mat_size as f64) as usize).min(mat_size - 1)
+                } else {
+                    row
+                }
+            }
+        }
+    }
+}
+
+/// Splits flat line addresses into physical coordinates.
+///
+/// Banks interleave on the lowest line-address bits (adjacent lines hit
+/// different banks — the layout that maximizes bank-level parallelism for
+/// streaming traffic), then the column offset, then the MAT row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AddressMapper {
+    cfg: MemoryConfig,
+    mat_size: usize,
+    cols_per_group: usize,
+}
+
+impl AddressMapper {
+    /// Creates a mapper for `cfg` with `mat_size`×`mat_size` MATs and
+    /// `cols_per_group` BLs behind each column mux.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mat_size` or `cols_per_group` is zero.
+    #[must_use]
+    pub fn new(cfg: MemoryConfig, mat_size: usize, cols_per_group: usize) -> Self {
+        assert!(mat_size > 0 && cols_per_group > 0, "invalid geometry");
+        Self {
+            cfg,
+            mat_size,
+            cols_per_group,
+        }
+    }
+
+    /// The paper's baseline mapper (Table III memory, 512×512 MATs, 64:1
+    /// column muxes).
+    #[must_use]
+    pub fn paper_baseline() -> Self {
+        Self::new(MemoryConfig::paper_baseline(), 512, 64)
+    }
+
+    /// Decomposes flat line address `line`.
+    #[must_use]
+    pub fn decompose(&self, line: u64) -> LineAddress {
+        let mut x = line;
+        let channel = (x % self.cfg.channels as u64) as usize;
+        x /= self.cfg.channels as u64;
+        let bank = (x % self.cfg.banks_per_rank as u64) as usize;
+        x /= self.cfg.banks_per_rank as u64;
+        let rank = (x % self.cfg.ranks as u64) as usize;
+        x /= self.cfg.ranks as u64;
+        let col_offset = (x % self.cols_per_group as u64) as usize;
+        x /= self.cols_per_group as u64;
+        let mat_row = (x % self.mat_size as u64) as usize;
+        LineAddress {
+            channel,
+            rank,
+            bank,
+            mat_row,
+            col_offset,
+        }
+    }
+
+    /// The memory configuration this mapper splits addresses for.
+    #[must_use]
+    pub fn config(&self) -> &MemoryConfig {
+        &self.cfg
+    }
+
+    /// MAT word-lines.
+    #[must_use]
+    pub fn mat_size(&self) -> usize {
+        self.mat_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjacent_lines_interleave_banks() {
+        let m = AddressMapper::paper_baseline();
+        let a = m.decompose(0);
+        let b = m.decompose(1);
+        assert_ne!(
+            (a.bank, a.rank, a.channel),
+            (b.bank, b.rank, b.channel),
+            "adjacent lines must not share a bank"
+        );
+    }
+
+    #[test]
+    fn coordinates_stay_in_bounds() {
+        let m = AddressMapper::paper_baseline();
+        for line in (0..1u64 << 30).step_by(12_345_677) {
+            let a = m.decompose(line);
+            assert!(a.bank < 8 && a.rank < 2 && a.channel < 1);
+            assert!(a.mat_row < 512 && a.col_offset < 64);
+        }
+    }
+
+    #[test]
+    fn flat_bank_enumerates_all_banks() {
+        let cfg = MemoryConfig::paper_baseline();
+        let m = AddressMapper::paper_baseline();
+        let mut seen = std::collections::HashSet::new();
+        for line in 0..64u64 {
+            seen.insert(m.decompose(line).flat_bank(&cfg));
+        }
+        assert_eq!(seen.len(), cfg.total_banks());
+    }
+
+    #[test]
+    fn sch_puts_hot_lines_on_fast_rows() {
+        let sch = RowMapper::Sch;
+        assert_eq!(sch.row_for(400, 0.0, 512), 0);
+        // Cold lines stay wherever the interleaving put them.
+        assert_eq!(sch.row_for(3, 0.99, 512), 3);
+        assert_eq!(sch.row_for(400, 0.99, 512), 400);
+        // The interleaved mapper ignores heat.
+        assert_eq!(RowMapper::Interleaved.row_for(400, 0.0, 512), 400);
+    }
+}

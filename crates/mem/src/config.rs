@@ -1,0 +1,142 @@
+//! The baseline main-memory configuration (paper Table III).
+
+/// NVDIMM-P main-memory organization and timing (Table III).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryConfig {
+    /// Memory channels (one per NVDIMM-P).
+    pub channels: usize,
+    /// Ranks per channel.
+    pub ranks: usize,
+    /// Logic banks per rank (each spread over all chips of the rank).
+    pub banks_per_rank: usize,
+    /// Chips per rank (8-bit chips).
+    pub chips_per_rank: usize,
+    /// Capacity per chip, bytes.
+    pub chip_bytes: u64,
+    /// Memory line (row) size, bytes.
+    pub line_bytes: usize,
+    /// Channel clock, MHz (DDR: two transfers per cycle).
+    pub channel_mhz: f64,
+    /// Channel width, bits.
+    pub channel_bits: usize,
+    /// Read/write queue entries per channel.
+    pub queue_entries: usize,
+    /// Controller-to-bank command latency, controller cycles.
+    pub mc_to_bank_cycles: u32,
+    /// Controller clock, GHz (the paper's 3.2 GHz CPU domain).
+    pub controller_ghz: f64,
+    /// Row-to-column delay, ns.
+    pub t_rcd_ns: f64,
+    /// Column (CAS) latency, ns.
+    pub t_cl_ns: f64,
+    /// Four-activation window, ns.
+    pub t_faw_ns: f64,
+    /// Column write delay, ns.
+    pub t_cwd_ns: f64,
+    /// Write-to-read turnaround, ns.
+    pub t_wtr_ns: f64,
+}
+
+impl MemoryConfig {
+    /// The paper's 64 GB baseline: 1 channel × 2 ranks × 8 banks ×
+    /// 8 × 4 GB chips… (Table III quotes 64 GB total main memory over the
+    /// NVDIMM-P; one 2-rank DIMM provides 64 GB of addressable lines here).
+    #[must_use]
+    pub fn paper_baseline() -> Self {
+        Self {
+            channels: 1,
+            ranks: 2,
+            banks_per_rank: 8,
+            chips_per_rank: 8,
+            chip_bytes: 4 << 30,
+            line_bytes: 64,
+            channel_mhz: 1066.0,
+            channel_bits: 64,
+            queue_entries: 24,
+            mc_to_bank_cycles: 64,
+            controller_ghz: 3.2,
+            t_rcd_ns: 18.0,
+            t_cl_ns: 10.0,
+            t_faw_ns: 30.0,
+            t_cwd_ns: 13.0,
+            t_wtr_ns: 7.5,
+        }
+    }
+
+    /// Total capacity, bytes.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.chip_bytes * (self.channels * self.ranks * self.chips_per_rank) as u64
+    }
+
+    /// Total 64 B lines in the memory.
+    #[must_use]
+    pub fn total_lines(&self) -> u64 {
+        self.total_bytes() / self.line_bytes as u64
+    }
+
+    /// Independent banks across the whole memory.
+    #[must_use]
+    pub fn total_banks(&self) -> usize {
+        self.channels * self.ranks * self.banks_per_rank
+    }
+
+    /// Time to move one line over the channel, ns (DDR: two transfers per
+    /// cycle).
+    #[must_use]
+    pub fn burst_ns(&self) -> f64 {
+        let bytes_per_transfer = self.channel_bits as f64 / 8.0;
+        let transfers = self.line_bytes as f64 / bytes_per_transfer;
+        transfers / (2.0 * self.channel_mhz * 1e6) * 1e9
+    }
+
+    /// Controller-to-bank command latency, ns.
+    #[must_use]
+    pub fn mc_to_bank_ns(&self) -> f64 {
+        f64::from(self.mc_to_bank_cycles) / self.controller_ghz
+    }
+
+    /// Array read service time at the bank (activation + CAS), ns.
+    #[must_use]
+    pub fn read_service_ns(&self) -> f64 {
+        self.t_rcd_ns + self.t_cl_ns
+    }
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        Self::paper_baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_is_64_gb() {
+        let c = MemoryConfig::paper_baseline();
+        assert_eq!(c.total_bytes(), 64 << 30);
+        assert_eq!(c.total_lines(), 1 << 30);
+        assert_eq!(c.total_banks(), 16);
+    }
+
+    #[test]
+    fn burst_moves_a_line_in_four_cycles() {
+        // 64 B over a 64-bit DDR channel = 8 transfers = 4 cycles ≈ 3.75 ns.
+        let c = MemoryConfig::paper_baseline();
+        assert!((c.burst_ns() - 3.752).abs() < 0.01, "{}", c.burst_ns());
+    }
+
+    #[test]
+    fn command_latency_is_20ns() {
+        let c = MemoryConfig::paper_baseline();
+        assert!((c.mc_to_bank_ns() - 20.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn read_service_follows_table_iii() {
+        let c = MemoryConfig::paper_baseline();
+        assert_eq!(c.read_service_ns(), 28.0);
+    }
+}

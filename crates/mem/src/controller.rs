@@ -1,0 +1,367 @@
+//! The memory controller (paper Table III, §V).
+//!
+//! Scheduling policy, quoted from the paper: 24-entry read/write queues per
+//! channel, "scheduling reads first, issuing writes when there is no read;
+//! when \[the\] W queue is full, issuing \[a\] write burst (sending only writes
+//! and delaying read\[s\] until \[the\] W queue is empty)" — the standard
+//! PCM/ReRAM write-burst discipline of Hay et al. (MICRO 2011).
+//!
+//! Bank timing: reads occupy their bank for `tRCD + tCL` and return data
+//! after the command and burst latencies; writes occupy their bank for
+//! `tCWD` plus the scheme-dependent write service time (pump charging +
+//! RESET phase + SET phase), which the caller computes with
+//! [`reram_core::WriteModel`] and passes in — the controller is deliberately
+//! scheme-agnostic.
+
+use crate::MemoryConfig;
+use std::collections::VecDeque;
+
+/// A request handed to the controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// Caller's identifier, returned in the [`Completion`].
+    pub id: u64,
+    /// Flat bank index.
+    pub bank: usize,
+    /// Arrival time, ns.
+    pub arrival_ns: f64,
+    /// For writes: the write service time at the bank (pump + RESET phase +
+    /// SET phase), ns. Ignored for reads.
+    pub service_ns: f64,
+}
+
+/// A finished request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Completion {
+    /// The caller's identifier.
+    pub id: u64,
+    /// True for writes.
+    pub is_write: bool,
+    /// Completion time: data returned (reads) or write retired, ns.
+    pub done_ns: f64,
+    /// Time spent queued before issue, ns.
+    pub queued_ns: f64,
+}
+
+/// Aggregate controller statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ControllerStats {
+    /// Reads completed.
+    pub reads: u64,
+    /// Writes completed.
+    pub writes: u64,
+    /// Sum of read latencies (arrival → data), ns.
+    pub read_latency_sum_ns: f64,
+    /// Sum of write queue+service latencies, ns.
+    pub write_latency_sum_ns: f64,
+    /// Write bursts triggered by a full write queue.
+    pub write_bursts: u64,
+    /// Total bank-busy time, ns (for utilization and leakage accounting).
+    pub bank_busy_ns: f64,
+}
+
+impl ControllerStats {
+    /// Mean read latency, ns.
+    #[must_use]
+    pub fn mean_read_latency_ns(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.read_latency_sum_ns / self.reads as f64
+        }
+    }
+}
+
+/// The read-first / write-burst memory controller.
+#[derive(Debug, Clone)]
+pub struct MemoryController {
+    cfg: MemoryConfig,
+    bank_free_ns: Vec<f64>,
+    read_q: VecDeque<Request>,
+    write_q: VecDeque<Request>,
+    in_burst: bool,
+    stats: ControllerStats,
+}
+
+impl MemoryController {
+    /// Creates a controller for `cfg`.
+    #[must_use]
+    pub fn new(cfg: MemoryConfig) -> Self {
+        let banks = cfg.total_banks();
+        Self {
+            cfg,
+            bank_free_ns: vec![0.0; banks],
+            read_q: VecDeque::new(),
+            write_q: VecDeque::new(),
+            in_burst: false,
+            stats: ControllerStats::default(),
+        }
+    }
+
+    /// True when the read queue cannot take another entry.
+    #[must_use]
+    pub fn read_queue_full(&self) -> bool {
+        self.read_q.len() >= self.cfg.queue_entries * self.cfg.channels
+    }
+
+    /// True when the write queue cannot take another entry.
+    #[must_use]
+    pub fn write_queue_full(&self) -> bool {
+        self.write_q.len() >= self.cfg.queue_entries * self.cfg.channels
+    }
+
+    /// Enqueues a read. Returns `false` (and drops nothing) if the queue is
+    /// full — the caller must stall and retry.
+    pub fn submit_read(&mut self, req: Request) -> bool {
+        if self.read_queue_full() {
+            return false;
+        }
+        self.read_q.push_back(req);
+        true
+    }
+
+    /// Enqueues a write. Returns `false` if the queue is full. Filling the
+    /// last entry triggers a write burst.
+    pub fn submit_write(&mut self, req: Request) -> bool {
+        if self.write_queue_full() {
+            return false;
+        }
+        self.write_q.push_back(req);
+        if self.write_queue_full() {
+            self.in_burst = true;
+            self.stats.write_bursts += 1;
+        }
+        true
+    }
+
+    /// Pending requests (both queues).
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.read_q.len() + self.write_q.len()
+    }
+
+    /// Statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> ControllerStats {
+        self.stats
+    }
+
+    /// The earliest time at which the controller could issue its next
+    /// operation, or `None` when idle.
+    #[must_use]
+    pub fn next_issue_ns(&self) -> Option<f64> {
+        let candidate = |q: &VecDeque<Request>| {
+            q.iter()
+                .map(|r| r.arrival_ns.max(self.bank_free_ns[r.bank]))
+                .fold(None, |acc: Option<f64>, t| {
+                    Some(acc.map_or(t, |a| a.min(t)))
+                })
+        };
+        if self.in_burst {
+            candidate(&self.write_q)
+        } else if !self.read_q.is_empty() {
+            candidate(&self.read_q)
+        } else {
+            candidate(&self.write_q)
+        }
+    }
+
+    /// Issues every operation that can start at or before `now`, returning
+    /// completions (reads complete when their data returns; writes when they
+    /// retire at the bank).
+    pub fn advance(&mut self, now: f64) -> Vec<Completion> {
+        let mut done = Vec::new();
+        loop {
+            let serve_writes = self.in_burst || self.read_q.is_empty();
+            let q = if serve_writes {
+                &self.write_q
+            } else {
+                &self.read_q
+            };
+            // FR-FCFS-lite: the queued request that can start earliest.
+            let pick = q
+                .iter()
+                .enumerate()
+                .map(|(i, r)| (i, r.arrival_ns.max(self.bank_free_ns[r.bank])))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"));
+            let Some((idx, t0)) = pick else { break };
+            if t0 > now {
+                break;
+            }
+            if serve_writes {
+                let r = self.write_q.remove(idx).expect("index valid");
+                let busy = self.cfg.t_cwd_ns + r.service_ns + self.cfg.t_wtr_ns;
+                self.bank_free_ns[r.bank] = t0 + busy;
+                self.stats.bank_busy_ns += busy;
+                let done_ns = t0 + self.cfg.mc_to_bank_ns() + self.cfg.t_cwd_ns + r.service_ns;
+                self.stats.writes += 1;
+                self.stats.write_latency_sum_ns += done_ns - r.arrival_ns;
+                done.push(Completion {
+                    id: r.id,
+                    is_write: true,
+                    done_ns,
+                    queued_ns: t0 - r.arrival_ns,
+                });
+                if self.write_q.is_empty() {
+                    self.in_burst = false;
+                }
+            } else {
+                let r = self.read_q.remove(idx).expect("index valid");
+                let busy = self.cfg.read_service_ns();
+                self.bank_free_ns[r.bank] = t0 + busy;
+                self.stats.bank_busy_ns += busy;
+                let done_ns = t0 + self.cfg.mc_to_bank_ns() + busy + self.cfg.burst_ns();
+                self.stats.reads += 1;
+                self.stats.read_latency_sum_ns += done_ns - r.arrival_ns;
+                done.push(Completion {
+                    id: r.id,
+                    is_write: false,
+                    done_ns,
+                    queued_ns: t0 - r.arrival_ns,
+                });
+            }
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(id: u64, bank: usize, at: f64) -> Request {
+        Request {
+            id,
+            bank,
+            arrival_ns: at,
+            service_ns: 0.0,
+        }
+    }
+
+    fn write(id: u64, bank: usize, at: f64, service: f64) -> Request {
+        Request {
+            id,
+            bank,
+            arrival_ns: at,
+            service_ns: service,
+        }
+    }
+
+    #[test]
+    fn unloaded_read_latency_is_command_plus_service_plus_burst() {
+        let cfg = MemoryConfig::paper_baseline();
+        let mut mc = MemoryController::new(cfg);
+        assert!(mc.submit_read(read(1, 0, 0.0)));
+        let done = mc.advance(1000.0);
+        assert_eq!(done.len(), 1);
+        let expect = cfg.mc_to_bank_ns() + cfg.read_service_ns() + cfg.burst_ns();
+        assert!((done[0].done_ns - expect).abs() < 1e-9, "{}", done[0].done_ns);
+    }
+
+    #[test]
+    fn reads_have_priority_over_writes() {
+        let mut mc = MemoryController::new(MemoryConfig::paper_baseline());
+        assert!(mc.submit_write(write(1, 0, 0.0, 2000.0)));
+        assert!(mc.submit_read(read(2, 0, 0.0)));
+        let done = mc.advance(10_000.0);
+        // The read must issue first even though the write arrived first.
+        let read_done = done.iter().find(|c| !c.is_write).unwrap();
+        let write_done = done.iter().find(|c| c.is_write).unwrap();
+        assert!(read_done.queued_ns < 1e-9);
+        assert!(write_done.queued_ns > 10.0);
+    }
+
+    #[test]
+    fn same_bank_reads_serialize() {
+        let cfg = MemoryConfig::paper_baseline();
+        let mut mc = MemoryController::new(cfg);
+        assert!(mc.submit_read(read(1, 3, 0.0)));
+        assert!(mc.submit_read(read(2, 3, 0.0)));
+        let done = mc.advance(1000.0);
+        let d1 = done.iter().find(|c| c.id == 1).unwrap().done_ns;
+        let d2 = done.iter().find(|c| c.id == 2).unwrap().done_ns;
+        assert!((d2 - d1 - cfg.read_service_ns()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn different_banks_proceed_in_parallel() {
+        let cfg = MemoryConfig::paper_baseline();
+        let mut mc = MemoryController::new(cfg);
+        assert!(mc.submit_read(read(1, 0, 0.0)));
+        assert!(mc.submit_read(read(2, 1, 0.0)));
+        let done = mc.advance(1000.0);
+        assert!((done[0].done_ns - done[1].done_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_write_queue_triggers_a_burst_that_blocks_reads() {
+        let cfg = MemoryConfig::paper_baseline();
+        let mut mc = MemoryController::new(cfg);
+        let cap = cfg.queue_entries * cfg.channels;
+        for k in 0..cap {
+            assert!(mc.submit_write(write(k as u64, k % 16, 0.0, 500.0)));
+        }
+        assert!(mc.write_queue_full());
+        assert!(mc.submit_read(read(999, 0, 0.0)));
+        let done = mc.advance(100_000.0);
+        assert_eq!(mc.stats().write_bursts, 1);
+        let read_done = done.iter().find(|c| c.id == 999).unwrap();
+        // Reads were delayed until the write queue drained: the bank-0 write
+        // must retire before the read issues.
+        let bank0_write = done
+            .iter()
+            .filter(|c| c.is_write)
+            .map(|c| c.done_ns)
+            .fold(0.0f64, f64::max);
+        assert!(read_done.queued_ns > 0.0);
+        assert!(read_done.done_ns > bank0_write - 1000.0);
+    }
+
+    #[test]
+    fn writes_flow_when_no_reads_pending() {
+        let mut mc = MemoryController::new(MemoryConfig::paper_baseline());
+        assert!(mc.submit_write(write(1, 0, 0.0, 300.0)));
+        let done = mc.advance(10_000.0);
+        assert_eq!(done.len(), 1);
+        assert!(done[0].is_write);
+        assert!(done[0].queued_ns < 1e-9);
+    }
+
+    #[test]
+    fn queue_capacity_is_enforced() {
+        let cfg = MemoryConfig::paper_baseline();
+        let mut mc = MemoryController::new(cfg);
+        let cap = cfg.queue_entries * cfg.channels;
+        for k in 0..cap {
+            assert!(mc.submit_read(read(k as u64, 0, 0.0)));
+        }
+        assert!(!mc.submit_read(read(1000, 0, 0.0)));
+    }
+
+    #[test]
+    fn next_issue_reflects_bank_availability() {
+        let cfg = MemoryConfig::paper_baseline();
+        let mut mc = MemoryController::new(cfg);
+        assert_eq!(mc.next_issue_ns(), None);
+        assert!(mc.submit_read(read(1, 0, 50.0)));
+        assert_eq!(mc.next_issue_ns(), Some(50.0));
+        let _ = mc.advance(50.0);
+        assert!(mc.submit_read(read(2, 0, 50.0)));
+        // Bank 0 is now busy until the first read finishes its service.
+        let t = mc.next_issue_ns().unwrap();
+        assert!((t - (50.0 + cfg.read_service_ns())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut mc = MemoryController::new(MemoryConfig::paper_baseline());
+        for k in 0..4 {
+            assert!(mc.submit_read(read(k, k as usize, 0.0)));
+        }
+        let _ = mc.advance(1e6);
+        let st = mc.stats();
+        assert_eq!(st.reads, 4);
+        assert!(st.mean_read_latency_ns() > 0.0);
+        assert!(st.bank_busy_ns > 0.0);
+    }
+}

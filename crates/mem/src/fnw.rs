@@ -1,0 +1,236 @@
+//! Flip-N-Write (Cho & Lee, MICRO 2009).
+//!
+//! Before a write, the controller reads the old line, compares, and writes
+//! only the changed cells; if more than half of a word's cells would change,
+//! the word is stored inverted (one flip bit per word) so at most half ever
+//! change. With 32-bit words over a 64 B line this caps a write at 256 cell
+//! transitions — exactly the charge pump's concurrent-RESET budget
+//! (Table III).
+
+/// The outcome of encoding one line write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnwWrite {
+    /// The cell states to store, per 8-bit slice (already inverted where the
+    /// flip bit is set).
+    pub stored: Vec<u8>,
+    /// The new flip bit per slice.
+    pub flips: Vec<bool>,
+    /// Cells transitioning LRS→HRS (`1→0`), per slice.
+    pub resets: Vec<u8>,
+    /// Cells transitioning HRS→LRS (`0→1`), per slice.
+    pub sets: Vec<u8>,
+}
+
+impl FnwWrite {
+    /// Total number of cells written.
+    #[must_use]
+    pub fn cells_written(&self) -> u32 {
+        self.resets
+            .iter()
+            .zip(&self.sets)
+            .map(|(r, s)| r.count_ones() + s.count_ones())
+            .sum()
+    }
+}
+
+/// Flip-N-Write encoder/decoder.
+///
+/// The flip decision is taken per *word* of `word_slices` 8-bit slices —
+/// the original design uses 32-bit words (`word_slices = 4`), which is why
+/// an individual 8-bit array can still see up to 8 transitions (Fig. 9's
+/// rare 7–8-bit RESETs) even though each word changes at most half its
+/// cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FnwCodec {
+    word_slices: usize,
+}
+
+impl FnwCodec {
+    /// A codec deciding flips per `word_slices`-slice words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_slices` is zero.
+    #[must_use]
+    pub fn new(word_slices: usize) -> Self {
+        assert!(word_slices > 0, "word must contain at least one slice");
+        Self { word_slices }
+    }
+
+    /// The paper's configuration: 32-bit words (one flip bit per 4 slices).
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::new(4)
+    }
+
+    /// Encodes a write: given the currently stored cells and flip bits (one
+    /// per slice; slices of a word always agree) and the new logical data,
+    /// chooses per-word flips minimizing cell transitions and returns the
+    /// transition masks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices disagree in length.
+    #[must_use]
+    pub fn encode(&self, old_stored: &[u8], old_flips: &[bool], new_logical: &[u8]) -> FnwWrite {
+        assert_eq!(old_stored.len(), new_logical.len(), "length mismatch");
+        assert_eq!(old_stored.len(), old_flips.len(), "length mismatch");
+        let n = old_stored.len();
+        let mut w = FnwWrite {
+            stored: Vec::with_capacity(n),
+            flips: Vec::with_capacity(n),
+            resets: Vec::with_capacity(n),
+            sets: Vec::with_capacity(n),
+        };
+        for word in old_stored.chunks(self.word_slices).zip(
+            new_logical
+                .chunks(self.word_slices)
+                .zip(old_flips.chunks(self.word_slices)),
+        ) {
+            let (old_w, (new_w, flips_w)) = word;
+            let d_plain: u32 = old_w
+                .iter()
+                .zip(new_w)
+                .map(|(&o, &p)| (o ^ p).count_ones())
+                .sum();
+            let d_flip: u32 = old_w
+                .iter()
+                .zip(new_w)
+                .map(|(&o, &p)| (o ^ !p).count_ones())
+                .sum();
+            // Prefer the representation changing fewer cells; on a tie keep
+            // the old flip bit (no metadata churn).
+            let use_flip = match d_flip.cmp(&d_plain) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => flips_w[0],
+            };
+            for (&o, &p) in old_w.iter().zip(new_w) {
+                let target = if use_flip { !p } else { p };
+                w.resets.push(o & !target);
+                w.sets.push(target & !o);
+                w.stored.push(target);
+                w.flips.push(use_flip);
+            }
+        }
+        w
+    }
+
+    /// Recovers the logical data from stored cells and flip bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices disagree in length.
+    #[must_use]
+    pub fn decode(&self, stored: &[u8], flips: &[bool]) -> Vec<u8> {
+        assert_eq!(stored.len(), flips.len(), "length mismatch");
+        stored
+            .iter()
+            .zip(flips)
+            .map(|(&b, &f)| if f { !b } else { b })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn unchanged_data_writes_nothing() {
+        let codec = FnwCodec::paper();
+        let old = vec![0xA5u8; 64];
+        let flips = vec![false; 64];
+        let w = codec.encode(&old, &flips, &old);
+        assert_eq!(w.cells_written(), 0);
+        assert_eq!(w.stored, old);
+    }
+
+    #[test]
+    fn heavy_change_triggers_flip() {
+        let codec = FnwCodec::new(1);
+        // All 8 bits would change: flipping changes none.
+        let w = codec.encode(&[0xFF], &[false], &[0x00]);
+        assert!(w.flips[0]);
+        assert_eq!(w.stored[0], 0xFF);
+        assert_eq!(w.cells_written(), 0);
+    }
+
+    #[test]
+    fn exactly_half_keeps_old_flip() {
+        let codec = FnwCodec::new(1);
+        // 4 of 8 bits change either way: keep flip = false.
+        let w = codec.encode(&[0b1111_0000], &[false], &[0b1100_1100]);
+        assert!(!w.flips[0]);
+        assert_eq!(w.cells_written(), 4);
+    }
+
+    #[test]
+    fn word_flip_can_concentrate_changes_in_one_slice() {
+        // A 32-bit word where flipping wins globally can leave one slice
+        // with up to 8 transitions — the Fig. 9 tail.
+        let codec = FnwCodec::paper();
+        let old = [0xFFu8, 0xFF, 0xFF, 0x55];
+        let new = [0x00u8, 0x00, 0x00, 0x55];
+        let w = codec.encode(&old, &[false; 4], &new);
+        assert!(w.flips[0]);
+        // Slice 3 now stores !0x55 = 0xAA: all 8 of its cells changed.
+        let per_slice = w.resets[3].count_ones() + w.sets[3].count_ones();
+        assert_eq!(per_slice, 8);
+        // …but the word as a whole changed at most half its cells.
+        assert!(w.cells_written() <= 16);
+    }
+
+    proptest! {
+        /// Decoding the stored state always returns the logical data.
+        #[test]
+        fn round_trip(old in proptest::collection::vec(any::<u8>(), 64),
+                      old_flips in proptest::collection::vec(any::<bool>(), 64),
+                      new in proptest::collection::vec(any::<u8>(), 64)) {
+            let codec = FnwCodec::paper();
+            let old_stored: Vec<u8> = old
+                .iter()
+                .zip(&old_flips)
+                .map(|(&b, &f)| if f { !b } else { b })
+                .collect();
+            let w = codec.encode(&old_stored, &old_flips, &new);
+            prop_assert_eq!(codec.decode(&w.stored, &w.flips), new);
+        }
+
+        /// FNW never writes more than half the cells of any word — the
+        /// invariant the 256-RESET pump budget relies on. (Per-word flips
+        /// always agree; the old flips must be word-consistent.)
+        #[test]
+        fn at_most_half_per_word(old_stored in proptest::collection::vec(any::<u8>(), 64),
+                                 word_flips in proptest::collection::vec(any::<bool>(), 16),
+                                 new in proptest::collection::vec(any::<u8>(), 64)) {
+            let old_flips: Vec<bool> =
+                word_flips.iter().flat_map(|&f| [f; 4]).collect();
+            let w = FnwCodec::paper().encode(&old_stored, &old_flips, &new);
+            for word in 0..16 {
+                let changed: u32 = (0..4)
+                    .map(|k| {
+                        let s = word * 4 + k;
+                        w.resets[s].count_ones() + w.sets[s].count_ones()
+                    })
+                    .sum();
+                prop_assert!(changed <= 16, "word {} changed {} cells", word, changed);
+            }
+            prop_assert!(w.cells_written() <= 256);
+        }
+
+        /// Transition masks are disjoint and consistent with the stored data.
+        #[test]
+        fn masks_consistent(old_stored in proptest::collection::vec(any::<u8>(), 16),
+                            new in proptest::collection::vec(any::<u8>(), 16)) {
+            let flips = vec![false; 16];
+            let w = FnwCodec::paper().encode(&old_stored, &flips, &new);
+            #[allow(clippy::needless_range_loop)] // indexes several parallel arrays
+            for s in 0..16 {
+                prop_assert_eq!(w.resets[s] & w.sets[s], 0);
+                prop_assert_eq!((old_stored[s] & !w.resets[s]) | w.sets[s], w.stored[s]);
+            }
+        }
+    }
+}

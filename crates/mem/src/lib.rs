@@ -1,0 +1,51 @@
+//! ReRAM main-memory system substrate.
+//!
+//! Everything between the cross-point arrays (`reram-array`, `reram-core`)
+//! and the CPU simulator (`reram-sim`) lives here, rebuilt from scratch
+//! after the paper's §II-C / Table III baseline:
+//!
+//! * [`fnw`] — Flip-N-Write encoding (Cho & Lee, MICRO 2009): writes only
+//!   the changed cells, at most half of each word.
+//! * [`ecp`] — ECP-6 error-correcting pointers (Schechter et al., ISCA 2010)
+//!   for hard cell failures.
+//! * [`wear`] — inter-line wear leveling (Security-Refresh-style randomized
+//!   remapping, Seong et al., ISCA 2010) and intra-line row shifting (Zhou
+//!   et al., ISCA 2009).
+//! * [`pump`] — the on-chip charge pump (Jiang et al., ISCA 2014 model):
+//!   area, leakage, charging latency/energy, RESET/SET current budgets, and
+//!   the UDRVR / D-BL variants.
+//! * [`addr`] — NVDIMM-P address mapping: channel → rank → bank → MAT
+//!   row/column, with the SCH hot-line row mapper.
+//! * [`controller`] — the memory controller: read-first scheduling, write
+//!   issue on idle, full-write-queue write bursts, bank timing.
+//! * [`energy`] — chip-level energy accounting (read/write dynamic energy
+//!   through the pump efficiency, technique-scaled leakage).
+//! * [`lifetime`] — the Fig. 5b lifetime estimator under worst-case
+//!   non-stop write traffic.
+//! * [`store`] — a functional (data-holding) line store exercising the full
+//!   datapath (FNW → PR → phases → wear → ECP) for correctness testing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod config;
+pub mod controller;
+pub mod ecp;
+pub mod energy;
+pub mod fnw;
+pub mod lifetime;
+pub mod pump;
+pub mod store;
+pub mod wear;
+
+pub use addr::{AddressMapper, LineAddress, RowMapper};
+pub use config::MemoryConfig;
+pub use controller::{Completion, MemoryController, Request};
+pub use ecp::EcpLine;
+pub use energy::{EnergyLedger, EnergyParams};
+pub use fnw::{FnwCodec, FnwWrite};
+pub use lifetime::{LifetimeEstimate, LifetimeModel};
+pub use pump::ChargePump;
+pub use store::{FunctionalStore, WriteReceipt};
+pub use wear::{RowShifter, SecurityRefresh};

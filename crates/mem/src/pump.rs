@@ -1,0 +1,201 @@
+//! The on-chip charge pump (paper §II-C, Table III).
+//!
+//! The ReRAM write voltage (3 V) exceeds Vdd (1.8 V), so every chip carries
+//! a capacitor/switch charge pump. The paper models it after Jiang et al.
+//! (ISCA 2014) and validates against the Kawahara and Liu chip prototypes:
+//! a single-stage pump supplying 23 mA for RESETs / 25 mA for SETs at 3 V —
+//! enough for the 256 concurrent RESETs or SETs Flip-N-Write can demand of
+//! a 64 B line — with 28 ns / 17.8 nJ charging, 21 ns / 13.1 nJ
+//! discharging, 33 % conversion efficiency, 62.2 mW leakage and 19.3 mm²
+//! (11 % of a 4 GB 20 nm chip).
+//!
+//! UDRVR adds a stage (3.66 V max) plus the VRA ladder; D-BL needs a pump
+//! sized for twice the RESET current in the worst case.
+
+/// Charge-pump electrical and cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChargePump {
+    /// Output voltage capability, volts.
+    pub v_out: f64,
+    /// RESET-phase current budget, amperes.
+    pub i_reset_budget: f64,
+    /// SET-phase current budget, amperes.
+    pub i_set_budget: f64,
+    /// Charging latency, nanoseconds.
+    pub charge_ns: f64,
+    /// Discharging latency, nanoseconds.
+    pub discharge_ns: f64,
+    /// Charging energy, nanojoules.
+    pub charge_nj: f64,
+    /// Discharging energy, nanojoules.
+    pub discharge_nj: f64,
+    /// Conversion efficiency (array energy / battery energy).
+    pub efficiency: f64,
+    /// Leakage power, milliwatts.
+    pub leakage_mw: f64,
+    /// Area, mm².
+    pub area_mm2: f64,
+}
+
+impl ChargePump {
+    /// The paper's baseline single-stage 3 V pump.
+    #[must_use]
+    pub fn baseline() -> Self {
+        Self {
+            v_out: 3.0,
+            i_reset_budget: 23e-3,
+            i_set_budget: 25e-3,
+            charge_ns: 28.0,
+            discharge_ns: 21.0,
+            charge_nj: 17.8,
+            discharge_nj: 13.1,
+            efficiency: 0.33,
+            leakage_mw: 62.2,
+            area_mm2: 19.3,
+        }
+    }
+
+    /// The UDRVR pump: an extra stage reaching 3.66 V (+33 % area, +30.2 %
+    /// leakage, +4.8 % charging latency, +6.3 % charging energy — §IV-D).
+    #[must_use]
+    pub fn udrvr() -> Self {
+        let b = Self::baseline();
+        Self {
+            v_out: 3.66,
+            area_mm2: b.area_mm2 * 1.33,
+            leakage_mw: b.leakage_mw * 1.302,
+            charge_ns: b.charge_ns * 1.048,
+            charge_nj: b.charge_nj * 1.063,
+            ..b
+        }
+    }
+
+    /// The UDRVR-3.94 pump of Fig. 17 (+23 % area, +15.5 % leakage, +3.4 %
+    /// latency, +4.1 % energy over the UDRVR pump).
+    #[must_use]
+    pub fn udrvr_394() -> Self {
+        let u = Self::udrvr();
+        Self {
+            v_out: 3.94,
+            area_mm2: u.area_mm2 * 1.23,
+            leakage_mw: u.leakage_mw * 1.155,
+            charge_ns: u.charge_ns * 1.034,
+            charge_nj: u.charge_nj * 1.041,
+            ..u
+        }
+    }
+
+    /// The D-BL pump: in the worst case every write also resets the dummy
+    /// BLs, requiring "a charge pump twice as large as our baseline" (§III-B).
+    #[must_use]
+    pub fn dummy_bl() -> Self {
+        let b = Self::baseline();
+        Self {
+            i_reset_budget: b.i_reset_budget * 2.0,
+            area_mm2: b.area_mm2 * 2.0,
+            leakage_mw: b.leakage_mw * 2.0,
+            ..b
+        }
+    }
+
+    /// Maximum concurrent RESETs the current budget sustains at
+    /// `i_cell` amperes per cell.
+    #[must_use]
+    pub fn max_concurrent_resets(&self, i_cell: f64) -> usize {
+        (self.i_reset_budget / i_cell) as usize
+    }
+
+    /// Maximum concurrent SETs at `i_cell` amperes per cell.
+    #[must_use]
+    pub fn max_concurrent_sets(&self, i_cell: f64) -> usize {
+        (self.i_set_budget / i_cell) as usize
+    }
+
+    /// True if a write phase with `resets` concurrent RESETs is within
+    /// budget.
+    #[must_use]
+    pub fn supports_resets(&self, resets: usize, i_cell: f64) -> bool {
+        resets <= self.max_concurrent_resets(i_cell)
+    }
+
+    /// Wall-clock overhead the pump adds to one write (charge before the
+    /// phases; discharge overlaps the next activation), nanoseconds.
+    #[must_use]
+    pub fn write_overhead_ns(&self) -> f64 {
+        self.charge_ns
+    }
+
+    /// Battery-side energy for `array_pj` picojoules delivered to cells,
+    /// picojoules (the 33 % conversion efficiency is the dominant write
+    /// energy cost the paper's Fig. 16 discusses).
+    #[must_use]
+    pub fn battery_energy_pj(&self, array_pj: f64) -> f64 {
+        array_pj / self.efficiency
+    }
+
+    /// Pump energy per write cycle (one charge + one discharge), picojoules.
+    #[must_use]
+    pub fn cycle_energy_pj(&self) -> f64 {
+        (self.charge_nj + self.discharge_nj) * 1e3
+    }
+}
+
+impl Default for ChargePump {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_supports_256_concurrent_resets() {
+        // 23 mA / 90 µA = 255.6 → the pump finishes any Flip-N-Write RESET
+        // phase (≤ 256 RESETs) in one iteration, as Table III states.
+        let p = ChargePump::baseline();
+        assert_eq!(p.max_concurrent_resets(90e-6), 255);
+        assert!(p.supports_resets(255, 90e-6));
+        assert!(!p.supports_resets(300, 90e-6));
+    }
+
+    #[test]
+    fn baseline_supports_253_concurrent_sets() {
+        let p = ChargePump::baseline();
+        assert_eq!(p.max_concurrent_sets(98.6e-6), 253);
+    }
+
+    #[test]
+    fn udrvr_pump_costs_match_section_iv_d() {
+        let b = ChargePump::baseline();
+        let u = ChargePump::udrvr();
+        assert!((u.area_mm2 / b.area_mm2 - 1.33).abs() < 1e-12);
+        assert!((u.leakage_mw / b.leakage_mw - 1.302).abs() < 1e-12);
+        assert!((u.charge_ns / b.charge_ns - 1.048).abs() < 1e-12);
+        assert!((u.charge_nj / b.charge_nj - 1.063).abs() < 1e-12);
+        assert_eq!(u.v_out, 3.66);
+    }
+
+    #[test]
+    fn dbl_pump_doubles() {
+        let b = ChargePump::baseline();
+        let d = ChargePump::dummy_bl();
+        assert_eq!(d.area_mm2, 2.0 * b.area_mm2);
+        assert_eq!(d.max_concurrent_resets(90e-6), 511);
+    }
+
+    #[test]
+    fn conversion_efficiency_triples_battery_energy() {
+        let p = ChargePump::baseline();
+        assert!((p.battery_energy_pj(33.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn udrvr_394_exceeds_udrvr() {
+        let u = ChargePump::udrvr();
+        let v = ChargePump::udrvr_394();
+        assert!(v.v_out > u.v_out);
+        assert!(v.area_mm2 > u.area_mm2);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the memory controller's scheduling discipline.
+
+use proptest::prelude::*;
+use reram_mem::{MemoryConfig, MemoryController, Request};
+
+#[derive(Debug, Clone)]
+struct Arrival {
+    is_write: bool,
+    bank: usize,
+    gap_ns: f64,
+    service_ns: f64,
+}
+
+fn arb_arrivals(n: usize) -> impl Strategy<Value = Vec<Arrival>> {
+    proptest::collection::vec(
+        (any::<bool>(), 0usize..16, 1.0f64..200.0, 20.0f64..2500.0).prop_map(
+            |(is_write, bank, gap_ns, service_ns)| Arrival {
+                is_write,
+                bank,
+                gap_ns,
+                service_ns,
+            },
+        ),
+        n,
+    )
+}
+
+fn drive(arrivals: &[Arrival]) -> (Vec<reram_mem::Completion>, u64, u64) {
+    let mut mc = MemoryController::new(MemoryConfig::paper_baseline());
+    let mut done = Vec::new();
+    let mut t = 0.0;
+    let (mut reads, mut writes) = (0u64, 0u64);
+    for (k, a) in arrivals.iter().enumerate() {
+        t += a.gap_ns;
+        let req = Request {
+            id: k as u64,
+            bank: a.bank,
+            arrival_ns: t,
+            service_ns: a.service_ns,
+        };
+        loop {
+            let ok = if a.is_write {
+                mc.submit_write(req)
+            } else {
+                mc.submit_read(req)
+            };
+            if ok {
+                if a.is_write {
+                    writes += 1;
+                } else {
+                    reads += 1;
+                }
+                break;
+            }
+            // Queue full: wait for progress before retrying.
+            let next = mc.next_issue_ns().unwrap_or(t) + 1.0;
+            t = t.max(next);
+            done.extend(mc.advance(t));
+        }
+    }
+    done.extend(mc.advance(f64::INFINITY));
+    (done, reads, writes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// No request is ever lost or duplicated: everything submitted
+    /// completes exactly once.
+    #[test]
+    fn conservation(arrivals in arb_arrivals(120)) {
+        let (done, reads, writes) = drive(&arrivals);
+        prop_assert_eq!(done.len() as u64, reads + writes);
+        let mut ids: Vec<u64> = done.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len() as u64, reads + writes);
+        let done_writes = done.iter().filter(|c| c.is_write).count() as u64;
+        prop_assert_eq!(done_writes, writes);
+    }
+
+    /// Causality: nothing completes before it arrived plus its minimum
+    /// service, and queue waits are non-negative.
+    #[test]
+    fn causality(arrivals in arb_arrivals(80)) {
+        let cfg = MemoryConfig::paper_baseline();
+        let (done, _, _) = drive(&arrivals);
+        for c in &done {
+            prop_assert!(c.queued_ns >= -1e-9, "negative queue wait");
+            let min_service = if c.is_write {
+                cfg.mc_to_bank_ns() + cfg.t_cwd_ns
+            } else {
+                cfg.mc_to_bank_ns() + cfg.read_service_ns()
+            };
+            prop_assert!(c.done_ns >= c.queued_ns + min_service - 1e-6);
+        }
+    }
+
+    /// Same-bank operations never overlap: per bank, the busy intervals the
+    /// stats report add up to at least the per-op floor.
+    #[test]
+    fn bank_busy_accounting(arrivals in arb_arrivals(60)) {
+        let cfg = MemoryConfig::paper_baseline();
+        let mut mc = MemoryController::new(cfg);
+        let mut t = 0.0;
+        let mut accepted = 0u64;
+        for (k, a) in arrivals.iter().enumerate() {
+            t += a.gap_ns;
+            let req = Request { id: k as u64, bank: a.bank, arrival_ns: t, service_ns: a.service_ns };
+            if if a.is_write { mc.submit_write(req) } else { mc.submit_read(req) } {
+                accepted += 1;
+            }
+            let _ = mc.advance(t);
+        }
+        let _ = mc.advance(f64::INFINITY);
+        let st = mc.stats();
+        prop_assert_eq!(st.reads + st.writes, accepted);
+        prop_assert!(st.bank_busy_ns >= accepted as f64 * cfg.t_cwd_ns.min(cfg.read_service_ns()));
+    }
+}

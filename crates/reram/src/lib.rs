@@ -1,0 +1,38 @@
+//! Facade crate for the `reram-vdrop` workspace: a Rust reproduction of
+//! *Mitigating Voltage Drop in Resistive Memories by Dynamic RESET Voltage
+//! Regulation and Partition RESET* (Zokaee & Jiang, HPCA 2020).
+//!
+//! Re-exports the workspace crates under one roof:
+//!
+//! * [`circuit`] — nonlinear DC solver for cross-point resistive meshes;
+//! * [`array`](mod@array) — the array micro-architecture model (IR drop, Eq. 1/Eq. 2
+//!   kinetics, DSGB/DSWD/D-BL baselines, `ora-m×m` oracles);
+//! * [`core`] — the paper's contribution: DRVR, Partition RESET, UDRVR;
+//! * [`mem`] — the main-memory substrate (Flip-N-Write, ECP, wear leveling,
+//!   charge pump, controller, lifetime);
+//! * [`workloads`] — Table IV synthetic benchmark generators;
+//! * [`sim`] — the closed-loop multicore system simulator.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use reram::core::{Scheme, WriteModel};
+//! use reram::mem::LifetimeModel;
+//!
+//! let ours = WriteModel::paper(Scheme::UdrvrPr);
+//! let years = LifetimeModel::paper_baseline()
+//!     .estimate(&ours)
+//!     .expect("UDRVR+PR completes writes")
+//!     .years;
+//! assert!(years > 10.0); // the paper's headline lifetime guarantee
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use reram_array as array;
+pub use reram_circuit as circuit;
+pub use reram_core as core;
+pub use reram_mem as mem;
+pub use reram_sim as sim;
+pub use reram_workloads as workloads;

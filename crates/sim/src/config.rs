@@ -1,0 +1,89 @@
+//! CPU-side simulation configuration (paper Table III).
+
+/// Core and run parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Number of cores (Table III: eight 3.2 GHz OoO cores).
+    pub cores: usize,
+    /// Core clock, GHz.
+    pub freq_ghz: f64,
+    /// IPC while no main-memory access is outstanding-blocked. Folds in the
+    /// private L1/L2 and the in-package DRAM cache, whose hits the Table IV
+    /// PKI rates already filter out.
+    pub base_ipc: f64,
+    /// Outstanding main-memory reads a core can overlap (Table III: 8 MSHRs
+    /// per core).
+    pub mshrs: usize,
+    /// Instructions each core executes before retiring.
+    pub instructions_per_core: u64,
+}
+
+impl SimConfig {
+    /// The paper's CPU configuration with a short default run length.
+    #[must_use]
+    pub fn paper_baseline() -> Self {
+        Self {
+            cores: 8,
+            freq_ghz: 3.2,
+            base_ipc: 2.5,
+            mshrs: 8,
+            instructions_per_core: 1_000_000,
+        }
+    }
+
+    /// Overrides the per-core instruction budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn with_instructions_per_core(mut self, n: u64) -> Self {
+        assert!(n > 0, "instruction budget must be positive");
+        self.instructions_per_core = n;
+        self
+    }
+
+    /// Nanoseconds a core needs for `instructions` at base IPC.
+    #[must_use]
+    pub fn exec_ns(&self, instructions: u64) -> f64 {
+        instructions as f64 / (self.base_ipc * self.freq_ghz)
+    }
+
+    /// Total instructions across all cores.
+    #[must_use]
+    pub fn total_instructions(&self) -> u64 {
+        self.instructions_per_core * self.cores as u64
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::paper_baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_cpu() {
+        let c = SimConfig::paper_baseline();
+        assert_eq!(c.cores, 8);
+        assert_eq!(c.freq_ghz, 3.2);
+        assert_eq!(c.mshrs, 8);
+    }
+
+    #[test]
+    fn exec_time_scales_with_ipc() {
+        let c = SimConfig::paper_baseline();
+        // 8000 instructions at 2.5 IPC and 3.2 GHz = 1 µs.
+        assert!((c.exec_ns(8000) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_override() {
+        let c = SimConfig::paper_baseline().with_instructions_per_core(5);
+        assert_eq!(c.total_instructions(), 40);
+    }
+}

@@ -1,0 +1,39 @@
+//! Trace-driven multicore system simulator for ReRAM main memories.
+//!
+//! Substitutes the paper's Sniper + PinPlay setup (see `DESIGN.md` §1): an
+//! event-driven, closed-loop model of eight out-of-order cores in front of
+//! the `reram-mem` memory controller. Each core executes instructions at a
+//! base IPC, issues main-memory reads that it can overlap up to its MSHR
+//! limit (8/core, Table III), and emits write-backs that queue at the
+//! controller; a full write queue triggers the write-burst mode that blocks
+//! reads — the coupling through which slow ReRAM RESETs cost performance.
+//!
+//! The paper's Table IV workloads drive the cores through
+//! [`reram_workloads::TraceGenerator`]; writes are Flip-N-Write encoded,
+//! wear-level remapped, planned by the scheme's [`reram_core::WriteModel`],
+//! and timed/energy-accounted end to end.
+//!
+//! # Example
+//!
+//! ```
+//! use reram_sim::{SimConfig, Simulator};
+//! use reram_core::Scheme;
+//! use reram_workloads::BenchProfile;
+//!
+//! let cfg = SimConfig::paper_baseline().with_instructions_per_core(20_000);
+//! let mcf = BenchProfile::by_name("mcf_m").expect("table IV");
+//! let slow = Simulator::new(cfg, Scheme::Baseline, mcf, 1).run();
+//! let fast = Simulator::new(cfg, Scheme::UdrvrPr, mcf, 1).run();
+//! assert!(fast.ipc() > slow.ipc());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod result;
+pub mod system;
+
+pub use config::SimConfig;
+pub use result::SimResult;
+pub use system::{Knobs, Simulator};

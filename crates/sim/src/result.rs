@@ -1,0 +1,84 @@
+//! Simulation results and derived metrics.
+
+use reram_mem::controller::ControllerStats;
+use reram_mem::EnergyLedger;
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimResult {
+    /// Instructions retired across all cores.
+    pub instructions: u64,
+    /// Wall-clock simulated time, nanoseconds.
+    pub elapsed_ns: f64,
+    /// Core clock, GHz.
+    pub freq_ghz: f64,
+    /// Memory-controller statistics.
+    pub mem: ControllerStats,
+    /// Energy ledger for the run.
+    pub energy: EnergyLedger,
+    /// Cell writes issued to the arrays (incl. dummies), for wear reporting.
+    pub cell_writes: u64,
+    /// RESETs issued (incl. dummies).
+    pub resets: u64,
+    /// SETs issued (incl. dummies).
+    pub sets: u64,
+}
+
+impl SimResult {
+    /// Aggregate instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        self.instructions as f64 / (self.elapsed_ns * self.freq_ghz)
+    }
+
+    /// Speedup of this run over `baseline` (`IPC_tech / IPC_base`, the
+    /// paper's §V metric).
+    #[must_use]
+    pub fn speedup_over(&self, baseline: &SimResult) -> f64 {
+        self.ipc() / baseline.ipc()
+    }
+
+    /// Total energy, millijoules.
+    #[must_use]
+    pub fn energy_mj(&self) -> f64 {
+        self.energy.total_pj() * 1e-9
+    }
+
+    /// Energy relative to `other` (Fig. 16's normalization).
+    #[must_use]
+    pub fn energy_vs(&self, other: &SimResult) -> f64 {
+        self.energy.total_pj() / other.energy.total_pj()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(instructions: u64, elapsed_ns: f64) -> SimResult {
+        SimResult {
+            instructions,
+            elapsed_ns,
+            freq_ghz: 3.2,
+            mem: ControllerStats::default(),
+            energy: EnergyLedger::new(),
+            cell_writes: 0,
+            resets: 0,
+            sets: 0,
+        }
+    }
+
+    #[test]
+    fn ipc_definition() {
+        let r = result(32_000, 1000.0);
+        // 32k instructions in 3200 cycles.
+        assert!((r.ipc() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_is_a_ratio_of_ipcs() {
+        let fast = result(1000, 100.0);
+        let slow = result(1000, 200.0);
+        assert!((fast.speedup_over(&slow) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,522 @@
+//! The closed-loop event-driven system simulator.
+
+use crate::{SimConfig, SimResult};
+use reram_array::ArrayModel;
+use reram_core::{Scheme, WriteModel};
+use reram_mem::lifetime::LifetimeModel;
+use reram_mem::{
+    AddressMapper, EnergyLedger, EnergyParams, FnwCodec, MemoryConfig, MemoryController, Request,
+    RowMapper, SecurityRefresh,
+};
+use reram_workloads::{AccessKind, BenchProfile, TraceGenerator};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A min-heap event, ordered by time (then insertion sequence for
+/// determinism).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    time_ns: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    /// A core finished executing up to its next access.
+    CoreReady(usize),
+    /// A read's data returned to its core.
+    ReadDone(usize),
+    /// Re-examine the controller (issue ops, free queue slots, wake cores).
+    MemCheck,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time_ns
+            .total_cmp(&self.time_ns)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A prepared access, ready to hand to the memory controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Prepared {
+    Read {
+        bank: usize,
+    },
+    Write {
+        bank: usize,
+        service_ns: f64,
+        array_energy_pj: f64,
+        cell_writes: u32,
+        resets: u32,
+        sets: u32,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Blocked {
+    No,
+    /// All MSHRs in flight; waiting for a read to return.
+    Mshr,
+    /// The controller's read queue was full.
+    ReadQueue,
+    /// The controller's write queue was full.
+    WriteQueue,
+}
+
+struct Core {
+    gen: TraceGenerator,
+    retired: u64,
+    outstanding: usize,
+    pending: Option<Prepared>,
+    blocked: Blocked,
+    done: bool,
+    finish_ns: f64,
+}
+
+/// Ablation overrides for the mechanisms SCH bundles, letting experiments
+/// separate *where* writes land (row mapping), *how* they are timed
+/// (deterministic worst case vs per-plan), and whether the wear-leveling
+/// remap is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Knobs {
+    /// Force the row mapper (None = scheme default).
+    pub row_mapper: Option<RowMapper>,
+    /// Force wear-leveling remap on/off (None = scheme default).
+    pub remap: Option<bool>,
+    /// Force per-plan (data/row-exact) write timing (None = scheme default:
+    /// only SCH times per plan).
+    pub per_plan_timing: Option<bool>,
+}
+
+/// One simulation run: a [`Scheme`] × [`BenchProfile`] × seed.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    cfg: SimConfig,
+    scheme: Scheme,
+    profile: BenchProfile,
+    seed: u64,
+    knobs: Knobs,
+    array: ArrayModel,
+}
+
+impl Simulator {
+    /// Creates a run.
+    #[must_use]
+    pub fn new(cfg: SimConfig, scheme: Scheme, profile: BenchProfile, seed: u64) -> Self {
+        Self {
+            cfg,
+            scheme,
+            profile,
+            seed,
+            knobs: Knobs::default(),
+            array: ArrayModel::paper_baseline(),
+        }
+    }
+
+    /// Replaces the array model — the Fig. 18/19/20 sweeps change the MAT
+    /// size, process node and selector through this.
+    #[must_use]
+    pub fn with_array(mut self, array: ArrayModel) -> Self {
+        self.array = array;
+        self
+    }
+
+    /// Applies ablation overrides (see [`Knobs`]).
+    #[must_use]
+    pub fn with_knobs(mut self, knobs: Knobs) -> Self {
+        self.knobs = knobs;
+        self
+    }
+
+    /// Executes the run to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme produces write failures (effective RESET voltage
+    /// below the threshold) — a misconfigured scheme, not a workload effect.
+    #[must_use]
+    pub fn run(&self) -> SimResult {
+        let wm = WriteModel::new(self.array, self.scheme);
+        let geom = self.array.geometry();
+        let mapper = AddressMapper::new(
+            reram_mem::MemoryConfig::paper_baseline(),
+            geom.size(),
+            geom.cols_per_group(),
+        );
+        let mem_cfg: MemoryConfig = *mapper.config();
+        let pump = LifetimeModel::pump_for(self.scheme);
+        let energy_params = EnergyParams::paper_baseline()
+            .with_scheme(self.scheme.chip_overhead().leakage_multiplier(), pump);
+        let fnw = FnwCodec::paper();
+        let use_sch = self.scheme.uses_sch();
+        let row_mapper = self.knobs.row_mapper.unwrap_or(if use_sch {
+            RowMapper::Sch
+        } else {
+            RowMapper::Interleaved
+        });
+        // SCH pins hot lines to fast rows and therefore cannot coexist with
+        // the randomized inter-line remap (§III-B).
+        let remap_on = self.knobs.remap.unwrap_or(!use_sch);
+        let mut remap = remap_on.then(|| SecurityRefresh::new(30, self.seed, 100_000));
+        let per_plan_timing = self.knobs.per_plan_timing.unwrap_or(use_sch);
+        // Write timing discipline: the controller must budget writes
+        // deterministically, so every scheme runs its RESET phase at the
+        // scheme's worst-case array latency (the paper fixes the baseline at
+        // 2.3 µs, §III-A). SCH is the one technique whose point is
+        // exploiting per-row latency, so it times each write by its actual
+        // plan — and pays for it with migration/re-layout writes ("they
+        // introduce more writes", §III-C), amortized as a service/energy/
+        // wear multiplier.
+        let worst_reset_ns = wm
+            .array_reset_latency_ns()
+            .expect("scheme must complete writes");
+        const SCH_MIGRATION_OVERHEAD: f64 = 1.25;
+        // SCH schedules at page granularity with reactive migration: its
+        // fast-row latency classes cannot undercut a floor relative to the
+        // array's worst case (hot pages contain warm lines, share MATs with
+        // cold data, and lag their heat).
+        const SCH_LATENCY_FLOOR: f64 = 0.5;
+
+        let mut mc = MemoryController::new(mem_cfg);
+        let mut ledger = EnergyLedger::new();
+        let mut cores: Vec<Core> = (0..self.cfg.cores)
+            .map(|c| Core {
+                gen: TraceGenerator::new(self.profile, self.seed.wrapping_add(c as u64 * 7919)),
+                retired: 0,
+                outstanding: 0,
+                pending: None,
+                blocked: Blocked::No,
+                done: false,
+                finish_ns: 0.0,
+            })
+            .collect();
+
+        let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut push = |heap: &mut BinaryHeap<Event>, time_ns: f64, kind: EventKind| {
+            seq += 1;
+            heap.push(Event { time_ns, seq, kind });
+        };
+
+        let mut cell_writes = 0u64;
+        let mut resets_total = 0u64;
+        let mut sets_total = 0u64;
+        let mut reads_issued = 0u64;
+        // At most one outstanding MemCheck: without this, every blocked
+        // core pushing its own retry event multiplies events exponentially.
+        let mut memcheck_at: Option<f64> = None;
+
+        // Prepares the next access of core `c`; returns the delay until it is
+        // ready to issue, or `None` when the core retires instead.
+        let mut prepare = |cores: &mut Vec<Core>, c: usize| -> Option<f64> {
+            let budget = self.cfg.instructions_per_core;
+            let acc = cores[c].gen.next_access();
+            let remaining = budget - cores[c].retired;
+            if acc.icount_gap >= remaining {
+                cores[c].retired = budget;
+                cores[c].done = true;
+                return Some(self.cfg.exec_ns(remaining)); // time to retirement
+            }
+            cores[c].retired += acc.icount_gap;
+            let prepared = match acc.kind {
+                AccessKind::Read { line } => {
+                    let phys = remap.as_ref().map_or(line, |r| r.remap(line));
+                    Prepared::Read {
+                        bank: mapper.decompose(phys).flat_bank(&mem_cfg),
+                    }
+                }
+                AccessKind::Write {
+                    line,
+                    heat,
+                    old,
+                    new,
+                } => {
+                    if let Some(r) = remap.as_mut() {
+                        r.on_write();
+                    }
+                    let phys = remap.as_ref().map_or(line, |r| r.remap(line));
+                    let addr = mapper.decompose(phys);
+                    let row = row_mapper.row_for(addr.mat_row, heat, mapper.mat_size());
+                    let flips = [false; 64];
+                    let w = fnw.encode(&old[..], &flips, &new[..]);
+                    let plan = wm.plan_line_write_with_data(
+                        row,
+                        addr.col_offset,
+                        &w.resets,
+                        &w.sets,
+                        Some(&w.stored),
+                    );
+                    assert!(
+                        !plan.failed,
+                        "scheme {} produced a write failure",
+                        self.scheme
+                    );
+                    let overhead = if use_sch { SCH_MIGRATION_OVERHEAD } else { 1.0 };
+                    let floor = if use_sch {
+                        worst_reset_ns * SCH_LATENCY_FLOOR
+                    } else {
+                        0.0
+                    };
+                    let reset_ns = if per_plan_timing {
+                        if plan.resets > 0 {
+                            plan.reset_phase_ns.max(floor)
+                        } else {
+                            0.0
+                        }
+                    } else if plan.resets > 0 {
+                        worst_reset_ns
+                    } else {
+                        0.0
+                    };
+                    Prepared::Write {
+                        bank: addr.flat_bank(&mem_cfg),
+                        service_ns: (pump.write_overhead_ns() + reset_ns + plan.set_phase_ns)
+                            * overhead,
+                        array_energy_pj: plan.energy_pj() * overhead,
+                        cell_writes: (f64::from(plan.cell_writes()) * overhead) as u32,
+                        resets: (f64::from(plan.resets) * overhead) as u32,
+                        sets: (f64::from(plan.sets) * overhead) as u32,
+                    }
+                }
+            };
+            cores[c].pending = Some(prepared);
+            Some(self.cfg.exec_ns(acc.icount_gap))
+        };
+
+        // Seed each core's first event.
+        for c in 0..self.cfg.cores {
+            let delay = prepare(&mut cores, c).expect("fresh core");
+            push(&mut heap, delay, EventKind::CoreReady(c));
+        }
+
+        let read_id = |c: usize, n: u64| ((c as u64) << 48) | (n & 0xFFFF_FFFF_FFFF);
+
+        while let Some(ev) = heap.pop() {
+            let now = ev.time_ns;
+            // Let the controller issue everything it can; deliver read
+            // returns as future events and wake queue-blocked cores.
+            let completions = mc.advance(now);
+            let queue_freed = !completions.is_empty();
+            for comp in &completions {
+                if !comp.is_write {
+                    let c = (comp.id >> 48) as usize;
+                    push(
+                        &mut heap,
+                        comp.done_ns.max(now),
+                        EventKind::ReadDone(c),
+                    );
+                }
+            }
+
+            let mut to_try: Vec<usize> = Vec::new();
+            match ev.kind {
+                EventKind::CoreReady(c) => to_try.push(c),
+                EventKind::ReadDone(c) => {
+                    cores[c].outstanding = cores[c].outstanding.saturating_sub(1);
+                    if cores[c].blocked == Blocked::Mshr {
+                        cores[c].blocked = Blocked::No;
+                        to_try.push(c);
+                    }
+                }
+                EventKind::MemCheck => {
+                    if memcheck_at.is_some_and(|m| m <= now + 1e-9) {
+                        memcheck_at = None;
+                    }
+                }
+            }
+            if queue_freed || ev.kind == EventKind::MemCheck {
+                #[allow(clippy::needless_range_loop)] // indexes several parallel arrays
+                for c in 0..cores.len() {
+                    if matches!(cores[c].blocked, Blocked::ReadQueue | Blocked::WriteQueue) {
+                        cores[c].blocked = Blocked::No;
+                        to_try.push(c);
+                    }
+                }
+            }
+
+            for c in to_try {
+                // Issue the core's pending access, then run ahead to its
+                // next one; block (and stop) on any structural hazard.
+                'issue: {
+                    let Some(p) = cores[c].pending else { break 'issue };
+                    match p {
+                        Prepared::Read { bank } => {
+                            if cores[c].outstanding >= self.cfg.mshrs {
+                                cores[c].blocked = Blocked::Mshr;
+                                break 'issue;
+                            }
+                            let ok = mc.submit_read(Request {
+                                id: read_id(c, reads_issued),
+                                bank,
+                                arrival_ns: now,
+                                service_ns: 0.0,
+                            });
+                            if !ok {
+                                cores[c].blocked = Blocked::ReadQueue;
+                                let t = mc.next_issue_ns().unwrap_or(now).max(now) + 0.01;
+                                if memcheck_at.is_none_or(|m| t + 1e-9 < m) {
+                                    memcheck_at = Some(t);
+                                    push(&mut heap, t, EventKind::MemCheck);
+                                }
+                                break 'issue;
+                            }
+                            reads_issued += 1;
+                            cores[c].outstanding += 1;
+                            ledger.add_read(&energy_params);
+                        }
+                        Prepared::Write {
+                            bank,
+                            service_ns,
+                            array_energy_pj,
+                            cell_writes: cw,
+                            resets,
+                            sets,
+                        } => {
+                            let ok = mc.submit_write(Request {
+                                id: read_id(c, u64::MAX >> 16),
+                                bank,
+                                arrival_ns: now,
+                                service_ns,
+                            });
+                            if !ok {
+                                cores[c].blocked = Blocked::WriteQueue;
+                                let t = mc.next_issue_ns().unwrap_or(now).max(now) + 0.01;
+                                if memcheck_at.is_none_or(|m| t + 1e-9 < m) {
+                                    memcheck_at = Some(t);
+                                    push(&mut heap, t, EventKind::MemCheck);
+                                }
+                                break 'issue;
+                            }
+                            ledger.add_write(&energy_params, array_energy_pj);
+                            cell_writes += u64::from(cw);
+                            resets_total += u64::from(resets);
+                            sets_total += u64::from(sets);
+                        }
+                    }
+                    cores[c].pending = None;
+                    // The access issued; execute forward to the next one.
+                    match prepare(&mut cores, c) {
+                        Some(delay) if cores[c].done => {
+                            cores[c].finish_ns = now + delay;
+                        }
+                        Some(delay) => {
+                            push(&mut heap, now + delay, EventKind::CoreReady(c));
+                            break 'issue;
+                        }
+                        None => break 'issue,
+                    }
+                }
+            }
+
+            if cores.iter().all(|c| c.done) {
+                break;
+            }
+            // Keep the controller moving even when every core is waiting.
+            if heap.is_empty() {
+                if let Some(t) = mc.next_issue_ns() {
+                    let t = t.max(now) + 0.01;
+                    memcheck_at = Some(t);
+                    push(&mut heap, t, EventKind::MemCheck);
+                }
+            }
+        }
+
+        let elapsed_ns = cores
+            .iter()
+            .map(|c| c.finish_ns)
+            .fold(0.0f64, f64::max)
+            .max(1e-9);
+        let stats = mc.stats();
+        // Leakage: the average bank is busy `bank_busy/banks`; power gating
+        // trims the rest.
+        let busy = (stats.bank_busy_ns / mem_cfg.total_banks() as f64).min(elapsed_ns);
+        ledger.add_time(&energy_params, busy, elapsed_ns - busy);
+
+        SimResult {
+            instructions: self.cfg.total_instructions(),
+            elapsed_ns,
+            freq_ghz: self.cfg.freq_ghz,
+            mem: stats,
+            energy: ledger,
+            cell_writes,
+            resets: resets_total,
+            sets: sets_total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(scheme: Scheme, name: &str) -> SimResult {
+        let cfg = SimConfig::paper_baseline().with_instructions_per_core(60_000);
+        let p = BenchProfile::by_name(name).expect("benchmark");
+        Simulator::new(cfg, scheme, p, 42).run()
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let a = quick(Scheme::Baseline, "mcf_m");
+        let b = quick(Scheme::Baseline, "mcf_m");
+        assert_eq!(a.elapsed_ns, b.elapsed_ns);
+        assert_eq!(a.cell_writes, b.cell_writes);
+    }
+
+    #[test]
+    fn udrvr_pr_beats_baseline_on_write_heavy_workloads() {
+        let base = quick(Scheme::Baseline, "mcf_m");
+        let ours = quick(Scheme::UdrvrPr, "mcf_m");
+        assert!(
+            ours.speedup_over(&base) > 1.02,
+            "speedup = {}",
+            ours.speedup_over(&base)
+        );
+    }
+
+    #[test]
+    fn oracle_bounds_real_schemes() {
+        let ours = quick(Scheme::UdrvrPr, "mcf_m");
+        let ora = quick(Scheme::Oracle { window: 64 }, "mcf_m");
+        assert!(ora.ipc() >= ours.ipc() * 0.98, "{} vs {}", ora.ipc(), ours.ipc());
+    }
+
+    #[test]
+    fn ipc_stays_physical() {
+        let r = quick(Scheme::Baseline, "tig_m");
+        let cfg = SimConfig::paper_baseline();
+        assert!(r.ipc() > 0.0);
+        assert!(r.ipc() <= cfg.base_ipc * cfg.cores as f64 + 1e-9);
+        assert!(r.mem.reads > 0 && r.mem.writes > 0);
+    }
+
+    #[test]
+    fn writes_reach_the_arrays() {
+        let r = quick(Scheme::UdrvrPr, "zeu_m");
+        assert!(r.cell_writes > 0);
+        assert!(r.resets > 0 && r.sets > 0);
+        assert!(r.energy.write_pj > 0.0 && r.energy.read_pj > 0.0);
+        assert!(r.energy.leakage_pj > 0.0);
+    }
+
+    #[test]
+    fn hard_sys_uses_more_leakage_energy() {
+        let ours = quick(Scheme::UdrvrPr, "ast_m");
+        let hard = quick(Scheme::HardSys, "ast_m");
+        // Fig. 16's main effect: Hard+Sys leaks far more.
+        assert!(hard.energy.leakage_pj > ours.energy.leakage_pj);
+    }
+}

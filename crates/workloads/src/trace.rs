@@ -1,0 +1,262 @@
+//! Seeded trace generation from a [`BenchProfile`].
+
+use crate::BenchProfile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Bytes in a memory line.
+pub const LINE_BYTES: usize = 64;
+
+/// What an access does.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessKind {
+    /// A demand read of one line.
+    Read {
+        /// Flat line address.
+        line: u64,
+    },
+    /// A write-back of one line.
+    Write {
+        /// Flat line address.
+        line: u64,
+        /// Heat percentile of the line (0 = hottest) — what SCH schedules on.
+        heat: f64,
+        /// The line's previous contents.
+        old: Box<[u8; LINE_BYTES]>,
+        /// The new contents.
+        new: Box<[u8; LINE_BYTES]>,
+    },
+}
+
+/// One memory access plus the number of instructions the core executed
+/// since the previous one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Access {
+    /// Instructions executed before this access.
+    pub icount_gap: u64,
+    /// The access itself.
+    pub kind: AccessKind,
+}
+
+/// An endless, deterministic stream of [`Access`]es matching a profile.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    profile: BenchProfile,
+    rng: StdRng,
+    address_lines: u64,
+}
+
+impl TraceGenerator {
+    /// Default footprint: 2²⁶ distinct lines (4 GB) per workload.
+    pub const DEFAULT_ADDRESS_LINES: u64 = 1 << 26;
+
+    /// Creates a generator for `profile` with the given seed.
+    #[must_use]
+    pub fn new(profile: BenchProfile, seed: u64) -> Self {
+        Self {
+            profile,
+            rng: StdRng::seed_from_u64(seed ^ 0xC0FF_EE00_D15E_A5E5),
+            address_lines: Self::DEFAULT_ADDRESS_LINES,
+        }
+    }
+
+    /// Restricts the address footprint (useful for small tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is zero.
+    #[must_use]
+    pub fn with_address_lines(mut self, lines: u64) -> Self {
+        assert!(lines > 0, "footprint must be non-empty");
+        self.address_lines = lines;
+        self
+    }
+
+    /// The profile driving this generator.
+    #[must_use]
+    pub fn profile(&self) -> &BenchProfile {
+        &self.profile
+    }
+
+    /// Draws a line address and its heat percentile.
+    fn draw_line(&mut self) -> (u64, f64) {
+        let p = &self.profile;
+        if self.rng.gen_bool(p.hot_fraction) {
+            // Zipf-like rank: hot lines are geometrically more popular.
+            let u: f64 = self.rng.gen_range(0.0f64..1.0);
+            let rank = (u * u * p.hot_lines as f64) as u64; // quadratic skew
+            let heat = rank as f64 / p.hot_lines as f64;
+            (rank % self.address_lines, heat * 0.5)
+        } else {
+            (self.rng.gen_range(0..self.address_lines), 0.995)
+        }
+    }
+
+    /// Synthesizes an (old, new) line pair with the profile's transition
+    /// statistics. The pair is already representative of post-Flip-N-Write
+    /// stored state (the generator draws the *changed-cell* distribution
+    /// directly, matching Figs. 9/14).
+    fn draw_write_data(&mut self) -> (Box<[u8; LINE_BYTES]>, Box<[u8; LINE_BYTES]>) {
+        let p = self.profile;
+        let mut old = Box::new([0u8; LINE_BYTES]);
+        let mut new = Box::new([0u8; LINE_BYTES]);
+        self.rng.fill(&mut old[..]);
+        new.copy_from_slice(&old[..]);
+        for s in 0..LINE_BYTES {
+            if !self.rng.gen_bool(p.slice_touch_prob) {
+                continue;
+            }
+            let k = if p.dense_burst_prob > 0.0 && self.rng.gen_bool(p.dense_burst_prob) {
+                self.rng.gen_range(7..=8)
+            } else {
+                // Geometric-ish count with the requested mean, capped at 6.
+                let mean = p.changed_bits_mean.max(1.0);
+                let mut k = 1usize;
+                while k < 6 && self.rng.gen_bool(1.0 - 1.0 / mean) {
+                    k += 1;
+                }
+                k
+            };
+            let mut mask = 0u8;
+            while mask.count_ones() < k as u32 {
+                mask |= 1 << self.rng.gen_range(0..8);
+            }
+            new[s] ^= mask;
+        }
+        (old, new)
+    }
+
+    /// Generates the next access.
+    pub fn next_access(&mut self) -> Access {
+        let p = self.profile;
+        let apki = p.rpki + p.wpki;
+        // Exponential inter-arrival around the PKI-implied mean gap.
+        let mean_gap = 1000.0 / apki;
+        let u: f64 = self.rng.gen_range(1e-9f64..1.0);
+        let icount_gap = (-u.ln() * mean_gap).ceil().max(1.0) as u64;
+        let is_write = self.rng.gen_bool(p.wpki / apki);
+        let (line, heat) = self.draw_line();
+        let kind = if is_write {
+            let (old, new) = self.draw_write_data();
+            AccessKind::Write {
+                line,
+                heat,
+                old,
+                new,
+            }
+        } else {
+            AccessKind::Read { line }
+        };
+        Access { icount_gap, kind }
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        Some(self.next_access())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_changed(old: &[u8; 64], new: &[u8; 64]) -> u32 {
+        old.iter()
+            .zip(new.iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let p = BenchProfile::by_name("mcf_m").unwrap();
+        let a: Vec<Access> = TraceGenerator::new(p, 7).take(50).collect();
+        let b: Vec<Access> = TraceGenerator::new(p, 7).take(50).collect();
+        assert_eq!(a, b);
+        let c: Vec<Access> = TraceGenerator::new(p, 8).take(50).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn read_write_mix_matches_pki_ratio() {
+        let p = BenchProfile::by_name("mcf_m").unwrap();
+        let n = 20_000;
+        let writes = TraceGenerator::new(p, 1)
+            .take(n)
+            .filter(|a| matches!(a.kind, AccessKind::Write { .. }))
+            .count();
+        let expect = p.wpki / (p.rpki + p.wpki);
+        let got = writes as f64 / n as f64;
+        assert!((got - expect).abs() < 0.02, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn instruction_gaps_match_apki() {
+        let p = BenchProfile::by_name("tig_m").unwrap();
+        let n = 20_000usize;
+        let total: u64 = TraceGenerator::new(p, 2)
+            .take(n)
+            .map(|a| a.icount_gap)
+            .sum();
+        let apki = n as f64 * 1000.0 / total as f64;
+        assert!(
+            (apki - (p.rpki + p.wpki)).abs() / (p.rpki + p.wpki) < 0.1,
+            "apki = {apki}"
+        );
+    }
+
+    #[test]
+    fn changed_cell_fraction_matches_profile() {
+        for name in ["mcf_m", "zeu_m", "tig_m"] {
+            let p = BenchProfile::by_name(name).unwrap();
+            let mut total = 0u64;
+            let mut writes = 0u64;
+            for a in TraceGenerator::new(p, 3).take(30_000) {
+                if let AccessKind::Write { old, new, .. } = a.kind {
+                    total += u64::from(count_changed(&old, &new));
+                    writes += 1;
+                }
+            }
+            let frac = total as f64 / (writes as f64 * 512.0);
+            let expect = p.mean_changed_frac();
+            assert!(
+                (frac - expect).abs() / expect < 0.25,
+                "{name}: {frac} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn hot_lines_recur() {
+        let p = BenchProfile::by_name("ast_m").unwrap();
+        let mut seen = std::collections::HashMap::new();
+        for a in TraceGenerator::new(p, 4).take(10_000) {
+            let line = match a.kind {
+                AccessKind::Read { line } => line,
+                AccessKind::Write { line, .. } => line,
+            };
+            *seen.entry(line).or_insert(0u32) += 1;
+        }
+        let max = seen.values().copied().max().unwrap();
+        assert!(max > 20, "hottest line seen only {max} times");
+    }
+
+    #[test]
+    fn heat_is_low_for_hot_lines() {
+        let p = BenchProfile::by_name("ast_m").unwrap();
+        let mut hot_heats = Vec::new();
+        for a in TraceGenerator::new(p, 5).take(5_000) {
+            if let AccessKind::Write { line, heat, .. } = a.kind {
+                if line < 64 {
+                    hot_heats.push(heat);
+                }
+            }
+        }
+        assert!(!hot_heats.is_empty());
+        let mean: f64 = hot_heats.iter().sum::<f64>() / hot_heats.len() as f64;
+        assert!(mean < 0.5, "hot lines should have low heat: {mean}");
+    }
+}

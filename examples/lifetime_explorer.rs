@@ -1,0 +1,70 @@
+//! Explores the Fig. 5b lifetime trade-off: how the RESET-voltage policy
+//! moves the memory between "fast but dead in a day" and "slow but immortal",
+//! and how UDRVR+PR escapes the trade-off.
+//!
+//! Run with `cargo run --release --example lifetime_explorer`.
+
+use reram::core::{Scheme, WriteModel};
+use reram::mem::LifetimeModel;
+
+fn main() {
+    let model = LifetimeModel::paper_baseline();
+
+    println!("Static RESET voltage sweep (the naive knob):\n");
+    println!(
+        "{:>8} {:>14} {:>16} {:>14}",
+        "Vrst", "array RESET", "worst endurance", "lifetime"
+    );
+    for dv in 0..=8 {
+        let volts = 3.0 + 0.1 * f64::from(dv);
+        let wm = WriteModel::paper(Scheme::StaticOver { volts });
+        let Some(est) = model.estimate(&wm) else {
+            println!("{volts:>7.1}V {:>14}", "write fails");
+            continue;
+        };
+        let lifetime = if est.years >= 1.0 {
+            format!("{:.2} yr", est.years)
+        } else {
+            format!("{:.1} days", est.years * 365.25)
+        };
+        println!(
+            "{volts:>7.1}V {:>11.0} ns {:>16.2e} {lifetime:>14}",
+            est.t_write_ns, est.endurance_writes
+        );
+    }
+
+    println!("\nThe paper's schemes:\n");
+    println!(
+        "{:>12} {:>14} {:>16} {:>14} {:>10}",
+        "scheme", "t_write", "endurance", "lifetime", "cells/wr"
+    );
+    for scheme in [
+        Scheme::Baseline,
+        Scheme::Drvr,
+        Scheme::DrvrPr,
+        Scheme::UdrvrPr,
+        Scheme::Udrvr394,
+    ] {
+        let wm = WriteModel::paper(scheme);
+        let est = model.estimate(&wm).expect("valid scheme");
+        println!(
+            "{:>12} {:>11.0} ns {:>16.2e} {:>11.2} yr {:>10.0}",
+            scheme.label(),
+            est.t_write_ns,
+            est.endurance_writes,
+            est.years,
+            est.cells_per_write
+        );
+    }
+
+    println!("\nHard+Sys without working wear leveling (SCH/RBDL conflict):");
+    let wm = WriteModel::paper(Scheme::HardSys);
+    let est = model
+        .without_wear_leveling()
+        .estimate(&wm)
+        .expect("valid scheme");
+    println!(
+        "  lifetime = {:.1} days — the Fig. 5b 'fails within few days' case",
+        est.years * 365.25
+    );
+}

@@ -1,0 +1,52 @@
+//! Runs one Table IV workload through the full system — cores, controller,
+//! Flip-N-Write, wear leveling, the scheme's write planner — and prints the
+//! performance/energy comparison of the paper's Fig. 15/16 for it.
+//!
+//! Run with `cargo run --release --example memory_trace -- [benchmark]`
+//! (default `mcf_m`).
+
+use reram::core::Scheme;
+use reram::sim::{SimConfig, Simulator};
+use reram::workloads::BenchProfile;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "mcf_m".into());
+    let Some(profile) = BenchProfile::by_name(&name) else {
+        eprintln!("unknown benchmark {name}; Table IV workloads are:");
+        for b in BenchProfile::table_iv() {
+            eprintln!("  {}", b.name);
+        }
+        std::process::exit(1);
+    };
+    let cfg = SimConfig::paper_baseline().with_instructions_per_core(400_000);
+    println!(
+        "workload {name}: RPKI {:.2}, WPKI {:.2}; {} cores x {} instructions\n",
+        profile.rpki, profile.wpki, cfg.cores, cfg.instructions_per_core
+    );
+
+    let schemes = [
+        Scheme::Baseline,
+        Scheme::Hard,
+        Scheme::HardSys,
+        Scheme::Drvr,
+        Scheme::UdrvrPr,
+        Scheme::Oracle { window: 64 },
+    ];
+    let base = Simulator::new(cfg, Scheme::Baseline, profile, 1).run();
+    println!(
+        "{:<12} {:>8} {:>9} {:>12} {:>11} {:>12}",
+        "scheme", "IPC", "speedup", "read lat", "energy", "cell writes"
+    );
+    for scheme in schemes {
+        let r = Simulator::new(cfg, scheme, profile, 1).run();
+        println!(
+            "{:<12} {:>8.3} {:>8.3}x {:>9.0} ns {:>8.2} mJ {:>12}",
+            scheme.label(),
+            r.ipc(),
+            r.speedup_over(&base),
+            r.mem.mean_read_latency_ns(),
+            r.energy_mj(),
+            r.cell_writes
+        );
+    }
+}

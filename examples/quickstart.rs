@@ -1,0 +1,52 @@
+//! Quickstart: how much does voltage drop cost a ReRAM cross-point array,
+//! and what do DRVR + PR + UDRVR buy back?
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use reram::core::{Scheme, WriteModel};
+use reram::mem::LifetimeModel;
+
+fn main() {
+    println!("reram-vdrop quickstart — HPCA 2020 reproduction\n");
+    println!(
+        "{:<14} {:>14} {:>16} {:>12}",
+        "scheme", "array RESET", "worst endurance", "lifetime"
+    );
+    let lifetime = LifetimeModel::paper_baseline();
+    for scheme in [
+        Scheme::Baseline,
+        Scheme::StaticOver { volts: 3.7 },
+        Scheme::Hard,
+        Scheme::Drvr,
+        Scheme::DrvrPr,
+        Scheme::UdrvrPr,
+    ] {
+        let wm = WriteModel::paper(scheme);
+        let latency = wm
+            .array_reset_latency_ns()
+            .map_or("fails".to_string(), |t| format!("{t:.0} ns"));
+        let endurance = wm
+            .array_endurance_writes()
+            .map_or("-".to_string(), |e| format!("{e:.2e} writes"));
+        let years = lifetime
+            .estimate(&wm)
+            .map_or("-".to_string(), |l| format!("{:.2} yr", l.years));
+        println!("{:<14} {latency:>14} {endurance:>16} {years:>12}", scheme.label());
+    }
+
+    println!("\nPer-write view (a far-row write that RESETs bit 7 of every array):");
+    let resets = [0x80u8; 64];
+    let sets = [0u8; 64];
+    for scheme in [Scheme::Baseline, Scheme::UdrvrPr] {
+        let wm = WriteModel::paper(scheme);
+        let plan = wm.plan_line_write_with_data(511, 63, &resets, &sets, Some(&[0xFFu8; 64]));
+        println!(
+            "  {:<10} RESET phase {:>8.1} ns, {} RESETs ({} dummies), {:.1} nJ array energy",
+            wm.scheme().label(),
+            plan.reset_phase_ns,
+            plan.resets,
+            plan.dummy_resets,
+            plan.energy_pj() / 1e3,
+        );
+    }
+}

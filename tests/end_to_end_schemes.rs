@@ -1,0 +1,80 @@
+//! End-to-end system runs: the scheme orderings of Figs. 15 and 16 on a
+//! reduced workload through the full simulator.
+
+use reram::core::Scheme;
+use reram::sim::{SimConfig, Simulator};
+use reram::workloads::BenchProfile;
+
+fn run(scheme: Scheme, name: &str) -> reram::sim::SimResult {
+    let cfg = SimConfig::paper_baseline().with_instructions_per_core(80_000);
+    Simulator::new(cfg, scheme, BenchProfile::by_name(name).unwrap(), 7).run()
+}
+
+#[test]
+fn fig15_scheme_ordering_on_mcf() {
+    // mcf is the most write-intensive workload (WPKI 3.89) — the scheme
+    // separation is clearest there.
+    let base = run(Scheme::Baseline, "mcf_m");
+    let hard = run(Scheme::Hard, "mcf_m");
+    let ours = run(Scheme::UdrvrPr, "mcf_m");
+    let ora64 = run(Scheme::Oracle { window: 64 }, "mcf_m");
+    assert!(
+        hard.ipc() > base.ipc(),
+        "Hard {} vs Base {}",
+        hard.ipc(),
+        base.ipc()
+    );
+    assert!(
+        ours.ipc() > hard.ipc(),
+        "UDRVR+PR {} vs Hard {}",
+        ours.ipc(),
+        hard.ipc()
+    );
+    assert!(
+        ora64.ipc() >= ours.ipc() * 0.97,
+        "oracle {} vs UDRVR+PR {}",
+        ora64.ipc(),
+        ours.ipc()
+    );
+    // §VI: UDRVR+PR reaches ≈90 % of ora-64×64.
+    let frac = ours.ipc() / ora64.ipc();
+    assert!(frac > 0.75, "UDRVR+PR at {frac} of the oracle");
+}
+
+#[test]
+fn fig16_energy_favors_udrvr_pr() {
+    // Fig. 16: UDRVR+PR cuts energy by ≈46 % vs Hard+Sys — the prior
+    // techniques' leakage multiplier is the dominant term.
+    let ours = run(Scheme::UdrvrPr, "ast_m");
+    let prior = run(Scheme::HardSys, "ast_m");
+    let ratio = ours.energy_vs(&prior);
+    assert!(ratio < 0.80, "energy ratio = {ratio}");
+    assert!(ratio > 0.30, "energy ratio = {ratio} suspiciously low");
+}
+
+#[test]
+fn light_write_workloads_gain_less() {
+    // §VI: mil/zeu/tig see smaller UDRVR+PR gains — their write traffic is
+    // light, so RESET latency matters less.
+    let heavy_gain = {
+        let b = run(Scheme::Baseline, "mcf_m");
+        run(Scheme::UdrvrPr, "mcf_m").speedup_over(&b)
+    };
+    let light_gain = {
+        let b = run(Scheme::Baseline, "tig_m");
+        run(Scheme::UdrvrPr, "tig_m").speedup_over(&b)
+    };
+    assert!(
+        heavy_gain > light_gain,
+        "heavy {heavy_gain} vs light {light_gain}"
+    );
+}
+
+#[test]
+fn write_bursts_happen_under_write_pressure() {
+    let r = run(Scheme::Baseline, "mcf_m");
+    assert!(
+        r.mem.write_bursts > 0,
+        "the 2.3 µs baseline should fill its write queue"
+    );
+}
