@@ -133,13 +133,14 @@ mod tests {
         let r = 11.5;
         for x in [1usize, 7, 100, 300, 511] {
             let closed = reset_line_drop(r, Sinks::Single, 511, 90e-6, 90e-9, x);
-            let mut inj: Vec<(usize, f64)> = (1..=511)
-                .filter(|&m| m != x)
-                .map(|m| (m, 90e-9))
-                .collect();
+            let mut inj: Vec<(usize, f64)> =
+                (1..=511).filter(|&m| m != x).map(|m| (m, 90e-9)).collect();
             inj.push((x, 90e-6));
             let summed = drop_at(r, Sinks::Single, inj, x);
-            assert!((closed - summed).abs() < 1e-9, "x={x}: {closed} vs {summed}");
+            assert!(
+                (closed - summed).abs() < 1e-9,
+                "x={x}: {closed} vs {summed}"
+            );
         }
     }
 

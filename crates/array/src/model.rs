@@ -153,13 +153,7 @@ impl ArrayModel {
     /// Builds the IR-drop model for this configuration.
     #[must_use]
     pub fn drop_model(&self) -> DropModel {
-        let m = DropModel::new(
-            self.geom,
-            self.tech,
-            self.cell,
-            self.design,
-            self.partition,
-        );
+        let m = DropModel::new(self.geom, self.tech, self.cell, self.design, self.partition);
         match self.oracle_window {
             Some(w) => m.with_oracle_window(w),
             None => m,

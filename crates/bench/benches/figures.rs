@@ -1,83 +1,67 @@
-//! One bench group per paper table/figure: each target regenerates its
+//! One benchmark per paper table/figure: each target regenerates its
 //! table/figure through the same code as the `experiments` binary (at the
-//! `Quick` budget for the simulator-driven ones), so `cargo bench` sweeps
-//! the entire evaluation end to end and times it.
+//! `Smoke` budget for the simulator-driven ones), so `cargo bench --features
+//! bench --bench figures` sweeps the entire evaluation end to end and times
+//! it.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use reram_bench::{black_box, Harness};
 use reram_experiments::{ablation, lifetime_exp, micro, perf, traffic, Budget};
-use std::hint::black_box;
 
-fn bench_static_tables(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tables");
-    g.bench_function("table1", |b| b.iter(|| black_box(micro::table1())));
-    g.bench_function("table2", |b| b.iter(|| black_box(micro::table2())));
-    g.bench_function("table3", |b| b.iter(|| black_box(micro::table3())));
-    g.finish();
-    c.bench_function("table4", |b| b.iter(|| black_box(traffic::table4())));
+fn bench_static_tables(h: &mut Harness) {
+    h.bench("table1", || black_box(micro::table1()));
+    h.bench("table2", || black_box(micro::table2()));
+    h.bench("table3", || black_box(micro::table3()));
+    h.bench("table4", || black_box(traffic::table4()));
 }
 
-fn bench_array_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("array_figures");
-    g.sample_size(10);
-    g.bench_function("fig1e", |b| b.iter(|| black_box(micro::fig1e())));
-    g.bench_function("fig4", |b| b.iter(|| black_box(micro::fig4())));
-    g.bench_function("fig6", |b| b.iter(|| black_box(micro::fig6())));
-    g.bench_function("fig7", |b| b.iter(|| black_box(micro::fig7())));
-    g.bench_function("fig11", |b| b.iter(|| black_box(micro::fig11())));
-    g.bench_function("fig13", |b| b.iter(|| black_box(micro::fig13())));
-    g.finish();
+fn bench_array_figures(h: &mut Harness) {
+    h.bench("fig1e", || black_box(micro::fig1e()));
+    h.bench("fig4", || black_box(micro::fig4()));
+    h.bench("fig6", || black_box(micro::fig6()));
+    h.bench("fig7", || black_box(micro::fig7()));
+    h.bench("fig11", || black_box(micro::fig11()));
+    h.bench("fig13", || black_box(micro::fig13()));
 }
 
-fn bench_lifetime_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lifetime_figures");
-    g.sample_size(10);
-    g.bench_function("fig5b", |b| b.iter(|| black_box(lifetime_exp::fig5b())));
-    g.bench_function("fig5d", |b| b.iter(|| black_box(lifetime_exp::fig5d())));
-    g.finish();
+fn bench_lifetime_figures(h: &mut Harness) {
+    h.bench("fig5b", || black_box(lifetime_exp::fig5b()));
+    h.bench("fig5d", || black_box(lifetime_exp::fig5d()));
 }
 
-fn bench_traffic_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("traffic_figures");
-    g.sample_size(10);
-    g.bench_function("fig9", |b| b.iter(|| black_box(traffic::fig9())));
-    g.bench_function("fig14", |b| b.iter(|| black_box(traffic::fig14())));
-    g.finish();
+fn bench_traffic_figures(h: &mut Harness) {
+    h.bench("fig9", || black_box(traffic::fig9()));
+    h.bench("fig14", || black_box(traffic::fig14()));
 }
 
-fn bench_ablations(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablations");
-    g.bench_function("drvr_levels", |b| {
-        b.iter(|| black_box(ablation::ablation_drvr_levels()))
-    });
-    g.bench_function("pr_cap", |b| b.iter(|| black_box(ablation::ablation_pr_cap())));
-    g.bench_function("coalescence", |b| {
-        b.iter(|| black_box(ablation::ablation_coalescence()))
-    });
-    g.finish();
+fn bench_ablations(h: &mut Harness) {
+    h.bench(
+        "drvr_levels",
+        || black_box(ablation::ablation_drvr_levels()),
+    );
+    h.bench("pr_cap", || black_box(ablation::ablation_pr_cap()));
+    h.bench(
+        "coalescence",
+        || black_box(ablation::ablation_coalescence()),
+    );
 }
 
-fn bench_system_figures(c: &mut Criterion) {
-    // Full system simulations: one iteration per sample is plenty.
-    let mut g = c.benchmark_group("system_figures");
-    g.sample_size(10);
-    g.bench_function("fig5c", |b| b.iter(|| black_box(perf::fig5c(Budget::Smoke))));
-    g.bench_function("fig15", |b| b.iter(|| black_box(perf::fig15(Budget::Smoke))));
-    g.bench_function("fig16", |b| b.iter(|| black_box(perf::fig16(Budget::Smoke))));
-    g.bench_function("fig17", |b| b.iter(|| black_box(perf::fig17(Budget::Smoke))));
-    g.bench_function("fig18", |b| b.iter(|| black_box(perf::fig18(Budget::Smoke))));
-    g.bench_function("fig19", |b| b.iter(|| black_box(perf::fig19(Budget::Smoke))));
-    g.bench_function("fig20", |b| b.iter(|| black_box(perf::fig20(Budget::Smoke))));
-    g.finish();
+fn bench_system_figures(h: &mut Harness) {
+    h.bench("fig5c", || black_box(perf::fig5c(Budget::Smoke)));
+    h.bench("fig15", || black_box(perf::fig15(Budget::Smoke)));
+    h.bench("fig16", || black_box(perf::fig16(Budget::Smoke)));
+    h.bench("fig17", || black_box(perf::fig17(Budget::Smoke)));
+    h.bench("fig18", || black_box(perf::fig18(Budget::Smoke)));
+    h.bench("fig19", || black_box(perf::fig19(Budget::Smoke)));
+    h.bench("fig20", || black_box(perf::fig20(Budget::Smoke)));
 }
 
-criterion_group!(
-    name = figures;
-    config = Criterion::default().sample_size(10);
-    targets = bench_static_tables,
-    bench_array_figures,
-    bench_lifetime_figures,
-    bench_traffic_figures,
-    bench_ablations,
-    bench_system_figures
-);
-criterion_main!(figures);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_static_tables(&mut h);
+    bench_array_figures(&mut h);
+    bench_lifetime_figures(&mut h);
+    bench_traffic_figures(&mut h);
+    bench_ablations(&mut h);
+    bench_system_figures(&mut h);
+    h.finish();
+}

@@ -1,137 +1,145 @@
 //! Performance-critical kernels: solver, drop model, PR, FNW, wear leveling,
-//! write planning, controller scheduling.
+//! write planning, controller scheduling — plus the telemetry-off overhead
+//! check (an instrumented solve through a detached [`reram_obs::Obs`] must
+//! cost the same as the plain entry point).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use reram_array::{ArrayGeometry, ArrayModel};
+use reram_bench::{black_box, Harness};
 use reram_circuit::SolveOptions;
 use reram_core::{partition_reset, Scheme, WriteModel};
 use reram_mem::{FnwCodec, MemoryConfig, MemoryController, Request, SecurityRefresh};
-use std::hint::black_box;
+use reram_obs::Obs;
 
-fn bench_solver(c: &mut Criterion) {
-    let mut g = c.benchmark_group("circuit_solver");
+fn bench_solver(h: &mut Harness) {
     for n in [32usize, 64, 128] {
         let model = ArrayModel::paper_baseline().with_geometry(ArrayGeometry::new(n, 8));
         let cp = model.to_crosspoint(n - 1, &[n - 1], &[3.0]);
-        g.bench_function(format!("kcl_solve_{n}x{n}"), |b| {
-            b.iter(|| cp.solve(black_box(&SolveOptions::default())).unwrap())
+        h.bench(&format!("kcl_solve_{n}x{n}"), || {
+            cp.solve(black_box(&SolveOptions::default())).unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_drop_model(c: &mut Criterion) {
+/// Telemetry off must be free: `solve_observed` with a detached `Obs` vs the
+/// plain `solve` on the same 64×64 network. Ratios near 1.0 mean the no-op
+/// handles cost nothing; a hard failure here means instrumentation leaked
+/// into the hot path.
+fn bench_telemetry_overhead(h: &mut Harness) {
+    let model = ArrayModel::paper_baseline().with_geometry(ArrayGeometry::new(64, 8));
+    let cp = model.to_crosspoint(63, &[63], &[3.0]);
+    h.bench("solve_plain_64x64", || {
+        cp.solve(black_box(&SolveOptions::default())).unwrap()
+    });
+    let off = Obs::off();
+    h.bench("solve_obs_off_64x64", || {
+        cp.solve_observed(black_box(&SolveOptions::default()), &off)
+            .unwrap()
+    });
+    if let Some(ratio) = h.compare("solve_obs_off_64x64", "solve_plain_64x64") {
+        assert!(
+            ratio < 1.10,
+            "telemetry-off solve is {ratio:.3}x the plain solve (must be < 1.10x)"
+        );
+    }
+}
+
+fn bench_drop_model(h: &mut Harness) {
     let model = ArrayModel::paper_baseline();
     let dm = model.drop_model();
-    c.bench_function("analytic_total_drop", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for i in (0..512).step_by(7) {
-                acc += dm.total_drop(black_box(i), black_box(511 - i), 4);
-            }
-            acc
-        })
+    h.bench("analytic_total_drop", || {
+        let mut acc = 0.0;
+        for i in (0..512).step_by(7) {
+            acc += dm.total_drop(black_box(i), black_box(511 - i), 4);
+        }
+        acc
     });
 }
 
-fn bench_partition_reset(c: &mut Criterion) {
-    c.bench_function("pr_algorithm1_256_slices", |b| {
-        b.iter(|| {
-            let mut acc = 0u32;
-            for s in 0u16..256 {
-                let r = (s as u8).rotate_left(3);
-                let st = (s as u8).wrapping_mul(31) & !r;
-                acc += partition_reset(black_box(r), black_box(st), black_box(!s as u8))
-                    .concurrent_resets();
-            }
-            acc
-        })
+fn bench_partition_reset(h: &mut Harness) {
+    h.bench("pr_algorithm1_256_slices", || {
+        let mut acc = 0u32;
+        for s in 0u16..256 {
+            let r = (s as u8).rotate_left(3);
+            let st = (s as u8).wrapping_mul(31) & !r;
+            acc += partition_reset(black_box(r), black_box(st), black_box(!s as u8))
+                .concurrent_resets();
+        }
+        acc
     });
 }
 
-fn bench_fnw(c: &mut Criterion) {
+fn bench_fnw(h: &mut Harness) {
     let codec = FnwCodec::paper();
     let old: Vec<u8> = (0..64).map(|i| (i * 37) as u8).collect();
     let new: Vec<u8> = (0..64).map(|i| (i * 91 + 13) as u8).collect();
     let flips = vec![false; 64];
-    c.bench_function("fnw_encode_64B", |b| {
-        b.iter(|| codec.encode(black_box(&old), black_box(&flips), black_box(&new)))
+    h.bench("fnw_encode_64B", || {
+        codec.encode(black_box(&old), black_box(&flips), black_box(&new))
     });
 }
 
-fn bench_wear_leveling(c: &mut Criterion) {
+fn bench_wear_leveling(h: &mut Harness) {
     let sr = SecurityRefresh::new(30, 7, 1_000_000);
-    c.bench_function("security_refresh_remap", |b| {
-        let mut l = 0u64;
-        b.iter(|| {
-            l = (l + 0x9E37) & ((1 << 30) - 1);
-            sr.remap(black_box(l))
-        })
+    let mut l = 0u64;
+    h.bench("security_refresh_remap", || {
+        l = (l + 0x9E37) & ((1 << 30) - 1);
+        sr.remap(black_box(l))
     });
 }
 
-fn bench_write_planning(c: &mut Criterion) {
-    let mut g = c.benchmark_group("write_planning");
+fn bench_write_planning(h: &mut Harness) {
     for scheme in [Scheme::Baseline, Scheme::Hard, Scheme::UdrvrPr] {
         let wm = WriteModel::paper(scheme);
         let resets = [0x91u8; 64];
         let sets = [0x44u8; 64];
         let data = [0xEEu8; 64];
-        g.bench_function(format!("plan_line_{}", scheme.label()), |b| {
-            b.iter(|| {
-                wm.plan_line_write_with_data(
-                    black_box(300),
-                    black_box(17),
-                    black_box(&resets),
-                    black_box(&sets),
-                    Some(black_box(&data)),
-                )
-            })
+        h.bench(&format!("plan_line_{}", scheme.label()), || {
+            wm.plan_line_write_with_data(
+                black_box(300),
+                black_box(17),
+                black_box(&resets),
+                black_box(&sets),
+                Some(black_box(&data)),
+            )
         });
     }
-    g.finish();
 }
 
-fn bench_controller(c: &mut Criterion) {
-    c.bench_function("controller_1k_requests", |b| {
-        b.iter_batched(
-            || MemoryController::new(MemoryConfig::paper_baseline()),
-            |mut mc| {
-                let mut t = 0.0;
-                for k in 0..1000u64 {
-                    t += 37.0;
-                    let req = Request {
-                        id: k,
-                        bank: (k % 16) as usize,
-                        arrival_ns: t,
-                        service_ns: 200.0,
-                    };
-                    if k % 3 == 0 {
-                        while !mc.submit_write(req) {
-                            let _ = mc.advance(t + 10_000.0);
-                        }
-                    } else {
-                        while !mc.submit_read(req) {
-                            let _ = mc.advance(t + 10_000.0);
-                        }
-                    }
+fn bench_controller(h: &mut Harness) {
+    h.bench("controller_1k_requests", || {
+        let mut mc = MemoryController::new(MemoryConfig::paper_baseline());
+        let mut t = 0.0;
+        for k in 0..1000u64 {
+            t += 37.0;
+            let req = Request {
+                id: k,
+                bank: (k % 16) as usize,
+                arrival_ns: t,
+                service_ns: 200.0,
+            };
+            if k % 3 == 0 {
+                while !mc.submit_write(req) {
+                    let _ = mc.advance(t + 10_000.0);
                 }
-                mc.advance(1e12).len()
-            },
-            BatchSize::SmallInput,
-        )
+            } else {
+                while !mc.submit_read(req) {
+                    let _ = mc.advance(t + 10_000.0);
+                }
+            }
+        }
+        mc.advance(1e12).len()
     });
 }
 
-criterion_group!(
-    name = kernels;
-    config = Criterion::default().sample_size(20);
-    targets = bench_solver,
-    bench_drop_model,
-    bench_partition_reset,
-    bench_fnw,
-    bench_wear_leveling,
-    bench_write_planning,
-    bench_controller
-);
-criterion_main!(kernels);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_solver(&mut h);
+    bench_telemetry_overhead(&mut h);
+    bench_drop_model(&mut h);
+    bench_partition_reset(&mut h);
+    bench_fnw(&mut h);
+    bench_wear_leveling(&mut h);
+    bench_write_planning(&mut h);
+    bench_controller(&mut h);
+    h.finish();
+}

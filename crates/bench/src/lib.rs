@@ -1,13 +1,213 @@
-//! Criterion benchmarks for the `reram-vdrop` workspace.
+//! A tiny hand-rolled benchmark harness (no registry dependencies).
 //!
 //! Two bench suites live under `benches/`:
 //!
 //! * `kernels` — the performance-critical primitives: the nonlinear
 //!   cross-point solve, the analytic drop model, PR vector construction,
-//!   Flip-N-Write encoding, wear-leveling remap, write planning, and the
-//!   memory controller's scheduling loop.
+//!   Flip-N-Write encoding, wear-leveling remap, write planning, the
+//!   memory controller's scheduling loop, and a telemetry-off overhead
+//!   comparison for the instrumented solver.
 //! * `figures` — one group per paper table/figure, running the same
-//!   experiment functions as the `experiments` binary on reduced budgets,
-//!   so `cargo bench` exercises every experiment end to end.
+//!   experiment functions as the `experiments` binary on reduced budgets.
+//!   Gated behind the `bench` cargo feature (`cargo bench --features
+//!   bench --bench figures`) because a full sweep takes minutes.
+//!
+//! The harness auto-calibrates the iteration count so each measurement
+//! round runs for at least a few milliseconds, takes the minimum over
+//! rounds (the standard estimator for a noisy shared machine), and prints
+//! one line per benchmark. `cargo test` executes each registered closure
+//! exactly once (smoke mode), so benches stay compile- and run-checked
+//! without costing test time.
 
 #![forbid(unsafe_code)]
+
+pub use std::hint::black_box;
+use std::time::Instant;
+
+/// Measured timing for one benchmark.
+#[derive(Debug, Clone)]
+pub struct Stats {
+    /// Benchmark name.
+    pub name: String,
+    /// Iterations per measurement round.
+    pub iters_per_round: u64,
+    /// Number of measurement rounds.
+    pub rounds: usize,
+    /// Fastest per-iteration time observed (ns).
+    pub min_ns: f64,
+    /// Median per-iteration round time (ns).
+    pub median_ns: f64,
+    /// Mean per-iteration time across all rounds (ns).
+    pub mean_ns: f64,
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The benchmark runner: register closures with [`Harness::bench`], then
+/// call [`Harness::finish`].
+#[derive(Debug)]
+pub struct Harness {
+    filter: Option<String>,
+    smoke: bool,
+    results: Vec<Stats>,
+}
+
+impl Harness {
+    /// Builds a harness from the process arguments.
+    ///
+    /// Cargo's flags (`--bench`, `--test`, `--exact`, …) are ignored except
+    /// that `--test` switches to smoke mode (each benchmark runs once); the
+    /// first non-flag argument is a substring filter on benchmark names.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut filter = None;
+        let mut smoke = false;
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                smoke = true;
+            } else if !arg.starts_with('-') && filter.is_none() {
+                filter = Some(arg);
+            }
+        }
+        Self {
+            filter,
+            smoke,
+            results: Vec::new(),
+        }
+    }
+
+    /// True if `name` passes the command-line filter.
+    fn selected(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Runs (or, in smoke mode, just invokes) one benchmark.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        if !self.selected(name) {
+            return;
+        }
+        if self.smoke {
+            black_box(f());
+            println!("smoke {name}: ok");
+            return;
+        }
+        // Calibrate: grow the iteration count until a round takes ≥ 2 ms,
+        // capping calibration time for very slow bodies.
+        let mut iters = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt.as_secs_f64() >= 2e-3 || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+        // Measure: enough rounds for a stable minimum, fewer for slow bodies.
+        let rounds = if iters == 1 { 5 } else { 11 };
+        let mut per_iter: Vec<f64> = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            per_iter.push(t0.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let stats = Stats {
+            name: name.to_string(),
+            iters_per_round: iters,
+            rounds,
+            min_ns: per_iter[0],
+            median_ns: per_iter[rounds / 2],
+            mean_ns: per_iter.iter().sum::<f64>() / rounds as f64,
+        };
+        println!(
+            "bench {:<44} min {:>12}  median {:>12}  ({} iters x {} rounds)",
+            stats.name,
+            fmt_ns(stats.min_ns),
+            fmt_ns(stats.median_ns),
+            stats.iters_per_round,
+            stats.rounds,
+        );
+        self.results.push(stats);
+    }
+
+    /// Results measured so far (empty in smoke mode).
+    #[must_use]
+    pub fn results(&self) -> &[Stats] {
+        &self.results
+    }
+
+    /// Looks up a finished benchmark by exact name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Stats> {
+        self.results.iter().find(|s| s.name == name)
+    }
+
+    /// Prints the `a` / `b` minimum-time ratio and returns it (`None` in
+    /// smoke mode or when either name was filtered out).
+    pub fn compare(&self, a: &str, b: &str) -> Option<f64> {
+        let (sa, sb) = (self.get(a)?, self.get(b)?);
+        let ratio = sa.min_ns / sb.min_ns;
+        println!("compare {a} / {b}: {ratio:.3}x");
+        Some(ratio)
+    }
+
+    /// Finishes the run.
+    pub fn finish(self) {
+        if !self.smoke {
+            println!("benchmarks complete: {}", self.results.len());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_measures_and_compares() {
+        let mut h = Harness {
+            filter: None,
+            smoke: false,
+            results: Vec::new(),
+        };
+        h.bench("noop", || black_box(1u64 + 1));
+        h.bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        });
+        assert_eq!(h.results().len(), 2);
+        assert!(h.get("noop").unwrap().min_ns >= 0.0);
+        let ratio = h.compare("spin", "noop").unwrap();
+        assert!(ratio > 0.0);
+        h.finish();
+    }
+
+    #[test]
+    fn filter_skips_unselected() {
+        let mut h = Harness {
+            filter: Some("only_this".into()),
+            smoke: false,
+            results: Vec::new(),
+        };
+        h.bench("other", || 1);
+        assert!(h.results().is_empty());
+    }
+}

@@ -12,28 +12,80 @@ fn main() {
     let lrs = CellDevice::Selector(PolySelector::new(90e-6, 3.0, 1000.0));
     let sel_cell = CellDevice::Compliant(CompliantCell::new(90e-6, 0.25));
     let mut cp = Crosspoint::uniform(n, n, 11.5, lrs);
-    cp.set_cell(n-1, n-1, sel_cell);
+    cp.set_cell(n - 1, n - 1, sel_cell);
     for i in 0..n {
-        cp.set_wl_left(i, if i == n - 1 { LineEnd::ground() } else { LineEnd::driven(1.5) });
+        cp.set_wl_left(
+            i,
+            if i == n - 1 {
+                LineEnd::ground()
+            } else {
+                LineEnd::driven(1.5)
+            },
+        );
     }
     for j in 0..n {
-        cp.set_bl_near(j, if j == n - 1 { LineEnd::driven(3.0) } else { LineEnd::driven(1.5) });
+        cp.set_bl_near(
+            j,
+            if j == n - 1 {
+                LineEnd::driven(3.0)
+            } else {
+                LineEnd::driven(1.5)
+            },
+        );
     }
     let t = Instant::now();
     let sol = cp.solve(&SolveOptions::default()).unwrap();
-    println!("time {:?} sweeps {} residual {:.2e}", t.elapsed(), sol.stats().sweeps, sol.stats().residual_amps);
-    println!("worst-case effective Vrst = {:.4} V (paper: ~1.7 V)", sol.cell_voltage(n-1, n-1));
-    println!("near-corner effective Vrst = {:.4} V (paper: ~3.0 V)", sol.cell_voltage(0, 0));
+    println!(
+        "time {:?} sweeps {} residual {:.2e}",
+        t.elapsed(),
+        sol.stats().sweeps,
+        sol.stats().residual_amps
+    );
+    println!(
+        "worst-case effective Vrst = {:.4} V (paper: ~1.7 V)",
+        sol.cell_voltage(n - 1, n - 1)
+    );
+    println!(
+        "near-corner effective Vrst = {:.4} V (paper: ~3.0 V)",
+        sol.cell_voltage(0, 0)
+    );
     // left-most BL drop (Fig 7b): reset cell (511, 0)
-    let mut cp2 = Crosspoint::uniform(n, n, 11.5, CellDevice::Selector(PolySelector::new(90e-6, 3.0, 1000.0)));
-    cp2.set_cell(n-1, 0, CellDevice::Compliant(CompliantCell::new(90e-6, 0.25)));
+    let mut cp2 = Crosspoint::uniform(
+        n,
+        n,
+        11.5,
+        CellDevice::Selector(PolySelector::new(90e-6, 3.0, 1000.0)),
+    );
+    cp2.set_cell(
+        n - 1,
+        0,
+        CellDevice::Compliant(CompliantCell::new(90e-6, 0.25)),
+    );
     for i in 0..n {
-        cp2.set_wl_left(i, if i == n - 1 { LineEnd::ground() } else { LineEnd::driven(1.5) });
+        cp2.set_wl_left(
+            i,
+            if i == n - 1 {
+                LineEnd::ground()
+            } else {
+                LineEnd::driven(1.5)
+            },
+        );
     }
     for j in 0..n {
-        cp2.set_bl_near(j, if j == 0 { LineEnd::driven(3.0) } else { LineEnd::driven(1.5) });
+        cp2.set_bl_near(
+            j,
+            if j == 0 {
+                LineEnd::driven(3.0)
+            } else {
+                LineEnd::driven(1.5)
+            },
+        );
     }
     let t = Instant::now();
     let sol2 = cp2.solve(&SolveOptions::default()).unwrap();
-    println!("time {:?}: left-most BL far-cell Veff = {:.4} V (paper: 3 - 0.66 = 2.34 V)", t.elapsed(), sol2.cell_voltage(n-1, 0));
+    println!(
+        "time {:?}: left-most BL far-cell Veff = {:.4} V (paper: 3 - 0.66 = 2.34 V)",
+        t.elapsed(),
+        sol2.cell_voltage(n - 1, 0)
+    );
 }

@@ -18,17 +18,40 @@ fn main() {
         let mut cp = Crosspoint::uniform(n, n, 11.5, lrs);
         let row = n - 1;
         for i in 0..n {
-            cp.set_wl_left(i, if i == row { LineEnd::ground() } else { LineEnd::driven(1.5) });
+            cp.set_wl_left(
+                i,
+                if i == row {
+                    LineEnd::ground()
+                } else {
+                    LineEnd::driven(1.5)
+                },
+            );
         }
         for j in 0..n {
-            cp.set_bl_near(j, if cols.contains(&j) { LineEnd::driven(3.0) } else { LineEnd::driven(1.5) });
+            cp.set_bl_near(
+                j,
+                if cols.contains(&j) {
+                    LineEnd::driven(3.0)
+                } else {
+                    LineEnd::driven(1.5)
+                },
+            );
         }
         for &c in &cols {
-            cp.set_cell(row, c, CellDevice::Compliant(CompliantCell::new(90e-6, 0.25)));
+            cp.set_cell(
+                row,
+                c,
+                CellDevice::Compliant(CompliantCell::new(90e-6, 0.25)),
+            );
         }
         let sol = cp.solve(&SolveOptions::default()).unwrap();
         let veff: Vec<f64> = cols.iter().map(|&c| sol.cell_voltage(row, c)).collect();
-        println!("N={nb}: worst-cell(col511) Veff = {:.4}  all = {:?}", veff[veff.len()-1],
-                 veff.iter().map(|v| (v*1000.0).round()/1000.0).collect::<Vec<_>>());
+        println!(
+            "N={nb}: worst-cell(col511) Veff = {:.4}  all = {:?}",
+            veff[veff.len() - 1],
+            veff.iter()
+                .map(|v| (v * 1000.0).round() / 1000.0)
+                .collect::<Vec<_>>()
+        );
     }
 }

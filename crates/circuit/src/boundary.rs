@@ -8,8 +8,7 @@
 /// end is left floating. Structural baselines change these conditions:
 /// DSGB grounds *both* ends of the selected WL; DSWD drives the selected BL
 /// from both ends.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum LineEnd {
     /// The end is connected to an ideal voltage source through an optional
     /// series resistance (driver output impedance), in ohms.
@@ -81,7 +80,6 @@ impl LineEnd {
         matches!(self, LineEnd::Driven { .. })
     }
 }
-
 
 #[cfg(test)]
 mod tests {

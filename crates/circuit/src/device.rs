@@ -145,7 +145,10 @@ impl SeriesCell {
     /// Panics if `r_mem` is negative.
     #[must_use]
     pub fn new(selector: PolySelector, r_mem: f64) -> Self {
-        assert!(r_mem >= 0.0, "memory element resistance must be non-negative");
+        assert!(
+            r_mem >= 0.0,
+            "memory element resistance must be non-negative"
+        );
         Self { selector, r_mem }
     }
 

@@ -7,13 +7,18 @@ use std::fmt;
 /// tolerance within the iteration budget.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SolveError {
-    /// The relaxation did not converge. Carries the final residual (amperes)
-    /// and the number of sweeps performed.
+    /// The relaxation did not converge. Carries the final residual (amperes),
+    /// the number of sweeps performed, and the last few sampled residuals so
+    /// the caller can tell a plateau from slow progress without re-running.
     NotConverged {
         /// Worst Kirchhoff-current-law residual at any free node, amperes.
         residual: f64,
         /// Number of full line-relaxation sweeps performed.
         sweeps: usize,
+        /// Residuals sampled at intervals through the sweep budget, oldest
+        /// first, ending with the final residual (at most
+        /// [`SolveError::RESIDUAL_TAIL_LEN`] entries).
+        residual_tail: Vec<f64>,
     },
     /// The iterate produced a non-finite node voltage (diverged).
     Diverged {
@@ -25,13 +30,32 @@ pub enum SolveError {
     NoSource,
 }
 
+impl SolveError {
+    /// Maximum number of sampled residuals carried by
+    /// [`SolveError::NotConverged`].
+    pub const RESIDUAL_TAIL_LEN: usize = 4;
+}
+
 impl fmt::Display for SolveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SolveError::NotConverged { residual, sweeps } => write!(
-                f,
-                "solve did not converge after {sweeps} sweeps (residual {residual:.3e} A)"
-            ),
+            SolveError::NotConverged {
+                residual,
+                sweeps,
+                residual_tail,
+            } => {
+                write!(
+                    f,
+                    "solve did not converge after {sweeps} sweeps (residual {residual:.3e} A"
+                )?;
+                if !residual_tail.is_empty() {
+                    write!(f, "; trajectory")?;
+                    for r in residual_tail {
+                        write!(f, " {r:.3e}")?;
+                    }
+                }
+                write!(f, ")")
+            }
             SolveError::Diverged { sweep } => {
                 write!(f, "solve diverged at sweep {sweep} (non-finite voltage)")
             }
@@ -51,10 +75,24 @@ mod tests {
         let e = SolveError::NotConverged {
             residual: 1.5e-3,
             sweeps: 10,
+            residual_tail: vec![],
         };
         let s = e.to_string();
         assert!(s.contains("10 sweeps"));
         assert!(s.contains("1.500e-3") || s.contains("1.5e-3"), "{s}");
+    }
+
+    #[test]
+    fn display_includes_residual_trajectory() {
+        let e = SolveError::NotConverged {
+            residual: 2.0e-4,
+            sweeps: 400,
+            residual_tail: vec![8.0e-4, 4.0e-4, 2.5e-4, 2.0e-4],
+        };
+        let s = e.to_string();
+        assert!(s.contains("trajectory"), "{s}");
+        assert!(s.contains("8.000e-4"), "{s}");
+        assert!(s.contains("2.000e-4"), "{s}");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! a small number of sweeps even for 512×512 arrays.
 
 use crate::{solve_tridiagonal, Crosspoint, SolveError};
+use reram_obs::{Obs, Value};
 
 /// A tiny conductance to ground added to every junction.
 ///
@@ -164,6 +165,56 @@ impl Crosspoint {
     /// voltage, and [`SolveError::NotConverged`] if the tolerance was not met
     /// within [`SolveOptions::max_sweeps`].
     pub fn solve(&self, opts: &SolveOptions) -> Result<Solution, SolveError> {
+        self.solve_observed(opts, &Obs::off())
+    }
+
+    /// [`Crosspoint::solve`] with telemetry: records per-solve sweep counts,
+    /// final residuals and wall time into `obs` (metrics under
+    /// `circuit.solve.*`) and emits a `circuit.solve.not_converged` event on
+    /// failure. With a disabled handle ([`Obs::off`]) this is `solve` plus a
+    /// few untaken branches — the clock is never read.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Crosspoint::solve`].
+    pub fn solve_observed(&self, opts: &SolveOptions, obs: &Obs) -> Result<Solution, SolveError> {
+        let span = obs.span("circuit.solve.wall_ns");
+        let res = self.solve_inner(opts);
+        drop(span);
+        if obs.enabled() {
+            obs.counter("circuit.solve.solves").inc();
+            match &res {
+                Ok(sol) => {
+                    let stats = sol.stats();
+                    obs.hist("circuit.solve.sweeps").record(stats.sweeps as f64);
+                    obs.hist("circuit.solve.residual_amps")
+                        .record(stats.residual_amps);
+                }
+                Err(SolveError::NotConverged {
+                    residual, sweeps, ..
+                }) => {
+                    obs.counter("circuit.solve.not_converged").inc();
+                    obs.event(
+                        "circuit.solve.not_converged",
+                        &[
+                            ("sweeps", Value::U64(*sweeps as u64)),
+                            ("residual_amps", Value::F64(*residual)),
+                        ],
+                    );
+                }
+                Err(e) => {
+                    obs.counter("circuit.solve.not_converged").inc();
+                    obs.event(
+                        "circuit.solve.not_converged",
+                        &[("error", Value::Str(e.to_string()))],
+                    );
+                }
+            }
+        }
+        res
+    }
+
+    fn solve_inner(&self, opts: &SolveOptions) -> Result<Solution, SolveError> {
         if !self.has_source() {
             return Err(SolveError::NoSource);
         }
@@ -182,6 +233,11 @@ impl Crosspoint {
         let mut rhs = vec![0.0f64; line];
 
         let mut converged = None;
+        // Residual trajectory for NotConverged diagnostics: sampled a few
+        // times across the sweep budget. Healthy solves converge long before
+        // the first sample point, so this costs nothing on the fast path.
+        let sample_every = (opts.max_sweeps / SolveError::RESIDUAL_TAIL_LEN).max(1);
+        let mut residual_tail: Vec<f64> = Vec::new();
         for sweep in 0..opts.max_sweeps {
             let mut max_dv = 0.0f64;
 
@@ -213,7 +269,12 @@ impl Crosspoint {
                     diag[j] = d;
                     rhs[j] = r;
                 }
-                solve_tridiagonal(&sub[..cols], &mut diag[..cols], &mut sup[..cols], &mut rhs[..cols]);
+                solve_tridiagonal(
+                    &sub[..cols],
+                    &mut diag[..cols],
+                    &mut sup[..cols],
+                    &mut rhs[..cols],
+                );
                 #[allow(clippy::needless_range_loop)] // indexes several parallel arrays
                 for j in 0..cols {
                     let idx = i * cols + j;
@@ -251,8 +312,13 @@ impl Crosspoint {
                     diag[i] = d;
                     rhs[i] = r;
                 }
-                solve_tridiagonal(&sub[..rows], &mut diag[..rows], &mut sup[..rows], &mut rhs[..rows]);
-            #[allow(clippy::needless_range_loop)] // indexes several parallel arrays
+                solve_tridiagonal(
+                    &sub[..rows],
+                    &mut diag[..rows],
+                    &mut sup[..rows],
+                    &mut rhs[..rows],
+                );
+                #[allow(clippy::needless_range_loop)] // indexes several parallel arrays
                 for i in 0..rows {
                     let idx = i * cols + j;
                     let dv = (rhs[i] - vb[idx]).clamp(-opts.max_step_volts, opts.max_step_volts);
@@ -275,11 +341,21 @@ impl Crosspoint {
                     break;
                 }
             }
+            if (sweep + 1) % sample_every == 0
+                && residual_tail.len() < SolveError::RESIDUAL_TAIL_LEN - 1
+            {
+                residual_tail.push(self.kcl_residual(&vw, &vb, g_wl, g_bl));
+            }
         }
 
-        let stats = converged.ok_or_else(|| SolveError::NotConverged {
-            residual: self.kcl_residual(&vw, &vb, g_wl, g_bl),
-            sweeps: opts.max_sweeps,
+        let stats = converged.ok_or_else(|| {
+            let residual = self.kcl_residual(&vw, &vb, g_wl, g_bl);
+            residual_tail.push(residual);
+            SolveError::NotConverged {
+                residual,
+                sweeps: opts.max_sweeps,
+                residual_tail,
+            }
         })?;
 
         let mut cell_currents = vec![0.0; n];
@@ -552,7 +628,7 @@ mod tests {
             for r in col + 1..dim {
                 let f = a[r][col] / p;
                 if f != 0.0 {
-            #[allow(clippy::needless_range_loop)] // indexes several parallel arrays
+                    #[allow(clippy::needless_range_loop)] // indexes several parallel arrays
                     for c in col..dim {
                         a[r][c] -= f * a[col][c];
                     }
@@ -572,12 +648,11 @@ mod tests {
 
     #[test]
     fn matches_dense_solver_on_linear_network() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut rng = reram_workloads::Rng64::new(42);
         let mut cp = Crosspoint::uniform(4, 5, 11.5, CellDevice::Linear(1e-5));
         for i in 0..4 {
             for j in 0..5 {
-                cp.set_cell(i, j, CellDevice::Linear(rng.gen_range(1e-7..1e-4)));
+                cp.set_cell(i, j, CellDevice::Linear(rng.gen_range_f64(1e-7, 1e-4)));
             }
         }
         reset_bias(&mut cp, 3, 4, 3.0);

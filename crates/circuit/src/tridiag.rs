@@ -103,18 +103,17 @@ mod tests {
 
     #[test]
     fn random_diagonally_dominant_systems() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = reram_workloads::Rng64::new(7);
         for n in [2usize, 3, 17, 100] {
-            let sub: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
-            let sup0: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let sub: Vec<f64> = (0..n).map(|_| rng.gen_range_f64(-1.0, 1.0)).collect();
+            let sup0: Vec<f64> = (0..n).map(|_| rng.gen_range_f64(-1.0, 1.0)).collect();
             let diag0: Vec<f64> = (0..n)
                 .map(|i| {
                     let m: f64 = sub[i].abs() + sup0[i].abs();
-                    m + rng.gen_range(0.5..2.0)
+                    m + rng.gen_range_f64(0.5, 2.0)
                 })
                 .collect();
-            let x_true: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+            let x_true: Vec<f64> = (0..n).map(|_| rng.gen_range_f64(-5.0, 5.0)).collect();
             let mut rhs = multiply(&sub, &diag0, &sup0, &x_true);
             let mut diag = diag0.clone();
             let mut sup = sup0.clone();

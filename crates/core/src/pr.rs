@@ -114,7 +114,6 @@ pub fn apply_plan(old_data: u8, plan: &PrPlan) -> u8 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     /// Flip-N-Write-style transition masks from old → new data (no flip).
     fn transitions(old: u8, new: u8) -> (u8, u8) {
@@ -187,59 +186,77 @@ mod tests {
         assert_eq!(apply_plan(0b10, &plan), 0b10);
     }
 
-    proptest! {
-        /// PR never corrupts data: RESET phase then SET phase always lands
-        /// on exactly the intended final value.
-        #[test]
-        fn pr_preserves_data(old: u8, new: u8) {
-            let (resets, sets) = transitions(old, new);
-            let plan = partition_reset(resets, sets, new);
-            prop_assert_eq!(apply_plan(old, &plan), new);
+    /// Runs `check` on every `(old, new)` slice pair — the input space is
+    /// only 8 bits × 8 bits, so the former proptest properties are now
+    /// checked exhaustively (65 536 cases each).
+    fn for_all_slice_pairs(check: impl Fn(u8, u8, u8, u8, PrPlan)) {
+        for old in 0..=u8::MAX {
+            for new in 0..=u8::MAX {
+                let (resets, sets) = transitions(old, new);
+                let plan = partition_reset(resets, sets, new);
+                check(old, new, resets, sets, plan);
+            }
         }
+    }
 
-        /// Every 2-bit group up to the last real RESET carries at least one
-        /// RESET — the partitioning invariant.
-        #[test]
-        fn pr_covers_groups(old: u8, new: u8) {
-            let (resets, sets) = transitions(old, new);
-            let plan = partition_reset(resets, sets, new);
+    /// PR never corrupts data: RESET phase then SET phase always lands
+    /// on exactly the intended final value.
+    #[test]
+    fn pr_preserves_data() {
+        for_all_slice_pairs(|old, new, _resets, _sets, plan| {
+            assert_eq!(
+                apply_plan(old, &plan),
+                new,
+                "old {old:#010b} new {new:#010b}"
+            );
+        });
+    }
+
+    /// Every 2-bit group up to the last real RESET carries at least one
+    /// RESET — the partitioning invariant.
+    #[test]
+    fn pr_covers_groups() {
+        for_all_slice_pairs(|old, new, resets, _sets, plan| {
             if resets & 0b1111_1000 != 0 {
                 let last_group = (7 - resets.leading_zeros() as u8) / 2;
                 for g in 0..=last_group {
                     let mask = 0b11u8 << (2 * g);
-                    prop_assert!(plan.reset_bits & mask != 0, "group {} empty", g);
+                    assert!(
+                        plan.reset_bits & mask != 0,
+                        "group {g} empty (old {old:#010b} new {new:#010b})"
+                    );
                 }
             }
-        }
+        });
+    }
 
-        /// PR adds RESETs only when a far-bit RESET exists, and never more
-        /// than one per 2-bit group.
-        #[test]
-        fn pr_dummy_budget(old: u8, new: u8) {
-            let (resets, sets) = transitions(old, new);
-            let plan = partition_reset(resets, sets, new);
-            prop_assert!(plan.dummy_resets.count_ones() <= 3);
+    /// PR adds RESETs only when a far-bit RESET exists, and never more
+    /// than one per 2-bit group.
+    #[test]
+    fn pr_dummy_budget() {
+        for_all_slice_pairs(|_old, _new, resets, _sets, plan| {
+            assert!(plan.dummy_resets.count_ones() <= 3);
             if resets & 0b1111_1000 == 0 {
-                prop_assert_eq!(plan.dummy_resets, 0);
+                assert_eq!(plan.dummy_resets, 0);
             }
             for g in 0..4u8 {
                 let mask = 0b11u8 << (2 * g);
-                prop_assert!((plan.dummy_resets & mask).count_ones() <= 1);
+                assert!((plan.dummy_resets & mask).count_ones() <= 1);
             }
-        }
+        });
+    }
 
-        /// Dummy RESETs never overlap real RESETs (they only fill empty
-        /// groups), dummy SETs are a subset of dummy RESETs and disjoint
-        /// from real SETs, and the final masks decompose exactly.
-        #[test]
-        fn pr_masks_are_consistent(old: u8, new: u8) {
-            let (resets, sets) = transitions(old, new);
-            let plan = partition_reset(resets, sets, new);
-            prop_assert_eq!(plan.dummy_resets & resets, 0);
-            prop_assert_eq!(plan.dummy_sets & sets, 0);
-            prop_assert_eq!(plan.dummy_sets & !plan.dummy_resets, 0);
-            prop_assert_eq!(plan.reset_bits, resets | plan.dummy_resets);
-            prop_assert_eq!(plan.set_bits, sets | plan.dummy_sets);
-        }
+    /// Dummy RESETs never overlap real RESETs (they only fill empty
+    /// groups), dummy SETs are a subset of dummy RESETs and disjoint
+    /// from real SETs, and the final masks decompose exactly.
+    #[test]
+    fn pr_masks_are_consistent() {
+        for_all_slice_pairs(|_old, _new, resets, sets, plan| {
+            assert_eq!(plan.dummy_resets & resets, 0);
+            assert_eq!(plan.dummy_sets & sets, 0);
+            assert_eq!(plan.dummy_sets & !plan.dummy_resets, 0);
+            assert_eq!(plan.reset_bits, resets | plan.dummy_resets);
+            assert_eq!(plan.set_bits, sets | plan.dummy_sets);
+        });
     }
 }

@@ -226,9 +226,8 @@ mod tests {
         let mut hi = f64::NEG_INFINITY;
         for i in (0..512).step_by(31) {
             for j in (0..512).step_by(31) {
-                let veff = u.level_for_col(i, j)
-                    - dm.bl_drop(i)
-                    - dm.wl_drop_spread(j, 4, Spread::Even);
+                let veff =
+                    u.level_for_col(i, j) - dm.bl_drop(i) - dm.wl_drop_spread(j, 4, Spread::Even);
                 lo = lo.min(veff);
                 hi = hi.max(veff);
             }

@@ -10,6 +10,7 @@
 use crate::pr::partition_reset;
 use crate::{Drvr, Scheme, Udrvr};
 use reram_array::{ArrayModel, Spread, WriteOutcome};
+use reram_obs::Obs;
 
 /// SET-phase electrical parameters (Table III): 3 V, 98.6 µA, 29.8 pJ per
 /// bit — which imply a ≈100 ns SET pulse.
@@ -98,6 +99,7 @@ pub struct WriteModel {
     udrvr: Option<Udrvr>,
     bl_drop: Vec<f64>,
     wl_drop_1bit: Vec<f64>,
+    obs: Obs,
 }
 
 impl WriteModel {
@@ -144,7 +146,18 @@ impl WriteModel {
             udrvr,
             bl_drop,
             wl_drop_1bit,
+            obs: Obs::off(),
         }
+    }
+
+    /// Attaches a telemetry registry: per-write PR statistics (dummy
+    /// RESET+SET pairs and the concurrent-RESET distribution) are recorded
+    /// under `core.pr.*`. Two models differing only in telemetry attachment
+    /// still compare equal per this type's `PartialEq`.
+    #[must_use]
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.obs = obs.clone();
+        self
     }
 
     /// Binds `scheme` to the paper's baseline array.
@@ -250,7 +263,10 @@ impl WriteModel {
         }
         let geom = self.model.geometry();
         assert!(row < geom.size(), "row out of bounds");
-        assert!(col_offset < geom.cols_per_group(), "column offset out of bounds");
+        assert!(
+            col_offset < geom.cols_per_group(),
+            "column offset out of bounds"
+        );
         let data_width = geom.data_width();
         let kin = self.model.kinetics();
         let end = self.model.endurance();
@@ -258,6 +274,13 @@ impl WriteModel {
         let mut plan = WritePlan {
             min_endurance_writes: f64::INFINITY,
             ..WritePlan::default()
+        };
+        // Resolved once per plan, only when telemetry is on, so the hot
+        // per-slice loop stays lookup-free.
+        let concurrent_hist = if self.obs.enabled() {
+            Some(self.obs.hist("core.pr.concurrent_resets"))
+        } else {
+            None
         };
         for (s, (&r_mask, &s_mask)) in resets.iter().zip(sets).enumerate() {
             // The scheme shapes the RESET vector: PR fills 2-bit groups with
@@ -358,10 +381,27 @@ impl WriteModel {
             plan.sets += set_bits.count_ones();
             plan.dummy_resets += pr_dummy_r + dbl_dummies;
             plan.dummy_sets += pr_dummy_s;
+            if let Some(h) = &concurrent_hist {
+                if reset_bits != 0 {
+                    h.record(f64::from(reset_bits.count_ones() + dbl_dummies));
+                }
+            }
         }
         if plan.sets > 0 {
             plan.set_phase_ns = self.set_params.latency_ns;
             plan.set_energy_pj = f64::from(plan.sets) * self.set_params.energy_pj();
+        }
+        if self.obs.enabled() {
+            // A dummy pair is a dummy RESET matched by its compensating SET.
+            self.obs
+                .counter("core.pr.dummy_pairs")
+                .add(u64::from(plan.dummy_sets));
+            self.obs
+                .counter("core.pr.dummy_resets")
+                .add(u64::from(plan.dummy_resets));
+            self.obs
+                .counter("core.pr.dummy_sets")
+                .add(u64::from(plan.dummy_sets));
         }
         plan
     }

@@ -1,102 +1,128 @@
-//! Property tests for the mitigation schemes across the configuration space.
+//! Randomized property tests for the mitigation schemes across the
+//! configuration space, driven by the in-repo [`reram_workloads::Rng64`]
+//! generator (no registry dependencies). The `proptest` cargo feature
+//! multiplies the case counts for a deeper soak.
 
-use proptest::prelude::*;
 use reram_array::{ArrayGeometry, ArrayModel, CellParams, TechNode};
 use reram_core::{Drvr, Scheme, Udrvr, WriteModel};
+use reram_workloads::Rng64;
 
-fn arb_model() -> impl Strategy<Value = ArrayModel> {
-    (
-        prop_oneof![Just(256usize), Just(512), Just(1024)],
-        1.0f64..20.0,
-        prop_oneof![Just(500.0f64), Just(1000.0), Just(2000.0)],
-    )
-        .prop_map(|(size, r_wire, kr)| {
-            ArrayModel::paper_baseline()
-                .with_geometry(ArrayGeometry::new(size, 8))
-                .with_tech(TechNode::Custom(r_wire))
-                .with_cell(CellParams::default().with_kr(kr))
-        })
+/// Cases per property: 32 by default (matching the old proptest config),
+/// 8× that under `--features proptest`.
+fn cases(base: usize) -> usize {
+    if cfg!(feature = "proptest") {
+        base * 8
+    } else {
+        base
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// A random array model from the old proptest strategy's space:
+/// size ∈ {256, 512, 1024} × r_wire ∈ [1, 20) × kr ∈ {500, 1000, 2000}.
+fn random_model(rng: &mut Rng64) -> ArrayModel {
+    let size = [256usize, 512, 1024][rng.gen_range_usize(0, 3)];
+    let r_wire = rng.gen_range_f64(1.0, 20.0);
+    let kr = [500.0f64, 1000.0, 2000.0][rng.gen_range_usize(0, 3)];
+    ArrayModel::paper_baseline()
+        .with_geometry(ArrayGeometry::new(size, 8))
+        .with_tech(TechNode::Custom(r_wire))
+        .with_cell(CellParams::default().with_kr(kr))
+}
 
-    /// DRVR levels are monotone non-decreasing along the bit-line and the
-    /// first section always gets the nominal voltage.
-    #[test]
-    fn drvr_levels_monotone(model in arb_model()) {
+/// DRVR levels are monotone non-decreasing along the bit-line and the
+/// first section always gets the nominal voltage.
+#[test]
+fn drvr_levels_monotone() {
+    let mut rng = Rng64::new(0xD1);
+    for _ in 0..cases(32) {
+        let model = random_model(&mut rng);
         let d = Drvr::design(&model, 3.0);
-        prop_assert_eq!(d.levels()[0], 3.0);
+        assert_eq!(d.levels()[0], 3.0);
         for w in d.levels().windows(2) {
-            prop_assert!(w[1] >= w[0]);
+            assert!(w[1] >= w[0]);
         }
     }
+}
 
-    /// DRVR never over-drives: every cell's BL-compensated voltage stays at
-    /// or below the target.
-    #[test]
-    fn drvr_never_exceeds_target(model in arb_model()) {
+/// DRVR never over-drives: every cell's BL-compensated voltage stays at
+/// or below the target.
+#[test]
+fn drvr_never_exceeds_target() {
+    let mut rng = Rng64::new(0xD2);
+    for _ in 0..cases(32) {
+        let model = random_model(&mut rng);
         let d = Drvr::design(&model, 3.0);
         let dm = model.drop_model();
         let n = model.geometry().size();
         for i in (0..n).step_by(n / 16) {
             let v = d.level_for_row(i) - dm.bl_drop(i);
-            prop_assert!(v <= 3.0 + 1e-9, "row {i}: {v}");
+            assert!(v <= 3.0 + 1e-9, "row {i}: {v}");
         }
     }
+}
 
-    /// UDRVR's group adjustments are non-negative and its max level equals
-    /// DRVR's (adjustments only ever lower voltages — the property that
-    /// keeps WL current in check, §IV-C).
-    #[test]
-    fn udrvr_only_lowers(model in arb_model()) {
+/// UDRVR's group adjustments are non-negative and its max level equals
+/// DRVR's (adjustments only ever lower voltages — the property that
+/// keeps WL current in check, §IV-C).
+#[test]
+fn udrvr_only_lowers() {
+    let mut rng = Rng64::new(0xD3);
+    for _ in 0..cases(32) {
+        let model = random_model(&mut rng);
         let u = Udrvr::design(&model, 3.0, 4);
-        prop_assert!(u.group_adjustments().iter().all(|&a| a >= 0.0));
+        assert!(u.group_adjustments().iter().all(|&a| a >= 0.0));
         let d = Drvr::design(&model, 3.0);
-        prop_assert!((u.max_level() - d.max_level()).abs() < 1e-12);
+        assert!((u.max_level() - d.max_level()).abs() < 1e-12);
         for g in 0..8 {
             for i in (0..model.geometry().size()).step_by(64) {
-                prop_assert!(u.level_for(i, g) <= u.max_level() + 1e-12);
+                assert!(u.level_for(i, g) <= u.max_level() + 1e-12);
             }
         }
     }
+}
 
-    /// Wherever both are feasible, UDRVR+PR's latency budget beats the
-    /// baseline's, and its weakest-cell endurance is at least as good.
-    #[test]
-    fn udrvr_pr_dominates_baseline(model in arb_model()) {
+/// Wherever both are feasible, UDRVR+PR's latency budget beats the
+/// baseline's, and its weakest-cell endurance is at least as good.
+#[test]
+fn udrvr_pr_dominates_baseline() {
+    let mut rng = Rng64::new(0xD4);
+    for _ in 0..cases(32) {
+        let model = random_model(&mut rng);
         let base = WriteModel::new(model, Scheme::Baseline);
         let ours = WriteModel::new(model, Scheme::UdrvrPr);
-        if let (Some(tb), Some(to)) =
-            (base.array_reset_latency_ns(), ours.array_reset_latency_ns())
+        if let (Some(tb), Some(to)) = (base.array_reset_latency_ns(), ours.array_reset_latency_ns())
         {
-            prop_assert!(to < tb, "ours {to} vs base {tb}");
+            assert!(to < tb, "ours {to} vs base {tb}");
             let eb = base.array_endurance_writes().unwrap();
             let eo = ours.array_endurance_writes().unwrap();
-            prop_assert!(eo >= eb * 0.99, "ours {eo} vs base {eb}");
+            assert!(eo >= eb * 0.99, "ours {eo} vs base {eb}");
         }
     }
+}
 
-    /// Write plans never report negative or non-finite quantities, for any
-    /// transition masks.
-    #[test]
-    fn plans_are_sane(
-        resets in proptest::collection::vec(any::<u8>(), 64),
-        sets_raw in proptest::collection::vec(any::<u8>(), 64),
-        row in 0usize..512,
-        off in 0usize..64,
-    ) {
+/// Write plans never report negative or non-finite quantities, for any
+/// transition masks.
+#[test]
+fn plans_are_sane() {
+    let mut rng = Rng64::new(0xD5);
+    for _ in 0..cases(32) {
+        let mut resets = [0u8; 64];
+        let mut sets_raw = [0u8; 64];
+        rng.fill_bytes(&mut resets);
+        rng.fill_bytes(&mut sets_raw);
+        let row = rng.gen_range_usize(0, 512);
+        let off = rng.gen_range_usize(0, 64);
         let sets: Vec<u8> = resets.iter().zip(&sets_raw).map(|(r, s)| s & !r).collect();
+        let resets: Vec<u8> = resets.to_vec();
         let data: Vec<u8> = sets.clone();
         for scheme in [Scheme::Baseline, Scheme::Hard, Scheme::UdrvrPr] {
             let wm = WriteModel::paper(scheme);
-            let plan =
-                wm.plan_line_write_with_data(row, off, &resets, &sets, Some(&data));
-            prop_assert!(plan.reset_phase_ns.is_finite() && plan.reset_phase_ns >= 0.0);
-            prop_assert!(plan.set_phase_ns >= 0.0);
-            prop_assert!(plan.reset_energy_pj >= 0.0 && plan.set_energy_pj >= 0.0);
-            prop_assert!(plan.dummy_resets <= plan.resets);
-            prop_assert!(plan.dummy_sets <= plan.sets);
+            let plan = wm.plan_line_write_with_data(row, off, &resets, &sets, Some(&data));
+            assert!(plan.reset_phase_ns.is_finite() && plan.reset_phase_ns >= 0.0);
+            assert!(plan.set_phase_ns >= 0.0);
+            assert!(plan.reset_energy_pj >= 0.0 && plan.set_energy_pj >= 0.0);
+            assert!(plan.dummy_resets <= plan.resets);
+            assert!(plan.dummy_sets <= plan.sets);
         }
     }
 }

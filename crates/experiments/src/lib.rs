@@ -3,7 +3,7 @@
 //!
 //! Each experiment is a function returning an [`ExpTable`] — the same rows
 //! the paper's table/figure reports — so the binary, the integration tests
-//! and the Criterion benches all share one implementation. The binary
+//! and the benches all share one implementation. The binary
 //! (`cargo run --release -p reram-experiments --bin experiments -- <exp>`)
 //! prints the table with a *paper-vs-measured* commentary and writes
 //! `results/<exp>.csv`.

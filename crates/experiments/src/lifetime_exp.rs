@@ -11,7 +11,14 @@ pub fn fig5b() -> ExpTable {
     let mut t = ExpTable::new(
         "fig5b",
         "64GB main-memory lifetime, worst-case non-stop writes",
-        &["scheme", "t_write ns", "endurance", "cells/write", "lifetime", "paper"],
+        &[
+            "scheme",
+            "t_write ns",
+            "endurance",
+            "cells/write",
+            "lifetime",
+            "paper",
+        ],
     );
     let model = LifetimeModel::paper_baseline();
     let fmt_life = |years: f64| {
@@ -37,7 +44,14 @@ pub fn fig5b() -> ExpTable {
             model.without_wear_leveling()
         };
         let Some(est) = m.estimate(&wm) else {
-            t.row(vec![scheme.label(), "-".into(), "-".into(), "-".into(), "write fails".into(), paper.into()]);
+            t.row(vec![
+                scheme.label(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "write fails".into(),
+                paper.into(),
+            ]);
             continue;
         };
         let label = if leveled {

@@ -1,25 +1,55 @@
 //! `experiments` — regenerate any table or figure of the paper.
 //!
 //! ```text
-//! experiments <exp>... [--quick|--full] [--out DIR]
-//! experiments all      [--quick|--full] [--out DIR]
+//! experiments <exp>... [--quick|--full] [--out DIR] [--telemetry DIR]
+//! experiments all      [--quick|--full] [--out DIR] [--telemetry DIR]
 //! experiments list
 //! ```
+//!
+//! `--telemetry DIR` attaches a JSONL event sink: every simulator run feeds
+//! the shared [`reram_obs::Obs`] registry, events stream to
+//! `DIR/events.jsonl`, and on exit the harness writes
+//! `DIR/telemetry_summary.csv` (metric, count, mean, p50, p99, max) and
+//! prints the human-readable report.
 
 use reram_experiments::{ablation, lifetime_exp, micro, perf, traffic, Budget, ExpTable};
+use reram_obs::Obs;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 struct Registry {
     budget: Budget,
+    obs: Obs,
 }
 
 impl Registry {
     fn names(&self) -> Vec<&'static str> {
         vec![
-            "table1", "table2", "table3", "table4", "fig1e", "fig4", "fig5b", "fig5c", "fig5d",
-            "fig6", "fig7", "fig9", "fig11", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
-            "fig19", "fig20", "ablation_drvr", "ablation_pr", "ablation_wc",
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "fig1e",
+            "fig4",
+            "fig5b",
+            "fig5c",
+            "fig5d",
+            "fig6",
+            "fig7",
+            "fig9",
+            "fig11",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "fig18",
+            "fig19",
+            "fig20",
+            "ablation_drvr",
+            "ablation_pr",
+            "ablation_wc",
         ]
     }
 
@@ -32,7 +62,7 @@ impl Registry {
             "fig1e" => micro::fig1e(),
             "fig4" => micro::fig4(),
             "fig5b" => lifetime_exp::fig5b(),
-            "fig5c" => perf::fig5c(self.budget),
+            "fig5c" => perf::fig5c_obs(self.budget, &self.obs),
             "fig5d" => lifetime_exp::fig5d(),
             "fig6" => micro::fig6(),
             "fig7" => micro::fig7(),
@@ -40,12 +70,12 @@ impl Registry {
             "fig11" | "fig11a" => micro::fig11(),
             "fig13" | "fig11b" => micro::fig13(),
             "fig14" => traffic::fig14(),
-            "fig15" => perf::fig15(self.budget),
-            "fig16" => perf::fig16(self.budget),
-            "fig17" => perf::fig17(self.budget),
-            "fig18" => perf::fig18(self.budget),
-            "fig19" => perf::fig19(self.budget),
-            "fig20" => perf::fig20(self.budget),
+            "fig15" => perf::fig15_obs(self.budget, &self.obs),
+            "fig16" => perf::fig16_obs(self.budget, &self.obs),
+            "fig17" => perf::fig17_obs(self.budget, &self.obs),
+            "fig18" => perf::fig18_obs(self.budget, &self.obs),
+            "fig19" => perf::fig19_obs(self.budget, &self.obs),
+            "fig20" => perf::fig20_obs(self.budget, &self.obs),
             "ablation_drvr" => ablation::ablation_drvr_levels(),
             "ablation_pr" => ablation::ablation_pr_cap(),
             "ablation_wc" => ablation::ablation_coalescence(),
@@ -58,6 +88,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut budget = Budget::Standard;
     let mut out = PathBuf::from("results");
+    let mut telemetry: Option<PathBuf> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -71,12 +102,37 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--telemetry" => match it.next() {
+                Some(dir) => telemetry = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--telemetry needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => targets.push(other.to_string()),
         }
     }
-    let reg = Registry { budget };
+    let obs = match &telemetry {
+        Some(dir) => {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create telemetry dir {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+            match Obs::jsonl(&dir.join("events.jsonl")) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("cannot open telemetry sink: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => Obs::off(),
+    };
+    let reg = Registry { budget, obs };
     if targets.is_empty() || targets[0] == "help" {
-        eprintln!("usage: experiments <exp>...|all|list [--quick|--full] [--out DIR]");
+        eprintln!(
+            "usage: experiments <exp>...|all|list [--quick|--full] [--out DIR] [--telemetry DIR]"
+        );
         eprintln!("experiments: {}", reg.names().join(" "));
         return ExitCode::SUCCESS;
     }
@@ -86,12 +142,19 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
-    let names: Vec<String> = if targets.iter().any(|t| t == "all") {
+    let run_all = targets.iter().any(|t| t == "all");
+    let names: Vec<String> = if run_all {
         reg.names().iter().map(ToString::to_string).collect()
     } else {
         targets
     };
+    if let Err(e) = std::fs::create_dir_all(&out) {
+        eprintln!("cannot create output dir {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    let t_total = Instant::now();
     for name in &names {
+        let t0 = Instant::now();
         let Some(table) = reg.build(name) else {
             eprintln!("unknown experiment {name}; try `experiments list`");
             return ExitCode::FAILURE;
@@ -101,7 +164,23 @@ fn main() -> ExitCode {
             eprintln!("failed to write {name}.csv: {e}");
             return ExitCode::FAILURE;
         }
+        if run_all {
+            println!("[{name}: {:.2} s]", t0.elapsed().as_secs_f64());
+        }
+    }
+    if run_all {
+        println!("[all: {:.2} s]", t_total.elapsed().as_secs_f64());
     }
     println!("CSV written to {}", out.display());
+    if let Some(dir) = &telemetry {
+        reg.obs.flush();
+        let summary_path = dir.join("telemetry_summary.csv");
+        if let Err(e) = std::fs::write(&summary_path, reg.obs.summary_csv()) {
+            eprintln!("failed to write {}: {e}", summary_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("{}", reg.obs.report());
+        println!("telemetry written to {}", dir.display());
+    }
     ExitCode::SUCCESS
 }

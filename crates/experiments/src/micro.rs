@@ -10,17 +10,35 @@ use reram_mem::{ChargePump, MemoryConfig};
 /// Table I: the cell/array/bank model constants.
 #[must_use]
 pub fn table1() -> ExpTable {
-    let mut t = ExpTable::new("table1", "ReRAM cell, CP array and bank models", &[
-        "metric", "description", "value",
-    ]);
+    let mut t = ExpTable::new(
+        "table1",
+        "ReRAM cell, CP array and bank models",
+        &["metric", "description", "value"],
+    );
     let c = CellParams::default();
     let rows: Vec<(&str, &str, String)> = vec![
-        ("Ion", "LRS cell current during RESET", format!("{:.0}uA", c.i_on * 1e6)),
-        ("Kr", "selector nonlinear selectivity", format!("{:.0}", c.kr)),
+        (
+            "Ion",
+            "LRS cell current during RESET",
+            format!("{:.0}uA", c.i_on * 1e6),
+        ),
+        (
+            "Kr",
+            "selector nonlinear selectivity",
+            format!("{:.0}", c.kr),
+        ),
         ("A", "MAT size: A WLs x A BLs", "512".into()),
         ("n", "bits per MAT data path", "8".into()),
-        ("Rwire", "wire resistance per junction", format!("{}ohm", TechNode::N20.r_wire_ohms())),
-        ("Vrst/Vset", "full-selected write voltage", format!("{}V", c.v_full)),
+        (
+            "Rwire",
+            "wire resistance per junction",
+            format!("{}ohm", TechNode::N20.r_wire_ohms()),
+        ),
+        (
+            "Vrst/Vset",
+            "full-selected write voltage",
+            format!("{}V", c.v_full),
+        ),
         ("Vrd", "read voltage", "1.8V".into()),
     ];
     for (m, d, v) in rows {
@@ -37,15 +55,46 @@ pub fn table2() -> ExpTable {
     let mut t = ExpTable::new(
         "table2",
         "Prior voltage drop reduction techniques",
-        &["scheme", "function", "wear-leveling-compatible", "area+%", "leak+%"],
+        &[
+            "scheme",
+            "function",
+            "wear-leveling-compatible",
+            "area+%",
+            "leak+%",
+        ],
     );
     use reram_array::ChipOverhead;
     let rows: Vec<(&str, &str, &str, ChipOverhead)> = vec![
-        ("DSGB", "WL resistance down (2nd ground)", "yes", ChipOverhead::dsgb()),
-        ("DSWD", "BL resistance down (2nd WDs)", "yes", ChipOverhead::dswd()),
-        ("D-BL", "WL partitioning via dummy BLs", "yes", ChipOverhead::dummy_bl()),
-        ("SCH", "hot pages to faster rows", "no", ChipOverhead::none()),
-        ("RBDL", "LRS cells spread per BL", "no", ChipOverhead::none()),
+        (
+            "DSGB",
+            "WL resistance down (2nd ground)",
+            "yes",
+            ChipOverhead::dsgb(),
+        ),
+        (
+            "DSWD",
+            "BL resistance down (2nd WDs)",
+            "yes",
+            ChipOverhead::dswd(),
+        ),
+        (
+            "D-BL",
+            "WL partitioning via dummy BLs",
+            "yes",
+            ChipOverhead::dummy_bl(),
+        ),
+        (
+            "SCH",
+            "hot pages to faster rows",
+            "no",
+            ChipOverhead::none(),
+        ),
+        (
+            "RBDL",
+            "LRS cells spread per BL",
+            "no",
+            ChipOverhead::none(),
+        ),
     ];
     for (s, f, w, o) in rows {
         t.row(vec![
@@ -67,13 +116,44 @@ pub fn table3() -> ExpTable {
     let p = ChargePump::baseline();
     for (k, v) in [
         ("CPU", "8x 3.2GHz OoO cores, 8 MSHRs/core".to_string()),
-        ("main memory", format!("{} GB, {} ch x {} ranks x {} banks", m.total_bytes() >> 30, m.channels, m.ranks, m.banks_per_rank)),
+        (
+            "main memory",
+            format!(
+                "{} GB, {} ch x {} ranks x {} banks",
+                m.total_bytes() >> 30,
+                m.channels,
+                m.ranks,
+                m.banks_per_rank
+            ),
+        ),
         ("arrays", "512x512 MATs, 8 SAs/WDs, 20nm, 4F2".into()),
-        ("charge pump", format!("1 stage, {}V out, {:.0}/{:.0}mA RESET/SET, {:.0}ns charge, {:.1}nJ", p.v_out, p.i_reset_budget * 1e3, p.i_set_budget * 1e3, p.charge_ns, p.charge_nj)),
+        (
+            "charge pump",
+            format!(
+                "1 stage, {}V out, {:.0}/{:.0}mA RESET/SET, {:.0}ns charge, {:.1}nJ",
+                p.v_out,
+                p.i_reset_budget * 1e3,
+                p.i_set_budget * 1e3,
+                p.charge_ns,
+                p.charge_nj
+            ),
+        ),
         ("pump efficiency", format!("{:.0}%", p.efficiency * 100.0)),
-        ("read", format!("tRCD={}ns tCL={}ns, 5.6nJ/line", m.t_rcd_ns, m.t_cl_ns)),
-        ("write", "RESET 3V/90uA varies with drop; SET 3V/98.6uA/29.8pJ".into()),
-        ("queues", format!("{} R/W entries per channel, write-burst on full", m.queue_entries)),
+        (
+            "read",
+            format!("tRCD={}ns tCL={}ns, 5.6nJ/line", m.t_rcd_ns, m.t_cl_ns),
+        ),
+        (
+            "write",
+            "RESET 3V/90uA varies with drop; SET 3V/98.6uA/29.8pJ".into(),
+        ),
+        (
+            "queues",
+            format!(
+                "{} R/W entries per channel, write-burst on full",
+                m.queue_entries
+            ),
+        ),
     ] {
         t.row(vec![k.into(), v]);
     }
@@ -83,9 +163,11 @@ pub fn table3() -> ExpTable {
 /// Fig. 1e: per-junction wire resistance across process nodes.
 #[must_use]
 pub fn fig1e() -> ExpTable {
-    let mut t = ExpTable::new("fig1e", "Rwire per junction vs process node", &[
-        "node", "Rwire (ohm)",
-    ]);
+    let mut t = ExpTable::new(
+        "fig1e",
+        "Rwire per junction vs process node",
+        &["node", "Rwire (ohm)"],
+    );
     for node in TechNode::sweep() {
         t.row(vec![node.to_string(), fnum(node.r_wire_ohms())]);
     }
@@ -110,7 +192,14 @@ pub fn fig4() -> ExpTable {
     let mut t = ExpTable::new(
         "fig4",
         "Baseline array maps (3V static RESET)",
-        &["config", "Veff min", "Veff max", "latency ns", "endur min", "endur max"],
+        &[
+            "config",
+            "Veff min",
+            "Veff max",
+            "latency ns",
+            "endur min",
+            "endur max",
+        ],
     );
     let m = ArrayModel::paper_baseline();
     let maps = VoltageMaps::compute(&m, |_, _| 3.0, |_, _| 1);
@@ -132,7 +221,14 @@ pub fn fig6() -> ExpTable {
     let mut t = ExpTable::new(
         "fig6",
         "Over-RESET (static 3.7V) vs DRVR maps",
-        &["config", "Veff min", "Veff max", "latency ns", "endur min", "endur max"],
+        &[
+            "config",
+            "Veff min",
+            "Veff max",
+            "latency ns",
+            "endur min",
+            "endur max",
+        ],
     );
     let m = ArrayModel::paper_baseline();
     let over = VoltageMaps::compute(&m, |_, _| 3.7, |_, _| 1);
@@ -212,7 +308,14 @@ pub fn fig13() -> ExpTable {
     let mut t = ExpTable::new(
         "fig13",
         "DRVR+PR vs UDRVR+PR maps",
-        &["config", "Veff min", "Veff max", "latency ns", "endur min", "endur max"],
+        &[
+            "config",
+            "Veff min",
+            "Veff max",
+            "latency ns",
+            "endur min",
+            "endur max",
+        ],
     );
     let m = ArrayModel::paper_baseline();
     let drvr = Drvr::design(&m, 3.0);

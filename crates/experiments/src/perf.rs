@@ -4,6 +4,7 @@
 use crate::{Budget, ExpTable};
 use reram_array::{ArrayGeometry, ArrayModel, CellParams, TechNode};
 use reram_core::Scheme;
+use reram_obs::Obs;
 use reram_sim::{SimResult, Simulator};
 use reram_workloads::BenchProfile;
 
@@ -20,8 +21,14 @@ fn sweep_benchmarks() -> Vec<BenchProfile> {
         .collect()
 }
 
-fn run(budget: Budget, scheme: Scheme, p: BenchProfile, array: Option<ArrayModel>) -> SimResult {
-    let sim = Simulator::new(budget.sim_config(), scheme, p, SEED);
+fn run(
+    budget: Budget,
+    scheme: Scheme,
+    p: BenchProfile,
+    array: Option<ArrayModel>,
+    obs: &Obs,
+) -> SimResult {
+    let sim = Simulator::new(budget.sim_config(), scheme, p, SEED).with_obs(obs);
     match array {
         Some(a) => sim.with_array(a).run(),
         None => sim.run(),
@@ -36,6 +43,12 @@ fn gmean(xs: &[f64]) -> f64 {
 /// Fig. 5c: the performance of the prior designs, normalized to ora-64×64.
 #[must_use]
 pub fn fig5c(budget: Budget) -> ExpTable {
+    fig5c_obs(budget, &Obs::off())
+}
+
+/// [`fig5c`] with telemetry attached to every simulator run.
+#[must_use]
+pub fn fig5c_obs(budget: Budget, obs: &Obs) -> ExpTable {
     let mut t = ExpTable::new(
         "fig5c",
         "Prior designs vs ora-64x64 (IPC ratio)",
@@ -48,12 +61,16 @@ pub fn fig5c(budget: Budget) -> ExpTable {
         BenchProfile::by_name("xal_m").expect("table IV"),
         BenchProfile::by_name("ast_m").expect("table IV"),
     ] {
-        let ora = run(budget, Scheme::Oracle { window: 64 }, p, None);
-        let hard = run(budget, Scheme::Hard, p, None).speedup_over(&ora);
-        let hs = run(budget, Scheme::HardSys, p, None).speedup_over(&ora);
+        let ora = run(budget, Scheme::Oracle { window: 64 }, p, None, obs);
+        let hard = run(budget, Scheme::Hard, p, None, obs).speedup_over(&ora);
+        let hs = run(budget, Scheme::HardSys, p, None, obs).speedup_over(&ora);
         hard_all.push(hard);
         hs_all.push(hs);
-        t.row(vec![p.name.into(), format!("{hard:.3}"), format!("{hs:.3}")]);
+        t.row(vec![
+            p.name.into(),
+            format!("{hard:.3}"),
+            format!("{hs:.3}"),
+        ]);
     }
     t.row(vec![
         "gmean".into(),
@@ -68,6 +85,12 @@ pub fn fig5c(budget: Budget) -> ExpTable {
 /// Fig. 15: the overall performance comparison, normalized to ora-64×64.
 #[must_use]
 pub fn fig15(budget: Budget) -> ExpTable {
+    fig15_obs(budget, &Obs::off())
+}
+
+/// [`fig15`] with telemetry attached to every simulator run.
+#[must_use]
+pub fn fig15_obs(budget: Budget, obs: &Obs) -> ExpTable {
     let schemes = [
         Scheme::Baseline,
         Scheme::Hard,
@@ -86,10 +109,10 @@ pub fn fig15(budget: Budget) -> ExpTable {
     );
     let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
     for p in BenchProfile::table_iv() {
-        let ora = run(budget, Scheme::Oracle { window: 64 }, p, None);
+        let ora = run(budget, Scheme::Oracle { window: 64 }, p, None, obs);
         let mut row = vec![p.name.to_string()];
         for (k, &s) in schemes.iter().enumerate() {
-            let ratio = run(budget, s, p, None).speedup_over(&ora);
+            let ratio = run(budget, s, p, None, obs).speedup_over(&ora);
             per_scheme[k].push(ratio);
             row.push(format!("{ratio:.3}"));
         }
@@ -116,19 +139,33 @@ pub fn fig15(budget: Budget) -> ExpTable {
 /// Fig. 16: main-memory energy, normalized to Hard+Sys.
 #[must_use]
 pub fn fig16(budget: Budget) -> ExpTable {
+    fig16_obs(budget, &Obs::off())
+}
+
+/// [`fig16`] with telemetry attached to every simulator run.
+#[must_use]
+pub fn fig16_obs(budget: Budget, obs: &Obs) -> ExpTable {
     let schemes = [Scheme::Hard, Scheme::Drvr, Scheme::UdrvrPr];
     let mut t = ExpTable::new(
         "fig16",
         "Main-memory energy vs Hard+Sys",
-        &["name", "Hard", "DRVR", "UDRVR+PR", "UPR read", "UPR write", "UPR leak"],
+        &[
+            "name",
+            "Hard",
+            "DRVR",
+            "UDRVR+PR",
+            "UPR read",
+            "UPR write",
+            "UPR leak",
+        ],
     );
     let mut ratios = Vec::new();
     for p in BenchProfile::table_iv() {
-        let hs = run(budget, Scheme::HardSys, p, None);
+        let hs = run(budget, Scheme::HardSys, p, None, obs);
         let mut row = vec![p.name.to_string()];
         let mut upr = None;
         for &s in &schemes {
-            let r = run(budget, s, p, None);
+            let r = run(budget, s, p, None, obs);
             row.push(format!("{:.3}", r.energy_vs(&hs)));
             if s == Scheme::UdrvrPr {
                 ratios.push(r.energy_vs(&hs));
@@ -152,6 +189,12 @@ pub fn fig16(budget: Budget) -> ExpTable {
 /// Fig. 17: UDRVR-3.94 (no PR, bigger pump) vs UDRVR+PR.
 #[must_use]
 pub fn fig17(budget: Budget) -> ExpTable {
+    fig17_obs(budget, &Obs::off())
+}
+
+/// [`fig17`] with telemetry attached to every simulator run.
+#[must_use]
+pub fn fig17_obs(budget: Budget, obs: &Obs) -> ExpTable {
     let mut t = ExpTable::new(
         "fig17",
         "UDRVR+PR speedup over UDRVR-3.94",
@@ -159,8 +202,8 @@ pub fn fig17(budget: Budget) -> ExpTable {
     );
     let mut all = Vec::new();
     for p in BenchProfile::table_iv() {
-        let u394 = run(budget, Scheme::Udrvr394, p, None);
-        let upr = run(budget, Scheme::UdrvrPr, p, None);
+        let u394 = run(budget, Scheme::Udrvr394, p, None, obs);
+        let upr = run(budget, Scheme::UdrvrPr, p, None, obs);
         let s = upr.speedup_over(&u394);
         all.push(s);
         t.row(vec![p.name.into(), format!("{s:.3}")]);
@@ -180,14 +223,15 @@ fn sweep(
     budget: Budget,
     points: Vec<(String, ArrayModel)>,
     paper: &str,
+    obs: &Obs,
 ) -> ExpTable {
     let mut t = ExpTable::new(id, title, &["point", "UDRVR+PR / Hard+Sys", "paper"]);
     let paper_vals: Vec<&str> = paper.split(',').collect();
     for (k, (label, array)) in points.into_iter().enumerate() {
         let mut ratios = Vec::new();
         for p in sweep_benchmarks() {
-            let hs = run(budget, Scheme::HardSys, p, Some(array));
-            let upr = run(budget, Scheme::UdrvrPr, p, Some(array));
+            let hs = run(budget, Scheme::HardSys, p, Some(array), obs);
+            let upr = run(budget, Scheme::UdrvrPr, p, Some(array), obs);
             ratios.push(upr.speedup_over(&hs));
         }
         t.row(vec![
@@ -202,6 +246,12 @@ fn sweep(
 /// Fig. 18: the array-size sweep (256 / 512 / 1024).
 #[must_use]
 pub fn fig18(budget: Budget) -> ExpTable {
+    fig18_obs(budget, &Obs::off())
+}
+
+/// [`fig18`] with telemetry attached to every simulator run.
+#[must_use]
+pub fn fig18_obs(budget: Budget, obs: &Obs) -> ExpTable {
     let points = [256usize, 512, 1024]
         .iter()
         .map(|&s| {
@@ -217,6 +267,7 @@ pub fn fig18(budget: Budget) -> ExpTable {
         budget,
         points,
         "+6.7%, +11.7%, +18.2%",
+        obs,
     );
     t.note("Bigger arrays suffer more drop, so the mitigation matters more (paper Fig. 18).");
     t
@@ -225,6 +276,12 @@ pub fn fig18(budget: Budget) -> ExpTable {
 /// Fig. 19: the wire-resistance (process node) sweep.
 #[must_use]
 pub fn fig19(budget: Budget) -> ExpTable {
+    fig19_obs(budget, &Obs::off())
+}
+
+/// [`fig19`] with telemetry attached to every simulator run.
+#[must_use]
+pub fn fig19_obs(budget: Budget, obs: &Obs) -> ExpTable {
     let points = TechNode::sweep()
         .iter()
         .map(|&n| (n.to_string(), ArrayModel::paper_baseline().with_tech(n)))
@@ -235,6 +292,7 @@ pub fn fig19(budget: Budget) -> ExpTable {
         budget,
         points,
         "+1.4%, +11.7%, +18.3%",
+        obs,
     );
     t.note("Wire resistance grows as the node shrinks; so does the gain (paper Fig. 19).");
     t
@@ -243,6 +301,12 @@ pub fn fig19(budget: Budget) -> ExpTable {
 /// Fig. 20: the selector ON/OFF-ratio sweep.
 #[must_use]
 pub fn fig20(budget: Budget) -> ExpTable {
+    fig20_obs(budget, &Obs::off())
+}
+
+/// [`fig20`] with telemetry attached to every simulator run.
+#[must_use]
+pub fn fig20_obs(budget: Budget, obs: &Obs) -> ExpTable {
     let points = [500.0f64, 1000.0, 2000.0]
         .iter()
         .map(|&kr| {
@@ -258,6 +322,7 @@ pub fn fig20(budget: Budget) -> ExpTable {
         budget,
         points,
         "+18.9%, +11.7%, +5.8%",
+        obs,
     );
     t.note("Leakier selectors sneak more; the mitigation matters more (paper Fig. 20).");
     t
@@ -286,6 +351,10 @@ mod tests {
         let t = fig18(Budget::Quick);
         assert_eq!(t.rows.len(), 3);
         let gain = |r: &Vec<String>| -> f64 { r[1].trim_end_matches('%').parse().unwrap() };
-        assert!(gain(&t.rows[1]) > 0.0, "512x512 gain = {}", gain(&t.rows[1]));
+        assert!(
+            gain(&t.rows[1]) > 0.0,
+            "512x512 gain = {}",
+            gain(&t.rows[1])
+        );
     }
 }

@@ -65,7 +65,11 @@ impl ExpTable {
                 .join("  ")
         };
         let _ = writeln!(out, "{}", line(&self.headers, &widths));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             let _ = writeln!(out, "{}", line(row, &widths));
         }
@@ -93,7 +97,11 @@ impl ExpTable {
         let _ = writeln!(
             csv,
             "{}",
-            self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(

@@ -126,9 +126,7 @@ pub fn fig14() -> ExpTable {
         }
         let cells = 512.0 * writes as f64;
         let pct = |k: usize| acc[k][2] as f64 / cells * 100.0;
-        let plus = |k: usize, f: usize| {
-            (acc[k][f] as f64 / acc[0][f] as f64 - 1.0) * 100.0
-        };
+        let plus = |k: usize, f: usize| (acc[k][f] as f64 / acc[0][f] as f64 - 1.0) * 100.0;
         for (m, k) in means.iter_mut().zip(0..3) {
             *m += pct(k) / 11.0;
         }
@@ -139,7 +137,10 @@ pub fn fig14() -> ExpTable {
             format!("{:.1}", pct(2)),
             format!("{:+.0}", plus(1, 0)),
             format!("{:+.0}", plus(1, 1)),
-            format!("{:+.0}", (acc[1][2] as f64 / acc[0][2] as f64 - 1.0) * 100.0),
+            format!(
+                "{:+.0}",
+                (acc[1][2] as f64 / acc[0][2] as f64 - 1.0) * 100.0
+            ),
             format!("{:+.0}", plus(2, 0)),
         ]);
     }
@@ -164,7 +165,11 @@ mod tests {
         for row in &t.rows {
             let paper: f64 = row[1].parse().unwrap();
             let gen: f64 = row[3].parse().unwrap();
-            assert!((gen - paper).abs() / paper < 0.25, "{}: {gen} vs {paper}", row[0]);
+            assert!(
+                (gen - paper).abs() / paper < 0.25,
+                "{}: {gen} vs {paper}",
+                row[0]
+            );
         }
     }
 

@@ -14,6 +14,7 @@
 //! scheme-agnostic.
 
 use crate::MemoryConfig;
+use reram_obs::{Counter, Hist, Obs, Value};
 use std::collections::VecDeque;
 
 /// A request handed to the controller.
@@ -61,13 +62,51 @@ pub struct ControllerStats {
 }
 
 impl ControllerStats {
-    /// Mean read latency, ns.
+    /// Mean read latency, ns (0 when no reads completed — never `NaN`).
     #[must_use]
     pub fn mean_read_latency_ns(&self) -> f64 {
         if self.reads == 0 {
             0.0
         } else {
             self.read_latency_sum_ns / self.reads as f64
+        }
+    }
+
+    /// Mean write latency, ns (0 when no writes completed — never `NaN`).
+    #[must_use]
+    pub fn mean_write_latency_ns(&self) -> f64 {
+        if self.writes == 0 {
+            0.0
+        } else {
+            self.write_latency_sum_ns / self.writes as f64
+        }
+    }
+}
+
+/// Pre-resolved telemetry handles so the scheduling loop never does a
+/// name lookup. Every handle is a no-op until [`MemoryController::attach_obs`]
+/// is called.
+#[derive(Debug, Clone, Default)]
+struct CtrlMetrics {
+    obs: Obs,
+    queue_depth_read: Hist,
+    queue_depth_write: Hist,
+    write_burst_len: Hist,
+    read_priority_stalls: Counter,
+    read_latency_ns: Hist,
+    write_latency_ns: Hist,
+}
+
+impl CtrlMetrics {
+    fn resolve(obs: &Obs) -> Self {
+        Self {
+            obs: obs.clone(),
+            queue_depth_read: obs.hist("mem.controller.queue_depth_read"),
+            queue_depth_write: obs.hist("mem.controller.queue_depth_write"),
+            write_burst_len: obs.hist("mem.controller.write_burst_len"),
+            read_priority_stalls: obs.counter("mem.controller.read_priority_stalls"),
+            read_latency_ns: obs.hist("mem.controller.read_latency_ns"),
+            write_latency_ns: obs.hist("mem.controller.write_latency_ns"),
         }
     }
 }
@@ -80,7 +119,10 @@ pub struct MemoryController {
     read_q: VecDeque<Request>,
     write_q: VecDeque<Request>,
     in_burst: bool,
+    burst_issued: u64,
+    burst_start_ns: f64,
     stats: ControllerStats,
+    met: CtrlMetrics,
 }
 
 impl MemoryController {
@@ -94,8 +136,18 @@ impl MemoryController {
             read_q: VecDeque::new(),
             write_q: VecDeque::new(),
             in_burst: false,
+            burst_issued: 0,
+            burst_start_ns: 0.0,
             stats: ControllerStats::default(),
+            met: CtrlMetrics::default(),
         }
+    }
+
+    /// Attaches a telemetry registry. Queue depths, burst lengths, latencies
+    /// and read-priority stalls are recorded under `mem.controller.*`; with
+    /// no attachment every recording is a no-op branch.
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        self.met = CtrlMetrics::resolve(obs);
     }
 
     /// True when the read queue cannot take another entry.
@@ -117,6 +169,7 @@ impl MemoryController {
             return false;
         }
         self.read_q.push_back(req);
+        self.met.queue_depth_read.record(self.read_q.len() as f64);
         true
     }
 
@@ -127,8 +180,11 @@ impl MemoryController {
             return false;
         }
         self.write_q.push_back(req);
-        if self.write_queue_full() {
+        self.met.queue_depth_write.record(self.write_q.len() as f64);
+        if self.write_queue_full() && !self.in_burst {
             self.in_burst = true;
+            self.burst_issued = 0;
+            self.burst_start_ns = req.arrival_ns;
             self.stats.write_bursts += 1;
         }
         true
@@ -190,12 +246,23 @@ impl MemoryController {
             }
             if serve_writes {
                 let r = self.write_q.remove(idx).expect("index valid");
+                self.met.queue_depth_write.record(self.write_q.len() as f64);
+                if self.in_burst && !self.read_q.is_empty() {
+                    // A write issued ahead of a pending read: the burst
+                    // discipline stalled a read — the contention PR exists
+                    // to shorten.
+                    self.met.read_priority_stalls.inc();
+                }
                 let busy = self.cfg.t_cwd_ns + r.service_ns + self.cfg.t_wtr_ns;
                 self.bank_free_ns[r.bank] = t0 + busy;
                 self.stats.bank_busy_ns += busy;
                 let done_ns = t0 + self.cfg.mc_to_bank_ns() + self.cfg.t_cwd_ns + r.service_ns;
                 self.stats.writes += 1;
                 self.stats.write_latency_sum_ns += done_ns - r.arrival_ns;
+                self.met.write_latency_ns.record(done_ns - r.arrival_ns);
+                if self.in_burst {
+                    self.burst_issued += 1;
+                }
                 done.push(Completion {
                     id: r.id,
                     is_write: true,
@@ -203,16 +270,29 @@ impl MemoryController {
                     queued_ns: t0 - r.arrival_ns,
                 });
                 if self.write_q.is_empty() {
+                    if self.in_burst {
+                        self.met.write_burst_len.record(self.burst_issued as f64);
+                        self.met.obs.event(
+                            "mem.controller.write_burst",
+                            &[
+                                ("len", Value::U64(self.burst_issued)),
+                                ("start_ns", Value::F64(self.burst_start_ns)),
+                                ("end_ns", Value::F64(done_ns)),
+                            ],
+                        );
+                    }
                     self.in_burst = false;
                 }
             } else {
                 let r = self.read_q.remove(idx).expect("index valid");
+                self.met.queue_depth_read.record(self.read_q.len() as f64);
                 let busy = self.cfg.read_service_ns();
                 self.bank_free_ns[r.bank] = t0 + busy;
                 self.stats.bank_busy_ns += busy;
                 let done_ns = t0 + self.cfg.mc_to_bank_ns() + busy + self.cfg.burst_ns();
                 self.stats.reads += 1;
                 self.stats.read_latency_sum_ns += done_ns - r.arrival_ns;
+                self.met.read_latency_ns.record(done_ns - r.arrival_ns);
                 done.push(Completion {
                     id: r.id,
                     is_write: false,
@@ -255,7 +335,11 @@ mod tests {
         let done = mc.advance(1000.0);
         assert_eq!(done.len(), 1);
         let expect = cfg.mc_to_bank_ns() + cfg.read_service_ns() + cfg.burst_ns();
-        assert!((done[0].done_ns - expect).abs() < 1e-9, "{}", done[0].done_ns);
+        assert!(
+            (done[0].done_ns - expect).abs() < 1e-9,
+            "{}",
+            done[0].done_ns
+        );
     }
 
     #[test]
@@ -363,5 +447,26 @@ mod tests {
         assert_eq!(st.reads, 4);
         assert!(st.mean_read_latency_ns() > 0.0);
         assert!(st.bank_busy_ns > 0.0);
+    }
+
+    #[test]
+    fn mean_latencies_are_zero_not_nan_with_no_traffic() {
+        let st = ControllerStats::default();
+        assert_eq!(st.mean_read_latency_ns(), 0.0);
+        assert_eq!(st.mean_write_latency_ns(), 0.0);
+        // A write-only run must keep the read mean finite (and vice versa).
+        let mut mc = MemoryController::new(MemoryConfig::paper_baseline());
+        assert!(mc.submit_write(Request {
+            id: 1,
+            bank: 0,
+            arrival_ns: 0.0,
+            service_ns: 100.0,
+        }));
+        let _ = mc.advance(1e6);
+        let st = mc.stats();
+        assert_eq!(st.reads, 0);
+        assert_eq!(st.mean_read_latency_ns(), 0.0);
+        assert!(st.mean_read_latency_ns().is_finite());
+        assert!(st.mean_write_latency_ns() > 0.0);
     }
 }

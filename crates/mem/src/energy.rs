@@ -140,7 +140,11 @@ mod tests {
         let mut l = EnergyLedger::new();
         l.add_write(&p, 330.0);
         // 330 pJ at 33 % efficiency = 1000 pJ + one pump cycle (30.9 nJ).
-        assert!((l.write_pj - (1000.0 + 30_900.0)).abs() < 1.0, "{}", l.write_pj);
+        assert!(
+            (l.write_pj - (1000.0 + 30_900.0)).abs() < 1.0,
+            "{}",
+            l.write_pj
+        );
     }
 
     #[test]

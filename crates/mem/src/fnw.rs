@@ -135,7 +135,17 @@ impl FnwCodec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use reram_workloads::Rng64;
+
+    /// Randomized cases per property: 256 by default, 8× that under
+    /// `--features proptest`.
+    fn cases() -> usize {
+        if cfg!(feature = "proptest") {
+            2048
+        } else {
+            256
+        }
+    }
 
     #[test]
     fn unchanged_data_writes_nothing() {
@@ -182,31 +192,39 @@ mod tests {
         assert!(w.cells_written() <= 16);
     }
 
-    proptest! {
-        /// Decoding the stored state always returns the logical data.
-        #[test]
-        fn round_trip(old in proptest::collection::vec(any::<u8>(), 64),
-                      old_flips in proptest::collection::vec(any::<bool>(), 64),
-                      new in proptest::collection::vec(any::<u8>(), 64)) {
-            let codec = FnwCodec::paper();
+    /// Decoding the stored state always returns the logical data.
+    #[test]
+    fn round_trip() {
+        let mut rng = Rng64::new(0xF1);
+        let codec = FnwCodec::paper();
+        for _ in 0..cases() {
+            let mut old = [0u8; 64];
+            let mut new = [0u8; 64];
+            rng.fill_bytes(&mut old);
+            rng.fill_bytes(&mut new);
+            let old_flips: Vec<bool> = (0..64).map(|_| rng.gen_bool(0.5)).collect();
             let old_stored: Vec<u8> = old
                 .iter()
                 .zip(&old_flips)
                 .map(|(&b, &f)| if f { !b } else { b })
                 .collect();
             let w = codec.encode(&old_stored, &old_flips, &new);
-            prop_assert_eq!(codec.decode(&w.stored, &w.flips), new);
+            assert_eq!(codec.decode(&w.stored, &w.flips), new);
         }
+    }
 
-        /// FNW never writes more than half the cells of any word — the
-        /// invariant the 256-RESET pump budget relies on. (Per-word flips
-        /// always agree; the old flips must be word-consistent.)
-        #[test]
-        fn at_most_half_per_word(old_stored in proptest::collection::vec(any::<u8>(), 64),
-                                 word_flips in proptest::collection::vec(any::<bool>(), 16),
-                                 new in proptest::collection::vec(any::<u8>(), 64)) {
-            let old_flips: Vec<bool> =
-                word_flips.iter().flat_map(|&f| [f; 4]).collect();
+    /// FNW never writes more than half the cells of any word — the
+    /// invariant the 256-RESET pump budget relies on. (Per-word flips
+    /// always agree; the old flips must be word-consistent.)
+    #[test]
+    fn at_most_half_per_word() {
+        let mut rng = Rng64::new(0xF2);
+        for _ in 0..cases() {
+            let mut old_stored = [0u8; 64];
+            let mut new = [0u8; 64];
+            rng.fill_bytes(&mut old_stored);
+            rng.fill_bytes(&mut new);
+            let old_flips: Vec<bool> = (0..16).flat_map(|_| [rng.gen_bool(0.5); 4]).collect();
             let w = FnwCodec::paper().encode(&old_stored, &old_flips, &new);
             for word in 0..16 {
                 let changed: u32 = (0..4)
@@ -215,21 +233,27 @@ mod tests {
                         w.resets[s].count_ones() + w.sets[s].count_ones()
                     })
                     .sum();
-                prop_assert!(changed <= 16, "word {} changed {} cells", word, changed);
+                assert!(changed <= 16, "word {word} changed {changed} cells");
             }
-            prop_assert!(w.cells_written() <= 256);
+            assert!(w.cells_written() <= 256);
         }
+    }
 
-        /// Transition masks are disjoint and consistent with the stored data.
-        #[test]
-        fn masks_consistent(old_stored in proptest::collection::vec(any::<u8>(), 16),
-                            new in proptest::collection::vec(any::<u8>(), 16)) {
+    /// Transition masks are disjoint and consistent with the stored data.
+    #[test]
+    fn masks_consistent() {
+        let mut rng = Rng64::new(0xF3);
+        for _ in 0..cases() {
+            let mut old_stored = [0u8; 16];
+            let mut new = [0u8; 16];
+            rng.fill_bytes(&mut old_stored);
+            rng.fill_bytes(&mut new);
             let flips = vec![false; 16];
             let w = FnwCodec::paper().encode(&old_stored, &flips, &new);
             #[allow(clippy::needless_range_loop)] // indexes several parallel arrays
             for s in 0..16 {
-                prop_assert_eq!(w.resets[s] & w.sets[s], 0);
-                prop_assert_eq!((old_stored[s] & !w.resets[s]) | w.sets[s], w.stored[s]);
+                assert_eq!(w.resets[s] & w.sets[s], 0);
+                assert_eq!((old_stored[s] & !w.resets[s]) | w.sets[s], w.stored[s]);
             }
         }
     }

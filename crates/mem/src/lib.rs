@@ -41,11 +41,11 @@ pub mod wear;
 
 pub use addr::{AddressMapper, LineAddress, RowMapper};
 pub use config::MemoryConfig;
-pub use controller::{Completion, MemoryController, Request};
+pub use controller::{Completion, ControllerStats, MemoryController, Request};
 pub use ecp::EcpLine;
 pub use energy::{EnergyLedger, EnergyParams};
 pub use fnw::{FnwCodec, FnwWrite};
 pub use lifetime::{LifetimeEstimate, LifetimeModel};
-pub use pump::ChargePump;
+pub use pump::{ChargePump, PumpMeter};
 pub use store::{FunctionalStore, WriteReceipt};
 pub use wear::{RowShifter, SecurityRefresh};

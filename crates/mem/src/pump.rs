@@ -12,6 +12,8 @@
 //! UDRVR adds a stage (3.66 V max) plus the VRA ladder; D-BL needs a pump
 //! sized for twice the RESET current in the worst case.
 
+use reram_obs::{Counter, Hist, Obs};
+
 /// Charge-pump electrical and cost model.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChargePump {
@@ -143,6 +145,39 @@ impl ChargePump {
 impl Default for ChargePump {
     fn default() -> Self {
         Self::baseline()
+    }
+}
+
+/// Telemetry tap for pump activity. [`ChargePump`] itself is a pure `Copy`
+/// data model, so recharge accounting lives here: the simulator calls
+/// [`PumpMeter::on_recharge`] once per write it services. Every handle is a
+/// no-op until built from an enabled [`Obs`].
+#[derive(Debug, Clone, Default)]
+pub struct PumpMeter {
+    recharges: Counter,
+    charge_ns: Hist,
+}
+
+impl PumpMeter {
+    /// Resolves the `mem.pump.*` metrics on `obs`.
+    #[must_use]
+    pub fn resolve(obs: &Obs) -> Self {
+        Self {
+            recharges: obs.counter("mem.pump.recharges"),
+            charge_ns: obs.hist("mem.pump.charge_ns"),
+        }
+    }
+
+    /// Records one pump recharge (a write's pre-phase charging).
+    pub fn on_recharge(&self, pump: &ChargePump) {
+        self.recharges.inc();
+        self.charge_ns.record(pump.charge_ns);
+    }
+
+    /// Recharges recorded so far (0 on a detached meter).
+    #[must_use]
+    pub fn recharges(&self) -> u64 {
+        self.recharges.get()
     }
 }
 

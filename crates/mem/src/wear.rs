@@ -180,7 +180,7 @@ impl RowShifter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use reram_workloads::Rng64;
     use std::collections::HashSet;
 
     #[test]
@@ -217,28 +217,47 @@ mod tests {
         assert!(homes.len() > 30, "only {} homes", homes.len());
     }
 
-    proptest! {
-        #[test]
-        fn remap_bijective_any_seed(seed: u64, bits in 4u32..16) {
+    /// Randomized cases: 64 by default, 8× under `--features proptest`.
+    fn cases() -> usize {
+        if cfg!(feature = "proptest") {
+            512
+        } else {
+            64
+        }
+    }
+
+    #[test]
+    fn remap_bijective_any_seed() {
+        let mut rng = Rng64::new(0xE1);
+        for _ in 0..cases() {
+            let seed = rng.next_u64();
+            let bits = rng.gen_range_u64(4, 16) as u32;
             let sr = SecurityRefresh::new(bits, seed, 100);
             let n = 1u64 << bits;
             let mut seen = HashSet::new();
             for l in 0..n {
                 let p = sr.remap(l);
-                prop_assert!(p < n);
-                prop_assert!(seen.insert(p), "collision at {}", l);
+                assert!(p < n);
+                assert!(
+                    seen.insert(p),
+                    "collision at {l} (seed {seed}, bits {bits})"
+                );
             }
         }
+    }
 
-        #[test]
-        fn shifter_maps_bytes_bijectively(writes in 0u64..100_000) {
+    #[test]
+    fn shifter_maps_bytes_bijectively() {
+        let mut rng = Rng64::new(0xE2);
+        for _ in 0..cases() {
+            let writes = rng.gen_u64_below(100_000);
             let mut sh = RowShifter::new(64, 256);
             for _ in 0..writes % 2048 {
                 sh.on_write();
             }
             let mut seen = HashSet::new();
             for b in 0..64 {
-                prop_assert!(seen.insert(sh.map_byte(b)));
+                assert!(seen.insert(sh.map_byte(b)));
             }
         }
     }

@@ -1,47 +1,70 @@
-//! Property tests for the functional datapath: arbitrary write sequences
-//! always read back exactly, under every scheme.
+//! Randomized property tests for the functional datapath: arbitrary write
+//! sequences always read back exactly, under every scheme. Driven by the
+//! in-repo [`reram_workloads::Rng64`] generator; the `proptest` cargo
+//! feature multiplies the case counts.
 
-use proptest::prelude::*;
 use reram_core::{Scheme, WriteModel};
 use reram_mem::FunctionalStore;
+use reram_workloads::Rng64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+/// Cases per property: 16 by default (matching the old proptest config),
+/// 8× that under `--features proptest`.
+fn cases(base: usize) -> usize {
+    if cfg!(feature = "proptest") {
+        base * 8
+    } else {
+        base
+    }
+}
 
-    /// FNW + (PR) + phase ordering + row shifting never corrupt data.
-    #[test]
-    fn datapath_preserves_data(
-        writes in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 64), 1..12),
-        pr in any::<bool>(),
-    ) {
-        let scheme = if pr { Scheme::UdrvrPr } else { Scheme::Baseline };
+fn random_lines(rng: &mut Rng64, lo: usize, hi: usize) -> Vec<[u8; 64]> {
+    let n = rng.gen_range_usize(lo, hi);
+    (0..n)
+        .map(|_| {
+            let mut line = [0u8; 64];
+            rng.fill_bytes(&mut line);
+            line
+        })
+        .collect()
+}
+
+/// FNW + (PR) + phase ordering + row shifting never corrupt data.
+#[test]
+fn datapath_preserves_data() {
+    let mut rng = Rng64::new(0xA1);
+    for _ in 0..cases(16) {
+        let writes = random_lines(&mut rng, 1, 12);
+        let pr = rng.gen_bool(0.5);
+        let scheme = if pr {
+            Scheme::UdrvrPr
+        } else {
+            Scheme::Baseline
+        };
         let mut store = FunctionalStore::new(2, WriteModel::paper(scheme));
-        let mut last = [0u8; 64];
         for w in &writes {
-            last.copy_from_slice(w);
-            let _ = store.write_line(0, &last);
-            prop_assert_eq!(store.read_line(0), last);
+            let _ = store.write_line(0, w);
+            assert_eq!(store.read_line(0), *w);
         }
         // The untouched line stays zeroed.
-        prop_assert_eq!(store.read_line(1), [0u8; 64]);
+        assert_eq!(store.read_line(1), [0u8; 64]);
     }
+}
 
-    /// Wear only grows, and PR's pulsed-cell count dominates the baseline's
-    /// for identical write sequences.
-    #[test]
-    fn pr_wear_dominates(
-        writes in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 64), 2..8),
-    ) {
+/// Wear only grows, and PR's pulsed-cell count dominates the baseline's
+/// for identical write sequences.
+#[test]
+fn pr_wear_dominates() {
+    let mut rng = Rng64::new(0xA2);
+    for _ in 0..cases(16) {
+        let writes = random_lines(&mut rng, 2, 8);
         let mut base = FunctionalStore::new(1, WriteModel::paper(Scheme::Baseline));
         let mut pr = FunctionalStore::new(1, WriteModel::paper(Scheme::UdrvrPr));
         let (mut pb, mut pp) = (0u64, 0u64);
         for w in &writes {
-            let mut buf = [0u8; 64];
-            buf.copy_from_slice(w);
-            pb += u64::from(base.write_line(0, &buf).cells_pulsed);
-            pp += u64::from(pr.write_line(0, &buf).cells_pulsed);
+            pb += u64::from(base.write_line(0, w).cells_pulsed);
+            pp += u64::from(pr.write_line(0, w).cells_pulsed);
         }
-        prop_assert!(pp >= pb, "PR pulsed {pp} vs base {pb}");
-        prop_assert!(pr.max_wear(0) >= base.max_wear(0));
+        assert!(pp >= pb, "PR pulsed {pp} vs base {pb}");
+        assert!(pr.max_wear(0) >= base.max_wear(0));
     }
 }

@@ -1,0 +1,255 @@
+//! A mergeable log-scaled histogram over non-negative `f64` samples.
+//!
+//! Values are bucketed geometrically with [`SUB_BUCKETS_PER_OCTAVE`]
+//! sub-buckets per power of two, giving a bounded relative error of
+//! `2^(1/16) − 1 ≈ 4.4 %` on reconstructed quantiles across the entire
+//! positive double range — wide enough to hold queue depths (units),
+//! latencies (ns) and KCL residuals (≤ 1e-8 A) in one representation.
+//! Count, sum, min and max are tracked exactly, so `mean()` and `max()`
+//! carry no bucketing error and quantiles are clamped into `[min, max]`.
+//! Values ≤ 0 (and non-finite values) land in a dedicated underflow bucket
+//! whose representative value is 0.
+
+use std::collections::BTreeMap;
+
+/// Geometric resolution: sub-buckets per power of two.
+pub const SUB_BUCKETS_PER_OCTAVE: f64 = 16.0;
+
+/// A mergeable log-scaled histogram.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    /// Samples ≤ 0 or non-finite.
+    zero: u64,
+    /// Sparse geometric buckets: index → count.
+    buckets: BTreeMap<i32, u64>,
+}
+
+/// Bucket index of a strictly positive finite value.
+fn bucket_index(v: f64) -> i32 {
+    (v.log2() * SUB_BUCKETS_PER_OCTAVE).floor() as i32
+}
+
+/// Representative (geometric midpoint) value of a bucket.
+fn bucket_value(b: i32) -> f64 {
+    2f64.powf((b as f64 + 0.5) / SUB_BUCKETS_PER_OCTAVE)
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        if v.is_finite() {
+            self.sum += v;
+        }
+        if v > 0.0 && v.is_finite() {
+            *self.buckets.entry(bucket_index(v)).or_insert(0) += 1;
+        } else {
+            self.zero += 1;
+        }
+    }
+
+    /// Folds `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.zero += other.zero;
+        for (&b, &c) in &other.buckets {
+            *self.buckets.entry(b).or_insert(0) += c;
+        }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of the finite samples.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Exact minimum (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), reconstructed from the buckets
+    /// and clamped into `[min, max]`. Returns 0 when empty. The bucketing
+    /// bounds the relative error at `2^(1/16) − 1 ≈ 4.4 %`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut acc = self.zero;
+        if acc >= rank {
+            return self.min;
+        }
+        for (&b, &c) in &self.buckets {
+            acc += c;
+            if acc >= rank {
+                return bucket_value(b).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn mean_min_max_are_exact() {
+        let mut h = Histogram::new();
+        for v in [3.0, 5.0, 9.0, 100.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.mean() - 29.25).abs() < 1e-12);
+        assert_eq!(h.min(), 3.0);
+        assert_eq!(h.max(), 100.0);
+    }
+
+    #[test]
+    fn quantiles_are_within_bucket_error() {
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        for (q, expect) in [(0.5, 500.0), (0.9, 900.0), (0.99, 990.0)] {
+            let got = h.quantile(q);
+            assert!(
+                (got - expect).abs() / expect < 0.05,
+                "q{q}: {got} vs {expect}"
+            );
+        }
+        assert_eq!(h.quantile(1.0), 1000.0);
+        assert_eq!(h.quantile(0.0), 1.0);
+    }
+
+    #[test]
+    fn tiny_values_bucket_correctly() {
+        let mut h = Histogram::new();
+        for _ in 0..10 {
+            h.record(1e-12);
+        }
+        let p50 = h.quantile(0.5);
+        assert!((p50 - 1e-12).abs() / 1e-12 < 0.05, "p50 = {p50}");
+    }
+
+    #[test]
+    fn zero_and_negatives_go_to_underflow() {
+        let mut h = Histogram::new();
+        h.record(0.0);
+        h.record(-3.0);
+        h.record(f64::NAN);
+        h.record(4.0);
+        assert_eq!(h.count(), 4);
+        // Three of four samples are in the underflow bucket, so p50 ≤ 0.
+        assert!(h.quantile(0.5) <= 0.0);
+        assert_eq!(h.max(), 4.0);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for i in 0..500 {
+            let v = (i as f64) * 1.7 + 0.3;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn merge_into_empty_copies() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        b.record(42.0);
+        a.merge(&b);
+        assert_eq!(a, b);
+        // Merging an empty histogram changes nothing.
+        a.merge(&Histogram::new());
+        assert_eq!(a, b);
+    }
+}

@@ -2,15 +2,17 @@
 
 use crate::{SimConfig, SimResult};
 use reram_array::ArrayModel;
+use reram_circuit::SolveOptions;
 use reram_core::{Scheme, WriteModel};
 use reram_mem::lifetime::LifetimeModel;
 use reram_mem::{
-    AddressMapper, EnergyLedger, EnergyParams, FnwCodec, MemoryConfig, MemoryController, Request,
-    RowMapper, SecurityRefresh,
+    AddressMapper, EnergyLedger, EnergyParams, FnwCodec, MemoryConfig, MemoryController, PumpMeter,
+    Request, RowMapper, SecurityRefresh,
 };
+use reram_obs::{Obs, Value};
 use reram_workloads::{AccessKind, BenchProfile, TraceGenerator};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
 /// A min-heap event, ordered by time (then insertion sequence for
 /// determinism).
@@ -110,6 +112,7 @@ pub struct Simulator {
     seed: u64,
     knobs: Knobs,
     array: ArrayModel,
+    obs: Obs,
 }
 
 impl Simulator {
@@ -123,6 +126,7 @@ impl Simulator {
             seed,
             knobs: Knobs::default(),
             array: ArrayModel::paper_baseline(),
+            obs: Obs::off(),
         }
     }
 
@@ -141,6 +145,16 @@ impl Simulator {
         self
     }
 
+    /// Attaches a telemetry registry. The simulator threads it through the
+    /// write model, the memory controller and the charge pump, and records
+    /// its own per-epoch IPC and read-latency histograms. A detached handle
+    /// (the default) keeps every instrumentation site a no-op.
+    #[must_use]
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.obs = obs.clone();
+        self
+    }
+
     /// Executes the run to completion.
     ///
     /// # Panics
@@ -149,8 +163,19 @@ impl Simulator {
     /// below the threshold) — a misconfigured scheme, not a workload effect.
     #[must_use]
     pub fn run(&self) -> SimResult {
-        let wm = WriteModel::new(self.array, self.scheme);
+        let wm = WriteModel::new(self.array, self.scheme).with_obs(&self.obs);
         let geom = self.array.geometry();
+        let obs_on = self.obs.enabled();
+        if obs_on && self.obs.counter("circuit.solve.solves").get() == 0 {
+            // The trace-driven loop never invokes the circuit solver (write
+            // latency comes from the pre-characterized drop model), so probe
+            // the worst-case cell once per attached registry to put the
+            // solver's iteration and residual distributions into every
+            // telemetry capture.
+            let n = geom.size();
+            let cp = self.array.to_crosspoint(n - 1, &[n - 1], &[3.0]);
+            let _ = cp.solve_observed(&SolveOptions::default(), &self.obs);
+        }
         let mapper = AddressMapper::new(
             reram_mem::MemoryConfig::paper_baseline(),
             geom.size(),
@@ -191,6 +216,16 @@ impl Simulator {
         const SCH_LATENCY_FLOOR: f64 = 0.5;
 
         let mut mc = MemoryController::new(mem_cfg);
+        mc.attach_obs(&self.obs);
+        let pump_meter = PumpMeter::resolve(&self.obs);
+        let epoch_ipc = self.obs.hist("sim.system.epoch_ipc");
+        let read_lat = self.obs.hist("sim.system.read_latency_ns");
+        // Epochs are fixed wall-clock quanta: a stall-free run covers ~32.
+        let epoch_len_ns = (self.cfg.exec_ns(self.cfg.instructions_per_core) / 32.0).max(1.0);
+        let mut next_epoch_ns = epoch_len_ns;
+        let mut epoch_idx = 0u64;
+        let mut epoch_retired = 0u64;
+        let mut read_issue: HashMap<u64, f64> = HashMap::new();
         let mut ledger = EnergyLedger::new();
         let mut cores: Vec<Core> = (0..self.cfg.cores)
             .map(|c| Core {
@@ -313,11 +348,33 @@ impl Simulator {
             for comp in &completions {
                 if !comp.is_write {
                     let c = (comp.id >> 48) as usize;
-                    push(
-                        &mut heap,
-                        comp.done_ns.max(now),
-                        EventKind::ReadDone(c),
+                    if obs_on {
+                        if let Some(t0) = read_issue.remove(&comp.id) {
+                            read_lat.record(comp.done_ns.max(now) - t0);
+                        }
+                    }
+                    push(&mut heap, comp.done_ns.max(now), EventKind::ReadDone(c));
+                }
+            }
+
+            if obs_on {
+                while now >= next_epoch_ns {
+                    let retired: u64 = cores.iter().map(|c| c.retired).sum();
+                    let d = retired - epoch_retired;
+                    let ipc = d as f64 / (epoch_len_ns * self.cfg.freq_ghz);
+                    epoch_ipc.record(ipc);
+                    self.obs.event(
+                        "sim.epoch",
+                        &[
+                            ("epoch", Value::U64(epoch_idx)),
+                            ("t_ns", Value::F64(next_epoch_ns)),
+                            ("ipc", Value::F64(ipc)),
+                            ("retired", Value::U64(retired)),
+                        ],
                     );
+                    epoch_retired = retired;
+                    epoch_idx += 1;
+                    next_epoch_ns += epoch_len_ns;
                 }
             }
 
@@ -351,7 +408,9 @@ impl Simulator {
                 // Issue the core's pending access, then run ahead to its
                 // next one; block (and stop) on any structural hazard.
                 'issue: {
-                    let Some(p) = cores[c].pending else { break 'issue };
+                    let Some(p) = cores[c].pending else {
+                        break 'issue;
+                    };
                     match p {
                         Prepared::Read { bank } => {
                             if cores[c].outstanding >= self.cfg.mshrs {
@@ -372,6 +431,9 @@ impl Simulator {
                                     push(&mut heap, t, EventKind::MemCheck);
                                 }
                                 break 'issue;
+                            }
+                            if obs_on {
+                                read_issue.insert(read_id(c, reads_issued), now);
                             }
                             reads_issued += 1;
                             cores[c].outstanding += 1;
@@ -400,6 +462,7 @@ impl Simulator {
                                 }
                                 break 'issue;
                             }
+                            pump_meter.on_recharge(&pump);
                             ledger.add_write(&energy_params, array_energy_pj);
                             cell_writes += u64::from(cw);
                             resets_total += u64::from(resets);
@@ -444,6 +507,22 @@ impl Simulator {
         // trims the rest.
         let busy = (stats.bank_busy_ns / mem_cfg.total_banks() as f64).min(elapsed_ns);
         ledger.add_time(&energy_params, busy, elapsed_ns - busy);
+
+        if obs_on {
+            let instructions = self.cfg.total_instructions();
+            self.obs.event(
+                "sim.run_complete",
+                &[
+                    ("scheme", Value::Str(self.scheme.to_string())),
+                    ("instructions", Value::U64(instructions)),
+                    ("elapsed_ns", Value::F64(elapsed_ns)),
+                    (
+                        "ipc",
+                        Value::F64(instructions as f64 / (elapsed_ns * self.cfg.freq_ghz)),
+                    ),
+                ],
+            );
+        }
 
         SimResult {
             instructions: self.cfg.total_instructions(),
@@ -491,7 +570,12 @@ mod tests {
     fn oracle_bounds_real_schemes() {
         let ours = quick(Scheme::UdrvrPr, "mcf_m");
         let ora = quick(Scheme::Oracle { window: 64 }, "mcf_m");
-        assert!(ora.ipc() >= ours.ipc() * 0.98, "{} vs {}", ora.ipc(), ours.ipc());
+        assert!(
+            ora.ipc() >= ours.ipc() * 0.98,
+            "{} vs {}",
+            ora.ipc(),
+            ours.ipc()
+        );
     }
 
     #[test]

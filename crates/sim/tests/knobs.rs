@@ -92,6 +92,9 @@ fn coarser_nodes_run_faster() {
 fn seeds_change_traffic_but_not_feasibility() {
     for seed in [1u64, 99, 31337] {
         let r = Simulator::new(cfg(), Scheme::UdrvrPr, mcf(), seed).run();
-        assert!(r.ipc() > 0.0 && r.mem.reads > 0 && r.mem.writes > 0, "seed {seed}");
+        assert!(
+            r.ipc() > 0.0 && r.mem.reads > 0 && r.mem.writes > 0,
+            "seed {seed}"
+        );
     }
 }

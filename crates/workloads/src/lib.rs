@@ -20,7 +20,9 @@
 #![warn(missing_docs)]
 
 pub mod profile;
+pub mod rng;
 pub mod trace;
 
 pub use profile::BenchProfile;
+pub use rng::{Rng64, SplitMix64};
 pub use trace::{Access, AccessKind, TraceGenerator};

@@ -33,8 +33,7 @@ impl BenchProfile {
     #[must_use]
     pub fn mean_changed_frac(&self) -> f64 {
         self.slice_touch_prob
-            * (self.changed_bits_mean * (1.0 - self.dense_burst_prob)
-                + 7.5 * self.dense_burst_prob)
+            * (self.changed_bits_mean * (1.0 - self.dense_burst_prob) + 7.5 * self.dense_burst_prob)
             / 8.0
     }
 

@@ -1,8 +1,7 @@
 //! Seeded trace generation from a [`BenchProfile`].
 
+use crate::rng::Rng64;
 use crate::BenchProfile;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Bytes in a memory line.
 pub const LINE_BYTES: usize = 64;
@@ -42,7 +41,7 @@ pub struct Access {
 #[derive(Debug, Clone)]
 pub struct TraceGenerator {
     profile: BenchProfile,
-    rng: StdRng,
+    rng: Rng64,
     address_lines: u64,
 }
 
@@ -55,7 +54,7 @@ impl TraceGenerator {
     pub fn new(profile: BenchProfile, seed: u64) -> Self {
         Self {
             profile,
-            rng: StdRng::seed_from_u64(seed ^ 0xC0FF_EE00_D15E_A5E5),
+            rng: Rng64::new(seed ^ 0xC0FF_EE00_D15E_A5E5),
             address_lines: Self::DEFAULT_ADDRESS_LINES,
         }
     }
@@ -83,12 +82,12 @@ impl TraceGenerator {
         let p = &self.profile;
         if self.rng.gen_bool(p.hot_fraction) {
             // Zipf-like rank: hot lines are geometrically more popular.
-            let u: f64 = self.rng.gen_range(0.0f64..1.0);
+            let u: f64 = self.rng.next_f64();
             let rank = (u * u * p.hot_lines as f64) as u64; // quadratic skew
             let heat = rank as f64 / p.hot_lines as f64;
             (rank % self.address_lines, heat * 0.5)
         } else {
-            (self.rng.gen_range(0..self.address_lines), 0.995)
+            (self.rng.gen_u64_below(self.address_lines), 0.995)
         }
     }
 
@@ -100,14 +99,14 @@ impl TraceGenerator {
         let p = self.profile;
         let mut old = Box::new([0u8; LINE_BYTES]);
         let mut new = Box::new([0u8; LINE_BYTES]);
-        self.rng.fill(&mut old[..]);
+        self.rng.fill_bytes(&mut old[..]);
         new.copy_from_slice(&old[..]);
         for s in 0..LINE_BYTES {
             if !self.rng.gen_bool(p.slice_touch_prob) {
                 continue;
             }
             let k = if p.dense_burst_prob > 0.0 && self.rng.gen_bool(p.dense_burst_prob) {
-                self.rng.gen_range(7..=8)
+                self.rng.gen_range_usize(7, 9)
             } else {
                 // Geometric-ish count with the requested mean, capped at 6.
                 let mean = p.changed_bits_mean.max(1.0);
@@ -119,7 +118,7 @@ impl TraceGenerator {
             };
             let mut mask = 0u8;
             while mask.count_ones() < k as u32 {
-                mask |= 1 << self.rng.gen_range(0..8);
+                mask |= 1 << self.rng.gen_u64_below(8);
             }
             new[s] ^= mask;
         }
@@ -132,7 +131,7 @@ impl TraceGenerator {
         let apki = p.rpki + p.wpki;
         // Exponential inter-arrival around the PKI-implied mean gap.
         let mean_gap = 1000.0 / apki;
-        let u: f64 = self.rng.gen_range(1e-9f64..1.0);
+        let u: f64 = self.rng.gen_range_f64(1e-9, 1.0);
         let icount_gap = (-u.ln() * mean_gap).ceil().max(1.0) as u64;
         let is_write = self.rng.gen_bool(p.wpki / apki);
         let (line, heat) = self.draw_line();

@@ -31,7 +31,10 @@ fn main() {
         let years = lifetime
             .estimate(&wm)
             .map_or("-".to_string(), |l| format!("{:.2} yr", l.years));
-        println!("{:<14} {latency:>14} {endurance:>16} {years:>12}", scheme.label());
+        println!(
+            "{:<14} {latency:>14} {endurance:>16} {years:>12}",
+            scheme.label()
+        );
     }
 
     println!("\nPer-write view (a far-row write that RESETs bit 7 of every array):");

@@ -60,15 +60,15 @@ fn main() {
     // Cross-check the worst corner against the nonlinear KCL solver.
     println!("\nCircuit-solver cross-check (worst-case RESET, 512x512):");
     let cp = model.to_crosspoint(511, &[511], &[3.0]);
-    let sol = cp.solve(&SolveOptions::default()).expect("solver converges");
+    let sol = cp
+        .solve(&SolveOptions::default())
+        .expect("solver converges");
     let dm = model.drop_model();
     println!(
         "  analytic effective Vrst = {:.3} V (paper ~1.7 V); KCL solver = {:.3} V",
         3.0 - dm.total_drop(511, 511, 1),
         sol.cell_voltage(511, 511),
     );
-    println!(
-        "  (the paper's fixed-current model is pessimistic; see EXPERIMENTS.md)"
-    );
+    println!("  (the paper's fixed-current model is pessimistic; see EXPERIMENTS.md)");
     let _ = Spread::Even; // re-exported for users exploring placements
 }

@@ -100,7 +100,10 @@ fn pr_extra_writes_match_fig14_scale() {
     let pr_ratio = w_pr as f64 / w_base as f64;
     let dbl_ratio = w_dbl as f64 / w_base as f64;
     assert!((1.2..2.2).contains(&pr_ratio), "PR ratio = {pr_ratio}");
-    assert!(dbl_ratio > pr_ratio, "D-BL ({dbl_ratio}) must exceed PR ({pr_ratio})");
+    assert!(
+        dbl_ratio > pr_ratio,
+        "D-BL ({dbl_ratio}) must exceed PR ({pr_ratio})"
+    );
     assert!((1.6..3.5).contains(&dbl_ratio), "D-BL ratio = {dbl_ratio}");
 }
 
