@@ -5,7 +5,9 @@
 //! it.
 
 use reram_bench::{black_box, Harness};
+use reram_exec::ThreadPool;
 use reram_experiments::{ablation, lifetime_exp, micro, perf, traffic, Budget};
+use reram_obs::Obs;
 
 fn bench_static_tables(h: &mut Harness) {
     h.bench("table1", || black_box(micro::table1()));
@@ -55,6 +57,26 @@ fn bench_system_figures(h: &mut Harness) {
     h.bench("fig20", || black_box(perf::fig20(Budget::Smoke)));
 }
 
+/// The sweep figures again, fanned out over a worker pool — comparing these
+/// against the serial `bench_system_figures` entries shows what `par_map`
+/// buys (or costs) on this machine's core count.
+fn bench_parallel_figures(h: &mut Harness) {
+    let pool = ThreadPool::new(ThreadPool::default_jobs());
+    let obs = Obs::off();
+    h.bench("fig18_par", || {
+        black_box(perf::fig18_par(Budget::Smoke, &pool, &obs))
+    });
+    h.bench("fig19_par", || {
+        black_box(perf::fig19_par(Budget::Smoke, &pool, &obs))
+    });
+    h.bench("fig20_par", || {
+        black_box(perf::fig20_par(Budget::Smoke, &pool, &obs))
+    });
+    for fig in ["fig18", "fig19", "fig20"] {
+        let _ratio = h.compare(&format!("{fig}_par"), fig);
+    }
+}
+
 fn main() {
     let mut h = Harness::from_args();
     bench_static_tables(&mut h);
@@ -63,5 +85,6 @@ fn main() {
     bench_traffic_figures(&mut h);
     bench_ablations(&mut h);
     bench_system_figures(&mut h);
+    bench_parallel_figures(&mut h);
     h.finish();
 }

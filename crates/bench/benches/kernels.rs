@@ -7,6 +7,7 @@ use reram_array::{ArrayGeometry, ArrayModel};
 use reram_bench::{black_box, Harness};
 use reram_circuit::SolveOptions;
 use reram_core::{partition_reset, Scheme, WriteModel};
+use reram_exec::{par_map, ThreadPool};
 use reram_mem::{FnwCodec, MemoryConfig, MemoryController, Request, SecurityRefresh};
 use reram_obs::Obs;
 
@@ -131,6 +132,37 @@ fn bench_controller(h: &mut Harness) {
     });
 }
 
+/// Pool-dispatch overhead: `par_map` over 1024 trivial closures on a
+/// two-worker pool vs the serial pool. The difference, amortized per job,
+/// bounds what the execution engine adds on top of the work itself — the
+/// acceptance bar is < 5 µs/job.
+fn bench_par_map_overhead(h: &mut Harness) {
+    const N: u64 = 1024;
+    let items: Vec<u64> = (0..N).collect();
+    let serial = ThreadPool::serial();
+    {
+        let items = items.clone();
+        h.bench("par_map_serial_1024_trivial", move || {
+            par_map(&serial, items.clone(), |i, x| x.wrapping_mul(i as u64 + 1)).len()
+        });
+    }
+    let pool = ThreadPool::new(2);
+    h.bench("par_map_pool2_1024_trivial", move || {
+        par_map(&pool, items.clone(), |i, x| x.wrapping_mul(i as u64 + 1)).len()
+    });
+    if let (Some(par), Some(ser)) = (
+        h.get("par_map_pool2_1024_trivial"),
+        h.get("par_map_serial_1024_trivial"),
+    ) {
+        let overhead_ns_per_job = (par.min_ns - ser.min_ns) / N as f64;
+        println!("par_map dispatch overhead: {overhead_ns_per_job:.1} ns/job");
+        assert!(
+            overhead_ns_per_job < 5_000.0,
+            "pool dispatch overhead is {overhead_ns_per_job:.1} ns/job (must be < 5 µs/job)"
+        );
+    }
+}
+
 fn main() {
     let mut h = Harness::from_args();
     bench_solver(&mut h);
@@ -141,5 +173,6 @@ fn main() {
     bench_wear_leveling(&mut h);
     bench_write_planning(&mut h);
     bench_controller(&mut h);
+    bench_par_map_overhead(&mut h);
     h.finish();
 }

@@ -1,0 +1,120 @@
+//! Solver validation grid — array size × selector ON/OFF ratio × wire
+//! resistance — fanned out through `reram_exec::par_map`.
+//!
+//! Each grid point solves a worst-case half-select bias pattern and checks
+//! the solver's physical invariants (charge conservation, maximum
+//! principle, drop monotone in wire resistance). The parallel results must
+//! be bitwise-identical to a serial loop over the same points: the solver
+//! is deterministic, and `par_map` only reorders *execution*, never
+//! collection.
+
+use reram_circuit::{CellDevice, Crosspoint, LineEnd, PolySelector, SolveOptions};
+use reram_exec::{par_map, ThreadPool};
+
+/// Worst-case RESET bias: selected cell at the far corner (`n-1`, `n-1`),
+/// every other line half-selected.
+fn grid_point(n: usize, kr: f64, r_wire: f64) -> Crosspoint {
+    let mut cp = Crosspoint::uniform(
+        n,
+        n,
+        r_wire,
+        CellDevice::Selector(PolySelector::new(90e-6, 3.0, kr)),
+    );
+    for i in 0..n {
+        cp.set_wl_left(
+            i,
+            if i == n - 1 {
+                LineEnd::ground()
+            } else {
+                LineEnd::driven(1.5)
+            },
+        );
+    }
+    for j in 0..n {
+        cp.set_bl_near(
+            j,
+            if j == n - 1 {
+                LineEnd::driven(3.0)
+            } else {
+                LineEnd::driven(1.5)
+            },
+        );
+    }
+    cp
+}
+
+/// Solves one grid point: (net source current, selected-cell voltage).
+fn solve_point(n: usize, kr: f64, r_wire: f64) -> (f64, f64) {
+    let sol = grid_point(n, kr, r_wire)
+        .solve(&SolveOptions::default())
+        .expect("grid point converges");
+    (sol.total_source_current(), sol.cell_voltage(n - 1, n - 1))
+}
+
+/// The grid, wire resistance innermost (so consecutive triples share an
+/// (n, Kr) pair and can be checked for monotonicity).
+fn grid() -> Vec<(usize, f64, f64)> {
+    let mut points = Vec::new();
+    for &n in &[8usize, 16, 32] {
+        for &kr in &[500.0, 1000.0, 2000.0] {
+            for &r_wire in &[1.0, 2.82, 8.0] {
+                points.push((n, kr, r_wire));
+            }
+        }
+    }
+    points
+}
+
+#[test]
+fn parallel_grid_matches_serial_bitwise() {
+    let points = grid();
+    let serial: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(n, kr, rw)| solve_point(n, kr, rw))
+        .collect();
+    let par = par_map(&ThreadPool::new(4), points.clone(), |_i, &(n, kr, rw)| {
+        solve_point(n, kr, rw)
+    });
+    for (k, (s, p)) in serial.iter().zip(&par).enumerate() {
+        let (n, kr, rw) = points[k];
+        assert_eq!(
+            s.0.to_bits(),
+            p.0.to_bits(),
+            "net current differs at n={n} kr={kr} rw={rw}"
+        );
+        assert_eq!(
+            s.1.to_bits(),
+            p.1.to_bits(),
+            "selected-cell voltage differs at n={n} kr={kr} rw={rw}"
+        );
+    }
+}
+
+#[test]
+fn grid_points_satisfy_physical_invariants() {
+    let points = grid();
+    let results = par_map(&ThreadPool::new(4), points.clone(), |_i, &(n, kr, rw)| {
+        solve_point(n, kr, rw)
+    });
+    for (k, &(net, v_sel)) in results.iter().enumerate() {
+        let (n, kr, rw) = points[k];
+        assert!(
+            net.abs() < 1e-7,
+            "charge not conserved at n={n} kr={kr} rw={rw}: net {net}"
+        );
+        assert!(
+            v_sel > 0.0 && v_sel < 3.0,
+            "selected-cell voltage out of range at n={n} kr={kr} rw={rw}: {v_sel}"
+        );
+    }
+    // Within each (n, Kr) pair the wire resistance sweep is ascending, so
+    // the selected-cell voltage must be strictly descending (more drop).
+    for (k, triple) in results.chunks(3).enumerate() {
+        let (n, kr, _) = points[3 * k];
+        assert!(
+            triple[0].1 > triple[1].1 && triple[1].1 > triple[2].1,
+            "drop not monotone in wire resistance at n={n} kr={kr}: {:?}",
+            triple.iter().map(|r| r.1).collect::<Vec<_>>()
+        );
+    }
+}

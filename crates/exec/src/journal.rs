@@ -1,0 +1,269 @@
+//! Checkpoint/resume journal: one JSONL line per finished job.
+//!
+//! The DAG runner appends a line when a job resolves:
+//!
+//! ```json
+//! {"job":"fig19/1","status":"done","payload":"<job output>"}
+//! {"job":"fig13","status":"failed","error":"panicked: ..."}
+//! ```
+//!
+//! Opening an existing journal replays it: jobs recorded `done` are
+//! **skipped on resume** and their payloads handed straight to their
+//! dependents; `failed` jobs rerun. The file is append-only and flushed
+//! after every record, so an interrupted `experiments all --full` loses at
+//! most the jobs that were mid-flight.
+//!
+//! Serialization reuses `reram-obs`'s hand-rolled JSON string escaping;
+//! parsing below handles exactly the flat string-valued objects this module
+//! writes (a deliberate non-goal: a general JSON parser).
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Appends a quoted, escaped JSON string literal (same escapes the obs
+/// JSONL sink emits).
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses one flat `{"k":"v",...}` object with string values only.
+/// Returns `None` on anything malformed (a truncated tail line from a
+/// killed run must not poison the resume).
+fn parse_flat_object(line: &str) -> Option<BTreeMap<String, String>> {
+    let mut chars = line.trim().chars().peekable();
+    let mut out = BTreeMap::new();
+    if chars.next()? != '{' {
+        return None;
+    }
+    loop {
+        match chars.peek()? {
+            '}' => {
+                chars.next();
+                break;
+            }
+            ',' => {
+                chars.next();
+            }
+            _ => {}
+        }
+        let key = parse_string(&mut chars)?;
+        if chars.next()? != ':' {
+            return None;
+        }
+        let val = parse_string(&mut chars)?;
+        out.insert(key, val);
+    }
+    Some(out)
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
+    if chars.next()? != '"' {
+        return None;
+    }
+    let mut s = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(s),
+            '\\' => match chars.next()? {
+                '"' => s.push('"'),
+                '\\' => s.push('\\'),
+                'n' => s.push('\n'),
+                'r' => s.push('\r'),
+                't' => s.push('\t'),
+                'u' => {
+                    let hex: String = (0..4).map(|_| chars.next()).collect::<Option<_>>()?;
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    s.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => s.push(c),
+        }
+    }
+}
+
+/// How a journaled job ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalEntry {
+    /// Completed with this payload; skipped on resume.
+    Done(String),
+    /// Failed with this error; rerun on resume.
+    Failed(String),
+}
+
+/// An append-only JSONL checkpoint file.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    w: BufWriter<File>,
+    completed: BTreeMap<String, String>,
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal at `path` and replays any
+    /// existing records. Malformed lines — e.g. the torn tail of a killed
+    /// run — are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut completed = BTreeMap::new();
+        let mut existing = String::new();
+        let mut f = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(path)?;
+        f.read_to_string(&mut existing)?;
+        for line in existing.lines() {
+            if let Some((job, JournalEntry::Done(payload))) = Self::parse_line(line) {
+                completed.insert(job, payload);
+            }
+        }
+        Ok(Self {
+            path: path.to_path_buf(),
+            w: BufWriter::new(f),
+            completed,
+        })
+    }
+
+    fn parse_line(line: &str) -> Option<(String, JournalEntry)> {
+        let obj = parse_flat_object(line)?;
+        let job = obj.get("job")?.clone();
+        match obj.get("status")?.as_str() {
+            "done" => Some((job, JournalEntry::Done(obj.get("payload")?.clone()))),
+            "failed" => Some((job, JournalEntry::Failed(obj.get("error")?.clone()))),
+            _ => None,
+        }
+    }
+
+    /// Journal file location.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Jobs already recorded `done` (job → payload); the DAG runner skips
+    /// these on resume.
+    #[must_use]
+    pub fn completed(&self) -> &BTreeMap<String, String> {
+        &self.completed
+    }
+
+    fn append(&mut self, fields: &[(&str, &str)]) {
+        let mut line = String::with_capacity(64);
+        line.push('{');
+        for (k, v) in fields {
+            if line.len() > 1 {
+                line.push(',');
+            }
+            push_json_string(&mut line, k);
+            line.push(':');
+            push_json_string(&mut line, v);
+        }
+        line.push('}');
+        // Checkpointing must never take the run down: IO errors degrade to
+        // "no checkpoint", they don't fail the job.
+        let _unused = writeln!(self.w, "{line}");
+        let _unused = self.w.flush();
+    }
+
+    /// Records a completed job (and remembers it for [`Journal::completed`]).
+    pub fn record_done(&mut self, job: &str, payload: &str) {
+        self.append(&[("job", job), ("status", "done"), ("payload", payload)]);
+        self.completed.insert(job.to_string(), payload.to_string());
+    }
+
+    /// Records a failed job (rerun on resume).
+    pub fn record_failed(&mut self, job: &str, error: &str) {
+        self.append(&[("job", job), ("status", "failed"), ("error", error)]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("reram_exec_journal_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        let _unused = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn round_trips_done_and_failed() {
+        let path = tmp("round_trip.jsonl");
+        {
+            let mut j = Journal::open(&path).unwrap();
+            j.record_done("fig19/0", "row\twith\ttabs\nand \"quotes\"");
+            j.record_failed("fig13", "panicked: poisoned");
+            j.record_done("fig20", "plain");
+        }
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.completed().len(), 2);
+        assert_eq!(j.completed()["fig19/0"], "row\twith\ttabs\nand \"quotes\"");
+        assert!(!j.completed().contains_key("fig13"), "failed jobs rerun");
+    }
+
+    #[test]
+    fn torn_tail_line_is_ignored() {
+        let path = tmp("torn.jsonl");
+        {
+            let mut j = Journal::open(&path).unwrap();
+            j.record_done("a", "1");
+        }
+        // Simulate a kill mid-write.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"job\":\"b\",\"sta");
+        std::fs::write(&path, text).unwrap();
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.completed().len(), 1);
+        assert!(j.completed().contains_key("a"));
+    }
+
+    #[test]
+    fn later_records_append_not_truncate() {
+        let path = tmp("append.jsonl");
+        {
+            let mut j = Journal::open(&path).unwrap();
+            j.record_done("a", "1");
+        }
+        {
+            let mut j = Journal::open(&path).unwrap();
+            assert_eq!(j.completed().len(), 1);
+            j.record_done("b", "2");
+        }
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.completed().len(), 2);
+    }
+
+    #[test]
+    fn parses_unicode_escapes() {
+        let obj = parse_flat_object("{\"job\":\"x\",\"payload\":\"a\\u0007b\"}").unwrap();
+        assert_eq!(obj["payload"], "a\u{7}b");
+    }
+}

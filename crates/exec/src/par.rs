@@ -1,0 +1,192 @@
+//! Deterministic parallel map.
+//!
+//! [`par_map`] distributes `f(index, &item)` over a [`ThreadPool`] and
+//! returns the results **in item order**, regardless of worker count or
+//! steal order. Determinism falls out of two rules:
+//!
+//! 1. **Index-keyed output** — each item's result is written to slot
+//!    `index`; the caller assembles the vector in order, so any downstream
+//!    reduction (gmean over a sweep, CSV row emission) performs its
+//!    floating-point operations in exactly the serial order.
+//! 2. **Index-keyed seeding** — `f` receives the item index, so any
+//!    randomness must derive from `(fixed_seed, index)`, never from a
+//!    worker id or a global counter.
+//!
+//! The **calling thread participates**: after submitting one driver task
+//! per worker, it claims items from the same atomic cursor until none
+//! remain. A [`ThreadPool::serial`] pool therefore degrades to exact
+//! serial iteration, and a `par_map` issued *from inside a pool job*
+//! (nested parallelism, e.g. a DAG job fanning out its own sweep) can
+//! never deadlock: the nested caller drains its own items even when every
+//! worker is busy.
+
+use crate::pool::ThreadPool;
+use crate::JobError;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+struct MapState<T, R> {
+    items: Vec<T>,
+    next: AtomicUsize,
+    out: Mutex<Vec<Option<Result<R, JobError>>>>,
+    completed: Mutex<usize>,
+    cv: Condvar,
+}
+
+/// Claims items off `st.next` and runs them until the cursor runs out.
+fn drive<T, R>(st: &MapState<T, R>, f: &(impl Fn(usize, &T) -> R + Sync)) {
+    let n = st.items.len();
+    loop {
+        let i = st.next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        let r = catch_unwind(AssertUnwindSafe(|| f(i, &st.items[i])))
+            .map_err(|p| JobError::Panicked(crate::panic_message(p.as_ref())));
+        st.out.lock().expect("par_map results poisoned")[i] = Some(r);
+        let mut done = st.completed.lock().expect("par_map latch poisoned");
+        *done += 1;
+        if *done == n {
+            st.cv.notify_all();
+        }
+    }
+}
+
+/// Like [`par_map`], but panics inside `f` are isolated per item and
+/// returned as [`JobError::Panicked`] instead of propagating — the other
+/// items still complete.
+pub fn try_par_map<T, R, F>(pool: &ThreadPool, items: Vec<T>, f: F) -> Vec<Result<R, JobError>>
+where
+    T: Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(usize, &T) -> R + Send + Sync + 'static,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let st = Arc::new(MapState {
+        items,
+        next: AtomicUsize::new(0),
+        out: Mutex::new((0..n).map(|_| None).collect()),
+        completed: Mutex::new(0),
+        cv: Condvar::new(),
+    });
+    let f = Arc::new(f);
+    // One driver per worker (capped by the number of items beyond the one
+    // the caller will take). Surplus drivers find the cursor exhausted and
+    // exit immediately.
+    let drivers = pool.workers().min(n.saturating_sub(1));
+    for _ in 0..drivers {
+        let st2 = Arc::clone(&st);
+        let f2 = Arc::clone(&f);
+        pool.spawn(move || drive(&st2, &*f2));
+    }
+    drive(&st, &*f);
+    // All items claimed by someone; wait for the stragglers to finish.
+    let mut done = st.completed.lock().expect("par_map latch poisoned");
+    while *done < n {
+        done = st.cv.wait(done).expect("par_map latch poisoned");
+    }
+    drop(done);
+    let mut out = st.out.lock().expect("par_map results poisoned");
+    out.iter_mut()
+        .map(|slot| slot.take().expect("all items completed"))
+        .collect()
+}
+
+/// Maps `f` over `items` on the pool; results come back in item order,
+/// bitwise-identical to serial execution for deterministic `f`.
+///
+/// # Panics
+///
+/// If `f` panicked for any item, the first (lowest-index) panic is
+/// re-raised on the caller after all other items have completed.
+pub fn par_map<T, R, F>(pool: &ThreadPool, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync + 'static,
+    R: Send + 'static,
+    F: Fn(usize, &T) -> R + Send + Sync + 'static,
+{
+    try_par_map(pool, items, f)
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| match r {
+            Ok(v) => v,
+            Err(e) => panic!("par_map item {i} failed: {e}"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order_on_serial_pool() {
+        let pool = ThreadPool::serial();
+        let out = par_map(&pool, (0..100u64).collect(), |i, x| i as u64 + x * 2);
+        assert_eq!(out.len(), 100);
+        assert_eq!(out[7], 7 + 14);
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        // A reduction whose result depends on f64 summation order: identical
+        // outputs prove the index-keyed ordering really is deterministic.
+        let work = |i: usize, seed: &u64| -> f64 {
+            let mut acc = 0.0f64;
+            let mut s = seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            for _ in 0..500 {
+                s = s.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                acc += (s >> 11) as f64 / (1u64 << 53) as f64;
+            }
+            acc
+        };
+        let items: Vec<u64> = (0..64).map(|k| k * 17 + 3).collect();
+        let serial = par_map(&ThreadPool::serial(), items.clone(), work);
+        let par = par_map(&ThreadPool::new(8), items, work);
+        assert_eq!(serial.len(), par.len());
+        for (a, b) in serial.iter().zip(&par) {
+            assert_eq!(a.to_bits(), b.to_bits(), "bitwise mismatch");
+        }
+    }
+
+    #[test]
+    fn try_par_map_isolates_panics() {
+        let pool = ThreadPool::new(2);
+        let out = try_par_map(&pool, (0..10i32).collect(), |_, x| {
+            assert!(x % 3 != 1, "poisoned item {x}");
+            x * 10
+        });
+        for (i, r) in out.iter().enumerate() {
+            if i % 3 == 1 {
+                let e = r.as_ref().expect_err("poisoned item fails");
+                assert!(matches!(e, JobError::Panicked(_)), "{e}");
+                assert!(e.to_string().contains("poisoned item"));
+            } else {
+                assert_eq!(*r.as_ref().expect("healthy item"), i as i32 * 10);
+            }
+        }
+    }
+
+    #[test]
+    fn nested_par_map_does_not_deadlock() {
+        let pool = Arc::new(ThreadPool::new(1));
+        let p2 = Arc::clone(&pool);
+        let out = par_map(&pool.clone(), (0..4u32).collect(), move |_, &x| {
+            par_map(&p2, (0..4u32).collect(), move |_, &y| x * 10 + y)
+                .into_iter()
+                .sum::<u32>()
+        });
+        assert_eq!(out, vec![6, 46, 86, 126]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let pool = ThreadPool::new(2);
+        let out: Vec<u8> = par_map(&pool, Vec::<u8>::new(), |_, _| 0);
+        assert!(out.is_empty());
+    }
+}

@@ -1,87 +1,117 @@
 //! `experiments` — regenerate any table or figure of the paper.
 //!
 //! ```text
-//! experiments <exp>... [--quick|--full] [--out DIR] [--telemetry DIR]
-//! experiments all      [--quick|--full] [--out DIR] [--telemetry DIR]
+//! experiments <exp>... [--quick|--full] [--jobs N] [--resume DIR] [--out DIR] [--telemetry DIR]
+//! experiments all      [--quick|--full] [--jobs N] [--resume DIR] [--out DIR] [--telemetry DIR]
 //! experiments list
 //! ```
 //!
-//! `--telemetry DIR` attaches a JSONL event sink: every simulator run feeds
-//! the shared [`reram_obs::Obs`] registry, events stream to
+//! Every selected experiment becomes a job in a `reram-exec` DAG; the
+//! sensitivity sweeps (figs. 18/19/20) further split into one job per sweep
+//! point (`fig19/0`, `fig19/1`, …) feeding an assembly job. Jobs fan out
+//! over `--jobs N` worker threads (default: available parallelism;
+//! `--jobs 1` is the exact serial reference) and their own simulator runs
+//! fan out over the same pool, so wall-clock scales with cores while every
+//! CSV stays bitwise-identical to a serial run.
+//!
+//! `--resume DIR` journals each finished job to `DIR/exec_journal.jsonl`;
+//! rerunning with the same flags skips completed jobs and reuses their
+//! payloads. Resume with the *same* budget flags — the journal records
+//! outcomes, not configurations.
+//!
+//! `--telemetry DIR` attaches a JSONL event sink: every simulator run and
+//! the execution engine itself feed the shared [`reram_obs::Obs`] registry
+//! (`exec.worker.*`, `exec.pool.*`, `exec.dag.*`), events stream to
 //! `DIR/events.jsonl`, and on exit the harness writes
 //! `DIR/telemetry_summary.csv` (metric, count, mean, p50, p99, max) and
 //! prints the human-readable report.
 
+use reram_exec::{Dag, JobSpec, Journal, ThreadPool};
 use reram_experiments::{ablation, lifetime_exp, micro, perf, traffic, Budget, ExpTable};
 use reram_obs::Obs;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
-struct Registry {
-    budget: Budget,
-    obs: Obs,
+/// Separates rendered text from CSV text inside a job payload (ASCII
+/// record separator — cannot appear in either half).
+const PAYLOAD_SEP: char = '\u{1e}';
+
+fn experiment_names() -> Vec<&'static str> {
+    vec![
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "fig1e",
+        "fig4",
+        "fig5b",
+        "fig5c",
+        "fig5d",
+        "fig6",
+        "fig7",
+        "fig9",
+        "fig11",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "fig19",
+        "fig20",
+        "ablation_drvr",
+        "ablation_pr",
+        "ablation_wc",
+    ]
 }
 
-impl Registry {
-    fn names(&self) -> Vec<&'static str> {
-        vec![
-            "table1",
-            "table2",
-            "table3",
-            "table4",
-            "fig1e",
-            "fig4",
-            "fig5b",
-            "fig5c",
-            "fig5d",
-            "fig6",
-            "fig7",
-            "fig9",
-            "fig11",
-            "fig13",
-            "fig14",
-            "fig15",
-            "fig16",
-            "fig17",
-            "fig18",
-            "fig19",
-            "fig20",
-            "ablation_drvr",
-            "ablation_pr",
-            "ablation_wc",
-        ]
+/// Maps a user-supplied experiment name (including the `fig11a`/`fig11b`
+/// aliases) to its canonical registry name.
+fn canonical(name: &str) -> Option<&'static str> {
+    match name {
+        "fig11a" => Some("fig11"),
+        "fig11b" => Some("fig13"),
+        other => experiment_names().into_iter().find(|n| *n == other),
     }
+}
 
-    fn build(&self, name: &str) -> Option<ExpTable> {
-        Some(match name {
-            "table1" => micro::table1(),
-            "table2" => micro::table2(),
-            "table3" => micro::table3(),
-            "table4" => traffic::table4(),
-            "fig1e" => micro::fig1e(),
-            "fig4" => micro::fig4(),
-            "fig5b" => lifetime_exp::fig5b(),
-            "fig5c" => perf::fig5c_obs(self.budget, &self.obs),
-            "fig5d" => lifetime_exp::fig5d(),
-            "fig6" => micro::fig6(),
-            "fig7" => micro::fig7(),
-            "fig9" => traffic::fig9(),
-            "fig11" | "fig11a" => micro::fig11(),
-            "fig13" | "fig11b" => micro::fig13(),
-            "fig14" => traffic::fig14(),
-            "fig15" => perf::fig15_obs(self.budget, &self.obs),
-            "fig16" => perf::fig16_obs(self.budget, &self.obs),
-            "fig17" => perf::fig17_obs(self.budget, &self.obs),
-            "fig18" => perf::fig18_obs(self.budget, &self.obs),
-            "fig19" => perf::fig19_obs(self.budget, &self.obs),
-            "fig20" => perf::fig20_obs(self.budget, &self.obs),
-            "ablation_drvr" => ablation::ablation_drvr_levels(),
-            "ablation_pr" => ablation::ablation_pr_cap(),
-            "ablation_wc" => ablation::ablation_coalescence(),
-            _ => return None,
-        })
-    }
+/// Builds one (non-sweep-split) experiment table, fanning any simulator
+/// runs out over `pool`.
+fn build_table(name: &str, budget: Budget, pool: &ThreadPool, obs: &Obs) -> Option<ExpTable> {
+    Some(match name {
+        "table1" => micro::table1(),
+        "table2" => micro::table2(),
+        "table3" => micro::table3(),
+        "table4" => traffic::table4(),
+        "fig1e" => micro::fig1e(),
+        "fig4" => micro::fig4(),
+        "fig5b" => lifetime_exp::fig5b(),
+        "fig5c" => perf::fig5c_par(budget, pool, obs),
+        "fig5d" => lifetime_exp::fig5d(),
+        "fig6" => micro::fig6(),
+        "fig7" => micro::fig7(),
+        "fig9" => traffic::fig9(),
+        "fig11" => micro::fig11(),
+        "fig13" => micro::fig13(),
+        "fig14" => traffic::fig14(),
+        "fig15" => perf::fig15_par(budget, pool, obs),
+        "fig16" => perf::fig16_par(budget, pool, obs),
+        "fig17" => perf::fig17_par(budget, pool, obs),
+        "fig18" => perf::fig18_par(budget, pool, obs),
+        "fig19" => perf::fig19_par(budget, pool, obs),
+        "fig20" => perf::fig20_par(budget, pool, obs),
+        "ablation_drvr" => ablation::ablation_drvr_levels(),
+        "ablation_pr" => ablation::ablation_pr_cap(),
+        "ablation_wc" => ablation::ablation_coalescence(),
+        _ => return None,
+    })
+}
+
+/// Packs a finished table into the journal-able job payload.
+fn table_payload(t: &ExpTable) -> String {
+    format!("{}{PAYLOAD_SEP}{}", t.render(), t.csv())
 }
 
 fn main() -> ExitCode {
@@ -89,12 +119,28 @@ fn main() -> ExitCode {
     let mut budget = Budget::Standard;
     let mut out = PathBuf::from("results");
     let mut telemetry: Option<PathBuf> = None;
+    let mut resume: Option<PathBuf> = None;
+    let mut jobs = ThreadPool::default_jobs();
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => budget = Budget::Quick,
             "--full" => budget = Budget::Full,
+            "--jobs" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => jobs = n,
+                _ => {
+                    eprintln!("--jobs needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--resume" => match it.next() {
+                Some(dir) => resume = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--resume needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--out" => match it.next() {
                 Some(dir) => out = PathBuf::from(dir),
                 None => {
@@ -112,6 +158,43 @@ fn main() -> ExitCode {
             other => targets.push(other.to_string()),
         }
     }
+    if targets.is_empty() || targets[0] == "help" {
+        eprintln!(
+            "usage: experiments <exp>...|all|list [--quick|--full] [--jobs N] [--resume DIR] [--out DIR] [--telemetry DIR]"
+        );
+        eprintln!("experiments: {}", experiment_names().join(" "));
+        return ExitCode::SUCCESS;
+    }
+    if targets[0] == "list" {
+        for n in experiment_names() {
+            println!("{n}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Validate every target up front: nothing runs (and nothing is written)
+    // if any name is unknown.
+    let run_all = targets.iter().any(|t| t == "all");
+    let names: Vec<&'static str> = if run_all {
+        experiment_names()
+    } else {
+        let mut seen = Vec::new();
+        let mut unknown = Vec::new();
+        for t in &targets {
+            match canonical(t) {
+                Some(c) if !seen.contains(&c) => seen.push(c),
+                Some(_duplicate) => {}
+                None => unknown.push(t.clone()),
+            }
+        }
+        if !unknown.is_empty() {
+            eprintln!("error: unknown experiment(s): {}", unknown.join(", "));
+            eprintln!("valid experiments: {}", experiment_names().join(" "));
+            return ExitCode::FAILURE;
+        }
+        seen
+    };
+
     let obs = match &telemetry {
         Some(dir) => {
             if let Err(e) = std::fs::create_dir_all(dir) {
@@ -128,59 +211,129 @@ fn main() -> ExitCode {
         }
         None => Obs::off(),
     };
-    let reg = Registry { budget, obs };
-    if targets.is_empty() || targets[0] == "help" {
-        eprintln!(
-            "usage: experiments <exp>...|all|list [--quick|--full] [--out DIR] [--telemetry DIR]"
-        );
-        eprintln!("experiments: {}", reg.names().join(" "));
-        return ExitCode::SUCCESS;
-    }
-    if targets[0] == "list" {
-        for n in reg.names() {
-            println!("{n}");
-        }
-        return ExitCode::SUCCESS;
-    }
-    let run_all = targets.iter().any(|t| t == "all");
-    let names: Vec<String> = if run_all {
-        reg.names().iter().map(ToString::to_string).collect()
-    } else {
-        targets
-    };
     if let Err(e) = std::fs::create_dir_all(&out) {
         eprintln!("cannot create output dir {}: {e}", out.display());
         return ExitCode::FAILURE;
     }
+    let mut journal = match &resume {
+        Some(dir) => match Journal::open(&dir.join("exec_journal.jsonl")) {
+            Ok(j) => Some(j),
+            Err(e) => {
+                eprintln!("cannot open resume journal in {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    // --jobs 1 means zero pool workers: the scheduler runs everything inline
+    // on this thread — the exact serial reference the determinism contract
+    // is anchored to.
+    let pool = Arc::new(ThreadPool::with_obs(if jobs > 1 { jobs } else { 0 }, &obs));
+
+    let mut dag = Dag::new();
+    for &name in &names {
+        if let Some(spec) = perf::sweep_spec(name) {
+            // One job per sweep point (checkpointed individually), plus an
+            // assembly job that turns the point ratios into the table.
+            let npoints = spec.points.len();
+            for (k, (_label, array)) in spec.points.iter().enumerate() {
+                let sub = format!("{name}/{k}");
+                let array = *array;
+                let pool = Arc::clone(&pool);
+                let obs = obs.clone();
+                dag.add(JobSpec::new(sub.clone()), move |_ctx| {
+                    let t0 = Instant::now();
+                    let ratio = perf::sweep_point_ratio(budget, array, &pool, &obs);
+                    eprintln!("[{sub}: {:.2} s]", t0.elapsed().as_secs_f64());
+                    Ok(ratio.to_bits().to_string())
+                });
+            }
+            let mut spec_job = JobSpec::new(name);
+            for k in 0..npoints {
+                spec_job = spec_job.after(format!("{name}/{k}"));
+            }
+            dag.add(spec_job, move |ctx| {
+                let spec = perf::sweep_spec(name).expect("sweep id");
+                let mut ratios = Vec::with_capacity(npoints);
+                for k in 0..npoints {
+                    let dep = format!("{name}/{k}");
+                    let bits: u64 = ctx
+                        .dep(&dep)
+                        .ok_or_else(|| format!("missing payload from {dep}"))?
+                        .parse()
+                        .map_err(|e| format!("bad payload from {dep}: {e}"))?;
+                    ratios.push(f64::from_bits(bits));
+                }
+                Ok(table_payload(&perf::assemble_sweep(&spec, &ratios)))
+            });
+        } else {
+            let pool = Arc::clone(&pool);
+            let obs = obs.clone();
+            dag.add(JobSpec::new(name), move |_ctx| {
+                let t0 = Instant::now();
+                let t = build_table(name, budget, &pool, &obs)
+                    .ok_or_else(|| format!("no builder registered for {name}"))?;
+                eprintln!("[{name}: {:.2} s]", t0.elapsed().as_secs_f64());
+                Ok(table_payload(&t))
+            });
+        }
+    }
+
     let t_total = Instant::now();
-    for name in &names {
-        let t0 = Instant::now();
-        let Some(table) = reg.build(name) else {
-            eprintln!("unknown experiment {name}; try `experiments list`");
+    let report = match dag.run(&pool, journal.as_mut(), |_name, _result| {}) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
             return ExitCode::FAILURE;
+        }
+    };
+    // Release the job closures' pool handles, then the pool itself, so its
+    // aggregate counters land in the telemetry summary below.
+    drop(dag);
+    drop(pool);
+    if !report.cached.is_empty() {
+        eprintln!(
+            "[resumed: {} job(s) restored from {}]",
+            report.cached.len(),
+            resume
+                .as_ref()
+                .map_or_else(|| "journal".to_string(), |d| d.display().to_string())
+        );
+    }
+
+    // Emit tables (stdout) and CSVs in registry order, regardless of the
+    // order jobs finished in.
+    let mut status = ExitCode::SUCCESS;
+    for &name in &names {
+        let Some(payload) = report.ok(name) else {
+            status = ExitCode::FAILURE;
+            continue;
         };
-        println!("{}", table.render());
-        if let Err(e) = table.write_csv(&out) {
-            eprintln!("failed to write {name}.csv: {e}");
-            return ExitCode::FAILURE;
+        let (rendered, csv) = payload.split_once(PAYLOAD_SEP).unwrap_or((payload, ""));
+        println!("{rendered}");
+        let path = out.join(format!("{name}.csv"));
+        if let Err(e) = std::fs::write(&path, csv) {
+            eprintln!("failed to write {}: {e}", path.display());
+            status = ExitCode::FAILURE;
         }
-        if run_all {
-            println!("[{name}: {:.2} s]", t0.elapsed().as_secs_f64());
-        }
+    }
+    for (job, err) in report.failures() {
+        eprintln!("error: {job}: {err}");
     }
     if run_all {
         println!("[all: {:.2} s]", t_total.elapsed().as_secs_f64());
     }
     println!("CSV written to {}", out.display());
     if let Some(dir) = &telemetry {
-        reg.obs.flush();
+        obs.flush();
         let summary_path = dir.join("telemetry_summary.csv");
-        if let Err(e) = std::fs::write(&summary_path, reg.obs.summary_csv()) {
+        if let Err(e) = std::fs::write(&summary_path, obs.summary_csv()) {
             eprintln!("failed to write {}: {e}", summary_path.display());
             return ExitCode::FAILURE;
         }
-        println!("{}", reg.obs.report());
+        println!("{}", obs.report());
         println!("telemetry written to {}", dir.display());
     }
-    ExitCode::SUCCESS
+    status
 }

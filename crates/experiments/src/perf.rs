@@ -1,11 +1,25 @@
 //! System performance/energy experiments: Figs. 5c, 15, 16, 17 and the
 //! Fig. 18/19/20 sensitivity sweeps.
+//!
+//! Every figure is a set of independent simulator runs reduced in a fixed
+//! order, so each `*_par` entry point fans its runs out through
+//! [`reram_sim::run_batch`] on a caller-supplied [`ThreadPool`] and then
+//! assembles the table from the index-ordered results. The plain/`*_obs`
+//! wrappers run on a [`ThreadPool::serial`] pool — the exact single-threaded
+//! reference — and the determinism contract (see `reram-exec`) guarantees
+//! any worker count reproduces it bitwise.
+//!
+//! The sweep figures additionally export their structure
+//! ([`sweep_spec`] / [`sweep_point_ratio`] / [`assemble_sweep`]) so the
+//! `experiments` binary can schedule each sweep point as its own job in the
+//! `reram-exec` DAG and checkpoint/resume at point granularity.
 
 use crate::{Budget, ExpTable};
 use reram_array::{ArrayGeometry, ArrayModel, CellParams, TechNode};
 use reram_core::Scheme;
+use reram_exec::ThreadPool;
 use reram_obs::Obs;
-use reram_sim::{SimResult, Simulator};
+use reram_sim::{run_batch, SimResult, Simulator};
 use reram_workloads::BenchProfile;
 
 /// Seed shared by all performance runs (deterministic results).
@@ -21,17 +35,17 @@ fn sweep_benchmarks() -> Vec<BenchProfile> {
         .collect()
 }
 
-fn run(
+fn sim(
     budget: Budget,
     scheme: Scheme,
     p: BenchProfile,
     array: Option<ArrayModel>,
     obs: &Obs,
-) -> SimResult {
-    let sim = Simulator::new(budget.sim_config(), scheme, p, SEED).with_obs(obs);
+) -> Simulator {
+    let s = Simulator::new(budget.sim_config(), scheme, p, SEED).with_obs(obs);
     match array {
-        Some(a) => sim.with_array(a).run(),
-        None => sim.run(),
+        Some(a) => s.with_array(a),
+        None => s,
     }
 }
 
@@ -49,6 +63,24 @@ pub fn fig5c(budget: Budget) -> ExpTable {
 /// [`fig5c`] with telemetry attached to every simulator run.
 #[must_use]
 pub fn fig5c_obs(budget: Budget, obs: &Obs) -> ExpTable {
+    fig5c_par(budget, &ThreadPool::serial(), obs)
+}
+
+/// [`fig5c`] with its nine simulator runs fanned out over `pool`.
+#[must_use]
+pub fn fig5c_par(budget: Budget, pool: &ThreadPool, obs: &Obs) -> ExpTable {
+    let benches = [
+        BenchProfile::by_name("mcf_m").expect("table IV"),
+        BenchProfile::by_name("xal_m").expect("table IV"),
+        BenchProfile::by_name("ast_m").expect("table IV"),
+    ];
+    let schemes = [Scheme::Oracle { window: 64 }, Scheme::Hard, Scheme::HardSys];
+    let sims = benches
+        .iter()
+        .flat_map(|&p| schemes.iter().map(move |&s| sim(budget, s, p, None, obs)))
+        .collect();
+    let res = run_batch(pool, sims);
+
     let mut t = ExpTable::new(
         "fig5c",
         "Prior designs vs ora-64x64 (IPC ratio)",
@@ -56,14 +88,10 @@ pub fn fig5c_obs(budget: Budget, obs: &Obs) -> ExpTable {
     );
     let mut hard_all = Vec::new();
     let mut hs_all = Vec::new();
-    for p in [
-        BenchProfile::by_name("mcf_m").expect("table IV"),
-        BenchProfile::by_name("xal_m").expect("table IV"),
-        BenchProfile::by_name("ast_m").expect("table IV"),
-    ] {
-        let ora = run(budget, Scheme::Oracle { window: 64 }, p, None, obs);
-        let hard = run(budget, Scheme::Hard, p, None, obs).speedup_over(&ora);
-        let hs = run(budget, Scheme::HardSys, p, None, obs).speedup_over(&ora);
+    for (j, p) in benches.iter().enumerate() {
+        let ora = &res[3 * j];
+        let hard = res[3 * j + 1].speedup_over(ora);
+        let hs = res[3 * j + 2].speedup_over(ora);
         hard_all.push(hard);
         hs_all.push(hs);
         t.row(vec![
@@ -91,6 +119,12 @@ pub fn fig15(budget: Budget) -> ExpTable {
 /// [`fig15`] with telemetry attached to every simulator run.
 #[must_use]
 pub fn fig15_obs(budget: Budget, obs: &Obs) -> ExpTable {
+    fig15_par(budget, &ThreadPool::serial(), obs)
+}
+
+/// [`fig15`] with its 96 simulator runs fanned out over `pool`.
+#[must_use]
+pub fn fig15_par(budget: Budget, pool: &ThreadPool, obs: &Obs) -> ExpTable {
     let schemes = [
         Scheme::Baseline,
         Scheme::Hard,
@@ -100,6 +134,17 @@ pub fn fig15_obs(budget: Budget, obs: &Obs) -> ExpTable {
         Scheme::Oracle { window: 256 },
         Scheme::Oracle { window: 128 },
     ];
+    let benches = BenchProfile::table_iv();
+    let stride = 1 + schemes.len();
+    let sims = benches
+        .iter()
+        .flat_map(|&p| {
+            std::iter::once(sim(budget, Scheme::Oracle { window: 64 }, p, None, obs))
+                .chain(schemes.iter().map(move |&s| sim(budget, s, p, None, obs)))
+        })
+        .collect();
+    let res = run_batch(pool, sims);
+
     let mut headers = vec!["name".to_string()];
     headers.extend(schemes.iter().map(|s| s.label()));
     let mut t = ExpTable::new(
@@ -108,11 +153,11 @@ pub fn fig15_obs(budget: Budget, obs: &Obs) -> ExpTable {
         &headers.iter().map(String::as_str).collect::<Vec<_>>(),
     );
     let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
-    for p in BenchProfile::table_iv() {
-        let ora = run(budget, Scheme::Oracle { window: 64 }, p, None, obs);
+    for (j, p) in benches.iter().enumerate() {
+        let ora = &res[stride * j];
         let mut row = vec![p.name.to_string()];
-        for (k, &s) in schemes.iter().enumerate() {
-            let ratio = run(budget, s, p, None, obs).speedup_over(&ora);
+        for k in 0..schemes.len() {
+            let ratio = res[stride * j + 1 + k].speedup_over(ora);
             per_scheme[k].push(ratio);
             row.push(format!("{ratio:.3}"));
         }
@@ -145,7 +190,24 @@ pub fn fig16(budget: Budget) -> ExpTable {
 /// [`fig16`] with telemetry attached to every simulator run.
 #[must_use]
 pub fn fig16_obs(budget: Budget, obs: &Obs) -> ExpTable {
+    fig16_par(budget, &ThreadPool::serial(), obs)
+}
+
+/// [`fig16`] with its 48 simulator runs fanned out over `pool`.
+#[must_use]
+pub fn fig16_par(budget: Budget, pool: &ThreadPool, obs: &Obs) -> ExpTable {
     let schemes = [Scheme::Hard, Scheme::Drvr, Scheme::UdrvrPr];
+    let benches = BenchProfile::table_iv();
+    let stride = 1 + schemes.len();
+    let sims = benches
+        .iter()
+        .flat_map(|&p| {
+            std::iter::once(sim(budget, Scheme::HardSys, p, None, obs))
+                .chain(schemes.iter().map(move |&s| sim(budget, s, p, None, obs)))
+        })
+        .collect();
+    let res = run_batch(pool, sims);
+
     let mut t = ExpTable::new(
         "fig16",
         "Main-memory energy vs Hard+Sys",
@@ -160,15 +222,15 @@ pub fn fig16_obs(budget: Budget, obs: &Obs) -> ExpTable {
         ],
     );
     let mut ratios = Vec::new();
-    for p in BenchProfile::table_iv() {
-        let hs = run(budget, Scheme::HardSys, p, None, obs);
+    for (j, p) in benches.iter().enumerate() {
+        let hs = &res[stride * j];
         let mut row = vec![p.name.to_string()];
-        let mut upr = None;
-        for &s in &schemes {
-            let r = run(budget, s, p, None, obs);
-            row.push(format!("{:.3}", r.energy_vs(&hs)));
+        let mut upr: Option<&SimResult> = None;
+        for (k, &s) in schemes.iter().enumerate() {
+            let r = &res[stride * j + 1 + k];
+            row.push(format!("{:.3}", r.energy_vs(hs)));
             if s == Scheme::UdrvrPr {
-                ratios.push(r.energy_vs(&hs));
+                ratios.push(r.energy_vs(hs));
                 upr = Some(r);
             }
         }
@@ -195,16 +257,32 @@ pub fn fig17(budget: Budget) -> ExpTable {
 /// [`fig17`] with telemetry attached to every simulator run.
 #[must_use]
 pub fn fig17_obs(budget: Budget, obs: &Obs) -> ExpTable {
+    fig17_par(budget, &ThreadPool::serial(), obs)
+}
+
+/// [`fig17`] with its 24 simulator runs fanned out over `pool`.
+#[must_use]
+pub fn fig17_par(budget: Budget, pool: &ThreadPool, obs: &Obs) -> ExpTable {
+    let benches = BenchProfile::table_iv();
+    let sims = benches
+        .iter()
+        .flat_map(|&p| {
+            [
+                sim(budget, Scheme::Udrvr394, p, None, obs),
+                sim(budget, Scheme::UdrvrPr, p, None, obs),
+            ]
+        })
+        .collect();
+    let res = run_batch(pool, sims);
+
     let mut t = ExpTable::new(
         "fig17",
         "UDRVR+PR speedup over UDRVR-3.94",
         &["name", "speedup"],
     );
     let mut all = Vec::new();
-    for p in BenchProfile::table_iv() {
-        let u394 = run(budget, Scheme::Udrvr394, p, None, obs);
-        let upr = run(budget, Scheme::UdrvrPr, p, None, obs);
-        let s = upr.speedup_over(&u394);
+    for (j, p) in benches.iter().enumerate() {
+        let s = res[2 * j + 1].speedup_over(&res[2 * j]);
         all.push(s);
         t.row(vec![p.name.into(), format!("{s:.3}")]);
     }
@@ -217,30 +295,121 @@ pub fn fig17_obs(budget: Budget, obs: &Obs) -> ExpTable {
     t
 }
 
-fn sweep(
-    id: &str,
-    title: &str,
-    budget: Budget,
-    points: Vec<(String, ArrayModel)>,
-    paper: &str,
-    obs: &Obs,
-) -> ExpTable {
-    let mut t = ExpTable::new(id, title, &["point", "UDRVR+PR / Hard+Sys", "paper"]);
-    let paper_vals: Vec<&str> = paper.split(',').collect();
-    for (k, (label, array)) in points.into_iter().enumerate() {
-        let mut ratios = Vec::new();
-        for p in sweep_benchmarks() {
-            let hs = run(budget, Scheme::HardSys, p, Some(array), obs);
-            let upr = run(budget, Scheme::UdrvrPr, p, Some(array), obs);
-            ratios.push(upr.speedup_over(&hs));
-        }
+/// The shape of one sensitivity sweep (Figs. 18/19/20): its points plus the
+/// table dressing. Produced by [`sweep_spec`], consumed point-by-point via
+/// [`sweep_point_ratio`] and reassembled with [`assemble_sweep`] — the split
+/// lets the `experiments` DAG checkpoint each point independently.
+pub struct SweepSpec {
+    /// Experiment id (`fig18`/`fig19`/`fig20`).
+    pub id: &'static str,
+    title: &'static str,
+    /// Sweep points: display label and the array model to simulate.
+    pub points: Vec<(String, ArrayModel)>,
+    paper: &'static str,
+    note: &'static str,
+}
+
+/// Returns the sweep structure for `fig18`/`fig19`/`fig20`, `None` for
+/// anything else.
+#[must_use]
+pub fn sweep_spec(id: &str) -> Option<SweepSpec> {
+    Some(match id {
+        "fig18" => SweepSpec {
+            id: "fig18",
+            title: "UDRVR+PR gain over Hard+Sys vs MAT size",
+            points: [256usize, 512, 1024]
+                .iter()
+                .map(|&s| {
+                    (
+                        format!("{s}x{s}"),
+                        ArrayModel::paper_baseline().with_geometry(ArrayGeometry::new(s, 8)),
+                    )
+                })
+                .collect(),
+            paper: "+6.7%, +11.7%, +18.2%",
+            note: "Bigger arrays suffer more drop, so the mitigation matters more (paper Fig. 18).",
+        },
+        "fig19" => SweepSpec {
+            id: "fig19",
+            title: "UDRVR+PR gain over Hard+Sys vs process node",
+            points: TechNode::sweep()
+                .iter()
+                .map(|&n| (n.to_string(), ArrayModel::paper_baseline().with_tech(n)))
+                .collect(),
+            paper: "+1.4%, +11.7%, +18.3%",
+            note: "Wire resistance grows as the node shrinks; so does the gain (paper Fig. 19).",
+        },
+        "fig20" => SweepSpec {
+            id: "fig20",
+            title: "UDRVR+PR gain over Hard+Sys vs selector ON/OFF ratio",
+            points: [500.0f64, 1000.0, 2000.0]
+                .iter()
+                .map(|&kr| {
+                    (
+                        format!("Kr={kr:.0}"),
+                        ArrayModel::paper_baseline().with_cell(CellParams::default().with_kr(kr)),
+                    )
+                })
+                .collect(),
+            paper: "+18.9%, +11.7%, +5.8%",
+            note: "Leakier selectors sneak more; the mitigation matters more (paper Fig. 20).",
+        },
+        _ => return None,
+    })
+}
+
+/// One sweep point's result: the geometric-mean UDRVR+PR / Hard+Sys speedup
+/// over the sweep benchmarks at the given array configuration. Runs fan out
+/// over `pool`; the reduction is index-ordered, so the value is
+/// bitwise-identical to a serial loop.
+#[must_use]
+pub fn sweep_point_ratio(budget: Budget, array: ArrayModel, pool: &ThreadPool, obs: &Obs) -> f64 {
+    let benches = sweep_benchmarks();
+    let sims = benches
+        .iter()
+        .flat_map(|&p| {
+            [
+                sim(budget, Scheme::HardSys, p, Some(array), obs),
+                sim(budget, Scheme::UdrvrPr, p, Some(array), obs),
+            ]
+        })
+        .collect();
+    let res = run_batch(pool, sims);
+    let ratios: Vec<f64> = (0..benches.len())
+        .map(|j| res[2 * j + 1].speedup_over(&res[2 * j]))
+        .collect();
+    gmean(&ratios)
+}
+
+/// Builds the sweep table from per-point [`sweep_point_ratio`] values
+/// (`ratios[k]` belongs to `spec.points[k]`).
+#[must_use]
+pub fn assemble_sweep(spec: &SweepSpec, ratios: &[f64]) -> ExpTable {
+    let mut t = ExpTable::new(
+        spec.id,
+        spec.title,
+        &["point", "UDRVR+PR / Hard+Sys", "paper"],
+    );
+    let paper_vals: Vec<&str> = spec.paper.split(',').collect();
+    for (k, (label, _array)) in spec.points.iter().enumerate() {
         t.row(vec![
-            label,
-            format!("{:+.1}%", (gmean(&ratios) - 1.0) * 100.0),
+            label.clone(),
+            format!("{:+.1}%", (ratios[k] - 1.0) * 100.0),
             paper_vals.get(k).unwrap_or(&"-").trim().to_string(),
         ]);
     }
+    t.note(spec.note);
     t
+}
+
+fn sweep_par(id: &str, budget: Budget, pool: &ThreadPool, obs: &Obs) -> ExpTable {
+    let spec = sweep_spec(id).expect("known sweep id");
+    let ratios: Vec<f64> = spec
+        .points
+        .iter()
+        .map(|(_label, array)| sweep_point_ratio(budget, *array, pool, obs))
+        .collect();
+    assemble_sweep(&spec, &ratios)
 }
 
 /// Fig. 18: the array-size sweep (256 / 512 / 1024).
@@ -252,25 +421,13 @@ pub fn fig18(budget: Budget) -> ExpTable {
 /// [`fig18`] with telemetry attached to every simulator run.
 #[must_use]
 pub fn fig18_obs(budget: Budget, obs: &Obs) -> ExpTable {
-    let points = [256usize, 512, 1024]
-        .iter()
-        .map(|&s| {
-            (
-                format!("{s}x{s}"),
-                ArrayModel::paper_baseline().with_geometry(ArrayGeometry::new(s, 8)),
-            )
-        })
-        .collect();
-    let mut t = sweep(
-        "fig18",
-        "UDRVR+PR gain over Hard+Sys vs MAT size",
-        budget,
-        points,
-        "+6.7%, +11.7%, +18.2%",
-        obs,
-    );
-    t.note("Bigger arrays suffer more drop, so the mitigation matters more (paper Fig. 18).");
-    t
+    fig18_par(budget, &ThreadPool::serial(), obs)
+}
+
+/// [`fig18`] with its simulator runs fanned out over `pool`.
+#[must_use]
+pub fn fig18_par(budget: Budget, pool: &ThreadPool, obs: &Obs) -> ExpTable {
+    sweep_par("fig18", budget, pool, obs)
 }
 
 /// Fig. 19: the wire-resistance (process node) sweep.
@@ -282,20 +439,13 @@ pub fn fig19(budget: Budget) -> ExpTable {
 /// [`fig19`] with telemetry attached to every simulator run.
 #[must_use]
 pub fn fig19_obs(budget: Budget, obs: &Obs) -> ExpTable {
-    let points = TechNode::sweep()
-        .iter()
-        .map(|&n| (n.to_string(), ArrayModel::paper_baseline().with_tech(n)))
-        .collect();
-    let mut t = sweep(
-        "fig19",
-        "UDRVR+PR gain over Hard+Sys vs process node",
-        budget,
-        points,
-        "+1.4%, +11.7%, +18.3%",
-        obs,
-    );
-    t.note("Wire resistance grows as the node shrinks; so does the gain (paper Fig. 19).");
-    t
+    fig19_par(budget, &ThreadPool::serial(), obs)
+}
+
+/// [`fig19`] with its simulator runs fanned out over `pool`.
+#[must_use]
+pub fn fig19_par(budget: Budget, pool: &ThreadPool, obs: &Obs) -> ExpTable {
+    sweep_par("fig19", budget, pool, obs)
 }
 
 /// Fig. 20: the selector ON/OFF-ratio sweep.
@@ -307,25 +457,13 @@ pub fn fig20(budget: Budget) -> ExpTable {
 /// [`fig20`] with telemetry attached to every simulator run.
 #[must_use]
 pub fn fig20_obs(budget: Budget, obs: &Obs) -> ExpTable {
-    let points = [500.0f64, 1000.0, 2000.0]
-        .iter()
-        .map(|&kr| {
-            (
-                format!("Kr={kr:.0}"),
-                ArrayModel::paper_baseline().with_cell(CellParams::default().with_kr(kr)),
-            )
-        })
-        .collect();
-    let mut t = sweep(
-        "fig20",
-        "UDRVR+PR gain over Hard+Sys vs selector ON/OFF ratio",
-        budget,
-        points,
-        "+18.9%, +11.7%, +5.8%",
-        obs,
-    );
-    t.note("Leakier selectors sneak more; the mitigation matters more (paper Fig. 20).");
-    t
+    fig20_par(budget, &ThreadPool::serial(), obs)
+}
+
+/// [`fig20`] with its simulator runs fanned out over `pool`.
+#[must_use]
+pub fn fig20_par(budget: Budget, pool: &ThreadPool, obs: &Obs) -> ExpTable {
+    sweep_par("fig20", budget, pool, obs)
 }
 
 #[cfg(test)]
@@ -356,5 +494,28 @@ mod tests {
             "512x512 gain = {}",
             gain(&t.rows[1])
         );
+    }
+
+    #[test]
+    fn fig17_parallel_is_bitwise_identical_to_serial() {
+        let serial = fig17(Budget::Smoke);
+        let par = fig17_par(Budget::Smoke, &ThreadPool::new(4), &Obs::off());
+        assert_eq!(serial.rows, par.rows);
+        assert_eq!(serial.notes, par.notes);
+    }
+
+    #[test]
+    fn sweep_point_matches_assembled_figure() {
+        let spec = sweep_spec("fig20").expect("fig20 is a sweep");
+        let pool = ThreadPool::serial();
+        let obs = Obs::off();
+        let ratios: Vec<f64> = spec
+            .points
+            .iter()
+            .map(|(_l, a)| sweep_point_ratio(Budget::Smoke, *a, &pool, &obs))
+            .collect();
+        let assembled = assemble_sweep(&spec, &ratios);
+        let direct = fig20(Budget::Smoke);
+        assert_eq!(assembled.rows, direct.rows);
     }
 }

@@ -86,6 +86,12 @@ impl ExpTable {
     /// Propagates filesystem errors.
     pub fn write_csv(&self, dir: &Path) -> io::Result<()> {
         fs::create_dir_all(dir)?;
+        fs::write(dir.join(format!("{}.csv", self.id)), self.csv())
+    }
+
+    /// The table as CSV text (headers plus rows, RFC-4180 quoting).
+    #[must_use]
+    pub fn csv(&self) -> String {
         let mut csv = String::new();
         let quote = |c: &str| {
             if c.contains([',', '"', '\n']) {
@@ -110,7 +116,7 @@ impl ExpTable {
                 row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
             );
         }
-        fs::write(dir.join(format!("{}.csv", self.id)), csv)
+        csv
     }
 }
 

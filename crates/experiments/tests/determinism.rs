@@ -1,0 +1,33 @@
+//! The determinism contract, end to end: the sweep figures produced on an
+//! 8-worker pool must be **bitwise identical** — rendered text and CSV —
+//! to the serial reference. `par_map` keys results by index and all
+//! reductions run on the collector in submission order, so worker count and
+//! scheduling jitter must never reach the output.
+
+use reram_exec::ThreadPool;
+use reram_experiments::{perf, Budget};
+use reram_obs::Obs;
+
+#[test]
+fn fig19_parallel_csv_is_bitwise_identical_to_serial() {
+    let serial = perf::fig19(Budget::Quick);
+    let par = perf::fig19_par(Budget::Quick, &ThreadPool::new(8), &Obs::off());
+    assert_eq!(serial.csv(), par.csv());
+    assert_eq!(serial.render(), par.render());
+}
+
+#[test]
+fn fig20_parallel_csv_is_bitwise_identical_to_serial() {
+    let serial = perf::fig20(Budget::Quick);
+    let par = perf::fig20_par(Budget::Quick, &ThreadPool::new(8), &Obs::off());
+    assert_eq!(serial.csv(), par.csv());
+    assert_eq!(serial.render(), par.render());
+}
+
+#[test]
+fn fig15_parallel_csv_is_bitwise_identical_to_serial() {
+    let serial = perf::fig15(Budget::Smoke);
+    let par = perf::fig15_par(Budget::Smoke, &ThreadPool::new(8), &Obs::off());
+    assert_eq!(serial.csv(), par.csv());
+    assert_eq!(serial.render(), par.render());
+}

@@ -234,7 +234,14 @@ impl Obs {
                 max: Some(h.max()),
             });
         }
-        out.sort_by(|a, b| a.name.cmp(&b.name));
+        // Name-sorted with a kind tie-break: the summary (and the CSV built
+        // from it) must be byte-stable across runs even if one name is ever
+        // registered under two kinds.
+        out.sort_by(|a, b| {
+            a.name
+                .cmp(&b.name)
+                .then_with(|| a.kind.label().cmp(b.kind.label()))
+        });
         out
     }
 
@@ -506,6 +513,25 @@ mod tests {
         assert_eq!(lines[0], "metric,count,mean,p50,p99,max");
         assert!(lines[1].starts_with("mem.lat,1,10.000000"));
         assert_eq!(lines[2], "mem.reads,4,,,,");
+    }
+
+    #[test]
+    fn summary_rows_are_sorted_by_name_regardless_of_registration_order() {
+        let obs = Obs::new();
+        // Register deliberately out of order and across kinds.
+        obs.hist("exec.worker.1.jobs").record(3.0);
+        obs.counter("exec.dag.jobs_done").inc();
+        obs.gauge("exec.pool.workers").set(4.0);
+        obs.counter("exec.pool.steals").add(2);
+        let names: Vec<String> = obs.summary().into_iter().map(|m| m.name).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        let csv = obs.summary_csv();
+        let rows: Vec<&str> = csv.lines().skip(1).collect();
+        let mut sorted_rows = rows.clone();
+        sorted_rows.sort();
+        assert_eq!(rows, sorted_rows, "CSV rows must be name-sorted");
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! * [`mem`] — the main-memory substrate (Flip-N-Write, ECP, wear leveling,
 //!   charge pump, controller, lifetime);
 //! * [`workloads`] — Table IV synthetic benchmark generators;
-//! * [`sim`] — the closed-loop multicore system simulator.
+//! * [`sim`] — the closed-loop multicore system simulator;
+//! * [`exec`] — the zero-dependency parallel execution engine (work-stealing
+//!   pool, deterministic `par_map`, job DAG with checkpoint/resume).
 //!
 //! # Quickstart
 //!
@@ -33,6 +35,7 @@
 pub use reram_array as array;
 pub use reram_circuit as circuit;
 pub use reram_core as core;
+pub use reram_exec as exec;
 pub use reram_mem as mem;
 pub use reram_sim as sim;
 pub use reram_workloads as workloads;

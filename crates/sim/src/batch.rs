@@ -1,0 +1,46 @@
+//! Deterministic parallel execution of independent simulator runs.
+//!
+//! Every figure in the paper's evaluation is a set of *independent*
+//! [`Simulator`] runs (scheme × benchmark × array point) whose results are
+//! reduced in a fixed order. [`run_batch`] fans such a set out over a
+//! [`reram_exec::ThreadPool`] and returns results **in submission order**,
+//! so any downstream reduction (speedup ratios, gmeans) performs its
+//! floating-point operations exactly as the serial loop would —
+//! bitwise-identical output regardless of worker count.
+//!
+//! Each run is internally deterministic already (explicit seed, no wall
+//! clock in the model), so index-ordered collection is the only thing
+//! parallelism needs to preserve.
+
+use crate::{SimResult, Simulator};
+use reram_exec::{par_map, ThreadPool};
+
+/// Runs every simulator on the pool; `results[i]` is `sims[i].run()`.
+///
+/// On a [`ThreadPool::serial`] pool this degrades to exact serial
+/// iteration on the calling thread.
+#[must_use]
+pub fn run_batch(pool: &ThreadPool, sims: Vec<Simulator>) -> Vec<SimResult> {
+    par_map(pool, sims, |_i, sim| sim.run())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimConfig;
+    use reram_core::Scheme;
+    use reram_workloads::BenchProfile;
+
+    #[test]
+    fn batch_matches_individual_runs() {
+        let cfg = SimConfig::paper_baseline().with_instructions_per_core(8_000);
+        let mcf = BenchProfile::by_name("mcf_m").expect("table IV");
+        let sims: Vec<Simulator> = [Scheme::Baseline, Scheme::Hard, Scheme::UdrvrPr]
+            .iter()
+            .map(|&s| Simulator::new(cfg, s, mcf, 7))
+            .collect();
+        let serial: Vec<SimResult> = sims.iter().map(Simulator::run).collect();
+        let batched = run_batch(&ThreadPool::new(3), sims);
+        assert_eq!(serial, batched);
+    }
+}

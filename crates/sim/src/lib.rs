@@ -30,10 +30,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod config;
 pub mod result;
 pub mod system;
 
+pub use batch::run_batch;
 pub use config::SimConfig;
 pub use result::SimResult;
 pub use system::{Knobs, Simulator};
