@@ -5,19 +5,99 @@
 
 use reram_array::{ArrayGeometry, ArrayModel};
 use reram_bench::{black_box, Harness};
-use reram_circuit::SolveOptions;
+use reram_circuit::{Crosspoint, SolveOptions, SolverWorkspace};
 use reram_core::{partition_reset, Scheme, WriteModel};
 use reram_exec::{par_map, ThreadPool};
 use reram_mem::{FnwCodec, MemoryConfig, MemoryController, Request, SecurityRefresh};
 use reram_obs::Obs;
+use std::sync::Arc;
 
 fn bench_solver(h: &mut Harness) {
-    for n in [32usize, 64, 128] {
+    let sizes: &[usize] = if h.is_full() {
+        &[32, 64, 128, 256, 512]
+    } else {
+        &[32, 64, 128, 256]
+    };
+    for &n in sizes {
         let model = ArrayModel::paper_baseline().with_geometry(ArrayGeometry::new(n, 8));
         let cp = model.to_crosspoint(n - 1, &[n - 1], &[3.0]);
         h.bench(&format!("kcl_solve_{n}x{n}"), || {
             cp.solve(black_box(&SolveOptions::default())).unwrap()
         });
+    }
+}
+
+/// The accelerated solver configurations on the same worst-case RESET bias:
+/// warm-started (a small voltage ramp, as sweep-style callers produce),
+/// parallel cold, and warm+parallel. The warm entries use a loose
+/// linearization-cache epsilon; correctness is still pinned by the exact
+/// residual check inside the solver.
+fn bench_solver_accel(h: &mut Harness) {
+    let sizes: &[usize] = if h.is_full() {
+        &[64, 128, 256, 512]
+    } else {
+        &[64, 128, 256]
+    };
+    let warm_opts = SolveOptions {
+        lin_cache_epsilon_volts: Some(1e-5),
+        ..SolveOptions::default()
+    };
+    let pool = Arc::new(ThreadPool::new(ThreadPool::default_jobs().max(1)));
+    for &n in sizes {
+        let model = ArrayModel::paper_baseline().with_geometry(ArrayGeometry::new(n, 8));
+        // Three nearby biases (DRVR-style millivolt regulation steps),
+        // cycled so every warm solve starts from the previous (slightly
+        // different) operating point.
+        let ramp: Vec<Crosspoint> = [3.0, 2.998, 3.002]
+            .iter()
+            .map(|&v| model.to_crosspoint(n - 1, &[n - 1], &[v]))
+            .collect();
+        {
+            let ramp = ramp.clone();
+            let mut ws = SolverWorkspace::new();
+            let mut k = 0usize;
+            h.bench(&format!("kcl_solve_warm_{n}x{n}"), move || {
+                let cp = &ramp[k % ramp.len()];
+                k += 1;
+                cp.solve_warm(black_box(&warm_opts), &mut ws).unwrap()
+            });
+        }
+        {
+            let cp = ramp[0].clone();
+            let mut ws = SolverWorkspace::new()
+                .with_pool(Arc::clone(&pool))
+                .with_par_threshold(0);
+            h.bench(&format!("kcl_solve_par_{n}x{n}"), move || {
+                ws.clear_seed(); // isolate the parallel axis: always cold
+                cp.solve_warm(black_box(&SolveOptions::default()), &mut ws)
+                    .unwrap()
+            });
+        }
+        {
+            let ramp = ramp.clone();
+            let mut ws = SolverWorkspace::new()
+                .with_pool(Arc::clone(&pool))
+                .with_par_threshold(0);
+            let mut k = 0usize;
+            h.bench(&format!("kcl_solve_warm_par_{n}x{n}"), move || {
+                let cp = &ramp[k % ramp.len()];
+                k += 1;
+                cp.solve_warm(black_box(&warm_opts), &mut ws).unwrap()
+            });
+        }
+    }
+    if let Some(ratio) = h.compare("kcl_solve_warm_par_256x256", "kcl_solve_256x256") {
+        assert!(
+            ratio < 1.0,
+            "warm+parallel solve is {ratio:.3}x cold-serial at 256x256 (must be < 1.0x)"
+        );
+    }
+    // The headline acceptance number, only meaningful on a full run.
+    if let Some(ratio) = h.compare("kcl_solve_warm_par_512x512", "kcl_solve_512x512") {
+        println!(
+            "512x512 warm+parallel speedup over cold-serial: {:.2}x",
+            1.0 / ratio
+        );
     }
 }
 
@@ -166,6 +246,7 @@ fn bench_par_map_overhead(h: &mut Harness) {
 fn main() {
     let mut h = Harness::from_args();
     bench_solver(&mut h);
+    bench_solver_accel(&mut h);
     bench_telemetry_overhead(&mut h);
     bench_drop_model(&mut h);
     bench_partition_reset(&mut h);

@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 
 pub use std::hint::black_box;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// Measured timing for one benchmark.
@@ -59,6 +60,8 @@ fn fmt_ns(ns: f64) -> String {
 pub struct Harness {
     filter: Option<String>,
     smoke: bool,
+    quick: bool,
+    json_out: Option<PathBuf>,
     results: Vec<Stats>,
 }
 
@@ -68,13 +71,26 @@ impl Harness {
     /// Cargo's flags (`--bench`, `--test`, `--exact`, …) are ignored except
     /// that `--test` switches to smoke mode (each benchmark runs once); the
     /// first non-flag argument is a substring filter on benchmark names.
+    /// `--quick` measures with a shorter calibration target and fewer
+    /// rounds (for CI legs that assert on ratios, not publishable numbers),
+    /// and `--json PATH` (or `--json=PATH`) dumps the measured [`Stats`] as
+    /// JSON when the run finishes.
     #[must_use]
     pub fn from_args() -> Self {
         let mut filter = None;
         let mut smoke = false;
-        for arg in std::env::args().skip(1) {
+        let mut quick = false;
+        let mut json_out = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
             if arg == "--test" {
                 smoke = true;
+            } else if arg == "--quick" {
+                quick = true;
+            } else if arg == "--json" {
+                json_out = args.next().map(PathBuf::from);
+            } else if let Some(path) = arg.strip_prefix("--json=") {
+                json_out = Some(PathBuf::from(path));
             } else if !arg.starts_with('-') && filter.is_none() {
                 filter = Some(arg);
             }
@@ -82,8 +98,24 @@ impl Harness {
         Self {
             filter,
             smoke,
+            quick,
+            json_out,
             results: Vec::new(),
         }
+    }
+
+    /// True when running under `cargo test` (`--test`): each benchmark body
+    /// executes once, nothing is measured.
+    #[must_use]
+    pub fn is_smoke(&self) -> bool {
+        self.smoke
+    }
+
+    /// True for full-fidelity measurement runs (neither `--test` nor
+    /// `--quick`); suites gate their most expensive entries on this.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        !self.smoke && !self.quick
     }
 
     /// True if `name` passes the command-line filter.
@@ -101,8 +133,10 @@ impl Harness {
             println!("smoke {name}: ok");
             return;
         }
-        // Calibrate: grow the iteration count until a round takes ≥ 2 ms,
-        // capping calibration time for very slow bodies.
+        // Calibrate: grow the iteration count until a round takes ≥ 2 ms
+        // (0.5 ms in quick mode), capping calibration time for very slow
+        // bodies.
+        let round_target_s = if self.quick { 5e-4 } else { 2e-3 };
         let mut iters = 1u64;
         loop {
             let t0 = Instant::now();
@@ -110,13 +144,17 @@ impl Harness {
                 black_box(f());
             }
             let dt = t0.elapsed();
-            if dt.as_secs_f64() >= 2e-3 || iters >= 1 << 20 {
+            if dt.as_secs_f64() >= round_target_s || iters >= 1 << 20 {
                 break;
             }
             iters *= 4;
         }
         // Measure: enough rounds for a stable minimum, fewer for slow bodies.
-        let rounds = if iters == 1 { 5 } else { 11 };
+        let rounds = match (self.quick, iters) {
+            (true, _) => 3,
+            (false, 1) => 5,
+            (false, _) => 11,
+        };
         let mut per_iter: Vec<f64> = Vec::with_capacity(rounds);
         for _ in 0..rounds {
             let t0 = Instant::now();
@@ -166,8 +204,48 @@ impl Harness {
         Some(ratio)
     }
 
-    /// Finishes the run.
+    /// Serializes the measured results as a JSON document (hand-rolled —
+    /// this workspace takes no serialization dependencies).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"results\": [\n");
+        for (k, s) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"iters_per_round\": {}, \"rounds\": {}, \
+                 \"min_ns\": {:.1}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}}}{}\n",
+                s.name.replace('"', "\\\""),
+                s.iters_per_round,
+                s.rounds,
+                s.min_ns,
+                s.median_ns,
+                s.mean_ns,
+                if k + 1 < self.results.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes [`Harness::to_json`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn write_json(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Finishes the run; writes the `--json` report if one was requested.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the `--json` path cannot be written.
     pub fn finish(self) {
+        if let Some(path) = &self.json_out {
+            self.write_json(path)
+                .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+            println!("wrote {}", path.display());
+        }
         if !self.smoke {
             println!("benchmarks complete: {}", self.results.len());
         }
@@ -178,13 +256,19 @@ impl Harness {
 mod tests {
     use super::*;
 
+    fn bare(filter: Option<String>) -> Harness {
+        Harness {
+            filter,
+            smoke: false,
+            quick: true,
+            json_out: None,
+            results: Vec::new(),
+        }
+    }
+
     #[test]
     fn harness_measures_and_compares() {
-        let mut h = Harness {
-            filter: None,
-            smoke: false,
-            results: Vec::new(),
-        };
+        let mut h = bare(None);
         h.bench("noop", || black_box(1u64 + 1));
         h.bench("spin", || {
             let mut acc = 0u64;
@@ -202,12 +286,22 @@ mod tests {
 
     #[test]
     fn filter_skips_unselected() {
-        let mut h = Harness {
-            filter: Some("only_this".into()),
-            smoke: false,
-            results: Vec::new(),
-        };
+        let mut h = bare(Some("only_this".into()));
         h.bench("other", || 1);
         assert!(h.results().is_empty());
+    }
+
+    #[test]
+    fn json_report_lists_every_result() {
+        let mut h = bare(None);
+        h.bench("alpha", || black_box(2u64 * 2));
+        h.bench("beta", || black_box(3u64 * 3));
+        let json = h.to_json();
+        assert!(json.contains("\"name\": \"alpha\""), "{json}");
+        assert!(json.contains("\"name\": \"beta\""), "{json}");
+        assert!(json.contains("\"min_ns\""), "{json}");
+        // Exactly one trailing-comma-free last element: valid JSON by
+        // construction.
+        assert_eq!(json.matches("},\n").count(), 1, "{json}");
     }
 }

@@ -25,6 +25,15 @@ pub enum SolveError {
         /// Sweep index at which the non-finite value was detected.
         sweep: usize,
     },
+    /// A line's tridiagonal system hit an exactly-zero pivot, so the line
+    /// solve has no unique solution. Cannot occur for the strictly
+    /// diagonally dominant systems physical device models assemble; a
+    /// hand-built network with negative cell conductances can trigger it.
+    SingularLine {
+        /// Flattened line index: word-lines are `0..rows`, bit-lines are
+        /// `rows..rows + cols`.
+        line: usize,
+    },
     /// No line end of the network is driven, so the DC operating point is
     /// not meaningfully defined.
     NoSource,
@@ -58,6 +67,9 @@ impl fmt::Display for SolveError {
             }
             SolveError::Diverged { sweep } => {
                 write!(f, "solve diverged at sweep {sweep} (non-finite voltage)")
+            }
+            SolveError::SingularLine { line } => {
+                write!(f, "singular tridiagonal system on line {line} (zero pivot)")
             }
             SolveError::NoSource => write!(f, "network has no driven line end"),
         }
@@ -99,5 +111,12 @@ mod tests {
     fn error_is_std_error() {
         fn takes_err<E: Error>(_: E) {}
         takes_err(SolveError::Diverged { sweep: 3 });
+    }
+
+    #[test]
+    fn singular_line_display_names_the_line() {
+        let s = SolveError::SingularLine { line: 17 }.to_string();
+        assert!(s.contains("line 17"), "{s}");
+        assert!(s.contains("zero pivot"), "{s}");
     }
 }

@@ -50,10 +50,12 @@ mod device;
 mod error;
 mod solve;
 mod tridiag;
+mod workspace;
 
 pub use boundary::LineEnd;
 pub use crosspoint::Crosspoint;
 pub use device::{CellDevice, CellState, CompliantCell, PolySelector, SeriesCell};
 pub use error::SolveError;
 pub use solve::{Solution, SolveOptions, SolveStats};
-pub(crate) use tridiag::solve_tridiagonal;
+pub(crate) use tridiag::{solve_tridiagonal, solve_tridiagonal_batch_const, TRIDIAG_BATCH_MAX};
+pub use workspace::{SolverWorkspace, DEFAULT_PAR_MIN_CELLS};

@@ -7,9 +7,36 @@
 //! coupling (cell conductance, ≤ µS) is orders of magnitude weaker than the
 //! in-line coupling (wire conductance, ~0.1 S), the relaxation converges in
 //! a small number of sweeps even for 512×512 arrays.
+//!
+//! # Acceleration
+//!
+//! Sweep-style callers (validation grids, voltage ramps, figure loops) can
+//! hold a [`SolverWorkspace`] and call [`Crosspoint::solve_warm`] /
+//! [`Crosspoint::solve_into`] to stack three optimizations, none of which
+//! changes a converged answer:
+//!
+//! * **Warm starts** — the workspace keeps the previous converged operating
+//!   point and seeds the next solve from it instead of the cold boundary
+//!   guess, collapsing the sweep count when consecutive solves are similar.
+//! * **Parallel line relaxation** — within a phase, every word-line system
+//!   depends only on the fixed bit-line plane (and vice versa), so the
+//!   per-line tridiagonal solves fan out over a
+//!   [`reram_exec::ThreadPool`] bitwise-identically to the serial schedule.
+//! * **Linearization caching** — each cell's last `(v, g, i0)` Newton
+//!   linearization is kept; cells whose junction voltage moved less than
+//!   [`SolveOptions::lin_cache_epsilon_volts`] skip the expensive device
+//!   model. The exact nonlinear KCL residual check still gates convergence,
+//!   so a stale cache can never produce a wrong answer — at worst it
+//!   triggers a cache refresh and more sweeps.
 
-use crate::{solve_tridiagonal, Crosspoint, SolveError};
+use crate::workspace::SolverWorkspace;
+use crate::{
+    solve_tridiagonal, solve_tridiagonal_batch_const, CellDevice, Crosspoint, LineEnd, SolveError,
+    TRIDIAG_BATCH_MAX,
+};
+use reram_exec::{par_map, ThreadPool};
 use reram_obs::{Obs, Value};
+use std::sync::Arc;
 
 /// A tiny conductance to ground added to every junction.
 ///
@@ -18,6 +45,20 @@ use reram_obs::{Obs, Value};
 /// perturbing driven networks: at the sub-milliampere currents of these
 /// arrays the voltage error it introduces is below a picovolt.
 const NODE_LEAK_S: f64 = 1e-12;
+
+/// Lines relaxed per batch in the serial phases.
+///
+/// Batching serves two unrelated machine limits with one structure. (1)
+/// *Latency*: the Thomas algorithm is a per-node chain of dependent
+/// divisions; interleaving eight independent line systems
+/// ([`solve_tridiagonal_batch_const`]) lets those chains pipeline. (2)
+/// *Bandwidth*: a bit-line's nodes sit `cols` apart in the row-major
+/// planes, so assembling one column at a time wastes 7/8 of every fetched
+/// cache line — assembling eight adjacent columns per plane pass (one
+/// cache line of `f64`s) cuts that traffic eightfold. Every line's system
+/// is still built, solved, and applied with exactly the serial arithmetic,
+/// so results are bitwise unchanged.
+const LINE_BATCH: usize = TRIDIAG_BATCH_MAX;
 
 /// Options controlling the nonlinear relaxation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,6 +73,14 @@ pub struct SolveOptions {
     /// Per-node, per-sweep update clamp (volts); damps the Newton updates of
     /// strongly nonlinear selectors.
     pub max_step_volts: f64,
+    /// Reuse a cell's previous Newton linearization while its junction
+    /// voltage has moved by no more than this (volts); `None` (the default)
+    /// disables the cache, so plain solves pay no lookup overhead.
+    /// `Some(0.0)` skips only bitwise-identical re-linearizations and is
+    /// exactly equivalent to `None`; looser values (e.g. `1e-5`) skip most
+    /// device-model evaluations in warm-started sweeps and are still
+    /// guarded by the exact nonlinear residual check.
+    pub lin_cache_epsilon_volts: Option<f64>,
 }
 
 impl Default for SolveOptions {
@@ -43,6 +92,7 @@ impl Default for SolveOptions {
             // ideal-driver stamps leave in the residual.
             tol_amps: 1e-8,
             max_step_volts: 0.5,
+            lin_cache_epsilon_volts: None,
         }
     }
 }
@@ -74,6 +124,27 @@ pub struct Solution {
 }
 
 impl Solution {
+    /// A dimensionless placeholder to be filled by
+    /// [`Crosspoint::fill_solution`].
+    fn empty() -> Self {
+        Self {
+            rows: 0,
+            cols: 0,
+            vw: Vec::new(),
+            vb: Vec::new(),
+            cell_currents: Vec::new(),
+            src_wl_left: Vec::new(),
+            src_wl_right: Vec::new(),
+            src_bl_near: Vec::new(),
+            src_bl_far: Vec::new(),
+            stats: SolveStats {
+                sweeps: 0,
+                residual_amps: 0.0,
+                max_delta_volts: 0.0,
+            },
+        }
+    }
+
     /// Voltage of the word-line-plane junction at row `i`, column `j` (volts).
     #[must_use]
     pub fn wl_voltage(&self, i: usize, j: usize) -> f64 {
@@ -155,6 +226,415 @@ impl Solution {
     }
 }
 
+/// Everything a parallel line-relaxation job needs, shared read-only across
+/// workers for one solve: device table (zero-copy via the crosspoint's own
+/// `Arc`), precomputed boundary stamps, wire conductances, and the row/column
+/// chunking.
+struct ParPlan {
+    rows: usize,
+    cols: usize,
+    g_wl: f64,
+    g_bl: f64,
+    max_step: f64,
+    cells: Arc<Vec<CellDevice>>,
+    /// `(left, right)` boundary stamps per word-line.
+    wl_stamps: Vec<((f64, f64), (f64, f64))>,
+    /// `(near, far)` boundary stamps per bit-line.
+    bl_stamps: Vec<((f64, f64), (f64, f64))>,
+    /// `[start, end)` row ranges, one per WL-phase job.
+    wl_chunks: Vec<(usize, usize)>,
+    /// `[start, end)` column ranges, one per BL-phase job.
+    bl_chunks: Vec<(usize, usize)>,
+}
+
+impl ParPlan {
+    fn new(cp: &Crosspoint, max_step: f64, workers: usize) -> Self {
+        let rows = cp.rows();
+        let cols = cp.cols();
+        Self {
+            rows,
+            cols,
+            g_wl: 1.0 / cp.r_wire_wl(),
+            g_bl: 1.0 / cp.r_wire_bl(),
+            max_step,
+            cells: cp.cells_shared(),
+            wl_stamps: (0..rows)
+                .map(|i| (cp.wl_left(i).stamp(), cp.wl_right(i).stamp()))
+                .collect(),
+            bl_stamps: (0..cols)
+                .map(|j| (cp.bl_near(j).stamp(), cp.bl_far(j).stamp()))
+                .collect(),
+            wl_chunks: chunk_ranges(rows, workers),
+            bl_chunks: chunk_ranges(cols, workers),
+        }
+    }
+}
+
+/// Splits `lines` into contiguous ranges, roughly four per participant
+/// (workers plus the caller): few enough jobs to amortize dispatch, enough
+/// slack for load balancing. Chunk boundaries cannot affect results — each
+/// line's system is independent within a phase.
+fn chunk_ranges(lines: usize, workers: usize) -> Vec<(usize, usize)> {
+    let chunk = lines.div_ceil(4 * (workers + 1)).max(1);
+    let mut out = Vec::with_capacity(lines.div_ceil(chunk));
+    let mut start = 0;
+    while start < lines {
+        let end = (start + chunk).min(lines);
+        out.push((start, end));
+        start = end;
+    }
+    out
+}
+
+/// One parallel job's output: updated plane values and cache entries for its
+/// line range (in the same order the serial solver would visit them), plus
+/// its partial reduction state.
+struct ChunkOut {
+    v: Vec<f64>,
+    /// `(v, g, i0)` cache write-backs aligned with `v`; empty when the
+    /// linearization cache is off.
+    lin: Vec<(f64, f64, f64)>,
+    max_dv: f64,
+    hits: u64,
+    lookups: u64,
+}
+
+/// Linearizes cell `idx` at junction voltage `v` through the (read-only
+/// snapshot of the) cache, recording the entry to write back. Shared by both
+/// parallel chunk kernels; the serial path inlines the same logic against
+/// the workspace arrays directly.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn lin_cell(
+    cells: &[CellDevice],
+    idx: usize,
+    v: f64,
+    eps: Option<f64>,
+    lin_v: &[f64],
+    lin_g: &[f64],
+    lin_i0: &[f64],
+    out: &mut ChunkOut,
+) -> (f64, f64) {
+    let Some(e) = eps else {
+        return cells[idx].linearize(v);
+    };
+    out.lookups += 1;
+    // NaN marks an empty cache slot and never compares `<= e`.
+    if (v - lin_v[idx]).abs() <= e {
+        out.hits += 1;
+        out.lin.push((lin_v[idx], lin_g[idx], lin_i0[idx]));
+        (lin_g[idx], lin_i0[idx])
+    } else {
+        let (g, i0) = cells[idx].linearize(v);
+        out.lin.push((v, g, i0));
+        (g, i0)
+    }
+}
+
+/// Stamps one junction into slot `o` of an (interleaved) tridiagonal
+/// system: cell + leak + wire coupling on the diagonal, boundary source on
+/// the end nodes (`k` is the node's position along its `len`-node line).
+/// Only the diagonal and RHS are materialized — every off-diagonal the
+/// Thomas recurrence reads is exactly `-g_wire`, which
+/// [`solve_tridiagonal_batch_const`] takes as a scalar.
+/// For a WL node pass `i0` and the fixed BL voltage; for a BL node pass
+/// `-i0` and the fixed WL voltage — `x - i0` and `x + (-i0)` are the same
+/// f64 operation, so both phases share this exact arithmetic sequence
+/// (bitwise identity between the cached and uncached arms, and with the
+/// parallel chunk kernels).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn stamp_node(
+    k: usize,
+    len: usize,
+    o: usize,
+    g: f64,
+    i0: f64,
+    v_fixed: f64,
+    g_wire: f64,
+    (ga, va): (f64, f64),
+    (gb, vbn): (f64, f64),
+    diag: &mut [f64],
+    rhs: &mut [f64],
+) {
+    let mut d = g + NODE_LEAK_S;
+    let mut r = g * v_fixed + i0;
+    if k > 0 {
+        d += g_wire;
+    } else {
+        d += ga;
+        r += ga * va;
+    }
+    if k + 1 < len {
+        d += g_wire;
+    } else {
+        d += gb;
+        r += gb * vbn;
+    }
+    diag[o] = d;
+    rhs[o] = r;
+}
+
+/// Solves word-lines `r0..r1` against the fixed BL plane. Reads only
+/// pre-phase plane snapshots, so any partition of rows into chunks computes
+/// exactly the serial result. Returns `Err(row)` on a singular line system.
+#[allow(clippy::too_many_arguments)]
+fn wl_chunk(
+    plan: &ParPlan,
+    eps: Option<f64>,
+    vw: &[f64],
+    vb: &[f64],
+    lin_v: &[f64],
+    lin_g: &[f64],
+    lin_i0: &[f64],
+    r0: usize,
+    r1: usize,
+) -> Result<ChunkOut, usize> {
+    let cols = plan.cols;
+    let mut sub = vec![0.0f64; cols];
+    let mut diag = vec![0.0f64; cols];
+    let mut sup = vec![0.0f64; cols];
+    let mut rhs = vec![0.0f64; cols];
+    let cap = (r1 - r0) * cols;
+    let mut out = ChunkOut {
+        v: Vec::with_capacity(cap),
+        lin: Vec::with_capacity(if eps.is_some() { cap } else { 0 }),
+        max_dv: 0.0,
+        hits: 0,
+        lookups: 0,
+    };
+    for i in r0..r1 {
+        let ((gl, vl), (gr, vr)) = plan.wl_stamps[i];
+        for j in 0..cols {
+            let idx = i * cols + j;
+            let (g, i0) = lin_cell(
+                &plan.cells,
+                idx,
+                vb[idx] - vw[idx],
+                eps,
+                lin_v,
+                lin_g,
+                lin_i0,
+                &mut out,
+            );
+            let mut d = g + NODE_LEAK_S;
+            let mut r = g * vb[idx] + i0;
+            if j > 0 {
+                d += plan.g_wl;
+                sub[j] = -plan.g_wl;
+            } else {
+                d += gl;
+                r += gl * vl;
+                sub[j] = 0.0;
+            }
+            if j + 1 < cols {
+                d += plan.g_wl;
+                sup[j] = -plan.g_wl;
+            } else {
+                d += gr;
+                r += gr * vr;
+                sup[j] = 0.0;
+            }
+            diag[j] = d;
+            rhs[j] = r;
+        }
+        solve_tridiagonal(&sub, &mut diag, &mut sup, &mut rhs).map_err(|_| i)?;
+        #[allow(clippy::needless_range_loop)] // indexes several parallel arrays
+        for j in 0..cols {
+            let idx = i * cols + j;
+            let dv = (rhs[j] - vw[idx]).clamp(-plan.max_step, plan.max_step);
+            out.v.push(vw[idx] + dv);
+            out.max_dv = out.max_dv.max(dv.abs());
+        }
+    }
+    Ok(out)
+}
+
+/// Solves bit-lines `c0..c1` against the fixed WL plane (the BL-phase twin
+/// of [`wl_chunk`]). Returns `Err(col)` on a singular line system.
+#[allow(clippy::too_many_arguments)]
+fn bl_chunk(
+    plan: &ParPlan,
+    eps: Option<f64>,
+    vw: &[f64],
+    vb: &[f64],
+    lin_v: &[f64],
+    lin_g: &[f64],
+    lin_i0: &[f64],
+    c0: usize,
+    c1: usize,
+) -> Result<ChunkOut, usize> {
+    let rows = plan.rows;
+    let cols = plan.cols;
+    let mut sub = vec![0.0f64; rows];
+    let mut diag = vec![0.0f64; rows];
+    let mut sup = vec![0.0f64; rows];
+    let mut rhs = vec![0.0f64; rows];
+    let cap = (c1 - c0) * rows;
+    let mut out = ChunkOut {
+        v: Vec::with_capacity(cap),
+        lin: Vec::with_capacity(if eps.is_some() { cap } else { 0 }),
+        max_dv: 0.0,
+        hits: 0,
+        lookups: 0,
+    };
+    for j in c0..c1 {
+        let ((gn, vn), (gf, vf)) = plan.bl_stamps[j];
+        for i in 0..rows {
+            let idx = i * cols + j;
+            let (g, i0) = lin_cell(
+                &plan.cells,
+                idx,
+                vb[idx] - vw[idx],
+                eps,
+                lin_v,
+                lin_g,
+                lin_i0,
+                &mut out,
+            );
+            let mut d = g + NODE_LEAK_S;
+            let mut r = g * vw[idx] - i0;
+            if i > 0 {
+                d += plan.g_bl;
+                sub[i] = -plan.g_bl;
+            } else {
+                d += gn;
+                r += gn * vn;
+                sub[i] = 0.0;
+            }
+            if i + 1 < rows {
+                d += plan.g_bl;
+                sup[i] = -plan.g_bl;
+            } else {
+                d += gf;
+                r += gf * vf;
+                sup[i] = 0.0;
+            }
+            diag[i] = d;
+            rhs[i] = r;
+        }
+        solve_tridiagonal(&sub, &mut diag, &mut sup, &mut rhs).map_err(|_| j)?;
+        #[allow(clippy::needless_range_loop)] // indexes several parallel arrays
+        for i in 0..rows {
+            let idx = i * cols + j;
+            let dv = (rhs[i] - vb[idx]).clamp(-plan.max_step, plan.max_step);
+            out.v.push(vb[idx] + dv);
+            out.max_dv = out.max_dv.max(dv.abs());
+        }
+    }
+    Ok(out)
+}
+
+/// Reclaims a buffer round-tripped through `Arc` for a `par_map` fan-out.
+/// [`par_map`] guarantees every closure clone is dropped by return, so the
+/// `try_unwrap` always succeeds; the clone is a safety net, not a code path.
+fn reclaim(buf: Arc<Vec<f64>>) -> Vec<f64> {
+    Arc::try_unwrap(buf).unwrap_or_else(|a| (*a).clone())
+}
+
+/// Runs one word-line phase across the pool: snapshots the planes and cache
+/// into `Arc`s, fans [`wl_chunk`] over the row ranges, reclaims the buffers,
+/// and writes results back in row order (so the `max_dv` fold and any error
+/// match the serial schedule exactly).
+fn par_phase_wl(
+    pool: &ThreadPool,
+    plan: &Arc<ParPlan>,
+    ws: &mut SolverWorkspace,
+    eps: Option<f64>,
+    max_dv: &mut f64,
+) -> Result<(), SolveError> {
+    let vw_s = Arc::new(std::mem::take(&mut ws.vw));
+    let vb_s = Arc::new(std::mem::take(&mut ws.vb));
+    let lv_s = Arc::new(std::mem::take(&mut ws.lin_v));
+    let lg_s = Arc::new(std::mem::take(&mut ws.lin_g));
+    let li_s = Arc::new(std::mem::take(&mut ws.lin_i0));
+    let (plan2, vw2, vb2, lv2, lg2, li2) = (
+        Arc::clone(plan),
+        Arc::clone(&vw_s),
+        Arc::clone(&vb_s),
+        Arc::clone(&lv_s),
+        Arc::clone(&lg_s),
+        Arc::clone(&li_s),
+    );
+    let results = par_map(pool, plan.wl_chunks.clone(), move |_, &(r0, r1)| {
+        wl_chunk(&plan2, eps, &vw2, &vb2, &lv2, &lg2, &li2, r0, r1)
+    });
+    ws.vw = reclaim(vw_s);
+    ws.vb = reclaim(vb_s);
+    ws.lin_v = reclaim(lv_s);
+    ws.lin_g = reclaim(lg_s);
+    ws.lin_i0 = reclaim(li_s);
+    for (k, res) in results.into_iter().enumerate() {
+        let out = res.map_err(|line| SolveError::SingularLine { line })?;
+        let base = plan.wl_chunks[k].0 * plan.cols;
+        ws.vw[base..base + out.v.len()].copy_from_slice(&out.v);
+        for (t, &(v, g, i0)) in out.lin.iter().enumerate() {
+            ws.lin_v[base + t] = v;
+            ws.lin_g[base + t] = g;
+            ws.lin_i0[base + t] = i0;
+        }
+        *max_dv = max_dv.max(out.max_dv);
+        ws.last_cache_hits += out.hits;
+        ws.last_cache_lookups += out.lookups;
+    }
+    Ok(())
+}
+
+/// The bit-line twin of [`par_phase_wl`]; write-back is strided because BL
+/// chunks own column ranges of the row-major planes.
+fn par_phase_bl(
+    pool: &ThreadPool,
+    plan: &Arc<ParPlan>,
+    ws: &mut SolverWorkspace,
+    eps: Option<f64>,
+    max_dv: &mut f64,
+) -> Result<(), SolveError> {
+    let vw_s = Arc::new(std::mem::take(&mut ws.vw));
+    let vb_s = Arc::new(std::mem::take(&mut ws.vb));
+    let lv_s = Arc::new(std::mem::take(&mut ws.lin_v));
+    let lg_s = Arc::new(std::mem::take(&mut ws.lin_g));
+    let li_s = Arc::new(std::mem::take(&mut ws.lin_i0));
+    let (plan2, vw2, vb2, lv2, lg2, li2) = (
+        Arc::clone(plan),
+        Arc::clone(&vw_s),
+        Arc::clone(&vb_s),
+        Arc::clone(&lv_s),
+        Arc::clone(&lg_s),
+        Arc::clone(&li_s),
+    );
+    let results = par_map(pool, plan.bl_chunks.clone(), move |_, &(c0, c1)| {
+        bl_chunk(&plan2, eps, &vw2, &vb2, &lv2, &lg2, &li2, c0, c1)
+    });
+    ws.vw = reclaim(vw_s);
+    ws.vb = reclaim(vb_s);
+    ws.lin_v = reclaim(lv_s);
+    ws.lin_g = reclaim(lg_s);
+    ws.lin_i0 = reclaim(li_s);
+    for (k, res) in results.into_iter().enumerate() {
+        let out = res.map_err(|line| SolveError::SingularLine {
+            line: plan.rows + line,
+        })?;
+        let (c0, c1) = plan.bl_chunks[k];
+        let mut t = 0;
+        for j in c0..c1 {
+            for i in 0..plan.rows {
+                let idx = i * plan.cols + j;
+                ws.vb[idx] = out.v[t];
+                if let Some(&(v, g, i0)) = out.lin.get(t) {
+                    ws.lin_v[idx] = v;
+                    ws.lin_g[idx] = g;
+                    ws.lin_i0[idx] = i0;
+                }
+                t += 1;
+            }
+        }
+        *max_dv = max_dv.max(out.max_dv);
+        ws.last_cache_hits += out.hits;
+        ws.last_cache_lookups += out.lookups;
+    }
+    Ok(())
+}
+
 impl Crosspoint {
     /// Computes the DC operating point of the network.
     ///
@@ -162,8 +642,9 @@ impl Crosspoint {
     ///
     /// Returns [`SolveError::NoSource`] if no line end is driven,
     /// [`SolveError::Diverged`] if the iteration produced a non-finite
-    /// voltage, and [`SolveError::NotConverged`] if the tolerance was not met
-    /// within [`SolveOptions::max_sweeps`].
+    /// voltage, [`SolveError::SingularLine`] if a line's tridiagonal system
+    /// hit a zero pivot, and [`SolveError::NotConverged`] if the tolerance
+    /// was not met within [`SolveOptions::max_sweeps`].
     pub fn solve(&self, opts: &SolveOptions) -> Result<Solution, SolveError> {
         self.solve_observed(opts, &Obs::off())
     }
@@ -178,14 +659,98 @@ impl Crosspoint {
     ///
     /// Exactly as [`Crosspoint::solve`].
     pub fn solve_observed(&self, opts: &SolveOptions, obs: &Obs) -> Result<Solution, SolveError> {
+        let mut ws = SolverWorkspace::new();
+        let stats = self.solve_tracked(opts, &mut ws, obs)?;
+        let mut sol = Solution::empty();
+        self.fill_solution(&ws.vw, &ws.vb, &ws.cur, stats, &mut sol);
+        Ok(sol)
+    }
+
+    /// [`Crosspoint::solve`] with a reusable [`SolverWorkspace`]: starts
+    /// from the workspace's previous converged operating point when its
+    /// dimensions match (cold-starting otherwise), reuses every scratch
+    /// allocation, keeps the linearization cache across calls, and fans the
+    /// per-line solves over the workspace's pool if one is attached.
+    ///
+    /// A warm start changes the iteration *path*, not the answer: both
+    /// starts converge to within [`SolveOptions::tol_volts`] /
+    /// [`SolveOptions::tol_amps`] of the same operating point.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Crosspoint::solve`]. After any error the workspace's
+    /// warm seed is dropped, so the next call cold-starts.
+    pub fn solve_warm(
+        &self,
+        opts: &SolveOptions,
+        ws: &mut SolverWorkspace,
+    ) -> Result<Solution, SolveError> {
+        self.solve_warm_observed(opts, ws, &Obs::off())
+    }
+
+    /// [`Crosspoint::solve_warm`] with telemetry (see
+    /// [`Crosspoint::solve_observed`]); additionally counts
+    /// `circuit.solve.warm_hits`, records the per-solve
+    /// `circuit.solve.cache.skip_ratio`, and times parallel phases under
+    /// `circuit.solve.par_phase_ns`.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Crosspoint::solve_warm`].
+    pub fn solve_warm_observed(
+        &self,
+        opts: &SolveOptions,
+        ws: &mut SolverWorkspace,
+        obs: &Obs,
+    ) -> Result<Solution, SolveError> {
+        let stats = self.solve_tracked(opts, ws, obs)?;
+        let mut sol = Solution::empty();
+        self.fill_solution(&ws.vw, &ws.vb, &ws.cur, stats, &mut sol);
+        Ok(sol)
+    }
+
+    /// [`Crosspoint::solve_warm`] without the per-call [`Solution`]
+    /// allocations: the result is written into the workspace's reusable
+    /// solution buffer and returned by reference. The tightest loop for
+    /// sweep-style callers that inspect a few numbers per solve.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Crosspoint::solve_warm`]; on error the workspace's
+    /// previous solution buffer is left unchanged.
+    pub fn solve_into<'w>(
+        &self,
+        opts: &SolveOptions,
+        ws: &'w mut SolverWorkspace,
+    ) -> Result<&'w Solution, SolveError> {
+        let stats = self.solve_tracked(opts, ws, &Obs::off())?;
+        let sol = ws.sol.get_or_insert_with(Solution::empty);
+        self.fill_solution(&ws.vw, &ws.vb, &ws.cur, stats, sol);
+        Ok(sol)
+    }
+
+    /// Wraps [`Crosspoint::solve_core`] with the `circuit.solve.*`
+    /// telemetry shared by every public entry point.
+    fn solve_tracked(
+        &self,
+        opts: &SolveOptions,
+        ws: &mut SolverWorkspace,
+        obs: &Obs,
+    ) -> Result<SolveStats, SolveError> {
         let span = obs.span("circuit.solve.wall_ns");
-        let res = self.solve_inner(opts);
+        let res = self.solve_core(opts, ws, obs);
         drop(span);
         if obs.enabled() {
             obs.counter("circuit.solve.solves").inc();
+            if ws.last_warm {
+                obs.counter("circuit.solve.warm_hits").inc();
+            }
+            if ws.last_cache_lookups > 0 {
+                obs.hist("circuit.solve.cache.skip_ratio")
+                    .record(ws.cache_skip_ratio());
+            }
             match &res {
-                Ok(sol) => {
-                    let stats = sol.stats();
+                Ok(stats) => {
                     obs.hist("circuit.solve.sweeps").record(stats.sweeps as f64);
                     obs.hist("circuit.solve.residual_amps")
                         .record(stats.residual_amps);
@@ -214,7 +779,18 @@ impl Crosspoint {
         res
     }
 
-    fn solve_inner(&self, opts: &SolveOptions) -> Result<Solution, SolveError> {
+    /// The relaxation loop. Operates entirely on workspace storage; on
+    /// success the workspace planes hold the converged operating point and
+    /// are marked as the next warm seed.
+    fn solve_core(
+        &self,
+        opts: &SolveOptions,
+        ws: &mut SolverWorkspace,
+        obs: &Obs,
+    ) -> Result<SolveStats, SolveError> {
+        ws.last_warm = false;
+        ws.last_cache_hits = 0;
+        ws.last_cache_lookups = 0;
         if !self.has_source() {
             return Err(SolveError::NoSource);
         }
@@ -224,13 +800,51 @@ impl Crosspoint {
         let g_wl = 1.0 / self.r_wire_wl();
         let g_bl = 1.0 / self.r_wire_bl();
 
-        let (mut vw, mut vb) = self.initial_guess();
+        let warm = ws.seeded == Some((rows, cols));
+        ws.last_warm = warm;
+        // The seed is consumed: it only becomes valid again if this solve
+        // converges, so a failed solve can never warm-start the next one.
+        ws.seeded = None;
+        if !warm {
+            self.initial_guess_into(&mut ws.vw, &mut ws.vb);
+        }
 
-        let line = rows.max(cols);
-        let mut sub = vec![0.0f64; line];
-        let mut diag = vec![0.0f64; line];
-        let mut sup = vec![0.0f64; line];
-        let mut rhs = vec![0.0f64; line];
+        // `None` disables the cache outright; it is also how the stall
+        // recovery below retires a cache that twice failed the exact
+        // residual check.
+        let mut eps_active = opts.lin_cache_epsilon_volts;
+        let mut cache_stalls = 0u32;
+        if eps_active.is_some() && ws.cache_dims != Some((rows, cols)) {
+            ws.lin_v.clear();
+            ws.lin_v.resize(n, f64::NAN);
+            ws.lin_g.clear();
+            ws.lin_g.resize(n, 0.0);
+            ws.lin_i0.clear();
+            ws.lin_i0.resize(n, 0.0);
+            ws.cache_dims = Some((rows, cols));
+        }
+
+        // Both serial phases assemble up to LINE_BATCH line systems at once.
+        let scratch = LINE_BATCH * rows.max(cols);
+        for buf in [&mut ws.diag, &mut ws.rhs] {
+            buf.clear();
+            buf.resize(scratch, 0.0);
+        }
+
+        // Parallelism needs at least two pool workers to ever pay for its
+        // snapshotting: with one worker the fan-out is serial execution plus
+        // dispatch overhead, so fall through to the in-place loops (which
+        // compute bitwise-identical results anyway).
+        let par: Option<(Arc<ThreadPool>, Arc<ParPlan>)> = ws
+            .pool
+            .as_ref()
+            .filter(|p| p.workers() >= 2 && n >= ws.par_min_cells)
+            .map(|p| {
+                (
+                    Arc::clone(p),
+                    Arc::new(ParPlan::new(self, opts.max_step_volts, p.workers())),
+                )
+            });
 
         let mut converged = None;
         // Residual trajectory for NotConverged diagnostics: sampled a few
@@ -241,89 +855,193 @@ impl Crosspoint {
         for sweep in 0..opts.max_sweeps {
             let mut max_dv = 0.0f64;
 
-            // Word-line sweeps: solve vw[i][*] holding vb fixed.
-            for i in 0..rows {
-                let (gl, vl) = self.wl_left(i).stamp();
-                let (gr, vr) = self.wl_right(i).stamp();
-                for j in 0..cols {
-                    let idx = i * cols + j;
-                    let (g, i0) = self.cells()[idx].linearize(vb[idx] - vw[idx]);
-                    let mut d = g + NODE_LEAK_S;
-                    let mut r = g * vb[idx] + i0;
-                    if j > 0 {
-                        d += g_wl;
-                        sub[j] = -g_wl;
-                    } else {
-                        d += gl;
-                        r += gl * vl;
-                        sub[j] = 0.0;
-                    }
-                    if j + 1 < cols {
-                        d += g_wl;
-                        sup[j] = -g_wl;
-                    } else {
-                        d += gr;
-                        r += gr * vr;
-                        sup[j] = 0.0;
-                    }
-                    diag[j] = d;
-                    rhs[j] = r;
+            if let Some((pool, plan)) = &par {
+                {
+                    let _phase = obs.span("circuit.solve.par_phase_ns");
+                    par_phase_wl(pool, plan, ws, eps_active, &mut max_dv)?;
                 }
-                solve_tridiagonal(
-                    &sub[..cols],
-                    &mut diag[..cols],
-                    &mut sup[..cols],
-                    &mut rhs[..cols],
-                );
-                #[allow(clippy::needless_range_loop)] // indexes several parallel arrays
-                for j in 0..cols {
-                    let idx = i * cols + j;
-                    let dv = (rhs[j] - vw[idx]).clamp(-opts.max_step_volts, opts.max_step_volts);
-                    vw[idx] += dv;
-                    max_dv = max_dv.max(dv.abs());
+                {
+                    let _phase = obs.span("circuit.solve.par_phase_ns");
+                    par_phase_bl(pool, plan, ws, eps_active, &mut max_dv)?;
                 }
-            }
+            } else {
+                let SolverWorkspace {
+                    vw,
+                    vb,
+                    lin_v,
+                    lin_g,
+                    lin_i0,
+                    diag,
+                    rhs,
+                    last_cache_hits,
+                    last_cache_lookups,
+                    ..
+                } = &mut *ws;
+                let cells = self.cells();
 
-            // Bit-line sweeps: solve vb[*][j] holding vw fixed.
-            for j in 0..cols {
-                let (gn, vn) = self.bl_near(j).stamp();
-                let (gf, vf) = self.bl_far(j).stamp();
-                for i in 0..rows {
-                    let idx = i * cols + j;
-                    let (g, i0) = self.cells()[idx].linearize(vb[idx] - vw[idx]);
-                    let mut d = g + NODE_LEAK_S;
-                    let mut r = g * vw[idx] - i0;
-                    if i > 0 {
-                        d += g_bl;
-                        sub[i] = -g_bl;
-                    } else {
-                        d += gn;
-                        r += gn * vn;
-                        sub[i] = 0.0;
+                // Word-line sweeps: solve vw[i][*] holding vb fixed, up to
+                // LINE_BATCH rows per interleaved batch (see the constant's
+                // docs). Node j of batch-local row t lives at scratch slot
+                // j*t_n + t. Fixed row windows let the compiler drop the
+                // per-cell bounds checks on all five planes.
+                let mut r0 = 0;
+                while r0 < rows {
+                    let t_n = LINE_BATCH.min(rows - r0);
+                    for t in 0..t_n {
+                        let i = r0 + t;
+                        let (gl, vl) = self.wl_left(i).stamp();
+                        let (gr, vr) = self.wl_right(i).stamp();
+                        let base = i * cols;
+                        let vbr = &vb[base..base + cols];
+                        let vwr = &vw[base..base + cols];
+                        let cr = &cells[base..base + cols];
+                        if let Some(e) = eps_active {
+                            let lv = &mut lin_v[base..base + cols];
+                            let lg = &mut lin_g[base..base + cols];
+                            let li = &mut lin_i0[base..base + cols];
+                            *last_cache_lookups += cols as u64;
+                            for j in 0..cols {
+                                let v = vbr[j] - vwr[j];
+                                if (v - lv[j]).abs() <= e {
+                                    *last_cache_hits += 1;
+                                } else {
+                                    let (g, i0) = cr[j].linearize(v);
+                                    lv[j] = v;
+                                    lg[j] = g;
+                                    li[j] = i0;
+                                }
+                                stamp_node(
+                                    j,
+                                    cols,
+                                    j * t_n + t,
+                                    lg[j],
+                                    li[j],
+                                    vbr[j],
+                                    g_wl,
+                                    (gl, vl),
+                                    (gr, vr),
+                                    diag,
+                                    rhs,
+                                );
+                            }
+                        } else {
+                            for j in 0..cols {
+                                let (g, i0) = cr[j].linearize(vbr[j] - vwr[j]);
+                                stamp_node(
+                                    j,
+                                    cols,
+                                    j * t_n + t,
+                                    g,
+                                    i0,
+                                    vbr[j],
+                                    g_wl,
+                                    (gl, vl),
+                                    (gr, vr),
+                                    diag,
+                                    rhs,
+                                );
+                            }
+                        }
                     }
-                    if i + 1 < rows {
-                        d += g_bl;
-                        sup[i] = -g_bl;
-                    } else {
-                        d += gf;
-                        r += gf * vf;
-                        sup[i] = 0.0;
+                    let m = t_n * cols;
+                    solve_tridiagonal_batch_const(t_n, cols, -g_wl, &mut diag[..m], &mut rhs[..m])
+                        .map_err(|(t, _)| SolveError::SingularLine { line: r0 + t })?;
+                    for t in 0..t_n {
+                        let base = (r0 + t) * cols;
+                        let vwr = &mut vw[base..base + cols];
+                        for (j, w) in vwr.iter_mut().enumerate() {
+                            let dv = (rhs[j * t_n + t] - *w)
+                                .clamp(-opts.max_step_volts, opts.max_step_volts);
+                            *w += dv;
+                            max_dv = max_dv.max(dv.abs());
+                        }
                     }
-                    diag[i] = d;
-                    rhs[i] = r;
+                    r0 += t_n;
                 }
-                solve_tridiagonal(
-                    &sub[..rows],
-                    &mut diag[..rows],
-                    &mut sup[..rows],
-                    &mut rhs[..rows],
-                );
-                #[allow(clippy::needless_range_loop)] // indexes several parallel arrays
-                for i in 0..rows {
-                    let idx = i * cols + j;
-                    let dv = (rhs[i] - vb[idx]).clamp(-opts.max_step_volts, opts.max_step_volts);
-                    vb[idx] += dv;
-                    max_dv = max_dv.max(dv.abs());
+
+                // Bit-line sweeps: solve vb[*][j] holding vw fixed, up to
+                // LINE_BATCH adjacent columns per plane pass (see the
+                // constant's docs). Node i of batch-local column t lives at
+                // scratch slot i*t_n + t; the stamp is shared with the WL
+                // phase by negating i0 (see `stamp_node`).
+                let mut c0 = 0;
+                while c0 < cols {
+                    let t_n = LINE_BATCH.min(cols - c0);
+                    let mut near = [(0.0f64, 0.0f64); LINE_BATCH];
+                    let mut far = [(0.0f64, 0.0f64); LINE_BATCH];
+                    for t in 0..t_n {
+                        near[t] = self.bl_near(c0 + t).stamp();
+                        far[t] = self.bl_far(c0 + t).stamp();
+                    }
+                    for i in 0..rows {
+                        let base = i * cols + c0;
+                        let vbr = &vb[base..base + t_n];
+                        let vwr = &vw[base..base + t_n];
+                        let cr = &cells[base..base + t_n];
+                        if let Some(e) = eps_active {
+                            let lv = &mut lin_v[base..base + t_n];
+                            let lg = &mut lin_g[base..base + t_n];
+                            let li = &mut lin_i0[base..base + t_n];
+                            *last_cache_lookups += t_n as u64;
+                            for t in 0..t_n {
+                                let v = vbr[t] - vwr[t];
+                                if (v - lv[t]).abs() <= e {
+                                    *last_cache_hits += 1;
+                                } else {
+                                    let (g, i0) = cr[t].linearize(v);
+                                    lv[t] = v;
+                                    lg[t] = g;
+                                    li[t] = i0;
+                                }
+                                stamp_node(
+                                    i,
+                                    rows,
+                                    i * t_n + t,
+                                    lg[t],
+                                    -li[t],
+                                    vwr[t],
+                                    g_bl,
+                                    near[t],
+                                    far[t],
+                                    diag,
+                                    rhs,
+                                );
+                            }
+                        } else {
+                            for t in 0..t_n {
+                                let (g, i0) = cr[t].linearize(vbr[t] - vwr[t]);
+                                stamp_node(
+                                    i,
+                                    rows,
+                                    i * t_n + t,
+                                    g,
+                                    -i0,
+                                    vwr[t],
+                                    g_bl,
+                                    near[t],
+                                    far[t],
+                                    diag,
+                                    rhs,
+                                );
+                            }
+                        }
+                    }
+                    let m = t_n * rows;
+                    solve_tridiagonal_batch_const(t_n, rows, -g_bl, &mut diag[..m], &mut rhs[..m])
+                        .map_err(|(t, _)| SolveError::SingularLine {
+                            line: rows + c0 + t,
+                        })?;
+                    for i in 0..rows {
+                        let base = i * cols + c0;
+                        let vbr = &mut vb[base..base + t_n];
+                        for (t, b) in vbr.iter_mut().enumerate() {
+                            let dv = (rhs[i * t_n + t] - *b)
+                                .clamp(-opts.max_step_volts, opts.max_step_volts);
+                            *b += dv;
+                            max_dv = max_dv.max(dv.abs());
+                        }
+                    }
+                    c0 += t_n;
                 }
             }
 
@@ -331,7 +1049,7 @@ impl Crosspoint {
                 return Err(SolveError::Diverged { sweep });
             }
             if max_dv < opts.tol_volts {
-                let residual = self.kcl_residual(&vw, &vb, g_wl, g_bl);
+                let residual = self.kcl_residual(&ws.vw, &ws.vb, g_wl, g_bl, &mut ws.cur);
                 if residual < opts.tol_amps {
                     converged = Some(SolveStats {
                         sweeps: sweep + 1,
@@ -340,68 +1058,110 @@ impl Crosspoint {
                     });
                     break;
                 }
+                // The iterate stopped moving but the exact nonlinear
+                // residual rejects it: the cache has pinned some cell to a
+                // stale linearization (a generous epsilon, or devices
+                // swapped between warm solves). Refresh the cache — and on
+                // repeat offense retire it — rather than fail a solvable
+                // system.
+                if eps_active.is_some() {
+                    if cache_stalls < 2 {
+                        ws.lin_v.fill(f64::NAN);
+                    } else {
+                        eps_active = None;
+                    }
+                    cache_stalls += 1;
+                }
             }
             if (sweep + 1) % sample_every == 0
+                && sweep + 1 < opts.max_sweeps
                 && residual_tail.len() < SolveError::RESIDUAL_TAIL_LEN - 1
             {
-                residual_tail.push(self.kcl_residual(&vw, &vb, g_wl, g_bl));
+                residual_tail.push(self.kcl_residual(&ws.vw, &ws.vb, g_wl, g_bl, &mut ws.cur));
             }
         }
 
-        let stats = converged.ok_or_else(|| {
-            let residual = self.kcl_residual(&vw, &vb, g_wl, g_bl);
-            residual_tail.push(residual);
-            SolveError::NotConverged {
-                residual,
-                sweeps: opts.max_sweeps,
-                residual_tail,
+        match converged {
+            Some(stats) => {
+                ws.seeded = Some((rows, cols));
+                if warm {
+                    ws.warm_hits_total += 1;
+                }
+                Ok(stats)
             }
-        })?;
-
-        let mut cell_currents = vec![0.0; n];
-        for idx in 0..n {
-            cell_currents[idx] = self.cells()[idx].current(vb[idx] - vw[idx]);
+            None => {
+                // The final residual both caps the sampled trajectory and
+                // fills the error field — computed exactly once.
+                let residual = self.kcl_residual(&ws.vw, &ws.vb, g_wl, g_bl, &mut ws.cur);
+                residual_tail.push(residual);
+                Err(SolveError::NotConverged {
+                    residual,
+                    sweeps: opts.max_sweeps,
+                    residual_tail,
+                })
+            }
         }
-        let src = |end: crate::LineEnd, v_node: f64| -> f64 {
+    }
+
+    /// Derives the full [`Solution`] (nonlinear cell currents, source
+    /// currents) from converged plane voltages, reusing `out`'s buffers.
+    /// `cur` is the cell-current scratch the final (converged) residual
+    /// check filled for exactly these planes; it is copied instead of
+    /// re-evaluating every device model.
+    fn fill_solution(
+        &self,
+        vw: &[f64],
+        vb: &[f64],
+        cur: &[f64],
+        stats: SolveStats,
+        out: &mut Solution,
+    ) {
+        let rows = self.rows();
+        let cols = self.cols();
+        let n = rows * cols;
+        out.rows = rows;
+        out.cols = cols;
+        out.vw.clear();
+        out.vw.extend_from_slice(vw);
+        out.vb.clear();
+        out.vb.extend_from_slice(vb);
+        out.cell_currents.clear();
+        if cur.len() == n {
+            out.cell_currents.extend_from_slice(cur);
+        } else {
+            out.cell_currents
+                .extend((0..n).map(|idx| self.cells()[idx].current(vb[idx] - vw[idx])));
+        }
+        let src = |end: LineEnd, v_node: f64| -> f64 {
             let (g, v) = end.stamp();
             g * (v - v_node)
         };
-        let src_wl_left = (0..rows)
-            .map(|i| src(self.wl_left(i), vw[i * cols]))
-            .collect();
-        let src_wl_right = (0..rows)
-            .map(|i| src(self.wl_right(i), vw[i * cols + cols - 1]))
-            .collect();
-        let src_bl_near = (0..cols).map(|j| src(self.bl_near(j), vb[j])).collect();
-        let src_bl_far = (0..cols)
-            .map(|j| src(self.bl_far(j), vb[(rows - 1) * cols + j]))
-            .collect();
-
-        Ok(Solution {
-            rows,
-            cols,
-            vw,
-            vb,
-            cell_currents,
-            src_wl_left,
-            src_wl_right,
-            src_bl_near,
-            src_bl_far,
-            stats,
-        })
+        out.src_wl_left.clear();
+        out.src_wl_left
+            .extend((0..rows).map(|i| src(self.wl_left(i), vw[i * cols])));
+        out.src_wl_right.clear();
+        out.src_wl_right
+            .extend((0..rows).map(|i| src(self.wl_right(i), vw[i * cols + cols - 1])));
+        out.src_bl_near.clear();
+        out.src_bl_near
+            .extend((0..cols).map(|j| src(self.bl_near(j), vb[j])));
+        out.src_bl_far.clear();
+        out.src_bl_far
+            .extend((0..cols).map(|j| src(self.bl_far(j), vb[(rows - 1) * cols + j])));
+        out.stats = stats;
     }
 
     /// Builds a starting iterate from the boundary conditions: every line
     /// whose end is driven starts at that source voltage; the rest start at
     /// the mean of all driven voltages.
-    fn initial_guess(&self) -> (Vec<f64>, Vec<f64>) {
+    fn initial_guess_into(&self, vw: &mut Vec<f64>, vb: &mut Vec<f64>) {
         let rows = self.rows();
         let cols = self.cols();
         let mut driven_sum = 0.0;
         let mut driven_n = 0usize;
-        let mut line_v = |a: crate::LineEnd, b: crate::LineEnd| -> Option<f64> {
+        let mut line_v = |a: LineEnd, b: LineEnd| -> Option<f64> {
             for end in [a, b] {
-                if let crate::LineEnd::Driven { volts, .. } = end {
+                if let LineEnd::Driven { volts, .. } = end {
                     driven_sum += volts;
                     driven_n += 1;
                     return Some(volts);
@@ -420,8 +1180,10 @@ impl Crosspoint {
         } else {
             0.0
         };
-        let mut vw = vec![0.0; rows * cols];
-        let mut vb = vec![0.0; rows * cols];
+        vw.clear();
+        vw.resize(rows * cols, 0.0);
+        vb.clear();
+        vb.resize(rows * cols, 0.0);
         for i in 0..rows {
             let v = wl_v[i].unwrap_or(mean);
             for j in 0..cols {
@@ -434,21 +1196,36 @@ impl Crosspoint {
                 vb[i * cols + j] = v;
             }
         }
-        (vw, vb)
     }
 
     /// Worst KCL residual over all junctions, using the *nonlinear* device
-    /// currents (amperes).
-    fn kcl_residual(&self, vw: &[f64], vb: &[f64], g_wl: f64, g_bl: f64) -> f64 {
+    /// currents (amperes). The per-cell currents are evaluated once, kept
+    /// in `cur` (indexed like the planes), and reused by the BL pass — and,
+    /// after a converged solve, by [`Crosspoint::fill_solution`].
+    fn kcl_residual(
+        &self,
+        vw: &[f64],
+        vb: &[f64],
+        g_wl: f64,
+        g_bl: f64,
+        cur: &mut Vec<f64>,
+    ) -> f64 {
         let rows = self.rows();
         let cols = self.cols();
+        cur.clear();
+        cur.extend(
+            vb.iter()
+                .zip(vw)
+                .zip(self.cells())
+                .map(|((&b, &w), cell)| cell.current(b - w)),
+        );
         let mut worst = 0.0f64;
         for i in 0..rows {
             let (gl, vl) = self.wl_left(i).stamp();
             let (gr, vr) = self.wl_right(i).stamp();
             for j in 0..cols {
                 let idx = i * cols + j;
-                let i_cell = self.cells()[idx].current(vb[idx] - vw[idx]);
+                let i_cell = cur[idx];
                 // Currents leaving the WL-plane node.
                 let mut s = -i_cell + NODE_LEAK_S * vw[idx];
                 if j > 0 {
@@ -469,7 +1246,7 @@ impl Crosspoint {
             let (gf, vf) = self.bl_far(j).stamp();
             for i in 0..rows {
                 let idx = i * cols + j;
-                let i_cell = self.cells()[idx].current(vb[idx] - vw[idx]);
+                let i_cell = cur[idx];
                 // Currents leaving the BL-plane node.
                 let mut s = i_cell + NODE_LEAK_S * vb[idx];
                 if i > 0 {
@@ -745,5 +1522,58 @@ mod tests {
             Err(SolveError::NotConverged { sweeps, .. }) => assert_eq!(sweeps, 1),
             other => panic!("expected NotConverged, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn singular_line_maps_to_structured_error() {
+        // A negative-conductance "cell" cancels the node leak and the
+        // (floating ⇒ zero) boundary stamps exactly, zeroing the 1×1 WL
+        // system's pivot. Physical device models cannot build this.
+        let mut cp = Crosspoint::uniform(1, 1, 1.0, CellDevice::Linear(-NODE_LEAK_S));
+        cp.set_bl_near(0, LineEnd::driven(1.0));
+        assert_eq!(
+            cp.solve(&SolveOptions::default()),
+            Err(SolveError::SingularLine { line: 0 })
+        );
+    }
+
+    #[test]
+    fn warm_start_reuses_previous_operating_point() {
+        let n = 12;
+        let mut cp = Crosspoint::uniform(n, n, 11.5, lrs());
+        reset_bias(&mut cp, n - 1, n - 1, 3.0);
+        let mut ws = SolverWorkspace::new();
+        let opts = SolveOptions::default();
+        let cold = cp.solve_warm(&opts, &mut ws).unwrap();
+        assert!(!ws.last_used_warm_start());
+        let warm = cp.solve_warm(&opts, &mut ws).unwrap();
+        assert!(ws.last_used_warm_start());
+        assert_eq!(ws.warm_hits(), 1);
+        // Re-solving the identical network from its own solution converges
+        // immediately.
+        assert!(warm.stats().sweeps < cold.stats().sweeps);
+        assert!((warm.cell_voltage(n - 1, n - 1) - cold.cell_voltage(n - 1, n - 1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_into_reuses_the_workspace_solution() {
+        let n = 8;
+        let mut cp = Crosspoint::uniform(n, n, 11.5, lrs());
+        reset_bias(&mut cp, n - 1, n - 1, 3.0);
+        let opts = SolveOptions::default();
+        let byval = cp.solve(&opts).unwrap();
+        let mut ws = SolverWorkspace::new();
+        let veff = cp
+            .solve_into(&opts, &mut ws)
+            .unwrap()
+            .cell_voltage(n - 1, n - 1);
+        assert_eq!(veff.to_bits(), byval.cell_voltage(n - 1, n - 1).to_bits());
+        // Second call refills the same buffer warm.
+        let veff2 = cp
+            .solve_into(&opts, &mut ws)
+            .unwrap()
+            .cell_voltage(n - 1, n - 1);
+        assert!((veff2 - veff).abs() < 1e-9);
+        assert!(ws.solution().is_some());
     }
 }

@@ -1,0 +1,173 @@
+//! Reusable solver state for sweep-style callers.
+//!
+//! A [`SolverWorkspace`] owns everything a solve needs beyond the network
+//! itself: the working voltage planes (which double as the warm-start seed
+//! for the next solve), the tridiagonal scratch buffers, the per-cell
+//! linearization cache, an optional [`reram_exec::ThreadPool`] for parallel
+//! line relaxation, and a reusable output [`Solution`]. Callers that solve
+//! the same (or a slowly-varying) network many times — validation grids,
+//! voltage ramps, figure sweeps — hold one workspace and call
+//! [`Crosspoint::solve_warm`](crate::Crosspoint::solve_warm) or
+//! [`Crosspoint::solve_into`](crate::Crosspoint::solve_into) instead of
+//! [`Crosspoint::solve`](crate::Crosspoint::solve), so each solve starts
+//! from the previous operating point and reuses every allocation.
+
+use crate::solve::Solution;
+use reram_exec::ThreadPool;
+use std::sync::Arc;
+
+/// Default minimum cell count (`rows × cols`) below which a workspace with
+/// a pool still relaxes lines serially: the per-sweep fan-out overhead
+/// outweighs the tridiagonal work on small arrays.
+pub const DEFAULT_PAR_MIN_CELLS: usize = 64 * 64;
+
+/// Scratch vectors, warm-start seed, linearization cache and (optional)
+/// parallel fan-out pool, reused across solves.
+///
+/// Create one per solving thread with [`SolverWorkspace::new`], optionally
+/// attach a pool via [`SolverWorkspace::with_pool`], and pass it to the
+/// `solve_warm*` / `solve_into` entry points. The workspace adapts to
+/// whatever network dimensions it is handed; a dimension change simply
+/// drops the seed and cache.
+#[derive(Debug)]
+pub struct SolverWorkspace {
+    /// Pool for parallel line relaxation; `None` (or a pool with zero
+    /// workers) keeps every sweep serial.
+    pub(crate) pool: Option<Arc<ThreadPool>>,
+    /// Minimum `rows × cols` for the parallel path to engage.
+    pub(crate) par_min_cells: usize,
+    /// Working WL-plane voltages; after a successful solve these hold the
+    /// converged operating point and seed the next warm solve.
+    pub(crate) vw: Vec<f64>,
+    /// Working BL-plane voltages (see [`Self::vw`]).
+    pub(crate) vb: Vec<f64>,
+    /// `Some((rows, cols))` when `vw`/`vb` hold a converged solution of
+    /// those dimensions usable as a warm seed.
+    pub(crate) seeded: Option<(usize, usize)>,
+    /// Tridiagonal scratch (serial path), sized for one interleaved batch
+    /// of line systems; only the diagonal and RHS are stored — the used
+    /// off-diagonals of a cross-point line system are all `-g_wire`.
+    pub(crate) diag: Vec<f64>,
+    pub(crate) rhs: Vec<f64>,
+    /// Nonlinear cell currents evaluated at the most recent KCL residual
+    /// check; after a converged solve these belong to the final planes and
+    /// are reused when filling the output [`Solution`].
+    pub(crate) cur: Vec<f64>,
+    /// Linearization cache, indexed by cell: the junction voltage each
+    /// cell was last linearized at (`NaN` = no entry) …
+    pub(crate) lin_v: Vec<f64>,
+    /// … the Norton conductance computed there …
+    pub(crate) lin_g: Vec<f64>,
+    /// … and the Norton current offset.
+    pub(crate) lin_i0: Vec<f64>,
+    /// Dimensions the cache arrays are sized for.
+    pub(crate) cache_dims: Option<(usize, usize)>,
+    /// Whether the most recent solve started from a warm seed.
+    pub(crate) last_warm: bool,
+    /// Linearization-cache hits in the most recent solve.
+    pub(crate) last_cache_hits: u64,
+    /// Linearization-cache lookups in the most recent solve.
+    pub(crate) last_cache_lookups: u64,
+    /// Cumulative count of solves that used a warm seed.
+    pub(crate) warm_hits_total: u64,
+    /// Reusable output for [`Crosspoint::solve_into`](crate::Crosspoint::solve_into).
+    pub(crate) sol: Option<Solution>,
+}
+
+impl Default for SolverWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SolverWorkspace {
+    /// An empty workspace: cold first solve, serial sweeps, no pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            pool: None,
+            par_min_cells: DEFAULT_PAR_MIN_CELLS,
+            vw: Vec::new(),
+            vb: Vec::new(),
+            seeded: None,
+            diag: Vec::new(),
+            rhs: Vec::new(),
+            cur: Vec::new(),
+            lin_v: Vec::new(),
+            lin_g: Vec::new(),
+            lin_i0: Vec::new(),
+            cache_dims: None,
+            last_warm: false,
+            last_cache_hits: 0,
+            last_cache_lookups: 0,
+            warm_hits_total: 0,
+            sol: None,
+        }
+    }
+
+    /// Attaches a thread pool: sweeps over networks with at least
+    /// [`DEFAULT_PAR_MIN_CELLS`] cells (configurable via
+    /// [`SolverWorkspace::with_par_threshold`]) fan their independent line
+    /// solves over it, bitwise-identical to the serial schedule. Pools
+    /// with fewer than two workers (including [`ThreadPool::serial`])
+    /// take the serial path outright — fan-out can only lose there.
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<ThreadPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Overrides the minimum cell count for parallel line relaxation;
+    /// `0` forces the parallel path whenever a pool with workers is
+    /// attached (useful for identity tests).
+    #[must_use]
+    pub fn with_par_threshold(mut self, min_cells: usize) -> Self {
+        self.par_min_cells = min_cells;
+        self
+    }
+
+    /// True if the most recent solve through this workspace started from
+    /// the previous converged operating point instead of the cold initial
+    /// guess.
+    #[must_use]
+    pub fn last_used_warm_start(&self) -> bool {
+        self.last_warm
+    }
+
+    /// Number of solves so far that reused a warm seed.
+    #[must_use]
+    pub fn warm_hits(&self) -> u64 {
+        self.warm_hits_total
+    }
+
+    /// Fraction of linearizations the cache skipped in the most recent
+    /// solve (0.0 when the cache was disabled or the solve never ran).
+    #[must_use]
+    pub fn cache_skip_ratio(&self) -> f64 {
+        if self.last_cache_lookups == 0 {
+            0.0
+        } else {
+            self.last_cache_hits as f64 / self.last_cache_lookups as f64
+        }
+    }
+
+    /// Drops the warm-start seed: the next solve starts from the cold
+    /// initial guess (the cache is kept).
+    pub fn clear_seed(&mut self) {
+        self.seeded = None;
+    }
+
+    /// Invalidates every linearization-cache entry. Call after mutating
+    /// cell devices between warm solves to skip the (automatic, but
+    /// slower) stall-detect-and-retry recovery.
+    pub fn invalidate_cache(&mut self) {
+        self.lin_v.fill(f64::NAN);
+    }
+
+    /// The solution produced by the most recent
+    /// [`Crosspoint::solve_into`](crate::Crosspoint::solve_into), if any.
+    #[must_use]
+    pub fn solution(&self) -> Option<&Solution> {
+        self.sol.as_ref()
+    }
+}

@@ -1,0 +1,230 @@
+//! Acceleration correctness suite: parallel line relaxation must be
+//! bitwise-identical to serial, warm starts must land on the cold-start
+//! answer within solver tolerance, and the linearization cache must never
+//! change a converged solution (exact-match epsilon: bitwise; loose
+//! epsilon: within the residual-checked tolerance).
+
+use reram_circuit::{CellDevice, Crosspoint, LineEnd, PolySelector, SolveOptions, SolverWorkspace};
+use reram_exec::ThreadPool;
+use std::sync::Arc;
+
+/// Worst-case RESET bias: selected cell at the far corner, every other
+/// line half-selected (rectangular, to exercise strided BL write-back).
+fn biased(rows: usize, cols: usize, kr: f64, r_wire: f64) -> Crosspoint {
+    let mut cp = Crosspoint::uniform(
+        rows,
+        cols,
+        r_wire,
+        CellDevice::Selector(PolySelector::new(90e-6, 3.0, kr)),
+    );
+    for i in 0..rows {
+        cp.set_wl_left(
+            i,
+            if i == rows - 1 {
+                LineEnd::ground()
+            } else {
+                LineEnd::driven(1.5)
+            },
+        );
+    }
+    for j in 0..cols {
+        cp.set_bl_near(
+            j,
+            if j == cols - 1 {
+                LineEnd::driven(3.0)
+            } else {
+                LineEnd::driven(1.5)
+            },
+        );
+    }
+    cp
+}
+
+/// Asserts two solutions are bitwise-identical in every observable field.
+fn assert_bitwise_eq(a: &reram_circuit::Solution, b: &reram_circuit::Solution, ctx: &str) {
+    assert_eq!(a.stats().sweeps, b.stats().sweeps, "sweeps differ: {ctx}");
+    assert_eq!(
+        a.stats().residual_amps.to_bits(),
+        b.stats().residual_amps.to_bits(),
+        "residual differs: {ctx}"
+    );
+    assert_eq!(a, b, "solutions differ: {ctx}");
+}
+
+#[test]
+fn parallel_solve_is_bitwise_identical_to_serial() {
+    for &(rows, cols) in &[(16usize, 16usize), (33, 17)] {
+        for &kr in &[500.0, 2000.0] {
+            let cp = biased(rows, cols, kr, 2.82);
+            let opts = SolveOptions::default();
+            let serial = cp.solve(&opts).expect("serial solve converges");
+            for &workers in &[1usize, 2, 4] {
+                let pool = Arc::new(ThreadPool::new(workers));
+                let mut ws = SolverWorkspace::new().with_pool(pool).with_par_threshold(0);
+                let par = cp
+                    .solve_warm(&opts, &mut ws)
+                    .expect("parallel solve converges");
+                assert_bitwise_eq(
+                    &serial,
+                    &par,
+                    &format!("{rows}x{cols} kr={kr} workers={workers}"),
+                );
+                // Spot-check the planes cell by cell, not just via PartialEq.
+                for i in [0, rows / 2, rows - 1] {
+                    for j in [0, cols / 2, cols - 1] {
+                        assert_eq!(
+                            serial.wl_voltage(i, j).to_bits(),
+                            par.wl_voltage(i, j).to_bits()
+                        );
+                        assert_eq!(
+                            serial.bl_voltage(i, j).to_bits(),
+                            par.bl_voltage(i, j).to_bits()
+                        );
+                        assert_eq!(
+                            serial.cell_current(i, j).to_bits(),
+                            par.cell_current(i, j).to_bits()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn warm_start_lands_on_the_cold_start_solution() {
+    let n = 32;
+    let opts = SolveOptions::default();
+    let mut ws = SolverWorkspace::new();
+    let (mut warm_sweeps, mut cold_sweeps) = (0usize, 0usize);
+    // A RESET voltage ramp, the canonical sweep-style caller.
+    for step in 0..8 {
+        let vrst = 2.99 + 0.002 * f64::from(step);
+        let mut cp = biased(n, n, 1000.0, 2.82);
+        for j in 0..n {
+            cp.set_bl_near(
+                j,
+                if j == n - 1 {
+                    LineEnd::driven(vrst)
+                } else {
+                    LineEnd::driven(vrst / 2.0)
+                },
+            );
+        }
+        let warm = cp.solve_warm(&opts, &mut ws).expect("warm solve converges");
+        let cold = cp.solve(&opts).expect("cold solve converges");
+        assert_eq!(ws.last_used_warm_start(), step > 0);
+        let dv = (warm.cell_voltage(n - 1, n - 1) - cold.cell_voltage(n - 1, n - 1)).abs();
+        // Both iterates stopped inside the same tol_volts/tol_amps basin.
+        assert!(dv < 1e-9, "warm vs cold differ by {dv} V at vrst={vrst}");
+        assert!(warm.stats().residual_amps < opts.tol_amps);
+        if step > 0 {
+            warm_sweeps += warm.stats().sweeps;
+            cold_sweeps += cold.stats().sweeps;
+        }
+    }
+    assert_eq!(ws.warm_hits(), 7);
+    // An individual step may cost one extra sweep (the seed is from a
+    // slightly different bias), but over the ramp warm starting must win.
+    assert!(
+        warm_sweeps < cold_sweeps,
+        "warm ramp took {warm_sweeps} sweeps vs {cold_sweeps} cold"
+    );
+}
+
+#[test]
+fn exact_match_cache_is_bitwise_identical_to_disabled() {
+    let cp = biased(24, 24, 1000.0, 2.82);
+    let cached = cp
+        .solve(&SolveOptions {
+            lin_cache_epsilon_volts: Some(0.0),
+            ..SolveOptions::default()
+        })
+        .expect("cached solve converges");
+    let plain = cp
+        .solve(&SolveOptions {
+            lin_cache_epsilon_volts: None,
+            ..SolveOptions::default()
+        })
+        .expect("uncached solve converges");
+    assert_bitwise_eq(&cached, &plain, "eps=0.0 vs disabled");
+}
+
+#[test]
+fn loose_cache_epsilon_passes_the_exact_residual_check() {
+    let n = 32;
+    let cp = biased(n, n, 1000.0, 2.82);
+    let base = SolveOptions::default();
+    let plain = cp
+        .solve(&SolveOptions {
+            lin_cache_epsilon_volts: None,
+            ..base
+        })
+        .expect("uncached solve converges");
+    let mut ws = SolverWorkspace::new();
+    let loose = cp
+        .solve_warm(
+            &SolveOptions {
+                lin_cache_epsilon_volts: Some(1e-6),
+                ..base
+            },
+            &mut ws,
+        )
+        .expect("loosely cached solve converges");
+    // The loose cache may take a different path, but the accepted answer is
+    // still gated by the same exact nonlinear KCL residual.
+    assert!(loose.stats().residual_amps < base.tol_amps);
+    assert!(plain.stats().residual_amps < base.tol_amps);
+    let dv = (loose.cell_voltage(n - 1, n - 1) - plain.cell_voltage(n - 1, n - 1)).abs();
+    assert!(dv < 1e-8, "loose-cache answer off by {dv} V");
+    assert!(
+        ws.cache_skip_ratio() > 0.5,
+        "loose epsilon should skip most linearizations, got {}",
+        ws.cache_skip_ratio()
+    );
+}
+
+#[test]
+fn stale_cache_after_cell_swap_recovers_via_residual_check() {
+    let n = 16;
+    let mut cp = biased(n, n, 1000.0, 2.82);
+    let opts = SolveOptions {
+        lin_cache_epsilon_volts: Some(1e-6),
+        ..SolveOptions::default()
+    };
+    let mut ws = SolverWorkspace::new();
+    cp.solve_warm(&opts, &mut ws)
+        .expect("first solve converges");
+    // Swap a device without telling the workspace: the warm seed and cache
+    // are now stale. The exact residual check must force re-linearization
+    // rather than accept the old operating point.
+    cp.set_cell(n - 1, n - 1, CellDevice::Linear(1e-4));
+    let warm = cp
+        .solve_warm(&opts, &mut ws)
+        .expect("stale-cache solve converges");
+    let cold = cp
+        .solve(&SolveOptions::default())
+        .expect("fresh solve converges");
+    let dv = (warm.cell_voltage(n - 1, n - 1) - cold.cell_voltage(n - 1, n - 1)).abs();
+    assert!(dv < 1e-8, "stale-cache answer off by {dv} V");
+    assert!(warm.stats().residual_amps < opts.tol_amps);
+}
+
+#[test]
+fn singular_line_surfaces_through_the_parallel_path() {
+    // A negative-conductance cell cancels the node leak exactly; with all
+    // ends floating except one driven BL, the WL system's pivot is zero.
+    let mut cp = Crosspoint::uniform(1, 1, 1.0, CellDevice::Linear(-1e-12));
+    cp.set_bl_near(0, LineEnd::driven(1.0));
+    let pool = Arc::new(ThreadPool::new(2));
+    let mut ws = SolverWorkspace::new().with_pool(pool).with_par_threshold(0);
+    assert_eq!(
+        cp.solve_warm(&SolveOptions::default(), &mut ws),
+        Err(reram_circuit::SolveError::SingularLine { line: 0 })
+    );
+    // A failed solve must not leave a warm seed behind.
+    cp.set_cell(0, 0, CellDevice::Linear(1e-5));
+    cp.solve_warm(&SolveOptions::default(), &mut ws)
+        .expect("repaired network converges");
+    assert!(!ws.last_used_warm_start());
+}

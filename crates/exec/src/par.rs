@@ -19,6 +19,13 @@
 //! (nested parallelism, e.g. a DAG job fanning out its own sweep) can
 //! never deadlock: the nested caller drains its own items even when every
 //! worker is busy.
+//!
+//! Both entry points additionally guarantee that **every clone of the
+//! closure has been dropped by the time they return** — an `Arc` the
+//! closure captured is uniquely held by the caller again, so hot loops
+//! (like the solver's per-sweep line fan-out) can move owned buffers into
+//! an `Arc`, map over them, and reclaim them with `Arc::try_unwrap`
+//! instead of copying.
 
 use crate::pool::ThreadPool;
 use crate::JobError;
@@ -30,8 +37,16 @@ struct MapState<T, R> {
     items: Vec<T>,
     next: AtomicUsize,
     out: Mutex<Vec<Option<Result<R, JobError>>>>,
-    completed: Mutex<usize>,
+    latch: Mutex<Latch>,
     cv: Condvar,
+}
+
+/// Completion state: the caller returns only once every item has finished
+/// *and* every pool-side driver has dropped its clone of the closure, so
+/// an `Arc` captured by `f` is uniquely held again when `par_map` returns.
+struct Latch {
+    completed: usize,
+    drivers: usize,
 }
 
 /// Claims items off `st.next` and runs them until the cursor runs out.
@@ -45,9 +60,9 @@ fn drive<T, R>(st: &MapState<T, R>, f: &(impl Fn(usize, &T) -> R + Sync)) {
         let r = catch_unwind(AssertUnwindSafe(|| f(i, &st.items[i])))
             .map_err(|p| JobError::Panicked(crate::panic_message(p.as_ref())));
         st.out.lock().expect("par_map results poisoned")[i] = Some(r);
-        let mut done = st.completed.lock().expect("par_map latch poisoned");
-        *done += 1;
-        if *done == n {
+        let mut latch = st.latch.lock().expect("par_map latch poisoned");
+        latch.completed += 1;
+        if latch.completed == n {
             st.cv.notify_all();
         }
     }
@@ -56,6 +71,10 @@ fn drive<T, R>(st: &MapState<T, R>, f: &(impl Fn(usize, &T) -> R + Sync)) {
 /// Like [`par_map`], but panics inside `f` are isolated per item and
 /// returned as [`JobError::Panicked`] instead of propagating — the other
 /// items still complete.
+///
+/// On return, every clone of `f` has been dropped: an `Arc` captured by the
+/// closure is uniquely held by the caller again, so callers can round-trip
+/// owned buffers through `Arc` + [`Arc::try_unwrap`] without copying.
 pub fn try_par_map<T, R, F>(pool: &ThreadPool, items: Vec<T>, f: F) -> Vec<Result<R, JobError>>
 where
     T: Send + Sync + 'static,
@@ -66,30 +85,61 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let st = Arc::new(MapState {
-        items,
-        next: AtomicUsize::new(0),
-        out: Mutex::new((0..n).map(|_| None).collect()),
-        completed: Mutex::new(0),
-        cv: Condvar::new(),
-    });
-    let f = Arc::new(f);
     // One driver per worker (capped by the number of items beyond the one
     // the caller will take). Surplus drivers find the cursor exhausted and
     // exit immediately.
     let drivers = pool.workers().min(n.saturating_sub(1));
+    let st = Arc::new(MapState {
+        items,
+        next: AtomicUsize::new(0),
+        out: Mutex::new((0..n).map(|_| None).collect()),
+        latch: Mutex::new(Latch {
+            completed: 0,
+            drivers,
+        }),
+        cv: Condvar::new(),
+    });
+    let f = Arc::new(f);
     for _ in 0..drivers {
         let st2 = Arc::clone(&st);
         let f2 = Arc::clone(&f);
-        pool.spawn(move || drive(&st2, &*f2));
+        pool.spawn(move || {
+            drive(&st2, &*f2);
+            // Release the closure clone *before* signing off, so the
+            // caller's "all drivers done" wait implies all clones of `f`
+            // are gone.
+            drop(f2);
+            let mut latch = st2.latch.lock().expect("par_map latch poisoned");
+            latch.drivers -= 1;
+            if latch.drivers == 0 {
+                st2.cv.notify_all();
+            }
+        });
     }
     drive(&st, &*f);
-    // All items claimed by someone; wait for the stragglers to finish.
-    let mut done = st.completed.lock().expect("par_map latch poisoned");
-    while *done < n {
-        done = st.cv.wait(done).expect("par_map latch poisoned");
+    drop(f);
+    // All items claimed by someone; wait for the stragglers to finish and
+    // for every pool-side driver to release its clone of the closure. The
+    // caller must keep draining the pool while it waits: when par_map is
+    // issued from inside a pool job, its driver tasks can be queued behind
+    // that very job, and blocking on them would deadlock a saturated pool.
+    let mut latch = st.latch.lock().expect("par_map latch poisoned");
+    while latch.completed < n || latch.drivers > 0 {
+        drop(latch);
+        while pool.try_run_pending() {}
+        latch = st.latch.lock().expect("par_map latch poisoned");
+        if latch.completed >= n && latch.drivers == 0 {
+            break;
+        }
+        // Timed so a driver queued behind another caller's still-running
+        // job is eventually helped along; completions notify immediately.
+        let (l, _timeout) = st
+            .cv
+            .wait_timeout(latch, std::time::Duration::from_micros(500))
+            .expect("par_map latch poisoned");
+        latch = l;
     }
-    drop(done);
+    drop(latch);
     let mut out = st.out.lock().expect("par_map results poisoned");
     out.iter_mut()
         .map(|slot| slot.take().expect("all items completed"))
@@ -188,5 +238,51 @@ mod tests {
         let pool = ThreadPool::new(2);
         let out: Vec<u8> = par_map(&pool, Vec::<u8>::new(), |_, _| 0);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn closure_captures_are_released_on_return() {
+        // The return contract: no pool worker still holds a clone of the
+        // closure once par_map returns, so an Arc captured by it is
+        // uniquely owned again. reram-circuit's parallel line relaxation
+        // relies on this to round-trip its voltage planes without copies.
+        let pool = ThreadPool::new(4);
+        for round in 0..64u32 {
+            let payload = Arc::new(vec![round; 128]);
+            let p2 = Arc::clone(&payload);
+            let out = par_map(&pool, (0..32usize).collect(), move |i, &x| p2[x] + i as u32);
+            assert_eq!(out.len(), 32);
+            assert_eq!(
+                Arc::strong_count(&payload),
+                1,
+                "a driver still holds the closure after return (round {round})"
+            );
+            assert!(Arc::try_unwrap(payload).is_ok());
+        }
+    }
+
+    #[test]
+    fn concurrent_nested_callers_drain_their_own_drivers() {
+        // Two pool jobs each issue a stream of nested par_maps. Every
+        // caller's driver tasks land on its *own* worker's local deque, so
+        // each wait loop must drain that deque itself — when the drain
+        // only reached the injector, both jobs polled forever, each
+        // waiting for drivers the other worker would never steal.
+        let pool = Arc::new(ThreadPool::new(2));
+        let (tx, rx) = std::sync::mpsc::channel();
+        for j in 0..2u32 {
+            let pool2 = Arc::clone(&pool);
+            let tx = tx.clone();
+            pool.spawn(move || {
+                for _ in 0..25 {
+                    let out: Vec<u64> =
+                        par_map(&pool2, (0..8u64).collect(), |i, &x| x * 3 + i as u64);
+                    assert_eq!(out.len(), 8);
+                }
+                tx.send(j).expect("main receiver alive");
+            });
+        }
+        drop(tx);
+        assert_eq!(rx.iter().count(), 2);
     }
 }

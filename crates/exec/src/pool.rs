@@ -320,9 +320,16 @@ impl ThreadPool {
 
     /// Runs one queued task inline on the calling thread, if any is
     /// queued. This is how a [`ThreadPool::serial`] pool makes progress —
-    /// callers (like `par_map`'s caller participation) drain it.
+    /// callers (like `par_map`'s caller participation) drain it. Called
+    /// from one of this pool's own worker threads it drains that worker's
+    /// local deque first (nested `spawn`s land there, and a blocked nested
+    /// helper is the only thread guaranteed to come back for them), then
+    /// the injector, then steals.
     pub fn try_run_pending(&self) -> bool {
-        self.shared.run_one(None)
+        let me = WORKER
+            .with(std::cell::Cell::get)
+            .and_then(|(pool, idx)| (pool == self.shared.id).then_some(idx));
+        self.shared.run_one(me)
     }
 
     #[cfg(test)]

@@ -15,9 +15,11 @@ pub mod ablation;
 pub mod lifetime_exp;
 pub mod micro;
 pub mod perf;
+pub mod solver;
 pub mod table;
 pub mod traffic;
 
+pub use solver::SolverCfg;
 pub use table::ExpTable;
 
 use reram_sim::SimConfig;

@@ -1,8 +1,9 @@
 //! `experiments` — regenerate any table or figure of the paper.
 //!
 //! ```text
-//! experiments <exp>... [--quick|--full] [--jobs N] [--resume DIR] [--out DIR] [--telemetry DIR]
-//! experiments all      [--quick|--full] [--jobs N] [--resume DIR] [--out DIR] [--telemetry DIR]
+//! experiments <exp>... [--quick|--full] [--jobs N] [--solver-jobs N] [--cold-solver]
+//!                      [--resume DIR] [--out DIR] [--telemetry DIR]
+//! experiments all      [... same flags ...]
 //! experiments list
 //! ```
 //!
@@ -19,6 +20,12 @@
 //! payloads. Resume with the *same* budget flags — the journal records
 //! outcomes, not configurations.
 //!
+//! `--solver-jobs N` and `--cold-solver` steer the `solver_grid`
+//! experiment's circuit-solver configuration (parallel line relaxation and
+//! warm starts). Its CSV is bitwise-identical for every `--solver-jobs`
+//! value, and `--cold-solver` changes only the sweep counts, never a
+//! voltage — that determinism is the point of the experiment.
+//!
 //! `--telemetry DIR` attaches a JSONL event sink: every simulator run and
 //! the execution engine itself feed the shared [`reram_obs::Obs`] registry
 //! (`exec.worker.*`, `exec.pool.*`, `exec.dag.*`), events stream to
@@ -27,7 +34,9 @@
 //! prints the human-readable report.
 
 use reram_exec::{Dag, JobSpec, Journal, ThreadPool};
-use reram_experiments::{ablation, lifetime_exp, micro, perf, traffic, Budget, ExpTable};
+use reram_experiments::{
+    ablation, lifetime_exp, micro, perf, solver, traffic, Budget, ExpTable, SolverCfg,
+};
 use reram_obs::Obs;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -64,6 +73,7 @@ fn experiment_names() -> Vec<&'static str> {
         "ablation_drvr",
         "ablation_pr",
         "ablation_wc",
+        "solver_grid",
     ]
 }
 
@@ -79,7 +89,13 @@ fn canonical(name: &str) -> Option<&'static str> {
 
 /// Builds one (non-sweep-split) experiment table, fanning any simulator
 /// runs out over `pool`.
-fn build_table(name: &str, budget: Budget, pool: &ThreadPool, obs: &Obs) -> Option<ExpTable> {
+fn build_table(
+    name: &str,
+    budget: Budget,
+    solver_cfg: SolverCfg,
+    pool: &ThreadPool,
+    obs: &Obs,
+) -> Option<ExpTable> {
     Some(match name {
         "table1" => micro::table1(),
         "table2" => micro::table2(),
@@ -105,6 +121,7 @@ fn build_table(name: &str, budget: Budget, pool: &ThreadPool, obs: &Obs) -> Opti
         "ablation_drvr" => ablation::ablation_drvr_levels(),
         "ablation_pr" => ablation::ablation_pr_cap(),
         "ablation_wc" => ablation::ablation_coalescence(),
+        "solver_grid" => solver::solver_grid(budget, solver_cfg, obs),
         _ => return None,
     })
 }
@@ -121,6 +138,7 @@ fn main() -> ExitCode {
     let mut telemetry: Option<PathBuf> = None;
     let mut resume: Option<PathBuf> = None;
     let mut jobs = ThreadPool::default_jobs();
+    let mut solver_cfg = SolverCfg::default();
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -134,6 +152,14 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--solver-jobs" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => solver_cfg.jobs = n,
+                _ => {
+                    eprintln!("--solver-jobs needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--cold-solver" => solver_cfg.warm_start = false,
             "--resume" => match it.next() {
                 Some(dir) => resume = Some(PathBuf::from(dir)),
                 None => {
@@ -160,7 +186,7 @@ fn main() -> ExitCode {
     }
     if targets.is_empty() || targets[0] == "help" {
         eprintln!(
-            "usage: experiments <exp>...|all|list [--quick|--full] [--jobs N] [--resume DIR] [--out DIR] [--telemetry DIR]"
+            "usage: experiments <exp>...|all|list [--quick|--full] [--jobs N] [--solver-jobs N] [--cold-solver] [--resume DIR] [--out DIR] [--telemetry DIR]"
         );
         eprintln!("experiments: {}", experiment_names().join(" "));
         return ExitCode::SUCCESS;
@@ -272,7 +298,7 @@ fn main() -> ExitCode {
             let obs = obs.clone();
             dag.add(JobSpec::new(name), move |_ctx| {
                 let t0 = Instant::now();
-                let t = build_table(name, budget, &pool, &obs)
+                let t = build_table(name, budget, solver_cfg, &pool, &obs)
                     .ok_or_else(|| format!("no builder registered for {name}"))?;
                 eprintln!("[{name}: {:.2} s]", t0.elapsed().as_secs_f64());
                 Ok(table_payload(&t))

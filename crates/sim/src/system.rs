@@ -173,8 +173,28 @@ impl Simulator {
             // solver's iteration and residual distributions into every
             // telemetry capture.
             let n = geom.size();
+            // Registered before the solve so the count shows up in every
+            // telemetry summary, zero included.
+            let probe_failed = self.obs.counter("sim.probe.solve_failed");
             let cp = self.array.to_crosspoint(n - 1, &[n - 1], &[3.0]);
-            let _ = cp.solve_observed(&SolveOptions::default(), &self.obs);
+            if let Err(e) = cp.solve_observed(&SolveOptions::default(), &self.obs) {
+                // Diagnostic, not fatal: write latencies come from the
+                // pre-characterized drop model either way.
+                probe_failed.inc();
+                self.obs.event(
+                    "sim.probe.solve_failed",
+                    &[
+                        (
+                            "bias",
+                            Value::Str(format!(
+                                "worst-case RESET of cell ({sel}, {sel}) in a {n}x{n} MAT at 3 V",
+                                sel = n - 1
+                            )),
+                        ),
+                        ("error", Value::Str(e.to_string())),
+                    ],
+                );
+            }
         }
         let mapper = AddressMapper::new(
             reram_mem::MemoryConfig::paper_baseline(),
