@@ -48,6 +48,7 @@ mod boundary;
 mod crosspoint;
 mod device;
 mod error;
+mod recover;
 mod solve;
 mod tridiag;
 mod workspace;
@@ -56,6 +57,7 @@ pub use boundary::LineEnd;
 pub use crosspoint::Crosspoint;
 pub use device::{CellDevice, CellState, CompliantCell, PolySelector, SeriesCell};
 pub use error::SolveError;
+pub use recover::{Recovery, RecoveryRung, RECOVERY_LEAK_S};
 pub use solve::{Solution, SolveOptions, SolveStats};
 pub(crate) use tridiag::{solve_tridiagonal, solve_tridiagonal_batch_const, TRIDIAG_BATCH_MAX};
 pub use workspace::{SolverWorkspace, DEFAULT_PAR_MIN_CELLS};

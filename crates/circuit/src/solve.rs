@@ -60,6 +60,15 @@ const NODE_LEAK_S: f64 = 1e-12;
 /// so results are bitwise unchanged.
 const LINE_BATCH: usize = TRIDIAG_BATCH_MAX;
 
+/// Consecutive stalled sweeps (iterate within `tol_volts` of its fixed
+/// point, exact residual still above `tol_amps`, no linearization cache
+/// left to refresh) before the solve gives up early. A per-sweep update
+/// below `tol_volts` (1e-10 V by default) cannot close an ampere-scale
+/// residual gap no matter how many sweeps remain, so a short confirmation
+/// run is enough — this turns a guaranteed 20 000-sweep burn into a
+/// handful of sweeps whenever a solve is truly wedged.
+const STALL_BAIL_SWEEPS: u32 = 4;
+
 /// Options controlling the nonlinear relaxation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolveOptions {
@@ -81,6 +90,14 @@ pub struct SolveOptions {
     /// device-model evaluations in warm-started sweeps and are still
     /// guarded by the exact nonlinear residual check.
     pub lin_cache_epsilon_volts: Option<f64>,
+    /// Extra per-node leak conductance to ground (siemens), added on top of
+    /// the built-in 1 pS node-leak regularization. The default `0.0`
+    /// leaves every result bit-exact (`x + 0.0` is the identity on finite
+    /// `f64`s); the recovery ladder's last rung
+    /// ([`Crosspoint::solve_recover`](crate::Crosspoint::solve_recover))
+    /// sets ~1e-9 S to regularize a singular line pivot, trading a bounded
+    /// sub-microvolt bias for an answer instead of an error.
+    pub extra_leak_s: f64,
 }
 
 impl Default for SolveOptions {
@@ -93,6 +110,7 @@ impl Default for SolveOptions {
             tol_amps: 1e-8,
             max_step_volts: 0.5,
             lin_cache_epsilon_volts: None,
+            extra_leak_s: 0.0,
         }
     }
 }
@@ -235,6 +253,8 @@ struct ParPlan {
     cols: usize,
     g_wl: f64,
     g_bl: f64,
+    /// Per-node leak: `NODE_LEAK_S` plus [`SolveOptions::extra_leak_s`].
+    leak: f64,
     max_step: f64,
     cells: Arc<Vec<CellDevice>>,
     /// `(left, right)` boundary stamps per word-line.
@@ -248,7 +268,7 @@ struct ParPlan {
 }
 
 impl ParPlan {
-    fn new(cp: &Crosspoint, max_step: f64, workers: usize) -> Self {
+    fn new(cp: &Crosspoint, opts: &SolveOptions, workers: usize) -> Self {
         let rows = cp.rows();
         let cols = cp.cols();
         Self {
@@ -256,7 +276,8 @@ impl ParPlan {
             cols,
             g_wl: 1.0 / cp.r_wire_wl(),
             g_bl: 1.0 / cp.r_wire_bl(),
-            max_step,
+            leak: NODE_LEAK_S + opts.extra_leak_s,
+            max_step: opts.max_step_volts,
             cells: cp.cells_shared(),
             wl_stamps: (0..rows)
                 .map(|i| (cp.wl_left(i).stamp(), cp.wl_right(i).stamp()))
@@ -349,6 +370,7 @@ fn stamp_node(
     len: usize,
     o: usize,
     g: f64,
+    leak: f64,
     i0: f64,
     v_fixed: f64,
     g_wire: f64,
@@ -357,7 +379,7 @@ fn stamp_node(
     diag: &mut [f64],
     rhs: &mut [f64],
 ) {
-    let mut d = g + NODE_LEAK_S;
+    let mut d = g + leak;
     let mut r = g * v_fixed + i0;
     if k > 0 {
         d += g_wire;
@@ -417,7 +439,7 @@ fn wl_chunk(
                 lin_i0,
                 &mut out,
             );
-            let mut d = g + NODE_LEAK_S;
+            let mut d = g + plan.leak;
             let mut r = g * vb[idx] + i0;
             if j > 0 {
                 d += plan.g_wl;
@@ -492,7 +514,7 @@ fn bl_chunk(
                 lin_i0,
                 &mut out,
             );
-            let mut d = g + NODE_LEAK_S;
+            let mut d = g + plan.leak;
             let mut r = g * vw[idx] - i0;
             if i > 0 {
                 d += plan.g_bl;
@@ -799,12 +821,44 @@ impl Crosspoint {
         let n = rows * cols;
         let g_wl = 1.0 / self.r_wire_wl();
         let g_bl = 1.0 / self.r_wire_bl();
+        let leak = NODE_LEAK_S + opts.extra_leak_s;
 
         let warm = ws.seeded == Some((rows, cols));
         ws.last_warm = warm;
         // The seed is consumed: it only becomes valid again if this solve
         // converges, so a failed solve can never warm-start the next one.
         ws.seeded = None;
+
+        // Deterministic fault injection: each solve attempt consults its
+        // (site, scope) stream exactly once, so an occurrence-keyed fault
+        // poisons exactly one attempt and the recovery ladder's retry is a
+        // clean solve. A biased residual check models a corrupted
+        // linearization: the iterate converges in `max_dv` but the (biased)
+        // exact check rejects it, exercising the stall bail-out below.
+        let mut residual_bias = 0.0f64;
+        if let Some((inj, scope)) = &ws.faults {
+            if let Some(f) = inj.fire(reram_fault::site::SOLVER, scope) {
+                match f.kind {
+                    reram_fault::FaultKind::SolverSingularLine => {
+                        return Err(SolveError::SingularLine {
+                            line: f.param.max(0.0) as usize,
+                        });
+                    }
+                    reram_fault::FaultKind::SolverPerturbLinearization => {
+                        residual_bias = if f.param > 0.0 { f.param } else { 1e-3 };
+                    }
+                    _ => {
+                        let residual = if f.param > 0.0 { f.param } else { 1.0 };
+                        return Err(SolveError::NotConverged {
+                            residual,
+                            sweeps: 0,
+                            residual_tail: vec![residual],
+                        });
+                    }
+                }
+            }
+        }
+
         if !warm {
             self.initial_guess_into(&mut ws.vw, &mut ws.vb);
         }
@@ -842,7 +896,7 @@ impl Crosspoint {
             .map(|p| {
                 (
                     Arc::clone(p),
-                    Arc::new(ParPlan::new(self, opts.max_step_volts, p.workers())),
+                    Arc::new(ParPlan::new(self, opts, p.workers())),
                 )
             });
 
@@ -852,6 +906,12 @@ impl Crosspoint {
         // the first sample point, so this costs nothing on the fast path.
         let sample_every = (opts.max_sweeps / SolveError::RESIDUAL_TAIL_LEN).max(1);
         let mut residual_tail: Vec<f64> = Vec::new();
+        // Consecutive sweeps in which the iterate stopped moving while the
+        // exact residual still rejected it *and* no cache refresh was left
+        // to try. Gauss–Seidel cannot un-stall on its own from that state,
+        // so after a few confirming sweeps the solve bails out with the
+        // true sweep count instead of burning the whole budget.
+        let mut dead_sweeps = 0u32;
         for sweep in 0..opts.max_sweeps {
             let mut max_dv = 0.0f64;
 
@@ -915,6 +975,7 @@ impl Crosspoint {
                                     cols,
                                     j * t_n + t,
                                     lg[j],
+                                    leak,
                                     li[j],
                                     vbr[j],
                                     g_wl,
@@ -932,6 +993,7 @@ impl Crosspoint {
                                     cols,
                                     j * t_n + t,
                                     g,
+                                    leak,
                                     i0,
                                     vbr[j],
                                     g_wl,
@@ -998,6 +1060,7 @@ impl Crosspoint {
                                     rows,
                                     i * t_n + t,
                                     lg[t],
+                                    leak,
                                     -li[t],
                                     vwr[t],
                                     g_bl,
@@ -1015,6 +1078,7 @@ impl Crosspoint {
                                     rows,
                                     i * t_n + t,
                                     g,
+                                    leak,
                                     -i0,
                                     vwr[t],
                                     g_bl,
@@ -1049,7 +1113,8 @@ impl Crosspoint {
                 return Err(SolveError::Diverged { sweep });
             }
             if max_dv < opts.tol_volts {
-                let residual = self.kcl_residual(&ws.vw, &ws.vb, g_wl, g_bl, &mut ws.cur);
+                let residual = self.kcl_residual(&ws.vw, &ws.vb, g_wl, g_bl, leak, &mut ws.cur)
+                    + residual_bias;
                 if residual < opts.tol_amps {
                     converged = Some(SolveStats {
                         sweeps: sweep + 1,
@@ -1071,13 +1136,30 @@ impl Crosspoint {
                         eps_active = None;
                     }
                     cache_stalls += 1;
+                } else {
+                    // No cache left to refresh: the stall is terminal once
+                    // it survives a few confirming sweeps.
+                    dead_sweeps += 1;
+                    if dead_sweeps >= STALL_BAIL_SWEEPS {
+                        residual_tail.push(residual);
+                        return Err(SolveError::NotConverged {
+                            residual,
+                            sweeps: sweep + 1,
+                            residual_tail,
+                        });
+                    }
                 }
+            } else {
+                dead_sweeps = 0;
             }
             if (sweep + 1) % sample_every == 0
                 && sweep + 1 < opts.max_sweeps
                 && residual_tail.len() < SolveError::RESIDUAL_TAIL_LEN - 1
             {
-                residual_tail.push(self.kcl_residual(&ws.vw, &ws.vb, g_wl, g_bl, &mut ws.cur));
+                residual_tail.push(
+                    self.kcl_residual(&ws.vw, &ws.vb, g_wl, g_bl, leak, &mut ws.cur)
+                        + residual_bias,
+                );
             }
         }
 
@@ -1092,7 +1174,8 @@ impl Crosspoint {
             None => {
                 // The final residual both caps the sampled trajectory and
                 // fills the error field — computed exactly once.
-                let residual = self.kcl_residual(&ws.vw, &ws.vb, g_wl, g_bl, &mut ws.cur);
+                let residual = self.kcl_residual(&ws.vw, &ws.vb, g_wl, g_bl, leak, &mut ws.cur)
+                    + residual_bias;
                 residual_tail.push(residual);
                 Err(SolveError::NotConverged {
                     residual,
@@ -1208,6 +1291,7 @@ impl Crosspoint {
         vb: &[f64],
         g_wl: f64,
         g_bl: f64,
+        leak: f64,
         cur: &mut Vec<f64>,
     ) -> f64 {
         let rows = self.rows();
@@ -1227,7 +1311,7 @@ impl Crosspoint {
                 let idx = i * cols + j;
                 let i_cell = cur[idx];
                 // Currents leaving the WL-plane node.
-                let mut s = -i_cell + NODE_LEAK_S * vw[idx];
+                let mut s = -i_cell + leak * vw[idx];
                 if j > 0 {
                     s += g_wl * (vw[idx] - vw[idx - 1]);
                 } else {
@@ -1248,7 +1332,7 @@ impl Crosspoint {
                 let idx = i * cols + j;
                 let i_cell = cur[idx];
                 // Currents leaving the BL-plane node.
-                let mut s = i_cell + NODE_LEAK_S * vb[idx];
+                let mut s = i_cell + leak * vb[idx];
                 if i > 0 {
                     s += g_bl * (vb[idx] - vb[idx - cols]);
                 } else {

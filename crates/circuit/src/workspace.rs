@@ -14,6 +14,7 @@
 
 use crate::solve::Solution;
 use reram_exec::ThreadPool;
+use reram_fault::FaultInjector;
 use std::sync::Arc;
 
 /// Default minimum cell count (`rows × cols`) below which a workspace with
@@ -72,6 +73,9 @@ pub struct SolverWorkspace {
     pub(crate) warm_hits_total: u64,
     /// Reusable output for [`Crosspoint::solve_into`](crate::Crosspoint::solve_into).
     pub(crate) sol: Option<Solution>,
+    /// Fault-injection plane and the (site, target) scope this workspace
+    /// fires under; `None` disables injection entirely.
+    pub(crate) faults: Option<(Arc<FaultInjector>, String)>,
 }
 
 impl Default for SolverWorkspace {
@@ -102,6 +106,7 @@ impl SolverWorkspace {
             last_cache_lookups: 0,
             warm_hits_total: 0,
             sol: None,
+            faults: None,
         }
     }
 
@@ -124,6 +129,26 @@ impl SolverWorkspace {
     pub fn with_par_threshold(mut self, min_cells: usize) -> Self {
         self.par_min_cells = min_cells;
         self
+    }
+
+    /// Arms deterministic fault injection: every solve through this
+    /// workspace consults `injector` at [`reram_fault::site::SOLVER`] with
+    /// `scope` as the target stream (pick a scope unique to this
+    /// workspace's call sequence so occurrence indices stay deterministic —
+    /// see the `reram-fault` crate docs).
+    #[must_use]
+    pub fn with_faults(mut self, injector: Arc<FaultInjector>, scope: impl Into<String>) -> Self {
+        self.faults = Some((injector, scope.into()));
+        self
+    }
+
+    /// The fault injector and scope armed via
+    /// [`SolverWorkspace::with_faults`], if any.
+    #[must_use]
+    pub fn faults(&self) -> Option<(&Arc<FaultInjector>, &str)> {
+        self.faults
+            .as_ref()
+            .map(|(inj, scope)| (inj, scope.as_str()))
     }
 
     /// True if the most recent solve through this workspace started from

@@ -26,14 +26,27 @@
 //! zero-worker pool jobs run inline, so a deadline can only be checked
 //! after the body returns; the real result is kept.)
 
-use crate::journal::Journal;
+use crate::journal::{push_json_string, Journal};
 use crate::pool::ThreadPool;
 use crate::JobError;
+use reram_fault::{FaultInjector, FaultKind};
+use reram_workloads::Rng64;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// FNV-1a over the job name: seeds the per-job backoff-jitter stream, so
+/// retry pacing is deterministic per job and uncorrelated across jobs.
+fn name_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
 
 /// A job's static description: name, dependencies, robustness knobs.
 #[derive(Debug, Clone)]
@@ -147,6 +160,9 @@ pub struct DagReport {
     pub results: BTreeMap<String, Result<String, JobError>>,
     /// Jobs satisfied from the journal without re-running.
     pub cached: BTreeSet<String>,
+    /// Retries each executed job consumed (0 = first attempt sufficed;
+    /// cached and cascade-failed jobs are absent).
+    pub attempts: BTreeMap<String, u32>,
 }
 
 impl DagReport {
@@ -166,6 +182,100 @@ impl DagReport {
             .iter()
             .filter_map(|(n, r)| r.as_ref().err().map(|e| (n.as_str(), e)))
             .collect()
+    }
+
+    /// Condenses the per-job outcomes into a [`RunReport`].
+    #[must_use]
+    pub fn run_report(&self) -> RunReport {
+        let mut completed = Vec::new();
+        let mut recovered = Vec::new();
+        let mut failed = Vec::new();
+        for (name, result) in &self.results {
+            match result {
+                Ok(_) => {
+                    completed.push(name.clone());
+                    if let Some(&a) = self.attempts.get(name) {
+                        if a > 0 {
+                            recovered.push((name.clone(), a));
+                        }
+                    }
+                }
+                Err(e) => failed.push((name.clone(), e.to_string())),
+            }
+        }
+        RunReport {
+            completed,
+            recovered,
+            failed,
+        }
+    }
+}
+
+/// A run's condensed ledger: what finished, what needed retries to finish,
+/// what did not finish. This is the structure the experiment harness turns
+/// into its failure manifest, so a faulted run ends with partial results
+/// and an explicit account instead of a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// Every job that produced a payload (including journal-cached ones),
+    /// sorted by name.
+    pub completed: Vec<String>,
+    /// Jobs that succeeded only after retries: `(name, retries consumed)`,
+    /// sorted by name. Always a subset of `completed`.
+    pub recovered: Vec<(String, u32)>,
+    /// Jobs that did not succeed: `(name, rendered error)`, sorted by name.
+    pub failed: Vec<(String, String)>,
+}
+
+impl RunReport {
+    /// True when every job completed on its first attempt.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.failed.is_empty() && self.recovered.is_empty()
+    }
+
+    /// Renders the report as deterministic, diff-friendly JSON (sorted
+    /// fields, one job per line) — the format the CI fault-smoke leg diffs
+    /// against its golden manifest.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"completed\": [");
+        for (k, name) in self.completed.iter().enumerate() {
+            out.push_str(if k == 0 { "\n    " } else { ",\n    " });
+            push_json_string(&mut out, name);
+        }
+        out.push_str(if self.completed.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str("  \"recovered\": [");
+        for (k, (name, attempts)) in self.recovered.iter().enumerate() {
+            out.push_str(if k == 0 { "\n    " } else { ",\n    " });
+            out.push_str("{\"job\":");
+            push_json_string(&mut out, name);
+            out.push_str(&format!(",\"retries\":{attempts}}}"));
+        }
+        out.push_str(if self.recovered.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str("  \"failed\": [");
+        for (k, (name, error)) in self.failed.iter().enumerate() {
+            out.push_str(if k == 0 { "\n    " } else { ",\n    " });
+            out.push_str("{\"job\":");
+            push_json_string(&mut out, name);
+            out.push_str(",\"error\":");
+            push_json_string(&mut out, error);
+            out.push('}');
+        }
+        out.push_str(if self.failed.is_empty() {
+            "]\n}\n"
+        } else {
+            "\n  ]\n}\n"
+        });
+        out
     }
 }
 
@@ -190,11 +300,29 @@ struct Inbox {
 }
 
 /// A named-job dependency graph.
-#[derive(Default)]
 pub struct Dag {
     specs: Vec<JobSpec>,
     work: Vec<JobFn>,
     index: BTreeMap<String, usize>,
+    faults: Option<Arc<FaultInjector>>,
+    backoff_base: Duration,
+    backoff_cap: Duration,
+}
+
+impl Default for Dag {
+    fn default() -> Self {
+        Self {
+            specs: Vec::new(),
+            work: Vec::new(),
+            index: BTreeMap::new(),
+            faults: None,
+            // Decorrelated-jitter retry backoff: starts near `base`, grows
+            // toward `cap`. Small defaults — retries here shield against
+            // transient in-process failures, not remote services.
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(50),
+        }
+    }
 }
 
 impl std::fmt::Debug for Dag {
@@ -222,6 +350,26 @@ impl Dag {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.specs.is_empty()
+    }
+
+    /// Arms deterministic fault injection: every job attempt consults
+    /// `injector` at [`reram_fault::site::JOB_PANIC`] and
+    /// [`reram_fault::site::JOB_STALL`] (target = job name), and recovered
+    /// injections are reported back through it.
+    #[must_use]
+    pub fn with_faults(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.faults = Some(injector);
+        self
+    }
+
+    /// Overrides the retry backoff window (decorrelated jitter between
+    /// `base` and `cap`); `Duration::ZERO` for `base` disables sleeping
+    /// between retries entirely.
+    #[must_use]
+    pub fn with_backoff(mut self, base: Duration, cap: Duration) -> Self {
+        self.backoff_base = base;
+        self.backoff_cap = cap;
+        self
     }
 
     /// Adds a job. Duplicate names are reported by [`Dag::run`], not here,
@@ -296,24 +444,72 @@ impl Dag {
         let name = self.specs[i].name.clone();
         let retries = self.specs[i].retries;
         let work = Arc::clone(&self.work[i]);
+        let faults = self.faults.clone();
+        let (base, cap) = (self.backoff_base, self.backoff_cap);
         move || {
+            // Per-job jitter stream: deterministic for a given job name, so
+            // retry pacing never depends on worker identity.
+            let mut jitter = Rng64::new(name_seed(&name));
+            let mut prev_backoff = base;
             let mut attempt = 0u32;
+            let mut injected = false;
             loop {
-                let ctx = JobCtx {
-                    name: name.clone(),
-                    attempt,
-                    deps: deps.clone(),
-                    cancel: Arc::clone(&cancel),
-                };
-                let outcome = match catch_unwind(AssertUnwindSafe(|| work(&ctx))) {
-                    Ok(Ok(payload)) => return (Ok(payload), attempt),
-                    Ok(Err(e)) => JobError::Failed(e),
-                    Err(p) => JobError::Panicked(crate::panic_message(p.as_ref())),
+                // Injection hooks, consulted once per attempt. A stall is
+                // resolved as the deadline machinery would resolve it —
+                // unrecoverable by retrying, because the worker is (as
+                // modeled) still occupied.
+                if let Some(inj) = &faults {
+                    if let Some(f) = inj.fire(reram_fault::site::JOB_STALL, &name) {
+                        if f.kind == FaultKind::JobStall {
+                            let ms = if f.param > 0.0 { f.param } else { 1.0 };
+                            let after = Duration::from_millis(ms as u64);
+                            return (Err(JobError::TimedOut { after }), attempt);
+                        }
+                    }
+                }
+                let injected_panic = faults
+                    .as_ref()
+                    .and_then(|inj| inj.fire(reram_fault::site::JOB_PANIC, &name))
+                    .is_some_and(|f| f.kind == FaultKind::JobPanic);
+                let outcome = if injected_panic {
+                    injected = true;
+                    JobError::Panicked("injected fault: job panic".to_string())
+                } else {
+                    let ctx = JobCtx {
+                        name: name.clone(),
+                        attempt,
+                        deps: deps.clone(),
+                        cancel: Arc::clone(&cancel),
+                    };
+                    match catch_unwind(AssertUnwindSafe(|| work(&ctx))) {
+                        Ok(Ok(payload)) => {
+                            if injected {
+                                if let Some(inj) = &faults {
+                                    inj.note_recovery("exec.job", "retry");
+                                }
+                            }
+                            return (Ok(payload), attempt);
+                        }
+                        Ok(Err(e)) => JobError::Failed(e),
+                        Err(p) => JobError::Panicked(crate::panic_message(p.as_ref())),
+                    }
                 };
                 if attempt >= retries || cancel.load(Ordering::Relaxed) {
                     return (Err(outcome), attempt);
                 }
                 attempt += 1;
+                // Decorrelated jitter (AWS Architecture Blog, "Exponential
+                // Backoff And Jitter"): next ∈ [base, 3·prev), capped.
+                if base > Duration::ZERO {
+                    let lo = u64::try_from(base.as_nanos()).unwrap_or(u64::MAX);
+                    let hi = u64::try_from(prev_backoff.as_nanos())
+                        .unwrap_or(u64::MAX)
+                        .saturating_mul(3)
+                        .max(lo.saturating_add(1));
+                    let next = Duration::from_nanos(jitter.gen_range_u64(lo, hi)).min(cap);
+                    std::thread::sleep(next);
+                    prev_backoff = next;
+                }
             }
         }
     }
@@ -347,6 +543,7 @@ impl Dag {
         let mut report = DagReport {
             results: BTreeMap::new(),
             cached: BTreeSet::new(),
+            attempts: BTreeMap::new(),
         };
         let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (i, s) in self.specs.iter().enumerate() {
@@ -372,16 +569,19 @@ impl Dag {
         let inline = pool.workers() == 0;
 
         // Resolutions to apply, in deterministic order: (job, outcome,
-        // from_cache). Cached jobs, inline completions, worker completions
-        // and timeouts all funnel through this queue.
-        let mut to_resolve: VecDeque<(usize, Result<String, JobError>, bool)> = VecDeque::new();
+        // from_cache, attempts when the job body actually ran). Cached jobs,
+        // inline completions, worker completions and timeouts all funnel
+        // through this queue.
+        #[allow(clippy::type_complexity)]
+        let mut to_resolve: VecDeque<(usize, Result<String, JobError>, bool, Option<u32>)> =
+            VecDeque::new();
         let mut ready: VecDeque<usize> = VecDeque::new();
         for i in 0..n {
             let cached = journal
                 .as_ref()
                 .and_then(|j| j.completed().get(&self.specs[i].name).cloned());
             if let Some(p) = cached {
-                to_resolve.push_back((i, Ok(p), true));
+                to_resolve.push_back((i, Ok(p), true, None));
             } else if self.specs[i].deps.is_empty() {
                 ready.push_back(i);
             }
@@ -390,13 +590,16 @@ impl Dag {
         let mut resolved = 0usize;
         while resolved < n {
             // 1. Apply pending resolutions (dedup guard: first wins).
-            while let Some((i, outcome, from_cache)) = to_resolve.pop_front() {
+            while let Some((i, outcome, from_cache, attempts)) = to_resolve.pop_front() {
                 if matches!(states[i], JobState::Resolved) {
                     continue;
                 }
                 states[i] = JobState::Resolved;
                 resolved += 1;
                 let name = &self.specs[i].name;
+                if let Some(a) = attempts {
+                    report.attempts.insert(name.clone(), a);
+                }
                 if from_cache {
                     report.cached.insert(name.clone());
                     c_cached.inc();
@@ -427,6 +630,7 @@ impl Dag {
                             k,
                             Err(JobError::DepFailed { dep: name.clone() }),
                             false,
+                            None,
                         ));
                     } else if let JobState::Waiting { unmet } = &mut states[k] {
                         *unmet -= 1;
@@ -462,7 +666,7 @@ impl Dag {
                 if inline {
                     let (outcome, attempts) = attempt();
                     c_retries.add(u64::from(attempts));
-                    to_resolve.push_back((i, outcome, false));
+                    to_resolve.push_back((i, outcome, false, Some(attempts)));
                 } else {
                     let inbox2 = Arc::clone(&inbox);
                     pool.spawn(move || {
@@ -504,7 +708,7 @@ impl Dag {
             completions.sort_by_key(|(i, _, _)| *i);
             for (i, outcome, attempts) in completions {
                 c_retries.add(u64::from(attempts));
-                to_resolve.push_back((i, outcome, false));
+                to_resolve.push_back((i, outcome, false, Some(attempts)));
             }
             // Deadline scan.
             let now = Instant::now();
@@ -520,6 +724,7 @@ impl Dag {
                             i,
                             Err(JobError::TimedOut { after: elapsed }),
                             false,
+                            None,
                         ));
                     }
                 }
@@ -678,6 +883,118 @@ mod tests {
             report.results["straggler"],
             Err(JobError::TimedOut { .. })
         ));
+    }
+
+    /// Satellite 3: a panicking job with a nested `par_map` must not leak
+    /// its failure into the pool. The panic is isolated, the retry succeeds
+    /// (running the nested fan-out again), no worker deadlocks, and the
+    /// same pool serves a second DAG run afterwards.
+    #[test]
+    fn pool_survives_panicking_jobs_with_nested_par_map() {
+        use crate::par_map;
+        use std::sync::atomic::AtomicU32;
+        let pool = ThreadPool::new(3);
+        for round in 0..2 {
+            let tries = Arc::new(AtomicU32::new(0));
+            let mut dag = Dag::new().with_backoff(Duration::ZERO, Duration::ZERO);
+            for j in 0..4 {
+                let t = Arc::clone(&tries);
+                dag.add(
+                    JobSpec::new(format!("nested/{j}")).retries(1),
+                    move |ctx: &JobCtx| {
+                        t.fetch_add(1, Ordering::SeqCst);
+                        // Nested fan-out on the same pool from inside a
+                        // pool-executed job: the caller participates, so
+                        // this must not deadlock even with every worker
+                        // busy running one of these jobs.
+                        let pool = ThreadPool::serial();
+                        let parts = par_map(&pool, (0..8u64).collect(), |_k, &x| x + 1);
+                        if ctx.attempt == 0 {
+                            panic!("transient panic in nested/{j}");
+                        }
+                        Ok(parts.iter().sum::<u64>().to_string())
+                    },
+                );
+            }
+            let report = dag.run(&pool, None, |_, _| {}).unwrap();
+            for j in 0..4 {
+                assert_eq!(
+                    report.ok(&format!("nested/{j}")),
+                    Some("36"),
+                    "round {round}"
+                );
+                assert_eq!(report.attempts[&format!("nested/{j}")], 1);
+            }
+            assert_eq!(tries.load(Ordering::SeqCst), 8, "each job ran twice");
+            let rr = report.run_report();
+            assert_eq!(rr.completed.len(), 4);
+            assert_eq!(rr.recovered.len(), 4, "all four recovered via retry");
+            assert!(rr.failed.is_empty());
+        }
+        // The pool is still fully functional after two panic-heavy runs.
+        let check = par_map(&pool, (0..64u64).collect(), |_i, &x| x * 2);
+        assert_eq!(check[63], 126);
+    }
+
+    #[test]
+    fn injected_job_panic_recovers_by_retry_and_stall_does_not() {
+        use reram_fault::{FaultInjector, FaultKind, FaultPlan, FaultSpec};
+        let plan = || {
+            FaultPlan::new(1)
+                .with(
+                    FaultSpec::new(reram_fault::site::JOB_PANIC, FaultKind::JobPanic)
+                        .target("flaky"),
+                )
+                .with(
+                    FaultSpec::new(reram_fault::site::JOB_STALL, FaultKind::JobStall)
+                        .target("stuck")
+                        .param(250.0),
+                )
+        };
+        for pool in [ThreadPool::serial(), ThreadPool::new(2)] {
+            let inj = Arc::new(FaultInjector::new(plan(), &reram_obs::Obs::off()));
+            let mut dag = Dag::new()
+                .with_faults(Arc::clone(&inj))
+                .with_backoff(Duration::ZERO, Duration::ZERO);
+            dag.add(JobSpec::new("flaky").retries(2), payload_job("ok"));
+            dag.add(JobSpec::new("stuck"), payload_job("never"));
+            dag.add(JobSpec::new("clean"), payload_job("fine"));
+            let report = dag.run(&pool, None, |_, _| {}).unwrap();
+            assert_eq!(report.ok("flaky"), Some("ok"), "panic absorbed by retry");
+            assert_eq!(report.attempts["flaky"], 1);
+            assert!(matches!(
+                report.results["stuck"],
+                Err(JobError::TimedOut { .. })
+            ));
+            assert_eq!(report.ok("clean"), Some("fine"));
+            assert_eq!(inj.injected(), 2);
+            assert_eq!(inj.recovered(), 1, "only the panic recovers");
+            let rr = report.run_report();
+            assert_eq!(rr.recovered, vec![("flaky".to_string(), 1)]);
+            assert_eq!(rr.failed.len(), 1);
+            assert!(rr.failed[0].1.contains("timed out"), "{:?}", rr.failed);
+        }
+    }
+
+    #[test]
+    fn run_report_json_is_stable() {
+        let rr = RunReport {
+            completed: vec!["a".into(), "b".into()],
+            recovered: vec![("b".into(), 2)],
+            failed: vec![("c".into(), "timed out after 0.25 s".into())],
+        };
+        let text = rr.render_json();
+        assert_eq!(text, rr.render_json(), "deterministic");
+        assert!(text.contains("\"completed\""));
+        assert!(text.contains("{\"job\":\"b\",\"retries\":2}"));
+        assert!(text.contains("{\"job\":\"c\",\"error\":\"timed out after 0.25 s\"}"));
+        let empty = RunReport {
+            completed: vec![],
+            recovered: vec![],
+            failed: vec![],
+        };
+        assert!(empty.is_clean());
+        assert!(empty.render_json().ends_with("\"failed\": []\n}\n"));
     }
 
     #[test]

@@ -1,10 +1,10 @@
-//! Checkpoint/resume journal: one JSONL line per finished job.
+//! Checkpoint/resume journal: one CRC-guarded JSONL line per finished job.
 //!
 //! The DAG runner appends a line when a job resolves:
 //!
 //! ```json
-//! {"job":"fig19/1","status":"done","payload":"<job output>"}
-//! {"job":"fig13","status":"failed","error":"panicked: ..."}
+//! {"job":"fig19/1","status":"done","payload":"<job output>","crc":"93b1f00d"}
+//! {"job":"fig13","status":"failed","error":"panicked: ...","crc":"0a11ce55"}
 //! ```
 //!
 //! Opening an existing journal replays it: jobs recorded `done` are
@@ -13,18 +13,86 @@
 //! after every record, so an interrupted `experiments all --full` loses at
 //! most the jobs that were mid-flight.
 //!
+//! # Corruption tolerance
+//!
+//! Every record carries a CRC-32 over its semantic content, checked on
+//! replay. A record that fails the check — or does not parse at all — is
+//! **quarantined**: it is skipped (its job simply reruns), counted, and
+//! reported through [`Journal::quarantined`], while every valid record
+//! before *and after* it still loads. A torn tail line from a killed run
+//! and a byte flipped mid-file by bad storage degrade identically: one
+//! rerun job, never a poisoned resume. Records written by older versions
+//! without a `crc` field are accepted as-is.
+//!
 //! Serialization reuses `reram-obs`'s hand-rolled JSON string escaping;
 //! parsing below handles exactly the flat string-valued objects this module
 //! writes (a deliberate non-goal: a general JSON parser).
 
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
-use std::io::{self, BufWriter, Read as _, Write as _};
+use std::io::{BufWriter, Read as _, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use reram_fault::FaultInjector;
+use reram_obs::{Obs, Value};
+
+/// A journal operation that could not touch its file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// The journal file (or its parent directory) could not be opened,
+    /// created or read.
+    Io {
+        /// The journal path involved.
+        path: PathBuf,
+        /// The underlying OS error, rendered.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io { path, message } => {
+                write!(f, "journal {}: {message}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// CRC-32 (IEEE 802.3 reflected polynomial), bitwise — the journal guards
+/// one short line at a time, so a lookup table would be all footprint and
+/// no speedup.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// The CRC input: the record's semantic fields joined with a separator no
+/// payload can contain unescaped (the JSON layer escapes control chars, so
+/// the joint is unambiguous).
+fn record_crc(job: &str, status: &str, body: &str) -> u32 {
+    let mut buf = Vec::with_capacity(job.len() + status.len() + body.len() + 2);
+    buf.extend_from_slice(job.as_bytes());
+    buf.push(0x1f);
+    buf.extend_from_slice(status.as_bytes());
+    buf.push(0x1f);
+    buf.extend_from_slice(body.as_bytes());
+    crc32(&buf)
+}
 
 /// Appends a quoted, escaped JSON string literal (same escapes the obs
-/// JSONL sink emits).
-fn push_json_string(out: &mut String, s: &str) {
+/// JSONL sink emits). Shared with the DAG's run-report rendering.
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -107,56 +175,137 @@ pub enum JournalEntry {
     Failed(String),
 }
 
+/// A record [`Journal::open`] refused to trust.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quarantined {
+    /// 1-based line number in the journal file.
+    pub line: usize,
+    /// Why the record was rejected.
+    pub reason: String,
+}
+
 /// An append-only JSONL checkpoint file.
 #[derive(Debug)]
 pub struct Journal {
     path: PathBuf,
     w: BufWriter<File>,
     completed: BTreeMap<String, String>,
+    quarantined: Vec<Quarantined>,
+    faults: Option<Arc<FaultInjector>>,
+    obs: Obs,
 }
 
 impl Journal {
     /// Opens (creating if absent) the journal at `path` and replays any
-    /// existing records. Malformed lines — e.g. the torn tail of a killed
-    /// run — are ignored.
+    /// existing records. Records that do not parse or fail their CRC check
+    /// are quarantined (see the module docs and [`Journal::quarantined`]).
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors.
-    pub fn open(path: &Path) -> io::Result<Self> {
+    /// [`JournalError::Io`] on filesystem errors.
+    pub fn open(path: &Path) -> Result<Self, JournalError> {
+        Self::open_observed(path, &Obs::off())
+    }
+
+    /// [`Journal::open`] with a telemetry handle: each quarantined record
+    /// bumps `recovery.exec.journal.corrupt` and emits a
+    /// `recovery.journal.quarantine` event.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on filesystem errors.
+    pub fn open_observed(path: &Path, obs: &Obs) -> Result<Self, JournalError> {
+        let io_err = |e: std::io::Error| JournalError::Io {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        };
         if let Some(dir) = path.parent() {
             if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir)?;
+                std::fs::create_dir_all(dir).map_err(io_err)?;
             }
         }
         let mut completed = BTreeMap::new();
+        let mut quarantined = Vec::new();
         let mut existing = String::new();
         let mut f = OpenOptions::new()
             .read(true)
             .append(true)
             .create(true)
-            .open(path)?;
-        f.read_to_string(&mut existing)?;
-        for line in existing.lines() {
-            if let Some((job, JournalEntry::Done(payload))) = Self::parse_line(line) {
-                completed.insert(job, payload);
+            .open(path)
+            .map_err(io_err)?;
+        f.read_to_string(&mut existing).map_err(io_err)?;
+        for (idx, line) in existing.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match Self::parse_line(line) {
+                Ok((job, JournalEntry::Done(payload))) => {
+                    completed.insert(job, payload);
+                }
+                Ok((_, JournalEntry::Failed(_))) => {}
+                Err(reason) => {
+                    if obs.enabled() {
+                        obs.counter("recovery.exec.journal.corrupt").inc();
+                        obs.event(
+                            "recovery.journal.quarantine",
+                            &[
+                                ("line", Value::U64(idx as u64 + 1)),
+                                ("reason", Value::Str(reason.clone())),
+                            ],
+                        );
+                    }
+                    quarantined.push(Quarantined {
+                        line: idx + 1,
+                        reason,
+                    });
+                }
             }
         }
         Ok(Self {
             path: path.to_path_buf(),
             w: BufWriter::new(f),
             completed,
+            quarantined,
+            faults: None,
+            obs: obs.clone(),
         })
     }
 
-    fn parse_line(line: &str) -> Option<(String, JournalEntry)> {
-        let obj = parse_flat_object(line)?;
-        let job = obj.get("job")?.clone();
-        match obj.get("status")?.as_str() {
-            "done" => Some((job, JournalEntry::Done(obj.get("payload")?.clone()))),
-            "failed" => Some((job, JournalEntry::Failed(obj.get("error")?.clone()))),
-            _ => None,
+    /// Arms deterministic corruption injection: every appended record
+    /// consults the injector at [`reram_fault::site::JOURNAL`] with the job
+    /// name as target; a fired [`reram_fault::FaultKind::JournalCorrupt`]
+    /// mangles the durable bytes (the in-memory result stays correct — the
+    /// damage surfaces on the *next* open, as quarantine).
+    #[must_use]
+    pub fn with_faults(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.faults = Some(injector);
+        self
+    }
+
+    /// Parses one line into a trusted entry, or explains why it cannot be
+    /// trusted.
+    fn parse_line(line: &str) -> Result<(String, JournalEntry), String> {
+        let obj = parse_flat_object(line).ok_or_else(|| "unparseable record".to_string())?;
+        let job = obj.get("job").ok_or("record missing \"job\"")?.clone();
+        let status = obj.get("status").ok_or("record missing \"status\"")?;
+        let (body, entry) = match status.as_str() {
+            "done" => {
+                let p = obj.get("payload").ok_or("done record missing payload")?;
+                (p.clone(), JournalEntry::Done(p.clone()))
+            }
+            "failed" => {
+                let e = obj.get("error").ok_or("failed record missing error")?;
+                (e.clone(), JournalEntry::Failed(e.clone()))
+            }
+            other => return Err(format!("unknown status {other:?}")),
+        };
+        if let Some(stored) = obj.get("crc") {
+            let expect = format!("{:08x}", record_crc(&job, status, &body));
+            if *stored != expect {
+                return Err(format!("crc mismatch (stored {stored}, computed {expect})"));
+            }
         }
+        Ok((job, entry))
     }
 
     /// Journal file location.
@@ -172,10 +321,51 @@ impl Journal {
         &self.completed
     }
 
-    fn append(&mut self, fields: &[(&str, &str)]) {
+    /// Records the replay refused to trust (unparseable or CRC-failing),
+    /// in file order. Their jobs rerun as if never journaled.
+    #[must_use]
+    pub fn quarantined(&self) -> &[Quarantined] {
+        &self.quarantined
+    }
+
+    fn append(&mut self, job: &str, status: &str, body_key: &str, body: &str) {
+        let crc = format!("{:08x}", record_crc(job, status, body));
+        // Injected corruption: mangle one byte of the durable body *after*
+        // the CRC was computed over the clean content, so the record is
+        // still valid JSON but fails verification on the next open.
+        let mut durable = body.to_string();
+        if let Some(inj) = &self.faults {
+            if let Some(f) = inj.fire(reram_fault::site::JOURNAL, job) {
+                if f.kind == reram_fault::FaultKind::JournalCorrupt {
+                    let pos = if durable.is_empty() {
+                        0
+                    } else {
+                        (f.param.max(0.0) as usize) % durable.len()
+                    };
+                    let pos = (0..=pos).rev().find(|p| durable.is_char_boundary(*p));
+                    match pos {
+                        Some(p) if p < durable.len() => {
+                            let end = (p + 1..=durable.len())
+                                .find(|e| durable.is_char_boundary(*e))
+                                .unwrap_or(durable.len());
+                            durable.replace_range(p..end, "\u{7}");
+                        }
+                        _ => durable.push('\u{7}'),
+                    }
+                    if self.obs.enabled() {
+                        self.obs.counter("fault.journal.records_corrupted").inc();
+                    }
+                }
+            }
+        }
         let mut line = String::with_capacity(64);
         line.push('{');
-        for (k, v) in fields {
+        for (k, v) in [
+            ("job", job),
+            ("status", status),
+            (body_key, durable.as_str()),
+            ("crc", crc.as_str()),
+        ] {
             if line.len() > 1 {
                 line.push(',');
             }
@@ -192,19 +382,21 @@ impl Journal {
 
     /// Records a completed job (and remembers it for [`Journal::completed`]).
     pub fn record_done(&mut self, job: &str, payload: &str) {
-        self.append(&[("job", job), ("status", "done"), ("payload", payload)]);
+        self.append(job, "done", "payload", payload);
         self.completed.insert(job.to_string(), payload.to_string());
     }
 
     /// Records a failed job (rerun on resume).
     pub fn record_failed(&mut self, job: &str, error: &str) {
-        self.append(&[("job", job), ("status", "failed"), ("error", error)]);
+        self.append(job, "failed", "error", error);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use reram_fault::{FaultKind, FaultPlan, FaultSpec};
+    use reram_workloads::Rng64;
 
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join("reram_exec_journal_tests");
@@ -212,6 +404,12 @@ mod tests {
         let p = dir.join(name);
         let _unused = std::fs::remove_file(&p);
         p
+    }
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        // The classic check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
     }
 
     #[test]
@@ -227,10 +425,11 @@ mod tests {
         assert_eq!(j.completed().len(), 2);
         assert_eq!(j.completed()["fig19/0"], "row\twith\ttabs\nand \"quotes\"");
         assert!(!j.completed().contains_key("fig13"), "failed jobs rerun");
+        assert!(j.quarantined().is_empty());
     }
 
     #[test]
-    fn torn_tail_line_is_ignored() {
+    fn torn_tail_line_is_quarantined() {
         let path = tmp("torn.jsonl");
         {
             let mut j = Journal::open(&path).unwrap();
@@ -243,6 +442,8 @@ mod tests {
         let j = Journal::open(&path).unwrap();
         assert_eq!(j.completed().len(), 1);
         assert!(j.completed().contains_key("a"));
+        assert_eq!(j.quarantined().len(), 1);
+        assert_eq!(j.quarantined()[0].line, 2);
     }
 
     #[test]
@@ -265,5 +466,132 @@ mod tests {
     fn parses_unicode_escapes() {
         let obj = parse_flat_object("{\"job\":\"x\",\"payload\":\"a\\u0007b\"}").unwrap();
         assert_eq!(obj["payload"], "a\u{7}b");
+    }
+
+    #[test]
+    fn legacy_records_without_crc_still_load() {
+        let path = tmp("legacy.jsonl");
+        std::fs::write(
+            &path,
+            "{\"job\":\"old\",\"status\":\"done\",\"payload\":\"v1\"}\n",
+        )
+        .unwrap();
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.completed()["old"], "v1");
+        assert!(j.quarantined().is_empty());
+    }
+
+    /// Satellite 2: seeded mid-file byte flips. Each corrupted record is
+    /// quarantined; every untouched record — including those *after* the
+    /// damage — still loads, and the journal stays usable for appends.
+    #[test]
+    fn seeded_byte_flips_quarantine_only_the_hit_records() {
+        let mut rng = Rng64::new(0xC0FFEE);
+        for case in 0..8 {
+            let path = tmp(&format!("flip_{case}.jsonl"));
+            {
+                let mut j = Journal::open(&path).unwrap();
+                for k in 0..10 {
+                    j.record_done(&format!("job/{k}"), &format!("payload-{k}-{case}"));
+                }
+            }
+            let mut bytes = std::fs::read(&path).unwrap();
+            // Per-line [start, end) byte spans.
+            let mut spans = Vec::new();
+            let mut start = 0usize;
+            for (k, &b) in bytes.iter().enumerate() {
+                if b == b'\n' {
+                    spans.push((start, k));
+                    start = k + 1;
+                }
+            }
+            // Flip 1–3 bytes at random offsets within the record content
+            // (job/status/payload bytes — everything before the trailing
+            // `,"crc":"xxxxxxxx"}` suffix; damage to the crc *key* itself
+            // degrades the record to the accepted legacy no-crc format,
+            // which is a different contract).
+            let crc_suffix = ",\"crc\":\"00000000\"}".len();
+            let flips = 1 + rng.gen_u64_below(3) as usize;
+            let mut hit_lines = std::collections::BTreeSet::new();
+            for _ in 0..flips {
+                let li = rng.gen_range_usize(0, spans.len());
+                let (s, e) = spans[li];
+                let off = rng.gen_range_usize(s, e - crc_suffix);
+                hit_lines.insert(li);
+                // Swap the byte for a different printable character so the
+                // line stays one line of (possibly invalid) text.
+                bytes[off] = if bytes[off] == b'x' { b'y' } else { b'x' };
+            }
+            std::fs::write(&path, &bytes).unwrap();
+
+            let mut j = Journal::open(&path).unwrap();
+            assert_eq!(
+                j.completed().len(),
+                10 - hit_lines.len(),
+                "case {case}: exactly the hit records drop out"
+            );
+            assert_eq!(
+                j.quarantined().len(),
+                hit_lines.len(),
+                "case {case}: every hit record is quarantined, the rest load"
+            );
+            for k in 0..10 {
+                let untouched = !hit_lines.contains(&k);
+                assert_eq!(
+                    j.completed().contains_key(&format!("job/{k}")),
+                    untouched,
+                    "case {case}: record {k} (hit lines {hit_lines:?})"
+                );
+            }
+            // The journal must remain usable: rerun the lost jobs, resume.
+            let lost: Vec<usize> = hit_lines.iter().copied().collect();
+            for k in &lost {
+                j.record_done(&format!("job/{k}"), "rerun");
+            }
+            drop(j);
+            let j = Journal::open(&path).unwrap();
+            assert_eq!(j.completed().len(), 10, "case {case}: complete after rerun");
+        }
+    }
+
+    /// The `exec.journal.corrupt` fault: the in-memory run is unaffected,
+    /// the durable record fails its CRC on the next open.
+    #[test]
+    fn injected_corruption_is_caught_on_reopen() {
+        let path = tmp("inject.jsonl");
+        let plan = FaultPlan::new(3).with(
+            FaultSpec::new(reram_fault::site::JOURNAL, FaultKind::JournalCorrupt)
+                .target("victim")
+                .param(4.0),
+        );
+        let inj = Arc::new(FaultInjector::new(plan, &Obs::off()));
+        {
+            let mut j = Journal::open(&path).unwrap().with_faults(Arc::clone(&inj));
+            j.record_done("healthy", "ok");
+            j.record_done("victim", "precious payload");
+            j.record_done("later", "also ok");
+            // The live process still trusts its own result.
+            assert_eq!(j.completed()["victim"], "precious payload");
+        }
+        assert_eq!(inj.injected(), 1);
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.completed().len(), 2, "victim reruns");
+        assert!(j.completed().contains_key("healthy"));
+        assert!(j.completed().contains_key("later"));
+        assert_eq!(j.quarantined().len(), 1);
+        assert!(
+            j.quarantined()[0].reason.contains("crc mismatch"),
+            "{}",
+            j.quarantined()[0].reason
+        );
+    }
+
+    #[test]
+    fn open_on_unwritable_path_is_a_typed_error() {
+        let path = Path::new("/proc/definitely/not/writable/journal.jsonl");
+        match Journal::open(path) {
+            Err(JournalError::Io { path: p, .. }) => assert_eq!(p, path),
+            other => panic!("expected Io error, got {other:?}"),
+        }
     }
 }

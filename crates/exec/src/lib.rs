@@ -68,8 +68,8 @@ pub mod journal;
 pub mod par;
 pub mod pool;
 
-pub use dag::{Dag, DagError, DagReport, JobCtx, JobSpec};
-pub use journal::{Journal, JournalEntry};
+pub use dag::{Dag, DagError, DagReport, JobCtx, JobSpec, RunReport};
+pub use journal::{Journal, JournalEntry, JournalError, Quarantined};
 pub use par::{par_map, try_par_map};
 pub use pool::ThreadPool;
 

@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod fault_drill;
 pub mod lifetime_exp;
 pub mod micro;
 pub mod perf;

@@ -35,8 +35,9 @@
 
 use reram_exec::{Dag, JobSpec, Journal, ThreadPool};
 use reram_experiments::{
-    ablation, lifetime_exp, micro, perf, solver, traffic, Budget, ExpTable, SolverCfg,
+    ablation, fault_drill, lifetime_exp, micro, perf, solver, traffic, Budget, ExpTable, SolverCfg,
 };
+use reram_fault::{FaultInjector, FaultPlan};
 use reram_obs::Obs;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -74,6 +75,7 @@ fn experiment_names() -> Vec<&'static str> {
         "ablation_pr",
         "ablation_wc",
         "solver_grid",
+        "fault_drill",
     ]
 }
 
@@ -93,6 +95,7 @@ fn build_table(
     name: &str,
     budget: Budget,
     solver_cfg: SolverCfg,
+    faults: Option<&Arc<FaultInjector>>,
     pool: &ThreadPool,
     obs: &Obs,
 ) -> Option<ExpTable> {
@@ -121,7 +124,8 @@ fn build_table(
         "ablation_drvr" => ablation::ablation_drvr_levels(),
         "ablation_pr" => ablation::ablation_pr_cap(),
         "ablation_wc" => ablation::ablation_coalescence(),
-        "solver_grid" => solver::solver_grid(budget, solver_cfg, obs),
+        "solver_grid" => solver::solver_grid(budget, solver_cfg, faults, obs),
+        "fault_drill" => fault_drill::fault_drill(faults, obs),
         _ => return None,
     })
 }
@@ -139,6 +143,7 @@ fn main() -> ExitCode {
     let mut resume: Option<PathBuf> = None;
     let mut jobs = ThreadPool::default_jobs();
     let mut solver_cfg = SolverCfg::default();
+    let mut fault_plan_path: Option<PathBuf> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -181,12 +186,19 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--faults" => match it.next() {
+                Some(p) => fault_plan_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--faults needs a fault-plan JSON file");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => targets.push(other.to_string()),
         }
     }
     if targets.is_empty() || targets[0] == "help" {
         eprintln!(
-            "usage: experiments <exp>...|all|list [--quick|--full] [--jobs N] [--solver-jobs N] [--cold-solver] [--resume DIR] [--out DIR] [--telemetry DIR]"
+            "usage: experiments <exp>...|all|list [--quick|--full] [--jobs N] [--solver-jobs N] [--cold-solver] [--resume DIR] [--out DIR] [--telemetry DIR] [--faults PLAN.json]"
         );
         eprintln!("experiments: {}", experiment_names().join(" "));
         return ExitCode::SUCCESS;
@@ -241,9 +253,33 @@ fn main() -> ExitCode {
         eprintln!("cannot create output dir {}: {e}", out.display());
         return ExitCode::FAILURE;
     }
+    // The deterministic fault-injection plane (DESIGN.md §9): one seeded
+    // injector shared by the DAG scheduler, the resume journal, the solver
+    // workspaces and the fault drill.
+    let faults: Option<Arc<FaultInjector>> = match &fault_plan_path {
+        Some(path) => match FaultPlan::load(path) {
+            Ok(plan) => {
+                eprintln!(
+                    "[faults: {} scheduled, {} distinct kind(s), seed {}]",
+                    plan.faults.len(),
+                    plan.distinct_kinds(),
+                    plan.seed
+                );
+                Some(Arc::new(FaultInjector::new(plan, &obs)))
+            }
+            Err(e) => {
+                eprintln!("cannot load fault plan {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     let mut journal = match &resume {
-        Some(dir) => match Journal::open(&dir.join("exec_journal.jsonl")) {
-            Ok(j) => Some(j),
+        Some(dir) => match Journal::open_observed(&dir.join("exec_journal.jsonl"), &obs) {
+            Ok(j) => Some(match &faults {
+                Some(inj) => j.with_faults(Arc::clone(inj)),
+                None => j,
+            }),
             Err(e) => {
                 eprintln!("cannot open resume journal in {}: {e}", dir.display());
                 return ExitCode::FAILURE;
@@ -258,6 +294,13 @@ fn main() -> ExitCode {
     let pool = Arc::new(ThreadPool::with_obs(if jobs > 1 { jobs } else { 0 }, &obs));
 
     let mut dag = Dag::new();
+    if let Some(inj) = &faults {
+        dag = dag.with_faults(Arc::clone(inj));
+    }
+    // With faults armed, give every job one retry: a recoverable injected
+    // panic is absorbed by the scheduler (and lands in the manifest's
+    // `recovered` list) instead of failing the run.
+    let retries = u32::from(faults.is_some());
     for &name in &names {
         if let Some(spec) = perf::sweep_spec(name) {
             // One job per sweep point (checkpointed individually), plus an
@@ -268,14 +311,14 @@ fn main() -> ExitCode {
                 let array = *array;
                 let pool = Arc::clone(&pool);
                 let obs = obs.clone();
-                dag.add(JobSpec::new(sub.clone()), move |_ctx| {
+                dag.add(JobSpec::new(sub.clone()).retries(retries), move |_ctx| {
                     let t0 = Instant::now();
                     let ratio = perf::sweep_point_ratio(budget, array, &pool, &obs);
                     eprintln!("[{sub}: {:.2} s]", t0.elapsed().as_secs_f64());
                     Ok(ratio.to_bits().to_string())
                 });
             }
-            let mut spec_job = JobSpec::new(name);
+            let mut spec_job = JobSpec::new(name).retries(retries);
             for k in 0..npoints {
                 spec_job = spec_job.after(format!("{name}/{k}"));
             }
@@ -296,9 +339,10 @@ fn main() -> ExitCode {
         } else {
             let pool = Arc::clone(&pool);
             let obs = obs.clone();
-            dag.add(JobSpec::new(name), move |_ctx| {
+            let faults = faults.clone();
+            dag.add(JobSpec::new(name).retries(retries), move |_ctx| {
                 let t0 = Instant::now();
-                let t = build_table(name, budget, solver_cfg, &pool, &obs)
+                let t = build_table(name, budget, solver_cfg, faults.as_ref(), &pool, &obs)
                     .ok_or_else(|| format!("no builder registered for {name}"))?;
                 eprintln!("[{name}: {:.2} s]", t0.elapsed().as_secs_f64());
                 Ok(table_payload(&t))
@@ -346,6 +390,26 @@ fn main() -> ExitCode {
     }
     for (job, err) in report.failures() {
         eprintln!("error: {job}: {err}");
+    }
+    if let Some(inj) = &faults {
+        // The failure manifest: partial results stay on disk above; this
+        // accounts for every job and every injected/recovered fault. The
+        // run exits nonzero only when an unrecoverable class left a job in
+        // `failed` (recoverable classes were absorbed by the ladders).
+        let rr = report.run_report();
+        let manifest = format!(
+            "{{\n\"faults\": {{\"injected\": {}, \"recovered\": {}}},\n\"jobs\": {}\n}}\n",
+            inj.injected(),
+            inj.recovered(),
+            rr.render_json().trim_end()
+        );
+        let path = out.join("failure_manifest.json");
+        if let Err(e) = std::fs::write(&path, &manifest) {
+            eprintln!("failed to write {}: {e}", path.display());
+            status = ExitCode::FAILURE;
+        } else {
+            println!("failure manifest written to {}", path.display());
+        }
     }
     if run_all {
         println!("[all: {:.2} s]", t_total.elapsed().as_secs_f64());

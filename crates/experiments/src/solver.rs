@@ -15,6 +15,7 @@ use crate::Budget;
 use reram_array::{ArrayGeometry, ArrayModel};
 use reram_circuit::{SolveOptions, SolverWorkspace};
 use reram_exec::ThreadPool;
+use reram_fault::FaultInjector;
 use reram_obs::Obs;
 use std::sync::Arc;
 
@@ -39,9 +40,25 @@ impl Default for SolverCfg {
 }
 
 /// The `solver_grid` experiment: worst-case RESET at each array size, with
-/// the RESET voltage regulated over a millivolt ramp as DRVR would.
+/// the RESET voltage regulated over a millivolt ramp as DRVR would. Every
+/// solve runs behind [`Crosspoint::solve_recover`]'s ladder, so an armed
+/// fault plan (`--faults`, scope `solver_grid`) can force failures without
+/// changing a single printed voltage — recoverable rungs are exact.
+///
+/// [`Crosspoint::solve_recover`]: reram_circuit::Crosspoint::solve_recover
+///
+/// # Panics
+///
+/// Panics if a worst-case RESET solve fails even after every recovery
+/// rung — a misconfigured grid, not a recoverable event (the execution
+/// engine catches the panic and reports the job in the failure manifest).
 #[must_use]
-pub fn solver_grid(budget: Budget, cfg: SolverCfg, obs: &Obs) -> ExpTable {
+pub fn solver_grid(
+    budget: Budget,
+    cfg: SolverCfg,
+    faults: Option<&Arc<FaultInjector>>,
+    obs: &Obs,
+) -> ExpTable {
     let mut t = ExpTable::new(
         "solver_grid",
         "KCL vs analytic worst-case Veff across sizes (warm-start ramp)",
@@ -68,20 +85,32 @@ pub fn solver_grid(budget: Budget, cfg: SolverCfg, obs: &Obs) -> ExpTable {
     };
     let pool = (cfg.jobs >= 2).then(|| Arc::new(ThreadPool::new(cfg.jobs)));
     let mut warm_hits = 0u64;
+    let mut recoveries = 0u64;
     for &n in sizes {
         let model = ArrayModel::paper_baseline().with_geometry(ArrayGeometry::new(n, 8));
         let mut ws = SolverWorkspace::new();
         if let Some(p) = &pool {
             ws = ws.with_pool(Arc::clone(p));
         }
+        if let Some(inj) = faults {
+            ws = ws.with_faults(Arc::clone(inj), "solver_grid");
+        }
         for &vrst in &[3.0f64, 2.998, 3.002] {
             if !cfg.warm_start {
                 ws.clear_seed();
             }
             let cp = model.to_crosspoint(n - 1, &[n - 1], &[vrst]);
-            let sol = cp
-                .solve_warm_observed(&opts, &mut ws, obs)
-                .expect("worst-case RESET grid converges");
+            let (sol, rec) = cp
+                .solve_recover(&opts, &mut ws, obs)
+                .expect("worst-case RESET grid converges even through the recovery ladder");
+            if rec.recovered_from.is_some() {
+                recoveries += 1;
+                assert!(
+                    rec.rung.is_exact(),
+                    "only exact rungs keep the determinism note honest: {}",
+                    rec.rung
+                );
+            }
             let veff_kcl = sol.cell_voltage(n - 1, n - 1);
             let veff_analytic = model.effective_vrst(vrst, n - 1, n - 1, 1);
             t.row(vec![
@@ -99,10 +128,11 @@ pub fn solver_grid(budget: Budget, cfg: SolverCfg, obs: &Obs) -> ExpTable {
          narrows as wire drops shrink.",
     );
     t.note(format!(
-        "Solver config: jobs={}, warm_start={}, cache_eps=1e-5; warm hits {} \
-         (voltages identical for any jobs/warm setting — bitwise-deterministic \
-         relaxation, residual-gated warm starts).",
-        cfg.jobs, cfg.warm_start, warm_hits
+        "Solver config: jobs={}, warm_start={}, cache_eps=1e-5; warm hits {}, \
+         ladder recoveries {} (voltages identical for any jobs/warm/fault \
+         setting — bitwise-deterministic relaxation, residual-gated warm \
+         starts, exact recovery rungs).",
+        cfg.jobs, cfg.warm_start, warm_hits, recoveries
     ));
     // (Warm vs cold may still differ in the sweeps column — fewer sweeps is
     // what warm starts buy — so only the voltage columns are setting-proof.)
@@ -122,6 +152,7 @@ mod tests {
                 jobs: 1,
                 warm_start: true,
             },
+            None,
             &obs,
         );
         let par = solver_grid(
@@ -130,6 +161,7 @@ mod tests {
                 jobs: 2,
                 warm_start: true,
             },
+            None,
             &obs,
         );
         let cold = solver_grid(
@@ -138,6 +170,7 @@ mod tests {
                 jobs: 1,
                 warm_start: false,
             },
+            None,
             &obs,
         );
         // Rows must match cell-for-cell; notes may differ (they echo the
@@ -150,9 +183,25 @@ mod tests {
     }
 
     #[test]
+    fn injected_solver_fault_leaves_the_grid_byte_identical() {
+        use reram_fault::{FaultKind, FaultPlan, FaultSpec};
+        let obs = Obs::off();
+        let clean = solver_grid(Budget::Smoke, SolverCfg::default(), None, &obs);
+        let plan = FaultPlan::new(5).with(FaultSpec::new(
+            reram_fault::site::SOLVER,
+            FaultKind::SolverNotConverged,
+        ));
+        let inj = Arc::new(FaultInjector::new(plan, &obs));
+        let faulted = solver_grid(Budget::Smoke, SolverCfg::default(), Some(&inj), &obs);
+        assert_eq!(inj.injected(), 1);
+        assert_eq!(inj.recovered(), 1, "the ladder absorbs the fault");
+        assert_eq!(clean.rows, faulted.rows, "recovery is bitwise-exact");
+    }
+
+    #[test]
     fn warm_ramp_reports_warm_hits() {
         let obs = Obs::off();
-        let t = solver_grid(Budget::Smoke, SolverCfg::default(), &obs);
+        let t = solver_grid(Budget::Smoke, SolverCfg::default(), None, &obs);
         assert_eq!(t.rows.len(), 3);
         assert!(t.notes.iter().any(|n| n.contains("warm hits 2")));
     }

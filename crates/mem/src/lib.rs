@@ -24,6 +24,9 @@
 //!   non-stop write traffic.
 //! * [`store`] — a functional (data-holding) line store exercising the full
 //!   datapath (FNW → PR → phases → wear → ECP) for correctness testing.
+//! * [`verify`] — write-verify with bounded re-RESET retries, per-retry
+//!   DRVR voltage escalation, and degraded-mode recording of uncorrectable
+//!   lines.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,6 +40,7 @@ pub mod fnw;
 pub mod lifetime;
 pub mod pump;
 pub mod store;
+pub mod verify;
 pub mod wear;
 
 pub use addr::{AddressMapper, LineAddress, RowMapper};
@@ -48,4 +52,5 @@ pub use fnw::{FnwCodec, FnwWrite};
 pub use lifetime::{LifetimeEstimate, LifetimeModel};
 pub use pump::{ChargePump, PumpMeter};
 pub use store::{FunctionalStore, WriteReceipt};
+pub use verify::{VerifiedStore, VerifiedWrite, VerifyPolicy};
 pub use wear::{RowShifter, SecurityRefresh};

@@ -201,6 +201,18 @@ impl FunctionalStore {
         }
     }
 
+    /// Forces a stuck-at failure on line `idx` (the `mem.cell.stuck` fault
+    /// and future failure studies): one ECP correction entry is consumed,
+    /// exactly as a wear-out failure would. Returns whether the line
+    /// remains correctable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn record_stuck_cell(&mut self, idx: usize) -> bool {
+        self.lines[idx].ecp.record_failure()
+    }
+
     fn wear_cell(line: &mut StoredLine, s: usize, b: usize, endurance: u32) {
         let k = s * 8 + b;
         line.wear[k] += 1;

@@ -56,4 +56,4 @@ pub mod sink;
 
 pub use hist::Histogram;
 pub use registry::{Counter, Gauge, Hist, MetricKind, MetricSummary, Obs, Span};
-pub use sink::{EventSink, JsonlSink, NullSink, Value};
+pub use sink::{EventSink, JsonlSink, NullSink, SinkError, Value};

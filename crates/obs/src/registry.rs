@@ -8,11 +8,10 @@
 //! construction or attach time) and record through them on the hot path.
 
 use crate::hist::Histogram;
-use crate::sink::{EventSink, JsonlSink, NullSink, Value};
+use crate::sink::{EventSink, JsonlSink, NullSink, SinkError, Value};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fmt::Write as _;
-use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -104,8 +103,8 @@ impl Obs {
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors from creating the file.
-    pub fn jsonl(path: &Path) -> io::Result<Self> {
+    /// [`SinkError`] naming the path on filesystem errors.
+    pub fn jsonl(path: &Path) -> Result<Self, SinkError> {
         Ok(Self::with_sink(Box::new(JsonlSink::create(path)?)))
     }
 

@@ -14,8 +14,26 @@
 
 use std::fmt::Write as _;
 use std::fs::File;
-use std::io::{self, BufWriter, Write};
-use std::path::Path;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// A sink could not be opened. Carries the path so the message names the
+/// file the user asked for, not just the OS errno text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SinkError {
+    /// The file the sink tried to open.
+    pub path: PathBuf,
+    /// The rendered OS error.
+    pub message: String,
+}
+
+impl std::fmt::Display for SinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot open {}: {}", self.path.display(), self.message)
+    }
+}
+
+impl std::error::Error for SinkError {}
 
 /// A field value.
 #[derive(Debug, Clone, PartialEq)]
@@ -115,10 +133,16 @@ impl JsonlSink {
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors.
-    pub fn create(path: &Path) -> io::Result<Self> {
+    /// [`SinkError`] naming the path on filesystem errors. Only opening is
+    /// fallible: once a sink exists, telemetry writes must never take the
+    /// run down, so [`EventSink::emit`] swallows IO errors.
+    pub fn create(path: &Path) -> Result<Self, SinkError> {
+        let f = File::create(path).map_err(|e| SinkError {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        })?;
         Ok(Self {
-            w: BufWriter::new(File::create(path)?),
+            w: BufWriter::new(f),
         })
     }
 }
@@ -173,6 +197,14 @@ mod tests {
             line,
             r#"{"seq":1,"event":"e","s":"a\"b\\c\nd","inf":null,"nan":null}"#
         );
+    }
+
+    #[test]
+    fn create_on_unwritable_path_is_a_typed_error() {
+        let path = Path::new("/proc/definitely/not/writable/events.jsonl");
+        let err = JsonlSink::create(path).expect_err("must fail");
+        assert_eq!(err.path, path);
+        assert!(err.to_string().contains("/proc/definitely"), "{err}");
     }
 
     #[test]

@@ -2,8 +2,9 @@
 
 use crate::{SimConfig, SimResult};
 use reram_array::ArrayModel;
-use reram_circuit::SolveOptions;
+use reram_circuit::{SolveOptions, SolverWorkspace};
 use reram_core::{Scheme, WriteModel};
+use reram_fault::{FaultInjector, FaultKind};
 use reram_mem::lifetime::LifetimeModel;
 use reram_mem::{
     AddressMapper, EnergyLedger, EnergyParams, FnwCodec, MemoryConfig, MemoryController, PumpMeter,
@@ -13,6 +14,7 @@ use reram_obs::{Obs, Value};
 use reram_workloads::{AccessKind, BenchProfile, TraceGenerator};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
 /// A min-heap event, ordered by time (then insertion sequence for
 /// determinism).
@@ -64,6 +66,8 @@ enum Prepared {
         cell_writes: u32,
         resets: u32,
         sets: u32,
+        /// An injected pump droop forced one extra recharge cycle.
+        drooped: bool,
     },
 }
 
@@ -113,6 +117,7 @@ pub struct Simulator {
     knobs: Knobs,
     array: ArrayModel,
     obs: Obs,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl Simulator {
@@ -127,6 +132,7 @@ impl Simulator {
             knobs: Knobs::default(),
             array: ArrayModel::paper_baseline(),
             obs: Obs::off(),
+            faults: None,
         }
     }
 
@@ -155,6 +161,21 @@ impl Simulator {
         self
     }
 
+    /// Arms deterministic fault injection. The simulator consults two
+    /// sites: [`reram_fault::site::SOLVER`] in the telemetry probe (solved
+    /// behind the [`Crosspoint::solve_recover`] ladder, so recoverable
+    /// solver faults leave the run bit-identical), and
+    /// [`reram_fault::site::PUMP`] on each write recharge, where a
+    /// [`FaultKind::PumpDroop`] forces one extra recharge cycle — a
+    /// deterministic service-time and pump-energy penalty.
+    ///
+    /// [`Crosspoint::solve_recover`]: reram_circuit::Crosspoint::solve_recover
+    #[must_use]
+    pub fn with_faults(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.faults = Some(injector);
+        self
+    }
+
     /// Executes the run to completion.
     ///
     /// # Panics
@@ -177,23 +198,39 @@ impl Simulator {
             // telemetry summary, zero included.
             let probe_failed = self.obs.counter("sim.probe.solve_failed");
             let cp = self.array.to_crosspoint(n - 1, &[n - 1], &[3.0]);
-            if let Err(e) = cp.solve_observed(&SolveOptions::default(), &self.obs) {
-                // Diagnostic, not fatal: write latencies come from the
-                // pre-characterized drop model either way.
-                probe_failed.inc();
-                self.obs.event(
-                    "sim.probe.solve_failed",
-                    &[
-                        (
-                            "bias",
-                            Value::Str(format!(
-                                "worst-case RESET of cell ({sel}, {sel}) in a {n}x{n} MAT at 3 V",
-                                sel = n - 1
-                            )),
-                        ),
-                        ("error", Value::Str(e.to_string())),
-                    ],
-                );
+            let mut ws = SolverWorkspace::new();
+            if let Some(inj) = &self.faults {
+                ws = ws.with_faults(Arc::clone(inj), "sim.probe");
+            }
+            match cp.solve_recover(&SolveOptions::default(), &mut ws, &self.obs) {
+                Ok((_, rec)) if rec.recovered_from.is_some() => {
+                    self.obs.event(
+                        "sim.probe.solve_recovered",
+                        &[
+                            ("rung", Value::Str(rec.rung.name().to_string())),
+                            ("attempts", Value::U64(u64::from(rec.attempts))),
+                        ],
+                    );
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    // Diagnostic, not fatal: write latencies come from the
+                    // pre-characterized drop model either way.
+                    probe_failed.inc();
+                    self.obs.event(
+                        "sim.probe.solve_failed",
+                        &[
+                            (
+                                "bias",
+                                Value::Str(format!(
+                                    "worst-case RESET of cell ({sel}, {sel}) in a {n}x{n} MAT at 3 V",
+                                    sel = n - 1
+                                )),
+                            ),
+                            ("error", Value::Str(e.to_string())),
+                        ],
+                    );
+                }
             }
         }
         let mapper = AddressMapper::new(
@@ -336,14 +373,31 @@ impl Simulator {
                     } else {
                         0.0
                     };
+                    let mut service_ns =
+                        (pump.write_overhead_ns() + reset_ns + plan.set_phase_ns) * overhead;
+                    let mut drooped = false;
+                    if let Some(inj) = &self.faults {
+                        if let Some(f) = inj.fire(reram_fault::site::PUMP, "sim.write") {
+                            if f.kind == FaultKind::PumpDroop {
+                                // The pump output sagged below target
+                                // mid-RESET: the controller holds the write
+                                // for one full recharge cycle and re-drives
+                                // it, so the droop costs exactly one extra
+                                // recharge of latency and energy.
+                                service_ns += pump.write_overhead_ns();
+                                drooped = true;
+                                inj.note_recovery("pump", "recharge");
+                            }
+                        }
+                    }
                     Prepared::Write {
                         bank: addr.flat_bank(&mem_cfg),
-                        service_ns: (pump.write_overhead_ns() + reset_ns + plan.set_phase_ns)
-                            * overhead,
+                        service_ns,
                         array_energy_pj: plan.energy_pj() * overhead,
                         cell_writes: (f64::from(plan.cell_writes()) * overhead) as u32,
                         resets: (f64::from(plan.resets) * overhead) as u32,
                         sets: (f64::from(plan.sets) * overhead) as u32,
+                        drooped,
                     }
                 }
             };
@@ -466,6 +520,7 @@ impl Simulator {
                             cell_writes: cw,
                             resets,
                             sets,
+                            drooped,
                         } => {
                             let ok = mc.submit_write(Request {
                                 id: read_id(c, u64::MAX >> 16),
@@ -483,6 +538,9 @@ impl Simulator {
                                 break 'issue;
                             }
                             pump_meter.on_recharge(&pump);
+                            if drooped {
+                                pump_meter.on_recharge(&pump);
+                            }
                             ledger.add_write(&energy_params, array_energy_pj);
                             cell_writes += u64::from(cw);
                             resets_total += u64::from(resets);
@@ -614,6 +672,75 @@ mod tests {
         assert!(r.resets > 0 && r.sets > 0);
         assert!(r.energy.write_pj > 0.0 && r.energy.read_pj > 0.0);
         assert!(r.energy.leakage_pj > 0.0);
+    }
+
+    #[test]
+    fn pump_droop_fault_deterministically_adds_recharge_overhead() {
+        use reram_fault::{FaultPlan, FaultSpec};
+        let cfg = SimConfig::paper_baseline().with_instructions_per_core(60_000);
+        let p = BenchProfile::by_name("mcf_m").expect("benchmark");
+        let run = |plan: Option<FaultPlan>| {
+            let obs = Obs::new();
+            let mut sim = Simulator::new(cfg, Scheme::Baseline, p, 42).with_obs(&obs);
+            if let Some(plan) = plan {
+                sim = sim.with_faults(Arc::new(FaultInjector::new(plan, &obs)));
+            }
+            let r = sim.run();
+            (r, obs.counter("mem.pump.recharges").get())
+        };
+        let droops = 5u64;
+        let plan = || {
+            let mut plan = FaultPlan::new(7);
+            for k in 0..droops {
+                plan = plan.with(
+                    FaultSpec::new(reram_fault::site::PUMP, FaultKind::PumpDroop)
+                        .occurrence(k * 17),
+                );
+            }
+            plan
+        };
+        let (clean, clean_recharges) = run(None);
+        let (faulted, fault_recharges) = run(Some(plan()));
+        let (again, again_recharges) = run(Some(plan()));
+        assert_eq!(
+            fault_recharges,
+            clean_recharges + droops,
+            "each droop costs exactly one extra recharge"
+        );
+        assert!(
+            faulted.elapsed_ns > clean.elapsed_ns,
+            "recharge stalls must cost wall-clock time: {} vs {}",
+            faulted.elapsed_ns,
+            clean.elapsed_ns
+        );
+        assert_eq!(faulted.elapsed_ns, again.elapsed_ns, "injection is seeded");
+        assert_eq!(fault_recharges, again_recharges);
+    }
+
+    #[test]
+    fn solver_probe_fault_recovers_without_changing_the_run() {
+        use reram_fault::{FaultPlan, FaultSpec};
+        let cfg = SimConfig::paper_baseline().with_instructions_per_core(40_000);
+        let p = BenchProfile::by_name("tig_m").expect("benchmark");
+        let clean_obs = Obs::new();
+        let clean = Simulator::new(cfg, Scheme::UdrvrPr, p, 9)
+            .with_obs(&clean_obs)
+            .run();
+        let plan = FaultPlan::new(3).with(FaultSpec::new(
+            reram_fault::site::SOLVER,
+            FaultKind::SolverNotConverged,
+        ));
+        let obs = Obs::new();
+        let inj = Arc::new(FaultInjector::new(plan, &obs));
+        let faulted = Simulator::new(cfg, Scheme::UdrvrPr, p, 9)
+            .with_obs(&obs)
+            .with_faults(Arc::clone(&inj))
+            .run();
+        assert_eq!(inj.injected(), 1);
+        assert_eq!(inj.recovered(), 1, "probe recovers through the ladder");
+        assert_eq!(obs.counter("sim.probe.solve_failed").get(), 0);
+        assert_eq!(clean.elapsed_ns, faulted.elapsed_ns);
+        assert_eq!(clean.cell_writes, faulted.cell_writes);
     }
 
     #[test]
