@@ -5,7 +5,12 @@
 //!                      [--resume DIR] [--out DIR] [--telemetry DIR]
 //! experiments all      [... same flags ...]
 //! experiments list
+//! experiments serve    [--addr HOST:PORT] [--shards N] [...]   # memory service
+//! experiments loadgen  [--clients N] [--requests N] [...]      # traffic generator
 //! ```
+//!
+//! `serve` and `loadgen` (see [`serve_cmd`]) expose the `reram-serve`
+//! sharded memory service and its seeded load generator.
 //!
 //! Every selected experiment becomes a job in a `reram-exec` DAG; the
 //! sensitivity sweeps (figs. 18/19/20) further split into one job per sweep
@@ -30,8 +35,10 @@
 //! the execution engine itself feed the shared [`reram_obs::Obs`] registry
 //! (`exec.worker.*`, `exec.pool.*`, `exec.dag.*`), events stream to
 //! `DIR/events.jsonl`, and on exit the harness writes
-//! `DIR/telemetry_summary.csv` (metric, count, mean, p50, p99, max) and
+//! `DIR/telemetry_summary.csv` (metric, count, mean, p50, p99, p999, max) and
 //! prints the human-readable report.
+
+mod serve_cmd;
 
 use reram_exec::{Dag, JobSpec, Journal, ThreadPool};
 use reram_experiments::{
@@ -137,6 +144,13 @@ fn table_payload(t: &ExpTable) -> String {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // The service subcommands have their own flag grammars — dispatch
+    // before the experiment-table parser sees the arguments.
+    match args.first().map(String::as_str) {
+        Some("serve") => return serve_cmd::serve_cmd(&args[1..]),
+        Some("loadgen") => return serve_cmd::loadgen_cmd(&args[1..]),
+        _ => {}
+    }
     let mut budget = Budget::Standard;
     let mut out = PathBuf::from("results");
     let mut telemetry: Option<PathBuf> = None;

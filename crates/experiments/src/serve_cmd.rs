@@ -1,0 +1,283 @@
+//! The `serve` and `loadgen` subcommands: run the sharded memory service
+//! and drive it with seeded traffic.
+//!
+//! ```text
+//! experiments serve   [--addr HOST:PORT] [--shards N] [--lines-per-shard N]
+//!                     [--queue-cap N] [--batch-max N] [--workers N]
+//!                     [--faults PLAN.json] [--telemetry DIR]
+//! experiments loadgen [--addr HOST:PORT] [--clients N] [--requests N]
+//!                     [--seed S] [--profile NAME] [--closed-loop]
+//!                     [--open-loop GAP_US] [--no-audit] [--json PATH]
+//!                     [--shards N] [--lines-per-shard N] [--queue-cap N]
+//!                     [--batch-max N] [--faults PLAN.json] [--telemetry DIR]
+//! ```
+//!
+//! `serve` binds, prints the resolved address, and runs until a client
+//! sends `DRAIN`. `loadgen` drives an external server when `--addr` is
+//! given; without it, it **self-hosts** an in-process server (this is what
+//! CI's `serve-smoke` leg and `BENCH_serve.json` use — one command, fully
+//! deterministic, drained on exit). `--faults` arms the server-side
+//! injection sites (`serve.conn.drop`, `serve.shard.stall`,
+//! `serve.resp.corrupt`) and is therefore only legal when self-hosting.
+
+use reram_fault::{FaultInjector, FaultPlan};
+use reram_loadgen::{LoadConfig, Mode};
+use reram_obs::Obs;
+use reram_serve::{ServeConfig, Server};
+use reram_workloads::BenchProfile;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+/// Parses a required positive-integer flag value.
+fn parse_num<T: std::str::FromStr>(flag: &str, v: Option<String>) -> Result<T, String> {
+    v.and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("{flag} needs a number"))
+}
+
+/// Builds the obs registry for `--telemetry DIR` (JSONL events + summary
+/// on drop is the caller's concern; the subcommands just need the sink).
+fn obs_for(telemetry: Option<&PathBuf>) -> Result<Obs, String> {
+    match telemetry {
+        Some(dir) => {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create telemetry dir {}: {e}", dir.display()))?;
+            Obs::jsonl(&dir.join("events.jsonl"))
+                .map_err(|e| format!("cannot open telemetry sink: {e}"))
+        }
+        None => Ok(Obs::off()),
+    }
+}
+
+fn load_faults(path: Option<&PathBuf>, obs: &Obs) -> Result<Option<Arc<FaultInjector>>, String> {
+    match path {
+        Some(p) => {
+            let plan = FaultPlan::load(p)
+                .map_err(|e| format!("cannot load fault plan {}: {e}", p.display()))?;
+            eprintln!(
+                "[faults: {} scheduled, seed {}]",
+                plan.faults.len(),
+                plan.seed
+            );
+            Ok(Some(Arc::new(FaultInjector::new(plan, obs))))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Writes the telemetry summary CSV when a sink was attached.
+fn finish_telemetry(obs: &Obs, telemetry: Option<&PathBuf>) {
+    if let Some(dir) = telemetry {
+        obs.flush();
+        let path = dir.join("telemetry_summary.csv");
+        if let Err(e) = std::fs::write(&path, obs.summary_csv()) {
+            eprintln!("failed to write {}: {e}", path.display());
+        }
+    }
+}
+
+/// `experiments serve ...` — run the service until drained.
+pub fn serve_cmd(args: &[String]) -> ExitCode {
+    let mut cfg = ServeConfig::default();
+    let mut fault_path: Option<PathBuf> = None;
+    let mut telemetry: Option<PathBuf> = None;
+    let mut it = args.iter().cloned();
+    let parsed: Result<(), String> = (|| {
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--addr" => cfg.addr = it.next().ok_or("--addr needs HOST:PORT")?,
+                "--shards" => cfg.shards = parse_num("--shards", it.next())?,
+                "--lines-per-shard" => {
+                    cfg.lines_per_shard = parse_num("--lines-per-shard", it.next())?;
+                }
+                "--queue-cap" => cfg.queue_cap = parse_num("--queue-cap", it.next())?,
+                "--batch-max" => cfg.batch_max = parse_num("--batch-max", it.next())?,
+                "--workers" => cfg.workers = parse_num("--workers", it.next())?,
+                "--faults" => {
+                    fault_path = Some(PathBuf::from(it.next().ok_or("--faults needs a file")?))
+                }
+                "--telemetry" => {
+                    telemetry = Some(PathBuf::from(it.next().ok_or("--telemetry needs a dir")?));
+                }
+                other => return Err(format!("unknown serve flag {other}")),
+            }
+        }
+        Ok(())
+    })();
+    if let Err(e) = parsed {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    let obs = match obs_for(telemetry.as_ref()) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let faults = match load_faults(fault_path.as_ref(), &obs) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::start(&cfg, &obs, faults) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", cfg.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "reram-serve listening on {} (shards={}, lines={}, queue_cap={}, batch_max={}, scheme={:?})",
+        server.local_addr(),
+        cfg.shards,
+        cfg.shards as u64 * cfg.lines_per_shard,
+        cfg.queue_cap,
+        cfg.batch_max,
+        cfg.scheme,
+    );
+    server.join();
+    println!("reram-serve drained and stopped");
+    finish_telemetry(&obs, telemetry.as_ref());
+    ExitCode::SUCCESS
+}
+
+/// `experiments loadgen ...` — drive a server (self-hosted by default).
+#[allow(clippy::too_many_lines)]
+pub fn loadgen_cmd(args: &[String]) -> ExitCode {
+    let mut server_cfg = ServeConfig::default();
+    let mut external_addr: Option<String> = None;
+    let mut clients = 64usize;
+    let mut requests = 256u64;
+    let mut seed = 42u64;
+    let mut profile_name = "mix_1".to_string();
+    let mut mode = Mode::Closed;
+    let mut audit = true;
+    let mut json_path: Option<PathBuf> = None;
+    let mut fault_path: Option<PathBuf> = None;
+    let mut telemetry: Option<PathBuf> = None;
+    let mut it = args.iter().cloned();
+    let parsed: Result<(), String> = (|| {
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--addr" => external_addr = Some(it.next().ok_or("--addr needs HOST:PORT")?),
+                "--clients" => clients = parse_num("--clients", it.next())?,
+                "--requests" => requests = parse_num("--requests", it.next())?,
+                "--seed" => seed = parse_num("--seed", it.next())?,
+                "--profile" => profile_name = it.next().ok_or("--profile needs a name")?,
+                "--closed-loop" => mode = Mode::Closed,
+                "--open-loop" => {
+                    mode = Mode::Open {
+                        interval_us: parse_num("--open-loop", it.next())?,
+                    };
+                }
+                "--no-audit" => audit = false,
+                "--json" => {
+                    json_path = Some(PathBuf::from(it.next().ok_or("--json needs a path")?))
+                }
+                "--shards" => server_cfg.shards = parse_num("--shards", it.next())?,
+                "--lines-per-shard" => {
+                    server_cfg.lines_per_shard = parse_num("--lines-per-shard", it.next())?;
+                }
+                "--queue-cap" => server_cfg.queue_cap = parse_num("--queue-cap", it.next())?,
+                "--batch-max" => server_cfg.batch_max = parse_num("--batch-max", it.next())?,
+                "--faults" => {
+                    fault_path = Some(PathBuf::from(it.next().ok_or("--faults needs a file")?))
+                }
+                "--telemetry" => {
+                    telemetry = Some(PathBuf::from(it.next().ok_or("--telemetry needs a dir")?));
+                }
+                other => return Err(format!("unknown loadgen flag {other}")),
+            }
+        }
+        Ok(())
+    })();
+    if let Err(e) = parsed {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    if external_addr.is_some() && fault_path.is_some() {
+        eprintln!("error: --faults arms the *server*; it requires self-hosting (drop --addr)");
+        return ExitCode::FAILURE;
+    }
+    let Some(profile) = BenchProfile::by_name(&profile_name) else {
+        let names: Vec<&str> = BenchProfile::table_iv().iter().map(|p| p.name).collect();
+        eprintln!(
+            "error: unknown profile {profile_name}; valid: {}",
+            names.join(" ")
+        );
+        return ExitCode::FAILURE;
+    };
+    let obs = match obs_for(telemetry.as_ref()) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Self-host unless an external address was given.
+    let (addr, hosted) = match &external_addr {
+        Some(a) => match a.parse() {
+            Ok(sa) => (sa, None),
+            Err(e) => {
+                eprintln!("error: bad --addr {a}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let faults = match load_faults(fault_path.as_ref(), &obs) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let server = match Server::start(&server_cfg, &obs, faults) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot bind {}: {e}", server_cfg.addr);
+                    return ExitCode::FAILURE;
+                }
+            };
+            (server.local_addr(), Some(server))
+        }
+    };
+
+    let cfg = LoadConfig {
+        addr,
+        clients,
+        requests_per_client: requests,
+        seed,
+        profile,
+        total_lines: server_cfg.shards as u64 * server_cfg.lines_per_shard,
+        mode,
+        audit,
+        drain: hosted.is_some(),
+    };
+    let report = reram_loadgen::run(&cfg, &obs);
+    if let Some(server) = hosted {
+        server.join();
+    }
+
+    let json = report.to_json();
+    println!("{json}");
+    if let Some(p) = &json_path {
+        if let Err(e) = std::fs::write(p, format!("{json}\n")) {
+            eprintln!("failed to write {}: {e}", p.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[report written to {}]", p.display());
+    }
+    finish_telemetry(&obs, telemetry.as_ref());
+    if report.audit_failures > 0 || report.read_mismatches > 0 {
+        eprintln!(
+            "error: durability violated (audit_failures={}, read_mismatches={})",
+            report.audit_failures, report.read_mismatches
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

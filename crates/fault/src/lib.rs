@@ -73,6 +73,13 @@ pub mod site {
     pub const JOB_STALL: &str = "exec.job.stall";
     /// Journal append: consulted once per record (target = job name).
     pub const JOURNAL: &str = "exec.journal.corrupt";
+    /// Service connection: consulted once per received frame (target =
+    /// `conn<id>`).
+    pub const CONN_DROP: &str = "serve.conn.drop";
+    /// Shard batch loop: consulted once per batch (target = `shard<idx>`).
+    pub const SHARD_STALL: &str = "serve.shard.stall";
+    /// Response framing: consulted once per response (target = `conn<id>`).
+    pub const RESP_CORRUPT: &str = "serve.resp.corrupt";
 }
 
 /// What kind of failure to inject. The `param` on the [`FaultSpec`] scales
@@ -103,6 +110,15 @@ pub enum FaultKind {
     /// The journal record being appended is corrupted (`param` = number of
     /// byte flips, default 1).
     JournalCorrupt,
+    /// The server drops a client connection abruptly (the client's
+    /// reconnect-and-resend ladder absorbs it).
+    ConnDrop,
+    /// A service shard stalls `param` milliseconds; admission control sheds
+    /// load with `Busy` while it lasts and slow-starts on recovery.
+    ShardStall,
+    /// One response frame's payload is corrupted in flight; the wire CRC
+    /// catches it and the client re-requests.
+    RespCorrupt,
 }
 
 impl FaultKind {
@@ -120,6 +136,9 @@ impl FaultKind {
             FaultKind::JobPanic => "job_panic",
             FaultKind::JobStall => "job_stall",
             FaultKind::JournalCorrupt => "journal_corrupt",
+            FaultKind::ConnDrop => "conn_drop",
+            FaultKind::ShardStall => "shard_stall",
+            FaultKind::RespCorrupt => "resp_corrupt",
         }
     }
 
@@ -137,6 +156,9 @@ impl FaultKind {
             "job_panic" => FaultKind::JobPanic,
             "job_stall" => FaultKind::JobStall,
             "journal_corrupt" => FaultKind::JournalCorrupt,
+            "conn_drop" => FaultKind::ConnDrop,
+            "shard_stall" => FaultKind::ShardStall,
+            "resp_corrupt" => FaultKind::RespCorrupt,
             _ => return None,
         })
     }
@@ -457,6 +479,9 @@ mod tests {
             FaultKind::JobPanic,
             FaultKind::JobStall,
             FaultKind::JournalCorrupt,
+            FaultKind::ConnDrop,
+            FaultKind::ShardStall,
+            FaultKind::RespCorrupt,
         ] {
             assert_eq!(FaultKind::parse(kind.name()), Some(kind));
         }

@@ -1,0 +1,817 @@
+//! # reram-loadgen — seeded traffic generation for `reram-serve`
+//!
+//! Replays `reram-workloads` profiles against a running memory service and
+//! reports what the paper's serving story needs measured: throughput, the
+//! wall-clock latency tail (p50/p99/p999 via `reram-obs` histograms), how
+//! much load admission control shed, and — the part that matters under
+//! fault injection — whether every acknowledged write survived, verified
+//! by a post-run read-back audit.
+//!
+//! ## Determinism contract
+//!
+//! Each client is an independent seeded [`TraceGenerator`] stream over a
+//! **disjoint address partition**: client `c` of `C` owns every service
+//! line `g × C + c` (generator line `g`). No two clients ever touch the
+//! same line, so each client's request/response history is a pure function
+//! of its seed regardless of thread scheduling, batching, or injected
+//! faults — closed-loop clients retry `Busy`, reconnect on drops and
+//! re-request on corrupted responses until every request resolves. The
+//! per-run [`ledger`] digest is therefore byte-stable across runs *and*
+//! across fault plans, which is exactly what CI diffs against its golden.
+//!
+//! Open-loop mode paces requests on wall time and sheds `Busy` without
+//! retrying; its report is for latency/throughput characterization, and
+//! its ledger is **not** timing-stable (document of record: closed loop).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ledger;
+
+use ledger::{combine_digests, Ledger, Outcome};
+use reram_obs::{Histogram, Obs};
+use reram_serve::proto::{code, crc32, Request, Response, WireError, LINE_BYTES};
+use reram_serve::server::Client;
+use reram_workloads::{AccessKind, BenchProfile, TraceGenerator};
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How clients pace themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// One outstanding request per client; the next departs when the
+    /// previous resolves. Retries until success — the deterministic mode.
+    Closed,
+    /// Requests depart on a fixed wall-clock cadence; `Busy` is shed, not
+    /// retried. Characterization mode, not deterministic.
+    Open {
+        /// Inter-departure gap per client, microseconds.
+        interval_us: u64,
+    },
+}
+
+/// Load-generation configuration.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address.
+    pub addr: SocketAddr,
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Requests each client resolves.
+    pub requests_per_client: u64,
+    /// Base seed; client `c` derives its stream seed from it.
+    pub seed: u64,
+    /// Workload shape (rpki/wpki mix, data patterns).
+    pub profile: BenchProfile,
+    /// Served address space (must not exceed the server's).
+    pub total_lines: u64,
+    /// Pacing mode.
+    pub mode: Mode,
+    /// Run the post-run read-back audit of every acknowledged write.
+    pub audit: bool,
+    /// Send `DRAIN` after the run and record the server's served count.
+    pub drain: bool,
+}
+
+impl LoadConfig {
+    /// A small deterministic default against `addr` (closed loop, audit
+    /// on, no drain).
+    #[must_use]
+    pub fn new(addr: SocketAddr) -> Self {
+        Self {
+            addr,
+            clients: 4,
+            requests_per_client: 256,
+            seed: 42,
+            profile: BenchProfile::table_iv()[0],
+            total_lines: 4 * 4096,
+            mode: Mode::Closed,
+            audit: true,
+            drain: false,
+        }
+    }
+}
+
+/// What one run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Clients that ran.
+    pub clients: usize,
+    /// Requests resolved (sum over clients, audit excluded).
+    pub requests: u64,
+    /// Wall time of the traffic phase, seconds.
+    pub elapsed_s: f64,
+    /// Resolved requests per second.
+    pub req_per_s: f64,
+    /// Median client-perceived latency, µs (includes retries).
+    pub p50_us: f64,
+    /// 99th percentile latency, µs.
+    pub p99_us: f64,
+    /// 99.9th percentile latency, µs.
+    pub p999_us: f64,
+    /// Mean latency, µs.
+    pub mean_us: f64,
+    /// Worst latency, µs.
+    pub max_us: f64,
+    /// `Busy` responses absorbed by retry (closed loop).
+    pub busy_retries: u64,
+    /// Open loop: requests shed on `Busy` without retry.
+    pub shed: u64,
+    /// Reconnects after dropped connections.
+    pub reconnects: u64,
+    /// Responses re-requested after CRC corruption.
+    pub corrupt_retries: u64,
+    /// Reads whose data contradicted the client's own writes (must be 0).
+    pub read_mismatches: u64,
+    /// Audit reads that contradicted an acknowledged write (must be 0).
+    pub audit_failures: u64,
+    /// Acknowledged writes audited.
+    pub audited_writes: u64,
+    /// The run-level outcome-ledger digest.
+    pub ledger_crc: u32,
+    /// The server's lifetime served count, when the run drained it.
+    pub drained_served: Option<u64>,
+}
+
+impl LoadReport {
+    /// Serializes the report as pretty JSON (the `BENCH_serve.json` shape).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let drained = self
+            .drained_served
+            .map_or("null".to_string(), |v| v.to_string());
+        format!(
+            "{{\n  \"clients\": {},\n  \"requests\": {},\n  \"elapsed_s\": {:.4},\n  \
+             \"req_per_s\": {:.1},\n  \"p50_us\": {:.1},\n  \"p99_us\": {:.1},\n  \
+             \"p999_us\": {:.1},\n  \"mean_us\": {:.1},\n  \"max_us\": {:.1},\n  \
+             \"busy_retries\": {},\n  \"shed\": {},\n  \"reconnects\": {},\n  \
+             \"corrupt_retries\": {},\n  \"read_mismatches\": {},\n  \
+             \"audit_failures\": {},\n  \"audited_writes\": {},\n  \
+             \"ledger_crc\": \"{:08x}\",\n  \"drained_served\": {}\n}}",
+            self.clients,
+            self.requests,
+            self.elapsed_s,
+            self.req_per_s,
+            self.p50_us,
+            self.p99_us,
+            self.p999_us,
+            self.mean_us,
+            self.max_us,
+            self.busy_retries,
+            self.shed,
+            self.reconnects,
+            self.corrupt_retries,
+            self.read_mismatches,
+            self.audit_failures,
+            self.audited_writes,
+            self.ledger_crc,
+            drained,
+        )
+    }
+}
+
+/// Retry bookkeeping for one client.
+#[derive(Debug, Default)]
+struct Retries {
+    busy: u64,
+    reconnects: u64,
+    corrupt: u64,
+}
+
+/// One client's results, returned to the orchestrator.
+struct ClientResult {
+    ledger_digest: u32,
+    rtt_us: Histogram,
+    retries: Retries,
+    shed: u64,
+    read_mismatches: u64,
+    audit_failures: u64,
+    audited_writes: u64,
+    requests: u64,
+}
+
+/// Safety bound on retries per request: a server that never answers is a
+/// test-harness bug, not a condition to spin on forever.
+const MAX_ATTEMPTS: u32 = 100_000;
+
+/// Connects with bounded patience (the server may briefly be between
+/// accept cycles under fault injection).
+fn connect_retry(addr: SocketAddr, _retries: &mut Retries) -> Client {
+    let mut backoff_us = 100;
+    for attempt in 0..MAX_ATTEMPTS {
+        match Client::connect(addr) {
+            Ok(c) => return c,
+            Err(_) if attempt + 1 < MAX_ATTEMPTS => {
+                thread::sleep(Duration::from_micros(backoff_us));
+                backoff_us = (backoff_us * 2).min(10_000);
+            }
+            Err(e) => panic!("loadgen could not connect to {addr}: {e}"),
+        }
+    }
+    unreachable!()
+}
+
+/// Resolves one request: retries `Busy` (bounded backoff honoring the
+/// server's hint), reconnects on transport failure, re-requests on a
+/// corrupted response. Returns the final non-transient response.
+fn resolve(
+    conn: &mut Option<Client>,
+    addr: SocketAddr,
+    req: &Request,
+    retries: &mut Retries,
+) -> Response {
+    for _ in 0..MAX_ATTEMPTS {
+        if conn.is_none() {
+            *conn = Some(connect_retry(addr, retries));
+        }
+        let c = conn.as_mut().expect("connected");
+        match c.call(req) {
+            Ok(Response::Busy { retry_after_us }) => {
+                retries.busy += 1;
+                thread::sleep(Duration::from_micros(u64::from(retry_after_us.min(2_000))));
+            }
+            Ok(Response::Err {
+                code: code::DRAINING,
+                ..
+            }) => {
+                thread::sleep(Duration::from_micros(500));
+            }
+            Ok(resp) => return resp,
+            Err(WireError::CrcMismatch { .. }) => {
+                // The stream is still in frame sync — just ask again.
+                retries.corrupt += 1;
+            }
+            Err(_) => {
+                // Transport gone (dropped connection, mid-frame EOF):
+                // reconnect and resend. Data ops are idempotent, so a
+                // request the server may already have applied is safe to
+                // repeat.
+                retries.reconnects += 1;
+                *conn = None;
+            }
+        }
+    }
+    panic!("request did not resolve within {MAX_ATTEMPTS} attempts");
+}
+
+/// Maps a generator-local line to the client's partition.
+fn partition_line(gen_line: u64, clients: usize, client: usize) -> u64 {
+    gen_line * clients as u64 + client as u64
+}
+
+/// A request sent but not yet resolved (closed-loop multiplexing).
+struct PendingReq {
+    id: u64,
+    req: Request,
+    line: u64,
+    is_write: bool,
+    sent_crc: u32,
+    t0: Instant,
+}
+
+/// One closed-loop client's full state. Clients are hosted several to an
+/// OS thread (wrk-style: connections are the concurrency unit, threads
+/// are a hardware resource), but each remains an independent closed loop —
+/// one connection, one outstanding request, its own seeded trace.
+struct ClientState {
+    idx: usize,
+    gen: TraceGenerator,
+    conn: Option<Client>,
+    retries: Retries,
+    ledger: Ledger,
+    rtt_us: Histogram,
+    expected: BTreeMap<u64, [u8; LINE_BYTES]>,
+    read_mismatches: u64,
+    done: u64,
+    pending: Option<PendingReq>,
+}
+
+impl ClientState {
+    fn new(cfg: &LoadConfig, idx: usize) -> Self {
+        let lines_per_client = (cfg.total_lines / cfg.clients as u64).max(1);
+        let stream_seed = cfg
+            .seed
+            .wrapping_add((idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        ClientState {
+            idx,
+            gen: TraceGenerator::new(cfg.profile, stream_seed).with_address_lines(lines_per_client),
+            conn: None,
+            retries: Retries::default(),
+            ledger: Ledger::new(),
+            rtt_us: Histogram::new(),
+            expected: BTreeMap::new(),
+            read_mismatches: 0,
+            done: 0,
+            pending: None,
+        }
+    }
+
+    /// Sends `req`, reconnecting until the send succeeds. The original
+    /// departure time is preserved across retransmits so RTT covers the
+    /// whole resolve, retries included.
+    fn transmit(&mut self, cfg: &LoadConfig, p: PendingReq) -> PendingReq {
+        for _ in 0..MAX_ATTEMPTS {
+            if self.conn.is_none() {
+                self.conn = Some(connect_retry(cfg.addr, &mut self.retries));
+            }
+            match self.conn.as_mut().expect("connected").send(&p.req) {
+                Ok(id) => return PendingReq { id, ..p },
+                Err(_) => {
+                    self.retries.reconnects += 1;
+                    self.conn = None;
+                }
+            }
+        }
+        panic!("request did not transmit within {MAX_ATTEMPTS} attempts");
+    }
+
+    /// Generates the next access and puts it on the wire.
+    fn send_next(&mut self, cfg: &LoadConfig) {
+        let access = self.gen.next_access();
+        let (req, line, is_write, sent_crc) = match access.kind {
+            AccessKind::Read { line } => {
+                let g = partition_line(line, cfg.clients, self.idx);
+                (Request::ReadLine { line: g }, g, false, 0u32)
+            }
+            AccessKind::Write { line, new, .. } => {
+                let g = partition_line(line, cfg.clients, self.idx);
+                let c = crc32(&new[..]);
+                (Request::WriteLine { line: g, data: new }, g, true, c)
+            }
+        };
+        let p = PendingReq {
+            id: 0,
+            req,
+            line,
+            is_write,
+            sent_crc,
+            t0: Instant::now(),
+        };
+        let p = self.transmit(cfg, p);
+        self.pending = Some(p);
+    }
+
+    /// Blocks for the pending request's final response — retrying `Busy`
+    /// with the server's hint, re-requesting after corruption, resending
+    /// after a transport drop — then applies it to the ledger and the
+    /// expected-data map.
+    fn collect(&mut self, cfg: &LoadConfig) {
+        let mut p = self.pending.take().expect("collect without pending");
+        let mut resp = None;
+        for _ in 0..MAX_ATTEMPTS {
+            let c = self.conn.as_mut().expect("pending implies connected");
+            match c.recv(p.id) {
+                Ok(Response::Busy { retry_after_us }) => {
+                    self.retries.busy += 1;
+                    thread::sleep(Duration::from_micros(u64::from(retry_after_us.min(2_000))));
+                    p = self.transmit(cfg, p);
+                }
+                Ok(Response::Err {
+                    code: code::DRAINING,
+                    ..
+                }) => {
+                    thread::sleep(Duration::from_micros(500));
+                    p = self.transmit(cfg, p);
+                }
+                Ok(r) => {
+                    resp = Some(r);
+                    break;
+                }
+                Err(WireError::CrcMismatch { .. }) => {
+                    // The stream is still in frame sync — just ask again.
+                    self.retries.corrupt += 1;
+                    p = self.transmit(cfg, p);
+                }
+                Err(_) => {
+                    // Transport gone (dropped connection, mid-frame EOF):
+                    // reconnect and resend. Data ops are idempotent, so a
+                    // request the server may already have applied is safe
+                    // to repeat.
+                    self.retries.reconnects += 1;
+                    self.conn = None;
+                    p = self.transmit(cfg, p);
+                }
+            }
+        }
+        let resp = resp
+            .unwrap_or_else(|| panic!("request did not resolve within {MAX_ATTEMPTS} attempts"));
+        let us = p.t0.elapsed().as_secs_f64() * 1e6;
+        self.rtt_us.record(us);
+        match resp {
+            Response::ReadOk { data } => {
+                if let Some(want) = self.expected.get(&p.line) {
+                    if want != &*data {
+                        self.read_mismatches += 1;
+                    }
+                }
+                self.ledger
+                    .record(false, p.line, crc32(&data[..]), Outcome::ReadOk);
+            }
+            Response::WriteOk { degraded, .. } => {
+                if let Request::WriteLine { data, .. } = &p.req {
+                    self.expected.insert(p.line, **data);
+                }
+                let outcome = if degraded {
+                    Outcome::WriteDegraded
+                } else {
+                    Outcome::WriteOk
+                };
+                self.ledger.record(p.is_write, p.line, p.sent_crc, outcome);
+            }
+            _ => {
+                self.ledger
+                    .record(p.is_write, p.line, p.sent_crc, Outcome::Error);
+            }
+        }
+        self.done += 1;
+    }
+
+    /// Post-run read-back audit, then the per-client result. Clients own
+    /// disjoint lines, so the audit needs no cross-client barrier.
+    fn finish(mut self, cfg: &LoadConfig) -> ClientResult {
+        let mut audit_failures = 0u64;
+        let mut audited_writes = 0u64;
+        if cfg.audit {
+            for (&line, want) in &self.expected {
+                audited_writes += 1;
+                let resp = resolve(
+                    &mut self.conn,
+                    cfg.addr,
+                    &Request::ReadLine { line },
+                    &mut self.retries,
+                );
+                match resp {
+                    Response::ReadOk { data } if *data == *want => {}
+                    _ => audit_failures += 1,
+                }
+            }
+        }
+        ClientResult {
+            ledger_digest: self.ledger.digest(),
+            rtt_us: self.rtt_us,
+            retries: self.retries,
+            shed: 0,
+            read_mismatches: self.read_mismatches,
+            audit_failures,
+            audited_writes,
+            requests: self.done,
+        }
+    }
+}
+
+/// OS threads hosting closed-loop clients. A few threads per core keep
+/// socket wakeups overlapped without flooding the scheduler's runqueue —
+/// with thread-per-client, 64 clients on a small box lose ~30% throughput
+/// to context-switch overhead alone.
+fn closed_loop_threads(clients: usize) -> usize {
+    let hw = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    (hw * 8).clamp(1, clients)
+}
+
+/// Hosts a contiguous chunk of closed-loop clients on one thread: each
+/// round sends every idle client's next request, then collects every
+/// response. Connections stay one-outstanding, so responses arrive in
+/// order per connection and blocking reads multiplex cleanly — while one
+/// client's response is being read, the server is already working on the
+/// others'.
+fn run_closed_chunk(
+    cfg: &LoadConfig,
+    clients: std::ops::Range<usize>,
+    obs: &Obs,
+) -> (Vec<ClientResult>, Instant) {
+    let obs_rtt = obs.hist("loadgen.rtt_us");
+    let mut states: Vec<ClientState> = clients.map(|i| ClientState::new(cfg, i)).collect();
+    for cs in &mut states {
+        if cs.done < cfg.requests_per_client {
+            cs.send_next(cfg);
+        }
+    }
+    loop {
+        let mut live = false;
+        for cs in &mut states {
+            if cs.pending.is_some() {
+                cs.collect(cfg);
+                // Re-arm immediately so the hosted clients stay fully
+                // outstanding instead of draining to zero each round.
+                if cs.done < cfg.requests_per_client {
+                    cs.send_next(cfg);
+                }
+            }
+            live |= cs.pending.is_some();
+        }
+        if !live {
+            break;
+        }
+    }
+    // Traffic done; the audit in `finish` is off the throughput clock.
+    let traffic_end = Instant::now();
+    for cs in &states {
+        obs_rtt.merge_from(&cs.rtt_us);
+    }
+    let results = states.into_iter().map(|cs| cs.finish(cfg)).collect();
+    (results, traffic_end)
+}
+
+/// One open-loop client on its own thread: departures on a fixed cadence,
+/// `Busy` shed rather than retried.
+fn run_client_open(
+    cfg: &LoadConfig,
+    client_idx: usize,
+    interval_us: u64,
+    obs: &Obs,
+) -> (ClientResult, Instant) {
+    let lines_per_client = (cfg.total_lines / cfg.clients as u64).max(1);
+    let stream_seed = cfg
+        .seed
+        .wrapping_add((client_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut gen =
+        TraceGenerator::new(cfg.profile, stream_seed).with_address_lines(lines_per_client);
+    let mut conn: Option<Client> = None;
+    let mut retries = Retries::default();
+    let mut ledger = Ledger::new();
+    let mut rtt_us = Histogram::new();
+    let obs_rtt = obs.hist("loadgen.rtt_us");
+    let mut expected: BTreeMap<u64, [u8; LINE_BYTES]> = BTreeMap::new();
+    let mut shed = 0u64;
+    let mut read_mismatches = 0u64;
+    let start = Instant::now();
+
+    for k in 0..cfg.requests_per_client {
+        // Departures on a fixed cadence from the start mark.
+        let due = start + Duration::from_micros(interval_us.saturating_mul(k));
+        let now = Instant::now();
+        if due > now {
+            thread::sleep(due - now);
+        }
+        let access = gen.next_access();
+        let (req, line, is_write, sent_crc) = match access.kind {
+            AccessKind::Read { line } => {
+                let g = partition_line(line, cfg.clients, client_idx);
+                (Request::ReadLine { line: g }, g, false, 0u32)
+            }
+            AccessKind::Write { line, new, .. } => {
+                let g = partition_line(line, cfg.clients, client_idx);
+                let c = crc32(&new[..]);
+                (Request::WriteLine { line: g, data: new }, g, true, c)
+            }
+        };
+        let t0 = Instant::now();
+        // One shot; Busy is shed, transport errors resend.
+        let mut r = None;
+        for _ in 0..MAX_ATTEMPTS {
+            if conn.is_none() {
+                conn = Some(connect_retry(cfg.addr, &mut retries));
+            }
+            match conn.as_mut().expect("connected").call(&req) {
+                Ok(resp) => {
+                    r = Some(resp);
+                    break;
+                }
+                Err(WireError::CrcMismatch { .. }) => retries.corrupt += 1,
+                Err(_) => {
+                    retries.reconnects += 1;
+                    conn = None;
+                }
+            }
+        }
+        let resp = r.expect("request resolved");
+        let us = t0.elapsed().as_secs_f64() * 1e6;
+        rtt_us.record(us);
+
+        match resp {
+            Response::ReadOk { data } => {
+                if let Some(want) = expected.get(&line) {
+                    if want != &*data {
+                        read_mismatches += 1;
+                    }
+                }
+                ledger.record(false, line, crc32(&data[..]), Outcome::ReadOk);
+            }
+            Response::WriteOk { degraded, .. } => {
+                if let Request::WriteLine { data, .. } = &req {
+                    expected.insert(line, **data);
+                }
+                let outcome = if degraded {
+                    Outcome::WriteDegraded
+                } else {
+                    Outcome::WriteOk
+                };
+                ledger.record(is_write, line, sent_crc, outcome);
+            }
+            Response::Busy { .. } => {
+                shed += 1;
+                ledger.record(is_write, line, sent_crc, Outcome::Shed);
+            }
+            _ => {
+                ledger.record(is_write, line, sent_crc, Outcome::Error);
+            }
+        }
+    }
+
+    // Traffic done; audit below is off the throughput clock.
+    let traffic_end = Instant::now();
+    obs_rtt.merge_from(&rtt_us);
+
+    // Read-back audit, as in the closed loop.
+    let mut audit_failures = 0u64;
+    let mut audited_writes = 0u64;
+    if cfg.audit {
+        for (&line, want) in &expected {
+            audited_writes += 1;
+            let resp = resolve(
+                &mut conn,
+                cfg.addr,
+                &Request::ReadLine { line },
+                &mut retries,
+            );
+            match resp {
+                Response::ReadOk { data } if *data == *want => {}
+                _ => audit_failures += 1,
+            }
+        }
+    }
+
+    (
+        ClientResult {
+            ledger_digest: ledger.digest(),
+            rtt_us,
+            retries,
+            shed,
+            read_mismatches,
+            audit_failures,
+            audited_writes,
+            requests: cfg.requests_per_client,
+        },
+        traffic_end,
+    )
+}
+
+/// Runs the configured load against the server and gathers the report.
+/// Telemetry (the `loadgen.rtt_us` histogram) resolves on `obs`.
+///
+/// # Panics
+///
+/// Panics if the server is unreachable for the entire retry budget, or if
+/// a client thread panics.
+#[must_use]
+pub fn run(cfg: &LoadConfig, obs: &Obs) -> LoadReport {
+    assert!(cfg.clients > 0, "need at least one client");
+    let start = Instant::now();
+    // Client results are gathered in client-index order: the run-level
+    // ledger digest combines per-client digests positionally. The
+    // throughput clock stops at the *last* client's final resolved request
+    // (the read-back audit runs after that mark).
+    let (results, traffic_end): (Vec<ClientResult>, Instant) = match cfg.mode {
+        Mode::Closed => thread::scope(|s| {
+            let threads = closed_loop_threads(cfg.clients);
+            let base = cfg.clients / threads;
+            let extra = cfg.clients % threads;
+            let mut next = 0usize;
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let n = base + usize::from(t < extra);
+                    let range = next..next + n;
+                    next += n;
+                    let cfg = cfg.clone();
+                    let obs = obs.clone();
+                    s.spawn(move || run_closed_chunk(&cfg, range, &obs))
+                })
+                .collect();
+            let mut all = Vec::with_capacity(cfg.clients);
+            let mut end = start;
+            for h in handles {
+                let (chunk, chunk_end) = h.join().expect("client thread panicked");
+                all.extend(chunk);
+                end = end.max(chunk_end);
+            }
+            (all, end)
+        }),
+        Mode::Open { interval_us } => thread::scope(|s| {
+            let handles: Vec<_> = (0..cfg.clients)
+                .map(|c| {
+                    let cfg = cfg.clone();
+                    let obs = obs.clone();
+                    s.spawn(move || run_client_open(&cfg, c, interval_us, &obs))
+                })
+                .collect();
+            let mut all = Vec::with_capacity(cfg.clients);
+            let mut end = start;
+            for h in handles {
+                let (res, client_end) = h.join().expect("client thread panicked");
+                all.push(res);
+                end = end.max(client_end);
+            }
+            (all, end)
+        }),
+    };
+    let elapsed_s = traffic_end.duration_since(start).as_secs_f64();
+
+    let mut rtt = Histogram::new();
+    let mut digests = Vec::with_capacity(results.len());
+    let mut busy_retries = 0;
+    let mut shed = 0;
+    let mut reconnects = 0;
+    let mut corrupt_retries = 0;
+    let mut read_mismatches = 0;
+    let mut audit_failures = 0;
+    let mut audited_writes = 0;
+    let mut requests = 0;
+    for r in &results {
+        rtt.merge(&r.rtt_us);
+        digests.push(r.ledger_digest);
+        busy_retries += r.retries.busy;
+        shed += r.shed;
+        reconnects += r.retries.reconnects;
+        corrupt_retries += r.retries.corrupt;
+        read_mismatches += r.read_mismatches;
+        audit_failures += r.audit_failures;
+        audited_writes += r.audited_writes;
+        requests += r.requests;
+    }
+
+    let drained_served = if cfg.drain {
+        let mut retries = Retries::default();
+        let mut conn = Some(connect_retry(cfg.addr, &mut retries));
+        match resolve(&mut conn, cfg.addr, &Request::Drain, &mut retries) {
+            Response::DrainOk { served } => Some(served),
+            other => panic!("drain answered {other:?}"),
+        }
+    } else {
+        None
+    };
+
+    LoadReport {
+        clients: cfg.clients,
+        requests,
+        elapsed_s,
+        req_per_s: requests as f64 / elapsed_s.max(1e-9),
+        p50_us: rtt.p50(),
+        p99_us: rtt.p99(),
+        p999_us: rtt.p999(),
+        mean_us: rtt.mean(),
+        max_us: rtt.max(),
+        busy_retries,
+        shed,
+        reconnects,
+        corrupt_retries,
+        read_mismatches,
+        audit_failures,
+        audited_writes,
+        ledger_crc: combine_digests(&digests),
+        drained_served,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitions_are_disjoint_and_cover() {
+        let clients = 8;
+        let mut seen = std::collections::HashSet::new();
+        for c in 0..clients {
+            for g in 0..16u64 {
+                assert!(seen.insert(partition_line(g, clients, c)));
+            }
+        }
+        assert_eq!(seen.len(), clients * 16);
+    }
+
+    #[test]
+    fn report_json_has_the_expected_keys() {
+        let r = LoadReport {
+            clients: 2,
+            requests: 10,
+            elapsed_s: 0.5,
+            req_per_s: 20.0,
+            p50_us: 1.0,
+            p99_us: 2.0,
+            p999_us: 3.0,
+            mean_us: 1.5,
+            max_us: 4.0,
+            busy_retries: 1,
+            shed: 0,
+            reconnects: 2,
+            corrupt_retries: 3,
+            read_mismatches: 0,
+            audit_failures: 0,
+            audited_writes: 5,
+            ledger_crc: 0xDEAD_BEEF,
+            drained_served: Some(10),
+        };
+        let j = r.to_json();
+        for key in [
+            "\"clients\"",
+            "\"req_per_s\"",
+            "\"p999_us\"",
+            "\"ledger_crc\": \"deadbeef\"",
+            "\"audit_failures\": 0",
+            "\"drained_served\": 10",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! End-to-end: a real server on loopback, seeded closed-loop clients, and
+//! the determinism + durability contracts the CI smoke leg depends on.
+
+use reram_fault::{FaultInjector, FaultKind, FaultPlan, FaultSpec};
+use reram_loadgen::{run, LoadConfig, Mode};
+use reram_obs::Obs;
+use reram_serve::{ServeConfig, Server};
+use reram_workloads::BenchProfile;
+use std::sync::Arc;
+
+fn server_cfg() -> ServeConfig {
+    ServeConfig {
+        shards: 4,
+        lines_per_shard: 512,
+        queue_cap: 64,
+        batch_max: 8,
+        workers: 2,
+        ..ServeConfig::default()
+    }
+}
+
+fn load_cfg(server: &Server) -> LoadConfig {
+    LoadConfig {
+        clients: 8,
+        requests_per_client: 150,
+        seed: 1234,
+        total_lines: 4 * 512,
+        profile: BenchProfile::table_iv()[0],
+        ..LoadConfig::new(server.local_addr())
+    }
+}
+
+fn run_once(faults: Option<FaultPlan>) -> reram_loadgen::LoadReport {
+    let obs = Obs::off();
+    let inj = faults.map(|p| Arc::new(FaultInjector::new(p, &obs)));
+    let server = Server::start(&server_cfg(), &obs, inj).unwrap();
+    let cfg = LoadConfig {
+        drain: true,
+        ..load_cfg(&server)
+    };
+    let report = run(&cfg, &obs);
+    server.join();
+    report
+}
+
+#[test]
+fn same_seed_same_ledger_and_clean_audit() {
+    let a = run_once(None);
+    let b = run_once(None);
+    assert_eq!(a.ledger_crc, b.ledger_crc, "seeded runs must agree");
+    assert_eq!(a.requests, 8 * 150);
+    assert_eq!(a.read_mismatches, 0);
+    assert_eq!(a.audit_failures, 0);
+    assert!(a.audited_writes > 0, "the workload writes");
+    assert!(
+        a.drained_served.unwrap() >= a.requests,
+        "audit reads add to served"
+    );
+}
+
+#[test]
+fn faulted_run_preserves_the_ledger_and_every_acknowledged_write() {
+    let clean = run_once(None);
+    let plan = FaultPlan::new(99)
+        // Drop three different connections mid-stream.
+        .with(FaultSpec::new(reram_fault::site::CONN_DROP, FaultKind::ConnDrop).occurrence(5))
+        .with(
+            FaultSpec::new(reram_fault::site::CONN_DROP, FaultKind::ConnDrop)
+                .target("conn2")
+                .occurrence(9),
+        )
+        // Stall shard 1 for 2 ms (slow-start recovery).
+        .with(
+            FaultSpec::new(reram_fault::site::SHARD_STALL, FaultKind::ShardStall)
+                .target("shard1")
+                .param(2.0),
+        )
+        // Corrupt two responses (client re-requests on CRC mismatch).
+        .with(FaultSpec::new(reram_fault::site::RESP_CORRUPT, FaultKind::RespCorrupt).occurrence(3))
+        .with(
+            FaultSpec::new(reram_fault::site::RESP_CORRUPT, FaultKind::RespCorrupt)
+                .target("conn4")
+                .occurrence(7),
+        );
+    let faulted = run_once(Some(plan));
+    // Retry-until-resolve collapses every transient: the outcome ledger is
+    // identical to the clean run's…
+    assert_eq!(
+        faulted.ledger_crc, clean.ledger_crc,
+        "ledger must be fault-invariant"
+    );
+    // …and no acknowledged write was lost or corrupted.
+    assert_eq!(faulted.read_mismatches, 0);
+    assert_eq!(faulted.audit_failures, 0);
+    // The faults actually happened (the run wasn't silently clean).
+    assert!(
+        faulted.reconnects >= 2,
+        "expected reconnects, got {}",
+        faulted.reconnects
+    );
+    assert!(
+        faulted.corrupt_retries >= 2,
+        "expected corrupt retries, got {}",
+        faulted.corrupt_retries
+    );
+}
+
+#[test]
+fn open_loop_paces_and_reports_the_tail() {
+    let obs = Obs::off();
+    let server = Server::start(&server_cfg(), &obs, None).unwrap();
+    let cfg = LoadConfig {
+        clients: 2,
+        requests_per_client: 50,
+        mode: Mode::Open { interval_us: 200 },
+        audit: false,
+        drain: true,
+        ..load_cfg(&server)
+    };
+    let report = run(&cfg, &obs);
+    server.join();
+    assert_eq!(report.requests, 100);
+    assert!(report.p50_us > 0.0);
+    assert!(report.p999_us >= report.p99_us);
+    assert!(report.p99_us >= report.p50_us);
+    // Pacing: 50 requests × 200 µs ≥ ~10 ms wall.
+    assert!(report.elapsed_s >= 0.009, "elapsed {}", report.elapsed_s);
+}

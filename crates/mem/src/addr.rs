@@ -126,6 +126,37 @@ impl AddressMapper {
         }
     }
 
+    /// Recomposes a [`LineAddress`] into its flat line address — the exact
+    /// inverse of [`AddressMapper::decompose`] for every line below
+    /// [`AddressMapper::address_space_lines`] (beyond that, `decompose`
+    /// wraps the MAT row and is no longer injective).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is outside the mapper's geometry.
+    #[must_use]
+    pub fn compose(&self, a: &LineAddress) -> u64 {
+        assert!(a.channel < self.cfg.channels, "channel out of bounds");
+        assert!(a.bank < self.cfg.banks_per_rank, "bank out of bounds");
+        assert!(a.rank < self.cfg.ranks, "rank out of bounds");
+        assert!(a.col_offset < self.cols_per_group, "column out of bounds");
+        assert!(a.mat_row < self.mat_size, "row out of bounds");
+        let mut x = a.mat_row as u64;
+        x = x * self.cols_per_group as u64 + a.col_offset as u64;
+        x = x * self.cfg.ranks as u64 + a.rank as u64;
+        x = x * self.cfg.banks_per_rank as u64 + a.bank as u64;
+        x * self.cfg.channels as u64 + a.channel as u64
+    }
+
+    /// Lines the mapper addresses injectively: one full pass over every
+    /// (channel, bank, rank, column, MAT row) coordinate.
+    #[must_use]
+    pub fn address_space_lines(&self) -> u64 {
+        (self.cfg.channels * self.cfg.banks_per_rank * self.cfg.ranks) as u64
+            * self.cols_per_group as u64
+            * self.mat_size as u64
+    }
+
     /// The memory configuration this mapper splits addresses for.
     #[must_use]
     pub fn config(&self) -> &MemoryConfig {
@@ -174,6 +205,33 @@ mod tests {
             seen.insert(m.decompose(line).flat_bank(&cfg));
         }
         assert_eq!(seen.len(), cfg.total_banks());
+    }
+
+    #[test]
+    fn compose_inverts_decompose_across_the_address_space() {
+        // A reduced geometry small enough to sweep *exhaustively*: every
+        // line of the full address space must round-trip, and every
+        // coordinate tuple must be hit exactly once (bijectivity).
+        let cfg = MemoryConfig {
+            ranks: 2,
+            banks_per_rank: 4,
+            ..MemoryConfig::paper_baseline()
+        };
+        let m = AddressMapper::new(cfg, 8, 4);
+        let total = m.address_space_lines();
+        assert_eq!(total, (2 * 4 * 4 * 8) as u64);
+        let mut seen = std::collections::HashSet::new();
+        for line in 0..total {
+            let a = m.decompose(line);
+            assert_eq!(m.compose(&a), line, "round trip at {line}");
+            assert!(seen.insert(a), "coordinates repeat at {line}");
+        }
+        // The paper-baseline mapper round-trips across sampled lines of its
+        // full 2^30-line space too.
+        let paper = AddressMapper::paper_baseline();
+        for line in (0..paper.address_space_lines()).step_by(104_729) {
+            assert_eq!(paper.compose(&paper.decompose(line)), line);
+        }
     }
 
     #[test]

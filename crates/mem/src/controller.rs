@@ -59,6 +59,10 @@ pub struct ControllerStats {
     pub write_bursts: u64,
     /// Total bank-busy time, ns (for utilization and leakage accounting).
     pub bank_busy_ns: f64,
+    /// Reads rejected because the read queue was full.
+    pub read_rejections: u64,
+    /// Writes rejected because the write queue was full.
+    pub write_rejections: u64,
 }
 
 impl ControllerStats {
@@ -83,6 +87,41 @@ impl ControllerStats {
     }
 }
 
+/// A typed queue-full rejection: the controller could not admit a request.
+///
+/// Carries everything an admission-control layer needs to shed load
+/// intelligently: which queue filled, how deep it is, and when the
+/// controller could plausibly issue next (the retry-after hint a service
+/// front-end converts into a `Busy` response).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueFull {
+    /// True when the write queue rejected; false for the read queue.
+    pub is_write: bool,
+    /// Entries queued at rejection time.
+    pub depth: usize,
+    /// The queue's capacity (`queue_entries × channels`).
+    pub capacity: usize,
+    /// Earliest time the controller could issue its next operation, ns
+    /// (equals the rejected request's arrival when the queues could drain
+    /// immediately — callers add their own backoff on top).
+    pub retry_at_ns: f64,
+}
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} queue full ({}/{} entries, retry at {:.1} ns)",
+            if self.is_write { "write" } else { "read" },
+            self.depth,
+            self.capacity,
+            self.retry_at_ns
+        )
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
 /// Pre-resolved telemetry handles so the scheduling loop never does a
 /// name lookup. Every handle is a no-op until [`MemoryController::attach_obs`]
 /// is called.
@@ -95,6 +134,8 @@ struct CtrlMetrics {
     read_priority_stalls: Counter,
     read_latency_ns: Hist,
     write_latency_ns: Hist,
+    read_rejections: Counter,
+    write_rejections: Counter,
 }
 
 impl CtrlMetrics {
@@ -107,6 +148,8 @@ impl CtrlMetrics {
             read_priority_stalls: obs.counter("mem.controller.read_priority_stalls"),
             read_latency_ns: obs.hist("mem.controller.read_latency_ns"),
             write_latency_ns: obs.hist("mem.controller.write_latency_ns"),
+            read_rejections: obs.counter("mem.controller.read_rejections"),
+            write_rejections: obs.counter("mem.controller.write_rejections"),
         }
     }
 }
@@ -162,22 +205,54 @@ impl MemoryController {
         self.write_q.len() >= self.cfg.queue_entries * self.cfg.channels
     }
 
-    /// Enqueues a read. Returns `false` (and drops nothing) if the queue is
-    /// full — the caller must stall and retry.
-    pub fn submit_read(&mut self, req: Request) -> bool {
+    /// The retry-at hint attached to a rejection: the earliest time the
+    /// controller could issue next, never before the rejected arrival.
+    fn retry_hint_ns(&self, arrival_ns: f64) -> f64 {
+        self.next_issue_ns().unwrap_or(arrival_ns).max(arrival_ns)
+    }
+
+    /// Enqueues a read, or returns a typed [`QueueFull`] rejection (counted
+    /// in [`ControllerStats::read_rejections`] and under
+    /// `mem.controller.read_rejections`). Nothing is dropped on rejection —
+    /// the caller sheds, stalls, or retries at the hinted time.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueFull`] when the read queue cannot take another entry.
+    pub fn try_submit_read(&mut self, req: Request) -> Result<(), QueueFull> {
         if self.read_queue_full() {
-            return false;
+            self.stats.read_rejections += 1;
+            self.met.read_rejections.inc();
+            return Err(QueueFull {
+                is_write: false,
+                depth: self.read_q.len(),
+                capacity: self.cfg.queue_entries * self.cfg.channels,
+                retry_at_ns: self.retry_hint_ns(req.arrival_ns),
+            });
         }
         self.read_q.push_back(req);
         self.met.queue_depth_read.record(self.read_q.len() as f64);
-        true
+        Ok(())
     }
 
-    /// Enqueues a write. Returns `false` if the queue is full. Filling the
-    /// last entry triggers a write burst.
-    pub fn submit_write(&mut self, req: Request) -> bool {
+    /// Enqueues a write, or returns a typed [`QueueFull`] rejection
+    /// (counted in [`ControllerStats::write_rejections`] and under
+    /// `mem.controller.write_rejections`). Filling the last entry triggers
+    /// a write burst.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueFull`] when the write queue cannot take another entry.
+    pub fn try_submit_write(&mut self, req: Request) -> Result<(), QueueFull> {
         if self.write_queue_full() {
-            return false;
+            self.stats.write_rejections += 1;
+            self.met.write_rejections.inc();
+            return Err(QueueFull {
+                is_write: true,
+                depth: self.write_q.len(),
+                capacity: self.cfg.queue_entries * self.cfg.channels,
+                retry_at_ns: self.retry_hint_ns(req.arrival_ns),
+            });
         }
         self.write_q.push_back(req);
         self.met.queue_depth_write.record(self.write_q.len() as f64);
@@ -187,7 +262,21 @@ impl MemoryController {
             self.burst_start_ns = req.arrival_ns;
             self.stats.write_bursts += 1;
         }
-        true
+        Ok(())
+    }
+
+    /// Enqueues a read. Returns `false` (and drops nothing) if the queue is
+    /// full — the caller must stall and retry. Boolean convenience over
+    /// [`MemoryController::try_submit_read`]; rejections are still counted.
+    pub fn submit_read(&mut self, req: Request) -> bool {
+        self.try_submit_read(req).is_ok()
+    }
+
+    /// Enqueues a write. Returns `false` if the queue is full. Boolean
+    /// convenience over [`MemoryController::try_submit_write`]; rejections
+    /// are still counted.
+    pub fn submit_write(&mut self, req: Request) -> bool {
+        self.try_submit_write(req).is_ok()
     }
 
     /// Pending requests (both queues).
@@ -420,6 +509,38 @@ mod tests {
             assert!(mc.submit_read(read(k as u64, 0, 0.0)));
         }
         assert!(!mc.submit_read(read(1000, 0, 0.0)));
+    }
+
+    #[test]
+    fn rejections_are_typed_and_counted() {
+        let cfg = MemoryConfig::paper_baseline();
+        let mut mc = MemoryController::new(cfg);
+        let cap = cfg.queue_entries * cfg.channels;
+        for k in 0..cap {
+            assert!(mc.try_submit_read(read(k as u64, k % 16, 10.0)).is_ok());
+            assert!(mc
+                .try_submit_write(write(1000 + k as u64, k % 16, 10.0, 200.0))
+                .is_ok());
+        }
+        let r = mc.try_submit_read(read(9000, 0, 10.0)).unwrap_err();
+        assert!(!r.is_write);
+        assert_eq!((r.depth, r.capacity), (cap, cap));
+        assert!(r.retry_at_ns >= 10.0, "hint never predates arrival");
+        let w = mc
+            .try_submit_write(write(9001, 0, 10.0, 200.0))
+            .unwrap_err();
+        assert!(w.is_write);
+        // The boolean wrappers go through the same counted path.
+        assert!(!mc.submit_write(write(9002, 0, 10.0, 200.0)));
+        let st = mc.stats();
+        assert_eq!(st.read_rejections, 1);
+        assert_eq!(st.write_rejections, 2);
+        assert!(w.to_string().contains("write queue full"));
+        // Draining the queues clears the rejection condition but not the
+        // counts.
+        let _ = mc.advance(1e9);
+        assert!(mc.try_submit_read(read(9003, 0, 1e9)).is_ok());
+        assert_eq!(mc.stats().read_rejections, 1);
     }
 
     #[test]

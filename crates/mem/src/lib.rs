@@ -45,7 +45,7 @@ pub mod wear;
 
 pub use addr::{AddressMapper, LineAddress, RowMapper};
 pub use config::MemoryConfig;
-pub use controller::{Completion, ControllerStats, MemoryController, Request};
+pub use controller::{Completion, ControllerStats, MemoryController, QueueFull, Request};
 pub use ecp::EcpLine;
 pub use energy::{EnergyLedger, EnergyParams};
 pub use fnw::{FnwCodec, FnwWrite};

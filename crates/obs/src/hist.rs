@@ -155,6 +155,25 @@ impl Histogram {
         }
         self.max
     }
+
+    /// The median sample (`quantile(0.5)`).
+    #[must_use]
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// The 99th-percentile sample (`quantile(0.99)`).
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// The 99.9th-percentile sample (`quantile(0.999)`) — the tail-latency
+    /// readout the service layer and load generator report.
+    #[must_use]
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
+    }
 }
 
 #[cfg(test)]
@@ -198,6 +217,25 @@ mod tests {
         }
         assert_eq!(h.quantile(1.0), 1000.0);
         assert_eq!(h.quantile(0.0), 1.0);
+    }
+
+    #[test]
+    fn tail_accessors_track_their_quantiles() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.p50(), h.quantile(0.5));
+        assert_eq!(h.p99(), h.quantile(0.99));
+        assert_eq!(h.p999(), h.quantile(0.999));
+        // The tail ordering must hold (p99 and p999 may share a geometric
+        // bucket — the 4.4 % resolution — but never invert).
+        assert!(h.p50() < h.p99() && h.p99() <= h.p999());
+        assert!((h.p999() - 9990.0).abs() / 9990.0 < 0.05, "{}", h.p999());
+        // A single-sample histogram collapses every quantile onto it.
+        let mut one = Histogram::new();
+        one.record(7.0);
+        assert_eq!(one.p999(), 7.0);
     }
 
     #[test]

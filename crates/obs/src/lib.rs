@@ -43,7 +43,7 @@
 //! sweeps.record(17.0);
 //! obs.event("circuit.solve.not_converged", &[("sweeps", Value::U64(20_000))]);
 //! let csv = obs.summary_csv();
-//! assert!(csv.starts_with("metric,count,mean,p50,p99,max"));
+//! assert!(csv.starts_with("metric,count,mean,p50,p99,p999,max"));
 //! assert!(csv.contains("circuit.solve.sweeps"));
 //! ```
 

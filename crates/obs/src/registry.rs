@@ -206,6 +206,7 @@ impl Obs {
                 mean: None,
                 p50: None,
                 p99: None,
+                p999: None,
                 max: None,
             });
         }
@@ -218,6 +219,7 @@ impl Obs {
                 mean: Some(v),
                 p50: Some(v),
                 p99: Some(v),
+                p999: Some(v),
                 max: Some(v),
             });
         }
@@ -228,8 +230,9 @@ impl Obs {
                 kind: MetricKind::Histogram,
                 count: h.count(),
                 mean: Some(h.mean()),
-                p50: Some(h.quantile(0.5)),
-                p99: Some(h.quantile(0.99)),
+                p50: Some(h.p50()),
+                p99: Some(h.p99()),
+                p999: Some(h.p999()),
                 max: Some(h.max()),
             });
         }
@@ -245,22 +248,23 @@ impl Obs {
     }
 
     /// Renders the summary as CSV with header
-    /// `metric,count,mean,p50,p99,max` (counters leave the statistical
+    /// `metric,count,mean,p50,p99,p999,max` (counters leave the statistical
     /// columns blank). Values far from 1.0 switch to scientific notation so
     /// sub-microampere residuals survive the formatting.
     #[must_use]
     pub fn summary_csv(&self) -> String {
-        let mut out = String::from("metric,count,mean,p50,p99,max\n");
+        let mut out = String::from("metric,count,mean,p50,p99,p999,max\n");
         let fmt_opt = |v: Option<f64>| v.map_or(String::new(), |x| fmt_stat(x, 6));
         for m in self.summary() {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{}",
                 m.name,
                 m.count,
                 fmt_opt(m.mean),
                 fmt_opt(m.p50),
                 fmt_opt(m.p99),
+                fmt_opt(m.p999),
                 fmt_opt(m.max),
             );
         }
@@ -281,13 +285,14 @@ impl Obs {
         for m in &summary {
             let _ = writeln!(
                 out,
-                "{:width$}  {:9}  count={:<10} mean={:<12} p50={:<12} p99={:<12} max={}",
+                "{:width$}  {:9}  count={:<10} mean={:<12} p50={:<12} p99={:<12} p999={:<12} max={}",
                 m.name,
                 m.kind.label(),
                 m.count,
                 fmt_opt(m.mean),
                 fmt_opt(m.p50),
                 fmt_opt(m.p99),
+                fmt_opt(m.p999),
                 fmt_opt(m.max),
             );
         }
@@ -343,6 +348,8 @@ pub struct MetricSummary {
     pub p50: Option<f64>,
     /// 99th-percentile sample (histograms/gauges).
     pub p99: Option<f64>,
+    /// 99.9th-percentile sample (histograms/gauges).
+    pub p999: Option<f64>,
     /// Maximum sample (histograms/gauges).
     pub max: Option<f64>,
 }
@@ -422,6 +429,15 @@ impl Hist {
     pub fn start(&self) -> Span {
         Span {
             hist: self.0.as_ref().map(|h| (Arc::clone(h), Instant::now())),
+        }
+    }
+
+    /// Folds a locally-accumulated histogram in with one lock acquisition.
+    /// Hot loops record into a thread-local [`Histogram`] and merge here
+    /// once, instead of contending on the shared handle per sample.
+    pub fn merge_from(&self, local: &Histogram) {
+        if let Some(h) = &self.0 {
+            h.lock().expect("histogram poisoned").merge(local);
         }
     }
 
@@ -509,9 +525,14 @@ mod tests {
         obs.hist("mem.lat").record(10.0);
         let csv = obs.summary_csv();
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines[0], "metric,count,mean,p50,p99,max");
+        assert_eq!(lines[0], "metric,count,mean,p50,p99,p999,max");
         assert!(lines[1].starts_with("mem.lat,1,10.000000"));
-        assert_eq!(lines[2], "mem.reads,4,,,,");
+        assert_eq!(
+            lines[1].split(',').count(),
+            7,
+            "histogram rows carry the p999 column"
+        );
+        assert_eq!(lines[2], "mem.reads,4,,,,,");
     }
 
     #[test]

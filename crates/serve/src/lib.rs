@@ -1,0 +1,37 @@
+//! # reram-serve — the sharded memory-service front-end
+//!
+//! Turns the workspace's ReRAM memory stack into a network service: a
+//! zero-dependency TCP server (`std::net` only) speaking a versioned,
+//! CRC-checked binary protocol, with the served address space striped
+//! across shard backends that each own a full vertical slice of the model
+//! (functional store + write-verify + memory controller + scheme timing).
+//!
+//! The three layers, bottom-up:
+//!
+//! * [`proto`] — the wire format: length-prefixed frames, CRC-32 payload
+//!   integrity, typed [`proto::Request`]/[`proto::Response`] messages and
+//!   a typed [`proto::WireError`] taxonomy.
+//! * [`shard`] — [`shard::ShardMap`] (address striping) and
+//!   [`shard::ShardBackend`] (the per-shard memory stack with a simulated
+//!   clock, servicing ops in batches through the
+//!   [`reram_mem::MemoryController`]).
+//! * [`server`] — [`server::Server`]: accept loop, per-connection readers,
+//!   one batch task per shard on the shared `reram-exec` pool, bounded
+//!   admission queues with `Busy` shedding and slow-start recovery,
+//!   graceful drain, and deterministic fault hooks (connection drop, shard
+//!   stall, response corruption) through `reram-fault`.
+//!
+//! The companion `reram-loadgen` crate drives this service with seeded
+//! open- and closed-loop traffic and audits that every acknowledged write
+//! is durable and correct.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod proto;
+pub mod server;
+pub mod shard;
+
+pub use proto::{Frame, Request, Response, WireError, LINE_BYTES, WIRE_VERSION};
+pub use server::{Client, ServeConfig, Server};
+pub use shard::{ShardBackend, ShardMap, ShardOp, ShardStats};

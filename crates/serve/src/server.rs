@@ -1,0 +1,823 @@
+//! The sharded TCP memory service.
+//!
+//! Layout: one accept loop, one reader thread per connection, and one
+//! *batch task at a time per shard* on the shared `reram-exec` pool — the
+//! actor-on-a-pool shape. Admission happens on the connection thread under
+//! the shard's state lock (bounded queue + slow-start window); servicing
+//! happens on the pool under a *separate* backend lock, so a slow batch
+//! never blocks admission — overload is shed as `Busy`, never absorbed as
+//! unbounded queueing.
+//!
+//! **Admission control.** Each shard queue is bounded by
+//! [`ServeConfig::queue_cap`], further clamped by a slow-start window:
+//! after a shard stall the window collapses to 1 and doubles per
+//! successfully serviced batch until it reaches the cap again, so a
+//! recovering shard is re-loaded gradually instead of being buried by the
+//! backlog that accumulated while it was stalled. Rejections carry a
+//! retry-after hint derived from queue depth.
+//!
+//! **Faults** (armed via [`Server::start`]'s injector, consulted at the
+//! sites `reram_fault::site::{CONN_DROP, SHARD_STALL, RESP_CORRUPT}`):
+//! connection drop closes the socket mid-stream (clients reconnect and
+//! resend), shard stall freezes a shard's batch loop and triggers
+//! slow-start, and response corruption flips a CRC-covered byte in an
+//! outbound frame without breaking frame sync (clients detect the CRC
+//! mismatch and re-request). All three are *recoverable by construction*:
+//! acknowledged writes are never lost because an acknowledgement only ever
+//! follows the write retiring through the verify loop.
+//!
+//! **Drain.** The `DRAIN` opcode stops admission (`Err{DRAINING}` for new
+//! data ops), waits for every shard queue to empty and every batch task to
+//! finish, acknowledges with the lifetime served count, then shuts the
+//! server down.
+
+use crate::proto::{code, read_frame, Frame, Request, Response, WireError};
+use crate::shard::{ShardBackend, ShardMap, ShardOp};
+use reram_core::Scheme;
+use reram_exec::ThreadPool;
+use reram_fault::FaultInjector;
+use reram_obs::{Counter, Obs};
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Number of shards (backend workers).
+    pub shards: usize,
+    /// Local lines per shard.
+    pub lines_per_shard: u64,
+    /// Per-shard admission queue bound.
+    pub queue_cap: usize,
+    /// Max ops serviced per batch task iteration.
+    pub batch_max: usize,
+    /// Write scheme the backends simulate.
+    pub scheme: Scheme,
+    /// Exec-pool workers (0 = the pool's default sizing).
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            shards: 4,
+            lines_per_shard: 4096,
+            queue_cap: 256,
+            batch_max: 16,
+            scheme: Scheme::UdrvrPr,
+            workers: 0,
+        }
+    }
+}
+
+/// A queued data operation awaiting its shard's batch task.
+struct Pending {
+    op: ShardOp,
+    request_id: u64,
+    conn: Arc<ConnWriter>,
+}
+
+/// Admission-side state of one shard (guarded separately from the backend
+/// so admission never blocks behind servicing).
+struct ShardState {
+    queue: VecDeque<Pending>,
+    /// True while a batch task owns the shard.
+    inflight: bool,
+    /// Slow-start admission window (≤ `queue_cap`).
+    window: usize,
+    /// Stalls absorbed (for the stats text).
+    stalls: u64,
+}
+
+/// Serialized writer half of a connection. Responses from the connection
+/// thread (Busy, errors, stats) and from batch tasks on the pool interleave
+/// here; the mutex keeps frames whole.
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+    id: u64,
+}
+
+struct Inner {
+    map: ShardMap,
+    queue_cap: usize,
+    batch_max: usize,
+    states: Vec<Mutex<ShardState>>,
+    backends: Vec<Mutex<ShardBackend>>,
+    pool: ThreadPool,
+    draining: AtomicBool,
+    shutdown: AtomicBool,
+    faults: Option<Arc<FaultInjector>>,
+    conn_seq: AtomicU64,
+    c_requests: Counter,
+    c_busy: Counter,
+    c_drops: Counter,
+    c_stalls: Counter,
+    c_corrupt: Counter,
+}
+
+impl Inner {
+    /// Sends `resp` on `conn`, applying the response-corruption fault if
+    /// one is scheduled for this connection's stream. Send failures are
+    /// swallowed: a vanished client's responses have nowhere to go, and the
+    /// reader thread notices the close independently.
+    fn send(&self, conn: &ConnWriter, request_id: u64, resp: &Response) {
+        let frame = resp.to_frame(request_id);
+        let mut bytes = frame.encode();
+        if let Some(inj) = &self.faults {
+            let target = format!("conn{}", conn.id);
+            if let Some(f) = inj.fire(reram_fault::site::RESP_CORRUPT, &target) {
+                if f.kind == reram_fault::FaultKind::RespCorrupt {
+                    // Flip one CRC-covered byte (inside the request id, so
+                    // every frame has one) while leaving the length prefix
+                    // and CRC untouched: the client sees a CRC mismatch but
+                    // stays in frame sync and re-requests.
+                    bytes[6] ^= 0x01;
+                    self.c_corrupt.inc();
+                    inj.note_recovery("serve.resp", "client_re_request");
+                }
+            }
+        }
+        let mut s = conn.stream.lock().expect("conn writer poisoned");
+        let _ = s.write_all(&bytes);
+        let _ = s.flush();
+    }
+
+    /// Consults the shard-stall fault site once per batch: freezes the
+    /// caller for the scheduled duration and collapses the shard's
+    /// slow-start window.
+    fn maybe_stall(&self, shard: usize) {
+        let Some(inj) = &self.faults else { return };
+        let Some(f) = inj.fire(reram_fault::site::SHARD_STALL, &format!("shard{shard}")) else {
+            return;
+        };
+        if f.kind == reram_fault::FaultKind::ShardStall {
+            self.c_stalls.inc();
+            let stall_ms = if f.param > 0.0 { f.param } else { 20.0 };
+            thread::sleep(Duration::from_micros((stall_ms * 1000.0) as u64));
+            let mut st = self.states[shard].lock().expect("shard state poisoned");
+            st.window = 1;
+            st.stalls += 1;
+            drop(st);
+            inj.note_recovery("serve.shard", "slow_start");
+        }
+    }
+
+    /// Services one batch on the shard backend and responds.
+    fn service_and_respond(&self, shard: usize, batch: &[Pending]) {
+        self.maybe_stall(shard);
+        let ops: Vec<ShardOp> = batch.iter().map(|p| p.op.clone()).collect();
+        let outcomes = {
+            let mut be = self.backends[shard].lock().expect("backend poisoned");
+            be.service_batch(&ops)
+        };
+        for o in outcomes {
+            let p = &batch[o.batch_index];
+            if matches!(o.response, Response::Busy { .. }) {
+                self.c_busy.inc();
+            }
+            self.send(&p.conn, p.request_id, &o.response);
+        }
+        // A clean batch re-opens the slow-start window one doubling.
+        let mut st = self.states[shard].lock().expect("shard state poisoned");
+        st.window = (st.window * 2).min(self.queue_cap);
+    }
+
+    /// The batch loop for one shard: drains the queue in `batch_max`
+    /// slices, services each slice on the backend, and responds. Exactly
+    /// one instance runs per shard (`inflight`); it exits only after
+    /// observing an empty queue *under the state lock*, so an admission
+    /// that saw `inflight == true` can never be stranded.
+    fn run_batches(self: &Arc<Self>, shard: usize) {
+        loop {
+            let batch: Vec<Pending> = {
+                let mut st = self.states[shard].lock().expect("shard state poisoned");
+                if st.queue.is_empty() {
+                    st.inflight = false;
+                    return;
+                }
+                let n = st.queue.len().min(self.batch_max);
+                st.queue.drain(..n).collect()
+            };
+            self.service_and_respond(shard, &batch);
+        }
+    }
+
+    /// Admits one data op, or answers immediately with `Busy`/`Err`.
+    fn admit(self: &Arc<Self>, line: u64, op: ShardOp, request_id: u64, conn: &Arc<ConnWriter>) {
+        if self.draining.load(Ordering::SeqCst) {
+            self.send(
+                conn,
+                request_id,
+                &Response::Err {
+                    code: code::DRAINING,
+                    detail: "server is draining".into(),
+                },
+            );
+            return;
+        }
+        if !self.map.contains(line) {
+            self.send(
+                conn,
+                request_id,
+                &Response::Err {
+                    code: code::OUT_OF_RANGE,
+                    detail: format!("line {line} >= {}", self.map.total_lines()),
+                },
+            );
+            return;
+        }
+        let shard = self.map.shard_of(line);
+        let mut op = Some(op);
+        let spawn = {
+            let mut st = self.states[shard].lock().expect("shard state poisoned");
+            let cap = st.window.min(self.queue_cap);
+            if st.queue.len() >= cap {
+                let retry_after_us = (100 + 20 * st.queue.len()) as u32;
+                drop(st);
+                self.c_busy.inc();
+                self.send(conn, request_id, &Response::Busy { retry_after_us });
+                return;
+            }
+            if !st.inflight && st.queue.is_empty() {
+                // Fast path: the shard is idle — claim it and service this
+                // op inline on the connection thread, skipping the
+                // queue → pool → wakeup round trip (the dominant cost for
+                // closed-loop traffic). Contended shards still batch on
+                // the pool below.
+                st.inflight = true;
+                drop(st);
+                let batch = [Pending {
+                    op: op.take().expect("op consumed once"),
+                    request_id,
+                    conn: Arc::clone(conn),
+                }];
+                self.service_and_respond(shard, &batch);
+                // Work may have queued behind us while we serviced; keep
+                // the inflight invariant by handing it to a batch task.
+                let follow_up = {
+                    let mut st = self.states[shard].lock().expect("shard state poisoned");
+                    if st.queue.is_empty() {
+                        st.inflight = false;
+                        false
+                    } else {
+                        true
+                    }
+                };
+                if follow_up {
+                    let inner = Arc::clone(self);
+                    self.pool.spawn(move || inner.run_batches(shard));
+                }
+                return;
+            }
+            st.queue.push_back(Pending {
+                op: op.take().expect("op consumed once"),
+                request_id,
+                conn: Arc::clone(conn),
+            });
+            if st.inflight {
+                false
+            } else {
+                st.inflight = true;
+                true
+            }
+        };
+        if spawn {
+            let inner = Arc::clone(self);
+            self.pool.spawn(move || inner.run_batches(shard));
+        }
+    }
+
+    /// The stats text: one row per shard plus a service summary line.
+    fn stats_text(&self) -> String {
+        let mut text = String::new();
+        for (i, be) in self.backends.iter().enumerate() {
+            let row = be.lock().expect("backend poisoned").stats_line();
+            let st = self.states[i].lock().expect("shard state poisoned");
+            text.push_str(&format!(
+                "{row} window={} queued={} stalls={}\n",
+                st.window,
+                st.queue.len(),
+                st.stalls
+            ));
+        }
+        text.push_str(&format!(
+            "service: requests={} busy={} drops={} stalls={} corrupt={}\n",
+            self.c_requests.get(),
+            self.c_busy.get(),
+            self.c_drops.get(),
+            self.c_stalls.get(),
+            self.c_corrupt.get(),
+        ));
+        text
+    }
+
+    /// Total data requests retired across shards.
+    fn total_served(&self) -> u64 {
+        self.backends
+            .iter()
+            .map(|b| b.lock().expect("backend poisoned").stats().served)
+            .sum()
+    }
+
+    /// True when every shard queue is empty and no batch task is running.
+    fn quiesced(&self) -> bool {
+        self.states.iter().all(|s| {
+            let st = s.lock().expect("shard state poisoned");
+            st.queue.is_empty() && !st.inflight
+        })
+    }
+
+    /// One connection's read loop.
+    fn handle_conn(self: &Arc<Self>, stream: TcpStream, addr: SocketAddr, conn_id: u64) {
+        let _ = stream.set_nodelay(true);
+        // Buffer the read side: a frame's length prefix and body become one
+        // syscall instead of two (and zero when frames arrive back-to-back).
+        let mut reader = match stream.try_clone() {
+            Ok(r) => std::io::BufReader::with_capacity(16 * 1024, r),
+            Err(_) => return,
+        };
+        let conn = Arc::new(ConnWriter {
+            stream: Mutex::new(stream),
+            id: conn_id,
+        });
+        loop {
+            let frame = match read_frame(&mut reader) {
+                Ok(f) => f,
+                Err(WireError::Closed | WireError::Io(_)) => return,
+                Err(e) => {
+                    // Decode errors leave the stream in sync: report and
+                    // keep serving the connection.
+                    self.send(
+                        &conn,
+                        u64::MAX,
+                        &Response::Err {
+                            code: code::BAD_FRAME,
+                            detail: e.to_string(),
+                        },
+                    );
+                    continue;
+                }
+            };
+            // Scheduled connection drop: close abruptly, client reconnects.
+            if let Some(inj) = &self.faults {
+                if let Some(f) = inj.fire(reram_fault::site::CONN_DROP, &format!("conn{conn_id}")) {
+                    if f.kind == reram_fault::FaultKind::ConnDrop {
+                        self.c_drops.inc();
+                        inj.note_recovery("serve.conn", "client_reconnect");
+                        return;
+                    }
+                }
+            }
+            self.c_requests.inc();
+            match Request::from_frame(&frame) {
+                Ok(Request::ReadLine { line }) => {
+                    let op = ShardOp::Read {
+                        local: self.map.local_of(line),
+                    };
+                    self.admit(line, op, frame.request_id, &conn);
+                }
+                Ok(Request::WriteLine { line, data }) => {
+                    let op = ShardOp::Write {
+                        local: self.map.local_of(line),
+                        data,
+                    };
+                    self.admit(line, op, frame.request_id, &conn);
+                }
+                Ok(Request::Stats) => {
+                    let text = self.stats_text();
+                    self.send(&conn, frame.request_id, &Response::StatsOk { text });
+                }
+                Ok(Request::Drain) => {
+                    self.draining.store(true, Ordering::SeqCst);
+                    while !self.quiesced() {
+                        thread::sleep(Duration::from_micros(200));
+                    }
+                    let served = self.total_served();
+                    self.send(&conn, frame.request_id, &Response::DrainOk { served });
+                    self.shutdown.store(true, Ordering::SeqCst);
+                    // Wake the accept loop so it observes the flag.
+                    let _ = TcpStream::connect(addr);
+                    return;
+                }
+                Err(e) => {
+                    self.send(
+                        &conn,
+                        frame.request_id,
+                        &Response::Err {
+                            code: code::BAD_FRAME,
+                            detail: e.to_string(),
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A running memory service.
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("addr", &self.addr).finish()
+    }
+}
+
+impl Server {
+    /// Binds `cfg.addr` and starts serving. Telemetry resolves on `obs`
+    /// (`serve.*` counters, `serve.shard.*` histograms); `faults` arms the
+    /// connection-drop / shard-stall / response-corruption sites.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(
+        cfg: &ServeConfig,
+        obs: &Obs,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let map = ShardMap::new(cfg.shards, cfg.lines_per_shard);
+        let workers = if cfg.workers == 0 {
+            ThreadPool::default_jobs().min(cfg.shards.max(2))
+        } else {
+            cfg.workers
+        };
+        let inner = Arc::new(Inner {
+            map,
+            queue_cap: cfg.queue_cap,
+            batch_max: cfg.batch_max.max(1),
+            states: (0..cfg.shards)
+                .map(|_| {
+                    Mutex::new(ShardState {
+                        queue: VecDeque::new(),
+                        inflight: false,
+                        window: cfg.queue_cap,
+                        stalls: 0,
+                    })
+                })
+                .collect(),
+            backends: (0..cfg.shards)
+                .map(|s| Mutex::new(ShardBackend::new(map, s, cfg.scheme, obs)))
+                .collect(),
+            pool: ThreadPool::with_obs(workers, obs),
+            draining: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            faults,
+            conn_seq: AtomicU64::new(0),
+            c_requests: obs.counter("serve.requests"),
+            c_busy: obs.counter("serve.busy"),
+            c_drops: obs.counter("serve.conn_drops"),
+            c_stalls: obs.counter("serve.shard_stalls"),
+            c_corrupt: obs.counter("serve.corrupt_frames"),
+        });
+        let accept_inner = Arc::clone(&inner);
+        let accept = thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || {
+                for s in listener.incoming() {
+                    if accept_inner.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = s else { continue };
+                    let conn_id = accept_inner.conn_seq.fetch_add(1, Ordering::SeqCst);
+                    let ci = Arc::clone(&accept_inner);
+                    let _ = thread::Builder::new()
+                        .name(format!("serve-conn{conn_id}"))
+                        .spawn(move || ci.handle_conn(stream, addr, conn_id));
+                }
+            })?;
+        Ok(Server {
+            inner,
+            addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves `:0` binds).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Data requests retired so far.
+    #[must_use]
+    pub fn served(&self) -> u64 {
+        self.inner.total_served()
+    }
+
+    /// Forces shutdown without draining (tests / abnormal exit). In-flight
+    /// batches finish; queued-but-unserviced ops are dropped *unanswered*
+    /// (their clients see the close), never acknowledged-then-lost.
+    pub fn stop(&self) {
+        self.inner.draining.store(true, Ordering::SeqCst);
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Blocks until the server shuts down (a `DRAIN` request or
+    /// [`Server::stop`]).
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop();
+            if let Some(h) = self.accept.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// A minimal blocking client for the wire protocol — one outstanding
+/// request at a time, used by the load generator, the audit pass and the
+/// tests. Retry policy lives in the caller; this type only moves frames.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    reader: std::io::BufReader<TcpStream>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let reader = std::io::BufReader::with_capacity(4 * 1024, stream.try_clone()?);
+        Ok(Client {
+            stream,
+            reader,
+            next_id: 1,
+        })
+    }
+
+    /// Sends `req` without waiting for the response; returns the request
+    /// id to pass to [`Client::recv`]. Splitting send from receive lets a
+    /// load-generator thread keep many one-outstanding connections in
+    /// flight at once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn send(&mut self, req: &Request) -> Result<u64, WireError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = req.to_frame(id);
+        self.stream.write_all(&frame.encode())?;
+        self.stream.flush()?;
+        Ok(id)
+    }
+
+    /// Blocks for the response to request `id` (from [`Client::send`]).
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] — including `CrcMismatch` when the server's
+    /// response was corrupted in flight (the caller re-requests) and
+    /// `BadPayload` when the response id does not match the request.
+    pub fn recv(&mut self, id: u64) -> Result<Response, WireError> {
+        let resp: Frame = read_frame(&mut self.reader)?;
+        if resp.request_id != id && resp.request_id != u64::MAX {
+            return Err(WireError::BadPayload(format!(
+                "response id {} for request {id}",
+                resp.request_id
+            )));
+        }
+        Response::from_frame(&resp)
+    }
+
+    /// Sends `req` and blocks for the matching response.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::send`] and [`Client::recv`].
+    pub fn call(&mut self, req: &Request) -> Result<Response, WireError> {
+        let id = self.send(req)?;
+        self.recv(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::LINE_BYTES;
+
+    fn tiny_cfg() -> ServeConfig {
+        ServeConfig {
+            shards: 2,
+            lines_per_shard: 128,
+            queue_cap: 16,
+            batch_max: 4,
+            workers: 2,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn write_read_round_trip_over_tcp() {
+        let obs = Obs::off();
+        let server = Server::start(&tiny_cfg(), &obs, None).unwrap();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        let data = Box::new([0xABu8; LINE_BYTES]);
+        let w = c
+            .call(&Request::WriteLine {
+                line: 37,
+                data: data.clone(),
+            })
+            .unwrap();
+        assert!(matches!(
+            w,
+            Response::WriteOk {
+                attempts: 1,
+                degraded: false
+            }
+        ));
+        match c.call(&Request::ReadLine { line: 37 }).unwrap() {
+            Response::ReadOk { data: d } => assert_eq!(d, data),
+            other => panic!("expected ReadOk, got {other:?}"),
+        }
+        server.stop();
+        server.join();
+    }
+
+    #[test]
+    fn out_of_range_lines_are_typed_errors() {
+        let obs = Obs::off();
+        let server = Server::start(&tiny_cfg(), &obs, None).unwrap();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        match c.call(&Request::ReadLine { line: 1 << 40 }).unwrap() {
+            Response::Err { code: c2, .. } => assert_eq!(c2, code::OUT_OF_RANGE),
+            other => panic!("expected Err, got {other:?}"),
+        }
+        server.stop();
+        server.join();
+    }
+
+    #[test]
+    fn stats_and_drain_round_trip() {
+        let obs = Obs::off();
+        let server = Server::start(&tiny_cfg(), &obs, None).unwrap();
+        let addr = server.local_addr();
+        let mut c = Client::connect(addr).unwrap();
+        for k in 0..8u64 {
+            let data = Box::new([k as u8; LINE_BYTES]);
+            let r = c.call(&Request::WriteLine { line: k, data }).unwrap();
+            assert!(matches!(r, Response::WriteOk { .. }));
+        }
+        match c.call(&Request::Stats).unwrap() {
+            Response::StatsOk { text } => {
+                assert!(text.contains("shard0:"), "{text}");
+                assert!(text.contains("shard1:"), "{text}");
+                assert!(text.contains("service:"), "{text}");
+            }
+            other => panic!("expected StatsOk, got {other:?}"),
+        }
+        match c.call(&Request::Drain).unwrap() {
+            Response::DrainOk { served } => assert_eq!(served, 8),
+            other => panic!("expected DrainOk, got {other:?}"),
+        }
+        server.join();
+        // Post-drain data ops fail at the transport (server gone).
+        assert!(
+            Client::connect(addr).is_err() || {
+                let mut c2 = Client::connect(addr).unwrap();
+                c2.call(&Request::ReadLine { line: 0 }).is_err()
+            }
+        );
+    }
+
+    #[test]
+    fn garbage_frames_do_not_kill_the_connection() {
+        let obs = Obs::off();
+        let server = Server::start(&tiny_cfg(), &obs, None).unwrap();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        // Hand-corrupt a frame: flip a payload byte after encoding.
+        let mut bytes = Request::ReadLine { line: 1 }.to_frame(1).encode();
+        bytes[12] ^= 0x80;
+        c.stream.write_all(&bytes).unwrap();
+        c.stream.flush().unwrap();
+        let resp = read_frame(&mut c.reader).unwrap();
+        match Response::from_frame(&resp).unwrap() {
+            Response::Err { code: c2, .. } => assert_eq!(c2, code::BAD_FRAME),
+            other => panic!("expected Err, got {other:?}"),
+        }
+        // The connection still serves.
+        match c.call(&Request::ReadLine { line: 1 }).unwrap() {
+            Response::ReadOk { .. } => {}
+            other => panic!("expected ReadOk, got {other:?}"),
+        }
+        server.stop();
+        server.join();
+    }
+
+    #[test]
+    fn connection_drop_fault_closes_then_reconnect_succeeds() {
+        use reram_fault::{FaultKind, FaultPlan, FaultSpec};
+        let obs = Obs::off();
+        let plan = FaultPlan::new(7).with(
+            FaultSpec::new(reram_fault::site::CONN_DROP, FaultKind::ConnDrop).target("conn0"),
+        );
+        let inj = Arc::new(FaultInjector::new(plan, &obs));
+        let server = Server::start(&tiny_cfg(), &obs, Some(Arc::clone(&inj))).unwrap();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        // First frame on conn0 triggers the drop: the call fails.
+        assert!(c.call(&Request::ReadLine { line: 0 }).is_err());
+        // Reconnect (conn1) and resend — recovered.
+        let mut c2 = Client::connect(server.local_addr()).unwrap();
+        assert!(matches!(
+            c2.call(&Request::ReadLine { line: 0 }).unwrap(),
+            Response::ReadOk { .. }
+        ));
+        assert_eq!(inj.injected(), 1);
+        server.stop();
+        server.join();
+    }
+
+    #[test]
+    fn response_corruption_is_detected_and_survivable() {
+        use reram_fault::{FaultKind, FaultPlan, FaultSpec};
+        let obs = Obs::off();
+        let plan = FaultPlan::new(7).with(FaultSpec::new(
+            reram_fault::site::RESP_CORRUPT,
+            FaultKind::RespCorrupt,
+        ));
+        let inj = Arc::new(FaultInjector::new(plan, &obs));
+        let server = Server::start(&tiny_cfg(), &obs, Some(inj)).unwrap();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        // The corrupted response must surface as a CRC mismatch…
+        match c.call(&Request::ReadLine { line: 0 }) {
+            Err(WireError::CrcMismatch { .. }) => {}
+            other => panic!("expected CrcMismatch, got {other:?}"),
+        }
+        // …and the stream stays usable: re-request succeeds.
+        assert!(matches!(
+            c.call(&Request::ReadLine { line: 0 }).unwrap(),
+            Response::ReadOk { .. }
+        ));
+        server.stop();
+        server.join();
+    }
+
+    #[test]
+    fn shard_stall_collapses_the_window_then_slow_starts() {
+        use reram_fault::{FaultKind, FaultPlan, FaultSpec};
+        let obs = Obs::off();
+        let plan = FaultPlan::new(7).with(
+            FaultSpec::new(reram_fault::site::SHARD_STALL, FaultKind::ShardStall)
+                .target("shard0")
+                .param(1.0), // 1 ms stall
+        );
+        let inj = Arc::new(FaultInjector::new(plan, &obs));
+        let server = Server::start(&tiny_cfg(), &obs, Some(inj)).unwrap();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        // Line 0 → shard 0: the first batch stalls 1 ms, then recovers.
+        let data = Box::new([1u8; LINE_BYTES]);
+        let r = c
+            .call(&Request::WriteLine {
+                line: 0,
+                data: data.clone(),
+            })
+            .unwrap();
+        assert!(matches!(r, Response::WriteOk { .. }));
+        // Subsequent traffic flows (window doubles back open).
+        for _ in 0..6 {
+            let r = c
+                .call(&Request::WriteLine {
+                    line: 0,
+                    data: data.clone(),
+                })
+                .unwrap();
+            assert!(matches!(r, Response::WriteOk { .. }));
+        }
+        match c.call(&Request::Stats).unwrap() {
+            Response::StatsOk { text } => assert!(text.contains("stalls=1"), "{text}"),
+            other => panic!("expected StatsOk, got {other:?}"),
+        }
+        server.stop();
+        server.join();
+    }
+}

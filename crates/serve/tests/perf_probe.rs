@@ -1,0 +1,48 @@
+//! Ignored-by-default probe measuring raw shard service cost. Run with
+//! `cargo test -p reram-serve --release -- --ignored --nocapture`.
+
+use reram_core::Scheme;
+use reram_obs::Obs;
+use reram_serve::proto::LINE_BYTES;
+use reram_serve::shard::{ShardBackend, ShardMap, ShardOp};
+use std::time::Instant;
+
+#[test]
+#[ignore]
+fn shard_service_cost() {
+    let obs = Obs::off();
+    let mut b = ShardBackend::new(ShardMap::new(1, 4096), 0, Scheme::UdrvrPr, &obs);
+    let data = Box::new([0x5Au8; LINE_BYTES]);
+    let n = 20_000u64;
+    let t0 = Instant::now();
+    for k in 0..n {
+        let _ = b.service_batch(&[ShardOp::Write {
+            local: k % 4096,
+            data: data.clone(),
+        }]);
+    }
+    let w_us = t0.elapsed().as_secs_f64() * 1e6 / n as f64;
+    let t1 = Instant::now();
+    for k in 0..n {
+        let _ = b.service_batch(&[ShardOp::Read { local: k % 4096 }]);
+    }
+    let r_us = t1.elapsed().as_secs_f64() * 1e6 / n as f64;
+    // Batched writes, 16 at a time.
+    let ops: Vec<ShardOp> = (0..16u64)
+        .map(|k| ShardOp::Write {
+            local: k,
+            data: data.clone(),
+        })
+        .collect();
+    let t2 = Instant::now();
+    for _ in 0..(n / 16) {
+        let _ = b.service_batch(&ops);
+    }
+    let bw_us = t2.elapsed().as_secs_f64() * 1e6 / n as f64;
+    eprintln!("write={w_us:.2}us read={r_us:.2}us batched_write={bw_us:.2}us");
+    // The backend must stay far below the service path's per-request
+    // budget (~tens of µs) — if this trips, the shard itself has become
+    // the bottleneck.
+    assert!(w_us < 50.0, "write cost regressed: {w_us:.2}us");
+    assert!(r_us < 20.0, "read cost regressed: {r_us:.2}us");
+}
