@@ -8,8 +8,11 @@ use reram_bench::{black_box, Harness};
 use reram_circuit::{Crosspoint, SolveOptions, SolverWorkspace};
 use reram_core::{partition_reset, Scheme, WriteModel};
 use reram_exec::{par_map, ThreadPool};
+use reram_loadgen::{run_traced, LoadConfig};
 use reram_mem::{FnwCodec, MemoryConfig, MemoryController, Request, SecurityRefresh};
-use reram_obs::Obs;
+use reram_obs::{Obs, TraceContext, Tracer};
+use reram_serve::{ServeConfig, Server};
+use reram_workloads::BenchProfile;
 use std::sync::Arc;
 
 fn bench_solver(h: &mut Harness) {
@@ -243,6 +246,103 @@ fn bench_par_map_overhead(h: &mut Harness) {
     }
 }
 
+/// One self-hosted closed-loop serve run; returns measured req/s.
+/// `trace_sample` = 0 means tracing fully off (the v1 baseline path).
+fn serve_run(trace_sample: u64, clients: usize, requests: u64) -> f64 {
+    let obs = Obs::off();
+    let (server_tracer, client_tracer) = if trace_sample > 0 {
+        (Tracer::new(trace_sample), Tracer::new(trace_sample))
+    } else {
+        (Tracer::off(), Tracer::off())
+    };
+    let cfg = ServeConfig {
+        shards: 4,
+        lines_per_shard: 512,
+        queue_cap: 64,
+        batch_max: 8,
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let server = Server::start_traced(&cfg, &obs, server_tracer, None).unwrap();
+    let load = LoadConfig {
+        clients,
+        requests_per_client: requests,
+        seed: 0xBE7C,
+        total_lines: 4 * 512,
+        profile: BenchProfile::table_iv()[0],
+        audit: false,
+        drain: true,
+        trace_sample,
+        ..LoadConfig::new(server.local_addr())
+    };
+    let report = run_traced(&load, &obs, &client_tracer);
+    server.join();
+    report.req_per_s
+}
+
+/// The PR-6 acceptance check: request-scoped tracing at 1/64 sampling must
+/// cost ≤ 2% of serve throughput. Two layers of evidence:
+///
+/// * microbenches of the two hot-path costs — the per-request `sampled()`
+///   check every request pays, and `record_span` only sampled requests pay
+///   — feed a **modeled** per-request overhead against the untraced run's
+///   measured per-request time (hard-asserted < 2%);
+/// * a direct A/B of the same deterministic closed-loop run, untraced vs
+///   traced 1/64, best-of-N wall clock (asserted < 1.02x).
+fn bench_trace_overhead(h: &mut Harness) {
+    let tracer = Tracer::new(64);
+    let mut seq = 0u64;
+    h.bench("trace_sample_skip_1in64", move || {
+        seq += 1;
+        tracer.sampled(black_box(seq))
+    });
+    let rec = Tracer::new(1);
+    let ctx = TraceContext {
+        trace_id: 42,
+        parent_span_id: 7,
+    };
+    h.bench("trace_record_span", move || {
+        let t0 = rec.now_ns();
+        rec.record_span(ctx, "bench.span", t0, t0 + 1, 0)
+    });
+
+    let (clients, requests) = if h.is_smoke() { (2, 25) } else { (8, 1250) };
+    h.bench("trace_serve_untraced", move || {
+        serve_run(0, clients, requests)
+    });
+    h.bench("trace_serve_traced_1in64", move || {
+        serve_run(64, clients, requests)
+    });
+
+    if let (Some(skip), Some(record), Some(base)) = (
+        h.get("trace_sample_skip_1in64"),
+        h.get("trace_record_span"),
+        h.get("trace_serve_untraced"),
+    ) {
+        // Per request: every request pays one sampling check; 1/64 pay the
+        // root span client-side plus five server-stage spans.
+        let added_ns = skip.min_ns + (6.0 / 64.0) * record.min_ns;
+        let per_req_ns = base.min_ns / (clients as f64 * requests as f64);
+        let modeled = added_ns / per_req_ns;
+        println!(
+            "trace overhead modeled: {:.4}% of {:.1} ns/request",
+            100.0 * modeled,
+            per_req_ns
+        );
+        assert!(
+            modeled < 0.02,
+            "modeled tracing overhead is {:.3}% per request (must be < 2%)",
+            100.0 * modeled
+        );
+    }
+    if let Some(ratio) = h.compare("trace_serve_traced_1in64", "trace_serve_untraced") {
+        assert!(
+            ratio < 1.02,
+            "traced serve run is {ratio:.4}x the untraced run (must be < 1.02x)"
+        );
+    }
+}
+
 fn main() {
     let mut h = Harness::from_args();
     bench_solver(&mut h);
@@ -255,5 +355,6 @@ fn main() {
     bench_write_planning(&mut h);
     bench_controller(&mut h);
     bench_par_map_overhead(&mut h);
+    bench_trace_overhead(&mut h);
     h.finish();
 }

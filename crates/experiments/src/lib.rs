@@ -18,7 +18,9 @@ pub mod micro;
 pub mod perf;
 pub mod solver;
 pub mod table;
+pub mod trace_report;
 pub mod traffic;
+pub mod trajectory;
 
 pub use solver::SolverCfg;
 pub use table::ExpTable;

@@ -7,6 +7,8 @@
 //! experiments list
 //! experiments serve    [--addr HOST:PORT] [--shards N] [...]   # memory service
 //! experiments loadgen  [--clients N] [--requests N] [...]      # traffic generator
+//! experiments trace-report SPANS.jsonl... [--check]            # span critical path
+//! experiments trajectory-check TRAJECTORY.jsonl                # bench growth gate
 //! ```
 //!
 //! `serve` and `loadgen` (see [`serve_cmd`]) expose the `reram-serve`
@@ -38,6 +40,7 @@
 //! `DIR/telemetry_summary.csv` (metric, count, mean, p50, p99, p999, max) and
 //! prints the human-readable report.
 
+mod report_cmd;
 mod serve_cmd;
 
 use reram_exec::{Dag, JobSpec, Journal, ThreadPool};
@@ -149,6 +152,8 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("serve") => return serve_cmd::serve_cmd(&args[1..]),
         Some("loadgen") => return serve_cmd::loadgen_cmd(&args[1..]),
+        Some("trace-report") => return report_cmd::trace_report_cmd(&args[1..]),
+        Some("trajectory-check") => return report_cmd::trajectory_cmd(&args[1..]),
         _ => {}
     }
     let mut budget = Budget::Standard;
@@ -431,10 +436,15 @@ fn main() -> ExitCode {
     println!("CSV written to {}", out.display());
     if let Some(dir) = &telemetry {
         obs.flush();
-        let summary_path = dir.join("telemetry_summary.csv");
-        if let Err(e) = std::fs::write(&summary_path, obs.summary_csv()) {
-            eprintln!("failed to write {}: {e}", summary_path.display());
-            return ExitCode::FAILURE;
+        for (name, text) in [
+            ("telemetry_summary.csv", obs.summary_csv()),
+            ("telemetry_summary.json", obs.summary_json()),
+        ] {
+            let summary_path = dir.join(name);
+            if let Err(e) = std::fs::write(&summary_path, text) {
+                eprintln!("failed to write {}: {e}", summary_path.display());
+                return ExitCode::FAILURE;
+            }
         }
         println!("{}", obs.report());
         println!("telemetry written to {}", dir.display());

@@ -1,0 +1,131 @@
+//! The `trace-report` and `trajectory-check` subcommands: offline
+//! analysis over artifacts the serve stack wrote.
+//!
+//! ```text
+//! experiments trace-report SPANS.jsonl... [--slowest N] [--json PATH] [--check]
+//! experiments trajectory-check TRAJECTORY.jsonl [--tolerance PCT]
+//! ```
+//!
+//! `trace-report` joins client and server span files by trace id (see
+//! [`reram_experiments::trace_report`]); `--check` exits nonzero unless
+//! the join is sound (≥1 joined trace, no orphaned server spans, no
+//! server-side overshoot) — the CI `trace-smoke` leg's gate.
+//! `trajectory-check` enforces the `BENCH_trajectory.jsonl` growth
+//! contract (strictly increasing `pr`, no >tolerance req/s regression).
+
+use reram_experiments::{trace_report, trajectory};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// `experiments trace-report ...`
+pub fn trace_report_cmd(args: &[String]) -> ExitCode {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut slowest = 0usize; // 0 = slowest 1%
+    let mut json_path: Option<PathBuf> = None;
+    let mut check = false;
+    let mut it = args.iter().cloned();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--slowest" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => slowest = n,
+                None => {
+                    eprintln!("--slowest needs a count");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--json needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--check" => check = true,
+            other => files.push(PathBuf::from(other)),
+        }
+    }
+    if files.is_empty() {
+        eprintln!(
+            "usage: experiments trace-report SPANS.jsonl... [--slowest N] [--json PATH] [--check]"
+        );
+        return ExitCode::FAILURE;
+    }
+    let mut spans = Vec::new();
+    for f in &files {
+        match std::fs::read_to_string(f) {
+            Ok(text) => spans.extend(trace_report::parse_spans(&text)),
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", f.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let report = trace_report::analyze(&spans, slowest);
+    print!("{}", trace_report::render(&report));
+    if let Some(p) = &json_path {
+        if let Err(e) = std::fs::write(p, trace_report::render_json(&report)) {
+            eprintln!("failed to write {}: {e}", p.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[summary written to {}]", p.display());
+    }
+    if check && !report.is_sound() {
+        eprintln!(
+            "error: trace join unsound (joined={}, orphans={}, overshoot={})",
+            report.joined, report.orphans, report.overshoot
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// `experiments trajectory-check ...`
+pub fn trajectory_cmd(args: &[String]) -> ExitCode {
+    let mut file: Option<PathBuf> = None;
+    let mut tolerance = 0.10f64;
+    let mut it = args.iter().cloned();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tolerance" => match it.next().and_then(|n| n.parse::<f64>().ok()) {
+                Some(pct) if pct >= 0.0 => tolerance = pct / 100.0,
+                _ => {
+                    eprintln!("--tolerance needs a percentage");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if file.is_none() => file = Some(PathBuf::from(other)),
+            other => {
+                eprintln!("unexpected argument {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("usage: experiments trajectory-check TRAJECTORY.jsonl [--tolerance PCT]");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", file.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let points = trajectory::parse_points(&text);
+    print!("{}", trajectory::render(&points));
+    match trajectory::check(&points, tolerance) {
+        Ok(()) => {
+            println!(
+                "trajectory OK: {} entr{} within {:.0}% tolerance",
+                points.len(),
+                if points.len() == 1 { "y" } else { "ies" },
+                tolerance * 100.0
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -5,11 +5,14 @@
 //! experiments serve   [--addr HOST:PORT] [--shards N] [--lines-per-shard N]
 //!                     [--queue-cap N] [--batch-max N] [--workers N]
 //!                     [--faults PLAN.json] [--telemetry DIR]
+//!                     [--trace DIR] [--trace-sample N]
 //! experiments loadgen [--addr HOST:PORT] [--clients N] [--requests N]
 //!                     [--seed S] [--profile NAME] [--closed-loop]
 //!                     [--open-loop GAP_US] [--no-audit] [--json PATH]
 //!                     [--shards N] [--lines-per-shard N] [--queue-cap N]
 //!                     [--batch-max N] [--faults PLAN.json] [--telemetry DIR]
+//!                     [--trace DIR] [--trace-sample N] [--poll-stats MS]
+//!                     [--slo-p99 US]
 //! ```
 //!
 //! `serve` binds, prints the resolved address, and runs until a client
@@ -19,10 +22,18 @@
 //! deterministic, drained on exit). `--faults` arms the server-side
 //! injection sites (`serve.conn.drop`, `serve.shard.stall`,
 //! `serve.resp.corrupt`) and is therefore only legal when self-hosting.
+//!
+//! `--trace DIR` arms request-scoped tracing (`--trace-sample N` sets the
+//! 1/N sampling period, default 64): the load generator writes
+//! `DIR/client_spans.jsonl` and a self-hosted (or `serve`-side) server
+//! writes `DIR/server_spans.jsonl`, ready for `experiments trace-report`.
+//! `--poll-stats MS` polls the server's `STATS_JSON` snapshot mid-run and
+//! `--slo-p99 US` scores the RTT distribution against a p99 budget
+//! (burn-rate gauges under `loadgen.slo.*`).
 
 use reram_fault::{FaultInjector, FaultPlan};
 use reram_loadgen::{LoadConfig, Mode};
-use reram_obs::Obs;
+use reram_obs::{Obs, Tracer};
 use reram_serve::{ServeConfig, Server};
 use reram_workloads::BenchProfile;
 use std::path::PathBuf;
@@ -65,14 +76,42 @@ fn load_faults(path: Option<&PathBuf>, obs: &Obs) -> Result<Option<Arc<FaultInje
     }
 }
 
-/// Writes the telemetry summary CSV when a sink was attached.
+/// Writes the telemetry summaries (CSV + JSON) when a sink was attached.
 fn finish_telemetry(obs: &Obs, telemetry: Option<&PathBuf>) {
     if let Some(dir) = telemetry {
         obs.flush();
-        let path = dir.join("telemetry_summary.csv");
-        if let Err(e) = std::fs::write(&path, obs.summary_csv()) {
-            eprintln!("failed to write {}: {e}", path.display());
+        for (name, text) in [
+            ("telemetry_summary.csv", obs.summary_csv()),
+            ("telemetry_summary.json", obs.summary_json()),
+        ] {
+            let path = dir.join(name);
+            if let Err(e) = std::fs::write(&path, text) {
+                eprintln!("failed to write {}: {e}", path.display());
+            }
         }
+    }
+}
+
+/// Builds the tracer for `--trace DIR` (ensuring the dir exists) or a
+/// disabled one.
+fn tracer_for(trace_dir: Option<&PathBuf>, sample: u64) -> Result<Tracer, String> {
+    match trace_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create trace dir {}: {e}", dir.display()))?;
+            Ok(Tracer::new(sample))
+        }
+        None => Ok(Tracer::off()),
+    }
+}
+
+/// Drains a tracer to `DIR/<name>` when tracing was armed.
+fn write_spans(tracer: &Tracer, trace_dir: Option<&PathBuf>, name: &str) {
+    let Some(dir) = trace_dir else { return };
+    let path = dir.join(name);
+    match tracer.write_jsonl(&path) {
+        Ok(n) => eprintln!("[{n} span(s) written to {}]", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
     }
 }
 
@@ -81,6 +120,8 @@ pub fn serve_cmd(args: &[String]) -> ExitCode {
     let mut cfg = ServeConfig::default();
     let mut fault_path: Option<PathBuf> = None;
     let mut telemetry: Option<PathBuf> = None;
+    let mut trace_dir: Option<PathBuf> = None;
+    let mut trace_sample = 64u64;
     let mut it = args.iter().cloned();
     let parsed: Result<(), String> = (|| {
         while let Some(a) = it.next() {
@@ -99,6 +140,10 @@ pub fn serve_cmd(args: &[String]) -> ExitCode {
                 "--telemetry" => {
                     telemetry = Some(PathBuf::from(it.next().ok_or("--telemetry needs a dir")?));
                 }
+                "--trace" => {
+                    trace_dir = Some(PathBuf::from(it.next().ok_or("--trace needs a dir")?));
+                }
+                "--trace-sample" => trace_sample = parse_num("--trace-sample", it.next())?,
                 other => return Err(format!("unknown serve flag {other}")),
             }
         }
@@ -122,7 +167,14 @@ pub fn serve_cmd(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let server = match Server::start(&cfg, &obs, faults) {
+    let tracer = match tracer_for(trace_dir.as_ref(), trace_sample) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::start_traced(&cfg, &obs, tracer.clone(), faults) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: cannot bind {}: {e}", cfg.addr);
@@ -140,6 +192,7 @@ pub fn serve_cmd(args: &[String]) -> ExitCode {
     );
     server.join();
     println!("reram-serve drained and stopped");
+    write_spans(&tracer, trace_dir.as_ref(), "server_spans.jsonl");
     finish_telemetry(&obs, telemetry.as_ref());
     ExitCode::SUCCESS
 }
@@ -158,6 +211,10 @@ pub fn loadgen_cmd(args: &[String]) -> ExitCode {
     let mut json_path: Option<PathBuf> = None;
     let mut fault_path: Option<PathBuf> = None;
     let mut telemetry: Option<PathBuf> = None;
+    let mut trace_dir: Option<PathBuf> = None;
+    let mut trace_sample = 64u64;
+    let mut poll_stats_ms = 0u64;
+    let mut slo_p99_us = 0.0f64;
     let mut it = args.iter().cloned();
     let parsed: Result<(), String> = (|| {
         while let Some(a) = it.next() {
@@ -189,6 +246,12 @@ pub fn loadgen_cmd(args: &[String]) -> ExitCode {
                 "--telemetry" => {
                     telemetry = Some(PathBuf::from(it.next().ok_or("--telemetry needs a dir")?));
                 }
+                "--trace" => {
+                    trace_dir = Some(PathBuf::from(it.next().ok_or("--trace needs a dir")?));
+                }
+                "--trace-sample" => trace_sample = parse_num("--trace-sample", it.next())?,
+                "--poll-stats" => poll_stats_ms = parse_num("--poll-stats", it.next())?,
+                "--slo-p99" => slo_p99_us = parse_num("--slo-p99", it.next())?,
                 other => return Err(format!("unknown loadgen flag {other}")),
             }
         }
@@ -218,6 +281,21 @@ pub fn loadgen_cmd(args: &[String]) -> ExitCode {
         }
     };
 
+    let client_tracer = match tracer_for(trace_dir.as_ref(), trace_sample) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The hosted server gets its own tracer (own epoch, own file); an
+    // external server writes spans on its side via `serve --trace`.
+    let server_tracer = if trace_dir.is_some() {
+        Tracer::new(trace_sample)
+    } else {
+        Tracer::off()
+    };
+
     // Self-host unless an external address was given.
     let (addr, hosted) = match &external_addr {
         Some(a) => match a.parse() {
@@ -235,13 +313,14 @@ pub fn loadgen_cmd(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let server = match Server::start(&server_cfg, &obs, faults) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("error: cannot bind {}: {e}", server_cfg.addr);
-                    return ExitCode::FAILURE;
-                }
-            };
+            let server =
+                match Server::start_traced(&server_cfg, &obs, server_tracer.clone(), faults) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("error: cannot bind {}: {e}", server_cfg.addr);
+                        return ExitCode::FAILURE;
+                    }
+                };
             (server.local_addr(), Some(server))
         }
     };
@@ -256,10 +335,18 @@ pub fn loadgen_cmd(args: &[String]) -> ExitCode {
         mode,
         audit,
         drain: hosted.is_some(),
+        trace_sample: if trace_dir.is_some() { trace_sample } else { 0 },
+        poll_stats_ms,
+        slo_p99_budget_us: slo_p99_us,
     };
-    let report = reram_loadgen::run(&cfg, &obs);
+    let report = reram_loadgen::run_traced(&cfg, &obs, &client_tracer);
+    let self_hosted = hosted.is_some();
     if let Some(server) = hosted {
         server.join();
+    }
+    write_spans(&client_tracer, trace_dir.as_ref(), "client_spans.jsonl");
+    if self_hosted {
+        write_spans(&server_tracer, trace_dir.as_ref(), "server_spans.jsonl");
     }
 
     let json = report.to_json();

@@ -22,6 +22,21 @@
 //! Open-loop mode paces requests on wall time and sheds `Busy` without
 //! retrying; its report is for latency/throughput characterization, and
 //! its ledger is **not** timing-stable (document of record: closed loop).
+//!
+//! ## Tracing and SLO (obs v2)
+//!
+//! [`run_traced`] samples 1 request in [`LoadConfig::trace_sample`]: each
+//! sampled request opens a `client.rtt` root span covering the whole
+//! resolve (retries included) and stamps the request frame with a
+//! [`TraceContext`], so the server's stage spans join the client's by
+//! trace id in `experiments trace-report`. Trace ids are
+//! `(client + 1) << 32 | request_seq` — unique across clients without
+//! coordination. When [`LoadConfig::poll_stats_ms`] is set, a monitor
+//! thread polls the server's `STATS_JSON` snapshot mid-run and records
+//! queue-depth / busy observations under `loadgen.poll.*`. When
+//! [`LoadConfig::slo_p99_budget_us`] is set, the merged RTT distribution
+//! feeds a [`SloTracker`] whose burn-rate / budget-remaining gauges land
+//! in the report.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,12 +44,14 @@
 pub mod ledger;
 
 use ledger::{combine_digests, Ledger, Outcome};
-use reram_obs::{Histogram, Obs};
+use reram_obs::{Histogram, Obs, SloTracker, SpanRecord, TraceContext, Tracer};
 use reram_serve::proto::{code, crc32, Request, Response, WireError, LINE_BYTES};
 use reram_serve::server::Client;
 use reram_workloads::{AccessKind, BenchProfile, TraceGenerator};
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -73,6 +90,15 @@ pub struct LoadConfig {
     pub audit: bool,
     /// Send `DRAIN` after the run and record the server's served count.
     pub drain: bool,
+    /// Trace 1 request in `trace_sample` (0 = tracing off). Only effective
+    /// through [`run_traced`] with an enabled [`Tracer`].
+    pub trace_sample: u64,
+    /// Poll the server's `STATS_JSON` snapshot every this many
+    /// milliseconds during the traffic phase (0 = no polling).
+    pub poll_stats_ms: u64,
+    /// Latency SLO: the p99 budget in microseconds (0 = no SLO tracking).
+    /// Violations are RTTs over budget; the error budget is 1 %.
+    pub slo_p99_budget_us: f64,
 }
 
 impl LoadConfig {
@@ -90,6 +116,9 @@ impl LoadConfig {
             mode: Mode::Closed,
             audit: true,
             drain: false,
+            trace_sample: 0,
+            poll_stats_ms: 0,
+            slo_p99_budget_us: 0.0,
         }
     }
 }
@@ -133,6 +162,15 @@ pub struct LoadReport {
     pub ledger_crc: u32,
     /// The server's lifetime served count, when the run drained it.
     pub drained_served: Option<u64>,
+    /// RTTs over the SLO budget (when SLO tracking is on).
+    pub slo_violations: Option<u64>,
+    /// SLO burn rate: observed violation rate over the error budget
+    /// (1.0 = budget exactly consumed).
+    pub slo_burn_rate: Option<f64>,
+    /// Fraction of the error budget still unspent, clamped at 0.
+    pub slo_budget_remaining: Option<f64>,
+    /// Mid-run `STATS_JSON` snapshots the monitor thread collected.
+    pub stats_polls: u64,
 }
 
 impl LoadReport {
@@ -142,6 +180,8 @@ impl LoadReport {
         let drained = self
             .drained_served
             .map_or("null".to_string(), |v| v.to_string());
+        let opt_u = |v: Option<u64>| v.map_or("null".to_string(), |x| x.to_string());
+        let opt_f = |v: Option<f64>| v.map_or("null".to_string(), |x| format!("{x:.4}"));
         format!(
             "{{\n  \"clients\": {},\n  \"requests\": {},\n  \"elapsed_s\": {:.4},\n  \
              \"req_per_s\": {:.1},\n  \"p50_us\": {:.1},\n  \"p99_us\": {:.1},\n  \
@@ -149,7 +189,9 @@ impl LoadReport {
              \"busy_retries\": {},\n  \"shed\": {},\n  \"reconnects\": {},\n  \
              \"corrupt_retries\": {},\n  \"read_mismatches\": {},\n  \
              \"audit_failures\": {},\n  \"audited_writes\": {},\n  \
-             \"ledger_crc\": \"{:08x}\",\n  \"drained_served\": {}\n}}",
+             \"ledger_crc\": \"{:08x}\",\n  \"drained_served\": {},\n  \
+             \"slo_violations\": {},\n  \"slo_burn_rate\": {},\n  \
+             \"slo_budget_remaining\": {},\n  \"stats_polls\": {}\n}}",
             self.clients,
             self.requests,
             self.elapsed_s,
@@ -168,6 +210,10 @@ impl LoadReport {
             self.audited_writes,
             self.ledger_crc,
             drained,
+            opt_u(self.slo_violations),
+            opt_f(self.slo_burn_rate),
+            opt_f(self.slo_budget_remaining),
+            self.stats_polls,
         )
     }
 }
@@ -261,6 +307,15 @@ fn partition_line(gen_line: u64, clients: usize, client: usize) -> u64 {
     gen_line * clients as u64 + client as u64
 }
 
+/// The trace half of an in-flight request: the wire context (reused
+/// verbatim across retransmits, so retried stages accumulate under one
+/// trace) and the root span's start stamp.
+#[derive(Clone, Copy)]
+struct ReqTrace {
+    ctx: TraceContext,
+    t0_ns: u64,
+}
+
 /// A request sent but not yet resolved (closed-loop multiplexing).
 struct PendingReq {
     id: u64,
@@ -269,6 +324,41 @@ struct PendingReq {
     is_write: bool,
     sent_crc: u32,
     t0: Instant,
+    trace: Option<ReqTrace>,
+}
+
+/// The trace id for client `idx`'s request number `seq`: unique across
+/// clients without coordination, never 0.
+fn trace_id_for(idx: usize, seq: u64) -> u64 {
+    ((idx as u64 + 1) << 32) | (seq & 0xFFFF_FFFF)
+}
+
+/// Opens a root `client.rtt` span for a sampled request: allocates the
+/// root span id and builds the wire context the server parents under.
+fn open_root(tracer: &Tracer, idx: usize, seq: u64) -> Option<ReqTrace> {
+    if !tracer.sampled(seq) {
+        return None;
+    }
+    Some(ReqTrace {
+        ctx: TraceContext {
+            trace_id: trace_id_for(idx, seq),
+            parent_span_id: tracer.next_span_id(),
+        },
+        t0_ns: tracer.now_ns(),
+    })
+}
+
+/// Closes a root `client.rtt` span opened by [`open_root`].
+fn close_root(tracer: &Tracer, tr: ReqTrace, idx: usize) {
+    tracer.record(SpanRecord {
+        trace_id: tr.ctx.trace_id,
+        span_id: tr.ctx.parent_span_id,
+        parent_span_id: 0,
+        stage: "client.rtt",
+        start_ns: tr.t0_ns,
+        end_ns: tracer.now_ns(),
+        detail: idx as u64,
+    });
 }
 
 /// One closed-loop client's full state. Clients are hosted several to an
@@ -286,10 +376,11 @@ struct ClientState {
     read_mismatches: u64,
     done: u64,
     pending: Option<PendingReq>,
+    tracer: Tracer,
 }
 
 impl ClientState {
-    fn new(cfg: &LoadConfig, idx: usize) -> Self {
+    fn new(cfg: &LoadConfig, idx: usize, tracer: &Tracer) -> Self {
         let lines_per_client = (cfg.total_lines / cfg.clients as u64).max(1);
         let stream_seed = cfg
             .seed
@@ -305,6 +396,7 @@ impl ClientState {
             read_mismatches: 0,
             done: 0,
             pending: None,
+            tracer: tracer.clone(),
         }
     }
 
@@ -316,7 +408,13 @@ impl ClientState {
             if self.conn.is_none() {
                 self.conn = Some(connect_retry(cfg.addr, &mut self.retries));
             }
-            match self.conn.as_mut().expect("connected").send(&p.req) {
+            let trace = p.trace.map(|t| t.ctx);
+            match self
+                .conn
+                .as_mut()
+                .expect("connected")
+                .send_with_trace(&p.req, trace)
+            {
                 Ok(id) => return PendingReq { id, ..p },
                 Err(_) => {
                     self.retries.reconnects += 1;
@@ -348,6 +446,7 @@ impl ClientState {
             is_write,
             sent_crc,
             t0: Instant::now(),
+            trace: open_root(&self.tracer, self.idx, self.done),
         };
         let p = self.transmit(cfg, p);
         self.pending = Some(p);
@@ -399,6 +498,9 @@ impl ClientState {
             .unwrap_or_else(|| panic!("request did not resolve within {MAX_ATTEMPTS} attempts"));
         let us = p.t0.elapsed().as_secs_f64() * 1e6;
         self.rtt_us.record(us);
+        if let Some(tr) = p.trace {
+            close_root(&self.tracer, tr, self.idx);
+        }
         match resp {
             Response::ReadOk { data } => {
                 if let Some(want) = self.expected.get(&p.line) {
@@ -480,9 +582,10 @@ fn run_closed_chunk(
     cfg: &LoadConfig,
     clients: std::ops::Range<usize>,
     obs: &Obs,
+    tracer: &Tracer,
 ) -> (Vec<ClientResult>, Instant) {
     let obs_rtt = obs.hist("loadgen.rtt_us");
-    let mut states: Vec<ClientState> = clients.map(|i| ClientState::new(cfg, i)).collect();
+    let mut states: Vec<ClientState> = clients.map(|i| ClientState::new(cfg, i, tracer)).collect();
     for cs in &mut states {
         if cs.done < cfg.requests_per_client {
             cs.send_next(cfg);
@@ -521,6 +624,7 @@ fn run_client_open(
     client_idx: usize,
     interval_us: u64,
     obs: &Obs,
+    tracer: &Tracer,
 ) -> (ClientResult, Instant) {
     let lines_per_client = (cfg.total_lines / cfg.clients as u64).max(1);
     let stream_seed = cfg
@@ -558,13 +662,18 @@ fn run_client_open(
             }
         };
         let t0 = Instant::now();
+        let trace = open_root(tracer, client_idx, k);
         // One shot; Busy is shed, transport errors resend.
         let mut r = None;
         for _ in 0..MAX_ATTEMPTS {
             if conn.is_none() {
                 conn = Some(connect_retry(cfg.addr, &mut retries));
             }
-            match conn.as_mut().expect("connected").call(&req) {
+            let c = conn.as_mut().expect("connected");
+            let sent = c
+                .send_with_trace(&req, trace.map(|t| t.ctx))
+                .and_then(|id| c.recv(id));
+            match sent {
                 Ok(resp) => {
                     r = Some(resp);
                     break;
@@ -579,6 +688,9 @@ fn run_client_open(
         let resp = r.expect("request resolved");
         let us = t0.elapsed().as_secs_f64() * 1e6;
         rtt_us.record(us);
+        if let Some(tr) = trace {
+            close_root(tracer, tr, client_idx);
+        }
 
         match resp {
             Response::ReadOk { data } => {
@@ -648,8 +760,67 @@ fn run_client_open(
     )
 }
 
+/// Extracts every unsigned integer directly following `"key":` in a flat
+/// JSON string — the minimal parse the stats monitor needs from a
+/// `STATS_JSON` snapshot.
+fn extract_u64s(json: &str, key: &str) -> Vec<u64> {
+    let needle = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find(&needle) {
+        rest = &rest[pos + needle.len()..];
+        let end = rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        if end > 0 {
+            if let Ok(v) = rest[..end].parse() {
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+/// The monitor loop: polls the server's `STATS_JSON` snapshot every
+/// `poll_ms` until `stop` flips, recording aggregate admission-queue depth
+/// (`loadgen.poll.queue_depth` histogram), the narrowest slow-start window
+/// (`loadgen.poll.min_window` gauge), and the server's lifetime busy-shed
+/// count (`loadgen.poll.server_busy` gauge). Returns snapshots collected.
+fn poll_stats(addr: SocketAddr, poll_ms: u64, obs: &Obs, stop: &AtomicBool) -> u64 {
+    let h_depth = obs.hist("loadgen.poll.queue_depth");
+    let g_window = obs.gauge("loadgen.poll.min_window");
+    let g_busy = obs.gauge("loadgen.poll.server_busy");
+    let mut polls = 0u64;
+    let Ok(mut c) = Client::connect(addr) else {
+        return 0;
+    };
+    while !stop.load(Ordering::Relaxed) {
+        match c.call(&Request::StatsJson) {
+            Ok(Response::StatsJsonOk { json }) => {
+                polls += 1;
+                h_depth.record(extract_u64s(&json, "queued").iter().sum::<u64>() as f64);
+                if let Some(w) = extract_u64s(&json, "window").iter().min() {
+                    g_window.set(*w as f64);
+                }
+                // The per-shard rows each carry a "busy"; the service
+                // object's lifetime total comes after them.
+                let svc = json.find("\"service\":").map_or("", |p| &json[p..]);
+                if let Some(b) = extract_u64s(svc, "busy").first() {
+                    g_busy.set(*b as f64);
+                }
+            }
+            // The server vanished (drain/stop) or answered oddly: the
+            // monitor is best-effort observability, never a run failure.
+            Ok(_) | Err(_) => break,
+        }
+        thread::sleep(Duration::from_millis(poll_ms.max(1)));
+    }
+    polls
+}
+
 /// Runs the configured load against the server and gathers the report.
 /// Telemetry (the `loadgen.rtt_us` histogram) resolves on `obs`.
+/// Equivalent to [`run_traced`] with a [`Tracer::off`] handle.
 ///
 /// # Panics
 ///
@@ -657,7 +828,35 @@ fn run_client_open(
 /// a client thread panics.
 #[must_use]
 pub fn run(cfg: &LoadConfig, obs: &Obs) -> LoadReport {
+    run_traced(cfg, obs, &Tracer::off())
+}
+
+/// [`run`] plus obs v2: sampled `client.rtt` root spans recorded into
+/// `tracer` (joined with the server's stage spans by trace id), the
+/// optional mid-run `STATS_JSON` monitor, and optional SLO burn-rate
+/// tracking over the merged RTT distribution.
+///
+/// # Panics
+///
+/// As [`run`].
+#[must_use]
+pub fn run_traced(cfg: &LoadConfig, obs: &Obs, tracer: &Tracer) -> LoadReport {
     assert!(cfg.clients > 0, "need at least one client");
+    // Sampling is configured on the run, recorded through the tracer: a
+    // zero sample period (or an off tracer) disables tracing entirely.
+    let tracer = if cfg.trace_sample > 0 {
+        tracer.clone()
+    } else {
+        Tracer::off()
+    };
+    let stop = Arc::new(AtomicBool::new(false));
+    let monitor = (cfg.poll_stats_ms > 0).then(|| {
+        let addr = cfg.addr;
+        let poll_ms = cfg.poll_stats_ms;
+        let obs = obs.clone();
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || poll_stats(addr, poll_ms, &obs, &stop))
+    });
     let start = Instant::now();
     // Client results are gathered in client-index order: the run-level
     // ledger digest combines per-client digests positionally. The
@@ -676,7 +875,8 @@ pub fn run(cfg: &LoadConfig, obs: &Obs) -> LoadReport {
                     next += n;
                     let cfg = cfg.clone();
                     let obs = obs.clone();
-                    s.spawn(move || run_closed_chunk(&cfg, range, &obs))
+                    let tracer = tracer.clone();
+                    s.spawn(move || run_closed_chunk(&cfg, range, &obs, &tracer))
                 })
                 .collect();
             let mut all = Vec::with_capacity(cfg.clients);
@@ -693,7 +893,8 @@ pub fn run(cfg: &LoadConfig, obs: &Obs) -> LoadReport {
                 .map(|c| {
                     let cfg = cfg.clone();
                     let obs = obs.clone();
-                    s.spawn(move || run_client_open(&cfg, c, interval_us, &obs))
+                    let tracer = tracer.clone();
+                    s.spawn(move || run_client_open(&cfg, c, interval_us, &obs, &tracer))
                 })
                 .collect();
             let mut all = Vec::with_capacity(cfg.clients);
@@ -707,6 +908,8 @@ pub fn run(cfg: &LoadConfig, obs: &Obs) -> LoadReport {
         }),
     };
     let elapsed_s = traffic_end.duration_since(start).as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    let stats_polls = monitor.map_or(0, |h| h.join().unwrap_or(0));
 
     let mut rtt = Histogram::new();
     let mut digests = Vec::with_capacity(results.len());
@@ -742,6 +945,13 @@ pub fn run(cfg: &LoadConfig, obs: &Obs) -> LoadReport {
         None
     };
 
+    // SLO burn rate over the merged RTT distribution (bucket resolution).
+    let slo = (cfg.slo_p99_budget_us > 0.0).then(|| {
+        let mut t = SloTracker::new(obs, "loadgen", cfg.slo_p99_budget_us, 0.01);
+        t.observe_hist(&rtt);
+        t
+    });
+
     LoadReport {
         clients: cfg.clients,
         requests,
@@ -761,6 +971,10 @@ pub fn run(cfg: &LoadConfig, obs: &Obs) -> LoadReport {
         audited_writes,
         ledger_crc: combine_digests(&digests),
         drained_served,
+        slo_violations: slo.as_ref().map(SloTracker::violations),
+        slo_burn_rate: slo.as_ref().map(SloTracker::burn_rate),
+        slo_budget_remaining: slo.as_ref().map(SloTracker::budget_remaining),
+        stats_polls,
     }
 }
 
@@ -801,6 +1015,10 @@ mod tests {
             audited_writes: 5,
             ledger_crc: 0xDEAD_BEEF,
             drained_served: Some(10),
+            slo_violations: Some(3),
+            slo_burn_rate: Some(1.5),
+            slo_budget_remaining: Some(0.0),
+            stats_polls: 7,
         };
         let j = r.to_json();
         for key in [
@@ -810,8 +1028,33 @@ mod tests {
             "\"ledger_crc\": \"deadbeef\"",
             "\"audit_failures\": 0",
             "\"drained_served\": 10",
+            "\"slo_violations\": 3",
+            "\"slo_burn_rate\": 1.5000",
+            "\"stats_polls\": 7",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }
+    }
+
+    #[test]
+    fn trace_ids_are_unique_across_clients_and_requests() {
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..8 {
+            for seq in 0..64 {
+                assert!(seen.insert(trace_id_for(idx, seq)));
+            }
+        }
+        assert!(trace_id_for(0, 0) != 0, "trace ids are never zero");
+    }
+
+    #[test]
+    fn stats_json_extraction_finds_every_occurrence() {
+        let json = "{\"shards\":[{\"queued\":3,\"busy\":1},{\"queued\":12,\"busy\":0}],\
+                    \"service\":{\"requests\":40,\"busy\":9}}";
+        assert_eq!(extract_u64s(json, "queued"), vec![3, 12]);
+        assert_eq!(extract_u64s(json, "busy"), vec![1, 0, 9]);
+        let svc = &json[json.find("\"service\":").unwrap()..];
+        assert_eq!(extract_u64s(svc, "busy"), vec![9]);
+        assert!(extract_u64s(json, "absent").is_empty());
     }
 }

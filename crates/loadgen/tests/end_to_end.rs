@@ -2,8 +2,8 @@
 //! the determinism + durability contracts the CI smoke leg depends on.
 
 use reram_fault::{FaultInjector, FaultKind, FaultPlan, FaultSpec};
-use reram_loadgen::{run, LoadConfig, Mode};
-use reram_obs::Obs;
+use reram_loadgen::{run, run_traced, LoadConfig, Mode};
+use reram_obs::{Obs, Tracer};
 use reram_serve::{ServeConfig, Server};
 use reram_workloads::BenchProfile;
 use std::sync::Arc;
@@ -125,4 +125,67 @@ fn open_loop_paces_and_reports_the_tail() {
     assert!(report.p99_us >= report.p50_us);
     // Pacing: 50 requests × 200 µs ≥ ~10 ms wall.
     assert!(report.elapsed_s >= 0.009, "elapsed {}", report.elapsed_s);
+}
+
+#[test]
+fn traced_run_joins_client_and_server_spans_with_no_orphans() {
+    let obs = Obs::new();
+    let client_tracer = Tracer::new(16);
+    let server_tracer = Tracer::new(16);
+    let server = Server::start_traced(&server_cfg(), &obs, server_tracer.clone(), None).unwrap();
+    let cfg = LoadConfig {
+        clients: 4,
+        requests_per_client: 128,
+        trace_sample: 16,
+        poll_stats_ms: 2,
+        slo_p99_budget_us: 1.0, // absurdly tight: everything violates
+        drain: true,
+        ..load_cfg(&server)
+    };
+    let report = run_traced(&cfg, &obs, &client_tracer);
+    server.join();
+    assert_eq!(report.requests, 4 * 128);
+
+    // Client roots: 1/16 sampling over 128 requests per client → 8 each.
+    let client_spans = client_tracer.drain();
+    assert_eq!(client_spans.len(), 4 * 8);
+    assert!(client_spans.iter().all(|s| s.stage == "client.rtt"));
+
+    // Every server span's trace id matches some client root, and every
+    // client root has the full stage set on the server side.
+    let server_spans = server_tracer.drain();
+    assert!(!server_spans.is_empty());
+    let roots: std::collections::HashMap<u64, u64> = client_spans
+        .iter()
+        .map(|s| (s.trace_id, s.span_id))
+        .collect();
+    for s in &server_spans {
+        let root = roots.get(&s.trace_id).expect("orphaned server span");
+        assert_eq!(s.parent_span_id, *root, "span parented under client root");
+    }
+    for trace_id in roots.keys() {
+        for want in [
+            "server.decode",
+            "server.queue",
+            "server.service",
+            "server.write",
+        ] {
+            assert!(
+                server_spans
+                    .iter()
+                    .any(|s| s.trace_id == *trace_id && s.stage == want),
+                "trace {trace_id:#x} missing {want}"
+            );
+        }
+    }
+
+    // SLO: 1 µs budget means every request violates and the budget is gone.
+    assert_eq!(report.slo_violations, Some(report.requests));
+    assert_eq!(report.slo_budget_remaining, Some(0.0));
+    assert!(report.slo_burn_rate.unwrap() > 1.0);
+    assert_eq!(obs.gauge("loadgen.slo.budget_remaining").get(), 0.0);
+
+    // The monitor got at least one mid-run snapshot.
+    assert!(report.stats_polls >= 1, "polls: {}", report.stats_polls);
+    assert!(obs.hist("loadgen.poll.queue_depth").snapshot().count() >= 1);
 }

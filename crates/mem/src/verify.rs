@@ -27,7 +27,7 @@ use crate::pump::{ChargePump, PumpMeter};
 use crate::store::{FunctionalStore, WriteReceipt};
 use reram_core::Drvr;
 use reram_fault::{FaultInjector, FaultKind};
-use reram_obs::{Counter, Obs, Value};
+use reram_obs::{Counter, Hist, Obs, Value};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -79,6 +79,13 @@ pub struct VerifiedStore {
     c_miscompares: Counter,
     c_retries: Counter,
     c_degraded: Counter,
+    /// Distribution of write passes per verified write (1 = clean).
+    h_attempts: Hist,
+    /// Distribution of the final DRVR ladder rung index per write — the
+    /// escalation depth the verify loop actually needed.
+    h_rung: Hist,
+    /// Distribution of the final RESET level per write, volts.
+    h_v_reset: Hist,
 }
 
 impl VerifiedStore {
@@ -100,6 +107,9 @@ impl VerifiedStore {
             c_miscompares: obs.counter("mem.verify.miscompares"),
             c_retries: obs.counter("mem.verify.retries"),
             c_degraded: obs.counter("mem.verify.degraded_lines"),
+            h_attempts: obs.hist("mem.verify.attempts_per_write"),
+            h_rung: obs.hist("mem.verify.rung"),
+            h_v_reset: obs.hist("mem.verify.v_reset"),
         }
     }
 
@@ -236,6 +246,9 @@ impl VerifiedStore {
                 );
             }
         }
+        self.h_attempts.record(f64::from(attempts));
+        self.h_rung.record(level_idx as f64);
+        self.h_v_reset.record(v_reset);
         VerifiedWrite {
             receipt,
             attempts,
@@ -341,6 +354,32 @@ mod tests {
         let again = vs.write_verified(5, &pattern(11));
         assert_eq!(vs.read_line(5), pattern(11));
         assert!(!again.degraded, "no second fault scheduled");
+    }
+
+    #[test]
+    fn verify_histograms_record_attempts_rung_and_level() {
+        let plan = FaultPlan::new(1).with(
+            FaultSpec::new(reram_fault::site::VERIFY, FaultKind::VerifyMiscompare).target("line1"),
+        );
+        let store = FunctionalStore::new(8, WriteModel::paper(Scheme::UdrvrPr));
+        let drvr = Drvr::design(&ArrayModel::paper_baseline(), 3.0);
+        let obs = Obs::new();
+        let inj = Arc::new(FaultInjector::new(plan, &obs));
+        let mut vs = VerifiedStore::new(store, drvr, ChargePump::udrvr(), &obs).with_faults(inj);
+        vs.write_verified(0, &pattern(1)); // clean: 1 attempt, rung 0
+        vs.write_verified(1, &pattern(2)); // transient: 2 attempts, rung 1
+
+        let attempts = obs.hist("mem.verify.attempts_per_write").snapshot();
+        assert_eq!(attempts.count(), 2);
+        assert_eq!(attempts.max(), 2.0, "faulted write took a retry");
+        let rung = obs.hist("mem.verify.rung").snapshot();
+        assert_eq!(rung.count(), 2);
+        assert_eq!(rung.max(), 1.0, "escalated one DRVR notch");
+        let v = obs.hist("mem.verify.v_reset").snapshot();
+        assert_eq!(v.count(), 2);
+        assert!(v.max() > 3.0, "escalated level recorded, got {}", v.max());
+        // Pump recharges: 2 initial passes + 1 retry pulse.
+        assert_eq!(obs.counter("mem.pump.recharges").get(), 3);
     }
 
     #[test]

@@ -156,6 +156,25 @@ impl Histogram {
         self.max
     }
 
+    /// Number of samples strictly above `threshold`, at bucket resolution:
+    /// a bucket counts when its representative (geometric midpoint) value
+    /// exceeds the threshold, so the answer carries the same ≈4.4 %
+    /// boundary error as the quantiles. Exact min/max clamp the easy cases.
+    #[must_use]
+    pub fn count_over(&self, threshold: f64) -> u64 {
+        if self.count == 0 || self.max <= threshold {
+            return 0;
+        }
+        if self.min > threshold {
+            return self.count;
+        }
+        self.buckets
+            .iter()
+            .filter(|(&b, _)| bucket_value(b) > threshold)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
     /// The median sample (`quantile(0.5)`).
     #[must_use]
     pub fn p50(&self) -> f64 {
@@ -246,6 +265,20 @@ mod tests {
         }
         let p50 = h.quantile(0.5);
         assert!((p50 - 1e-12).abs() / 1e-12 < 0.05, "p50 = {p50}");
+    }
+
+    #[test]
+    fn count_over_matches_at_bucket_resolution() {
+        let mut h = Histogram::new();
+        for i in 1..=100 {
+            h.record(i as f64 * 10.0);
+        }
+        assert_eq!(h.count_over(2000.0), 0, "above max");
+        assert_eq!(h.count_over(5.0), 100, "below min");
+        // Threshold well inside the range: bucket resolution, ±5%.
+        let over = h.count_over(500.0);
+        assert!((45..=55).contains(&over), "count_over(500) = {over}");
+        assert_eq!(Histogram::new().count_over(0.0), 0);
     }
 
     #[test]

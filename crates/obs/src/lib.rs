@@ -23,6 +23,12 @@
 //!   histogram on drop.
 //! * [`EventSink`] — structured events; [`JsonlSink`] appends one JSON
 //!   object per line, [`NullSink`] discards. Serialization is hand-rolled.
+//! * [`Tracer`] — request-scoped distributed tracing (obs v2): sampled
+//!   per-stage [`SpanRecord`]s in preallocated per-thread ring buffers,
+//!   drained to JSONL and joined across processes by
+//!   [`TraceContext::trace_id`].
+//! * [`SloTracker`] — a latency SLO restated as an error budget, exported
+//!   as burn-rate / budget-remaining gauges.
 //!
 //! # Naming scheme
 //!
@@ -53,7 +59,11 @@
 pub mod hist;
 pub mod registry;
 pub mod sink;
+pub mod slo;
+pub mod trace;
 
 pub use hist::Histogram;
 pub use registry::{Counter, Gauge, Hist, MetricKind, MetricSummary, Obs, Span};
 pub use sink::{EventSink, JsonlSink, NullSink, SinkError, Value};
+pub use slo::SloTracker;
+pub use trace::{SpanRecord, TraceContext, Tracer};

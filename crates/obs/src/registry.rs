@@ -271,6 +271,43 @@ impl Obs {
         out
     }
 
+    /// Renders the summary as a JSON array (one object per metric, sorted
+    /// by name like [`Obs::summary_csv`]), so machine consumers —
+    /// `experiments trace-report`, the CI smoke legs — read metrics without
+    /// CSV parsing. Statistical fields are `null` for counters; non-finite
+    /// values serialize as `null`.
+    #[must_use]
+    pub fn summary_json(&self) -> String {
+        let fmt_opt = |v: Option<f64>| match v {
+            Some(x) if x.is_finite() => format!("{x}"),
+            _ => "null".to_string(),
+        };
+        let mut out = String::from("[");
+        for (k, m) in self.summary().iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n  {{\"metric\":{},\"kind\":\"{}\",\"count\":{},\"mean\":{},\"p50\":{},\"p99\":{},\"p999\":{},\"max\":{}}}",
+                {
+                    let mut name = String::new();
+                    crate::sink::write_json_string(&mut name, &m.name);
+                    name
+                },
+                m.kind.label(),
+                m.count,
+                fmt_opt(m.mean),
+                fmt_opt(m.p50),
+                fmt_opt(m.p99),
+                fmt_opt(m.p999),
+                fmt_opt(m.max),
+            );
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
     /// Renders a human-readable run report.
     #[must_use]
     pub fn report(&self) -> String {
@@ -533,6 +570,40 @@ mod tests {
             "histogram rows carry the p999 column"
         );
         assert_eq!(lines[2], "mem.reads,4,,,,,");
+    }
+
+    #[test]
+    fn summary_json_mirrors_the_csv() {
+        let obs = Obs::new();
+        obs.counter("mem.reads").add(4);
+        obs.hist("mem.lat").record(10.0);
+        obs.gauge("mem.g").set(2.5);
+        let json = obs.summary_json();
+        assert!(json.starts_with('['), "{json}");
+        assert!(json.trim_end().ends_with(']'), "{json}");
+        assert!(
+            json.contains(r#"{"metric":"mem.reads","kind":"counter","count":4,"mean":null"#),
+            "{json}"
+        );
+        assert!(
+            json.contains(r#""metric":"mem.lat","kind":"histogram","count":1,"mean":10"#),
+            "{json}"
+        );
+        assert!(
+            json.contains(r#""metric":"mem.g","kind":"gauge""#),
+            "{json}"
+        );
+        // Same row set and order as the CSV.
+        let csv = obs.summary_csv();
+        let csv_names: Vec<&str> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').next().unwrap())
+            .collect();
+        for (k, m) in obs.summary().iter().enumerate() {
+            assert_eq!(csv_names[k], m.name);
+        }
+        assert_eq!(Obs::off().summary_json(), "[\n]\n");
     }
 
     #[test]

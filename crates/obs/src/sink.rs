@@ -71,7 +71,7 @@ fn write_value(out: &mut String, v: &Value) {
 }
 
 /// Appends a JSON string literal (quoted, escaped) to `out`.
-fn write_json_string(out: &mut String, s: &str) {
+pub(crate) fn write_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

@@ -1,0 +1,152 @@
+//! SLO burn-rate tracking: a latency target plus an error budget, turned
+//! into gauges a dashboard (or the loadgen report) can read directly.
+//!
+//! The model is the standard SRE one: an SLO like "p99 ≤ 2 ms" is restated
+//! as "at most 1 % of requests may exceed 2 ms". The **burn rate** is the
+//! observed violation fraction divided by that allowance — 1.0 means the
+//! run is consuming its error budget exactly as fast as the SLO permits,
+//! above 1.0 the budget is burning down, and **budget remaining** is the
+//! fraction of the allowance left (clamped at 0 once overspent).
+//!
+//! [`SloTracker`] exports three metrics under a caller-chosen prefix:
+//! `<prefix>.slo.violations` (counter), `<prefix>.slo.burn_rate` and
+//! `<prefix>.slo.budget_remaining` (gauges), so they land in
+//! `summary_csv()` / `summary_json()` alongside everything else.
+
+use crate::hist::Histogram;
+use crate::registry::{Counter, Gauge, Obs};
+
+/// Tracks one latency SLO against a stream (or histogram) of samples.
+#[derive(Debug)]
+pub struct SloTracker {
+    /// Latency budget: samples above this violate the SLO.
+    budget: f64,
+    /// Allowed violation fraction (e.g. 0.01 for a p99 target).
+    error_budget: f64,
+    total: u64,
+    violations: u64,
+    c_violations: Counter,
+    g_burn: Gauge,
+    g_remaining: Gauge,
+}
+
+impl SloTracker {
+    /// A tracker for "at most `error_budget` of samples may exceed
+    /// `budget`", exporting metrics under `prefix`. `error_budget` is
+    /// clamped to a positive value so the burn rate stays finite.
+    #[must_use]
+    pub fn new(obs: &Obs, prefix: &str, budget: f64, error_budget: f64) -> Self {
+        Self {
+            budget,
+            error_budget: error_budget.max(1e-9),
+            total: 0,
+            violations: 0,
+            c_violations: obs.counter(&format!("{prefix}.slo.violations")),
+            g_burn: obs.gauge(&format!("{prefix}.slo.burn_rate")),
+            g_remaining: obs.gauge(&format!("{prefix}.slo.budget_remaining")),
+        }
+    }
+
+    /// Records one sample and refreshes the gauges.
+    pub fn record(&mut self, v: f64) {
+        self.total += 1;
+        if v > self.budget {
+            self.violations += 1;
+            self.c_violations.inc();
+        }
+        self.refresh();
+    }
+
+    /// Folds a whole histogram in (bucket-resolution violation count) and
+    /// refreshes the gauges — the post-run path for workers that kept
+    /// per-thread histograms instead of calling [`SloTracker::record`] per
+    /// sample.
+    pub fn observe_hist(&mut self, h: &Histogram) {
+        let v = h.count_over(self.budget);
+        self.total += h.count();
+        self.violations += v;
+        self.c_violations.add(v);
+        self.refresh();
+    }
+
+    /// Observed violation fraction ÷ allowed violation fraction (0 before
+    /// any sample).
+    #[must_use]
+    pub fn burn_rate(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        (self.violations as f64 / self.total as f64) / self.error_budget
+    }
+
+    /// Fraction of the error budget left: `1 − burn_rate`, floored at 0.
+    #[must_use]
+    pub fn budget_remaining(&self) -> f64 {
+        (1.0 - self.burn_rate()).max(0.0)
+    }
+
+    /// Samples seen.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Samples over budget.
+    #[must_use]
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    fn refresh(&self) {
+        self.g_burn.set(self.burn_rate());
+        self.g_remaining.set(self.budget_remaining());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_stream_burns_nothing() {
+        let obs = Obs::new();
+        let mut slo = SloTracker::new(&obs, "t", 100.0, 0.01);
+        for _ in 0..200 {
+            slo.record(10.0);
+        }
+        assert_eq!(slo.violations(), 0);
+        assert_eq!(slo.burn_rate(), 0.0);
+        assert_eq!(slo.budget_remaining(), 1.0);
+        assert_eq!(obs.gauge("t.slo.budget_remaining").get(), 1.0);
+    }
+
+    #[test]
+    fn burn_rate_is_violation_fraction_over_allowance() {
+        let obs = Obs::new();
+        // 1% allowance; feed exactly 2% violations → burn rate 2.0.
+        let mut slo = SloTracker::new(&obs, "t", 100.0, 0.01);
+        for k in 0..100 {
+            slo.record(if k < 2 { 200.0 } else { 10.0 });
+        }
+        assert_eq!(slo.violations(), 2);
+        assert!((slo.burn_rate() - 2.0).abs() < 1e-12);
+        assert_eq!(slo.budget_remaining(), 0.0, "overspent clamps at zero");
+        assert_eq!(obs.counter("t.slo.violations").get(), 2);
+        assert!((obs.gauge("t.slo.burn_rate").get() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_path_matches_streaming_path_at_bucket_resolution() {
+        let obs = Obs::new();
+        let mut h = Histogram::new();
+        // Budget far from any bucket edge: 10 of 1000 samples over.
+        for k in 0..1000 {
+            h.record(if k < 10 { 5000.0 } else { 50.0 });
+        }
+        let mut slo = SloTracker::new(&obs, "t", 1000.0, 0.01);
+        slo.observe_hist(&h);
+        assert_eq!(slo.total(), 1000);
+        assert_eq!(slo.violations(), 10);
+        assert!((slo.burn_rate() - 1.0).abs() < 1e-12);
+    }
+}

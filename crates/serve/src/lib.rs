@@ -32,6 +32,9 @@ pub mod proto;
 pub mod server;
 pub mod shard;
 
-pub use proto::{Frame, Request, Response, WireError, LINE_BYTES, WIRE_VERSION};
+pub use proto::{
+    Frame, Request, Response, WireError, LINE_BYTES, TRACE_EXT_BYTES, WIRE_VERSION,
+    WIRE_VERSION_TRACED,
+};
 pub use server::{Client, ServeConfig, Server};
 pub use shard::{ShardBackend, ShardMap, ShardOp, ShardStats};

@@ -1,4 +1,4 @@
-//! The versioned binary wire protocol (v1).
+//! The versioned binary wire protocol (v1, plus the v2 trace extension).
 //!
 //! Every message travels as one **frame**:
 //!
@@ -16,14 +16,36 @@
 //! without desynchronizing the stream — which is exactly what lets the
 //! client absorb an injected `resp_corrupt` fault by re-requesting.
 //!
-//! Request opcodes: `READ_LINE` / `WRITE_LINE` / `STATS` / `DRAIN`.
-//! Response opcodes mirror them, plus `BUSY` (admission control shed the
-//! request; carries a retry-after hint) and `ERR` (typed failure).
+//! **Trace extension (v2).** A frame carrying a [`TraceContext`] uses
+//! version byte [`WIRE_VERSION_TRACED`] and inserts 16 extension bytes
+//! (trace id + parent span id, both u64 LE) between the request id and the
+//! payload — all CRC-covered:
+//!
+//! ```text
+//! │ len │ ver=2 │ op │ req_id │ trace_id: u64 LE │ parent_span: u64 LE │ payload │ crc │
+//! ```
+//!
+//! The negotiation is per-frame and implicit: a frame *without* a context
+//! encodes byte-identically to v1, an old decoder rejects only the frames
+//! it could not interpret anyway (typed [`WireError::BadVersion`], stream
+//! still in sync), and the server echoes a context only to clients that
+//! sent one — so old clients never see a v2 frame.
+//!
+//! Request opcodes: `READ_LINE` / `WRITE_LINE` / `STATS` / `STATS_JSON` /
+//! `DRAIN`. Response opcodes mirror them, plus `BUSY` (admission control
+//! shed the request; carries a retry-after hint) and `ERR` (typed failure).
 
+use reram_obs::TraceContext;
 use std::io::{Read, Write};
 
 /// Protocol version emitted and accepted by this build.
 pub const WIRE_VERSION: u8 = 1;
+
+/// Version byte of a frame carrying the 16-byte trace-context extension.
+pub const WIRE_VERSION_TRACED: u8 = 2;
+
+/// Size of the trace-context extension (trace id + parent span id).
+pub const TRACE_EXT_BYTES: usize = 16;
 
 /// Hard cap on a frame's payload (stats text is the largest legal payload).
 pub const MAX_PAYLOAD: usize = 1 << 20;
@@ -45,6 +67,8 @@ pub mod op {
     pub const STATS: u8 = 0x03;
     /// Flush every shard queue, then shut the server down.
     pub const DRAIN: u8 = 0x04;
+    /// Fetch a machine-readable JSON stats snapshot.
+    pub const STATS_JSON: u8 = 0x05;
     /// Read completed (payload = line data).
     pub const READ_OK: u8 = 0x81;
     /// Write retired (payload = attempts, degraded flag).
@@ -55,6 +79,8 @@ pub mod op {
     pub const STATS_OK: u8 = 0x84;
     /// All queues flushed; the server is exiting.
     pub const DRAIN_OK: u8 = 0x85;
+    /// JSON stats snapshot follows.
+    pub const STATS_JSON_OK: u8 = 0x86;
     /// Typed failure (payload = code byte + detail text).
     pub const ERR: u8 = 0xFF;
 }
@@ -150,10 +176,34 @@ pub struct Frame {
     pub request_id: u64,
     /// Opcode-specific payload.
     pub payload: Vec<u8>,
+    /// The v2 trace-context extension; `None` encodes byte-identically to
+    /// a v1 frame.
+    pub trace: Option<TraceContext>,
 }
 
 impl Frame {
+    /// An untraced (v1) frame.
+    #[must_use]
+    pub fn new(opcode: u8, request_id: u64, payload: Vec<u8>) -> Frame {
+        Frame {
+            opcode,
+            request_id,
+            payload,
+            trace: None,
+        }
+    }
+
+    /// Attaches (or clears) the trace-context extension.
+    #[must_use]
+    pub fn with_trace(mut self, trace: Option<TraceContext>) -> Frame {
+        self.trace = trace;
+        self
+    }
+
     /// Serializes the frame (length prefix, body, CRC) into a byte vector.
+    /// A frame without a trace context encodes exactly as protocol v1; one
+    /// with a context uses [`WIRE_VERSION_TRACED`] and inserts the 16
+    /// extension bytes between the request id and the payload.
     ///
     /// # Panics
     ///
@@ -162,12 +212,25 @@ impl Frame {
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
         assert!(self.payload.len() <= MAX_PAYLOAD, "payload too large");
-        let body_len = FRAME_OVERHEAD + self.payload.len();
+        let ext = if self.trace.is_some() {
+            TRACE_EXT_BYTES
+        } else {
+            0
+        };
+        let body_len = FRAME_OVERHEAD + ext + self.payload.len();
         let mut out = Vec::with_capacity(4 + body_len);
         out.extend_from_slice(&(body_len as u32).to_le_bytes());
-        out.push(WIRE_VERSION);
+        out.push(if self.trace.is_some() {
+            WIRE_VERSION_TRACED
+        } else {
+            WIRE_VERSION
+        });
         out.push(self.opcode);
         out.extend_from_slice(&self.request_id.to_le_bytes());
+        if let Some(t) = &self.trace {
+            out.extend_from_slice(&t.trace_id.to_le_bytes());
+            out.extend_from_slice(&t.parent_span_id.to_le_bytes());
+        }
         out.extend_from_slice(&self.payload);
         let crc = crc32(&out[4..]);
         out.extend_from_slice(&crc.to_le_bytes());
@@ -175,6 +238,7 @@ impl Frame {
     }
 
     /// Decodes a frame *body* (everything after the length prefix).
+    /// Accepts both v1 frames (`trace = None`) and v2 traced frames.
     ///
     /// # Errors
     ///
@@ -189,15 +253,31 @@ impl Frame {
         if got != want {
             return Err(WireError::CrcMismatch { got, want });
         }
-        if head[0] != WIRE_VERSION {
-            return Err(WireError::BadVersion(head[0]));
-        }
+        let trace = match head[0] {
+            WIRE_VERSION => None,
+            WIRE_VERSION_TRACED => {
+                if head.len() < FRAME_OVERHEAD - 4 + TRACE_EXT_BYTES {
+                    return Err(WireError::BadLength(body.len() as u32));
+                }
+                Some(TraceContext {
+                    trace_id: u64::from_le_bytes(head[10..18].try_into().expect("8 bytes")),
+                    parent_span_id: u64::from_le_bytes(head[18..26].try_into().expect("8 bytes")),
+                })
+            }
+            other => return Err(WireError::BadVersion(other)),
+        };
         let opcode = head[1];
         let request_id = u64::from_le_bytes(head[2..10].try_into().expect("8 bytes"));
+        let payload_at = if trace.is_some() {
+            10 + TRACE_EXT_BYTES
+        } else {
+            10
+        };
         Ok(Frame {
             opcode,
             request_id,
-            payload: head[10..].to_vec(),
+            payload: head[payload_at..].to_vec(),
+            trace,
         })
     }
 }
@@ -232,7 +312,9 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
         }
     }
     let len = u32::from_le_bytes(len_bytes);
-    if (len as usize) < FRAME_OVERHEAD || len as usize > MAX_PAYLOAD + FRAME_OVERHEAD {
+    if (len as usize) < FRAME_OVERHEAD
+        || len as usize > MAX_PAYLOAD + FRAME_OVERHEAD + TRACE_EXT_BYTES
+    {
         return Err(WireError::BadLength(len));
     }
     let mut body = vec![0u8; len as usize];
@@ -258,6 +340,8 @@ pub enum Request {
     },
     /// Fetch the server's stats text.
     Stats,
+    /// Fetch a machine-readable JSON stats snapshot.
+    StatsJson,
     /// Flush all queues, acknowledge, then shut the server down.
     Drain,
 }
@@ -275,13 +359,10 @@ impl Request {
                 (op::WRITE_LINE, p)
             }
             Request::Stats => (op::STATS, Vec::new()),
+            Request::StatsJson => (op::STATS_JSON, Vec::new()),
             Request::Drain => (op::DRAIN, Vec::new()),
         };
-        Frame {
-            opcode,
-            request_id,
-            payload,
-        }
+        Frame::new(opcode, request_id, payload)
     }
 
     /// Unpacks a request from a decoded frame.
@@ -315,8 +396,9 @@ impl Request {
                 Ok(Request::WriteLine { line, data })
             }
             op::STATS if p.is_empty() => Ok(Request::Stats),
+            op::STATS_JSON if p.is_empty() => Ok(Request::StatsJson),
             op::DRAIN if p.is_empty() => Ok(Request::Drain),
-            op::STATS | op::DRAIN => Err(WireError::BadPayload(
+            op::STATS | op::STATS_JSON | op::DRAIN => Err(WireError::BadPayload(
                 "control request carries a payload".into(),
             )),
             other => Err(WireError::BadOpcode(other)),
@@ -349,6 +431,12 @@ pub enum Response {
         /// Human-readable per-shard statistics.
         text: String,
     },
+    /// A machine-readable stats snapshot.
+    StatsJsonOk {
+        /// JSON text: per-shard queue depth, slow-start window, in-flight
+        /// flag, busy/shed counters and histogram summaries.
+        json: String,
+    },
     /// Every queue flushed; the server is exiting.
     DrainOk {
         /// Data requests served over the server's lifetime.
@@ -376,6 +464,7 @@ impl Response {
             }
             Response::Busy { retry_after_us } => (op::BUSY, retry_after_us.to_le_bytes().to_vec()),
             Response::StatsOk { text } => (op::STATS_OK, text.as_bytes().to_vec()),
+            Response::StatsJsonOk { json } => (op::STATS_JSON_OK, json.as_bytes().to_vec()),
             Response::DrainOk { served } => (op::DRAIN_OK, served.to_le_bytes().to_vec()),
             Response::Err { code, detail } => {
                 let mut p = vec![*code];
@@ -383,11 +472,7 @@ impl Response {
                 (op::ERR, p)
             }
         };
-        Frame {
-            opcode,
-            request_id,
-            payload,
-        }
+        Frame::new(opcode, request_id, payload)
     }
 
     /// Unpacks a response from a decoded frame.
@@ -434,6 +519,9 @@ impl Response {
             op::STATS_OK => Ok(Response::StatsOk {
                 text: String::from_utf8_lossy(p).into_owned(),
             }),
+            op::STATS_JSON_OK => Ok(Response::StatsJsonOk {
+                json: String::from_utf8_lossy(p).into_owned(),
+            }),
             op::DRAIN_OK => {
                 let bytes: [u8; 8] = p.as_slice().try_into().map_err(|_| {
                     WireError::BadPayload(format!("drain_ok payload {} B", p.len()))
@@ -469,11 +557,7 @@ mod tests {
 
     #[test]
     fn frames_survive_an_io_round_trip() {
-        let f = Frame {
-            opcode: op::WRITE_LINE,
-            request_id: 0xDEAD_BEEF_0042,
-            payload: (0..72u8).collect(),
-        };
+        let f = Frame::new(op::WRITE_LINE, 0xDEAD_BEEF_0042, (0..72u8).collect());
         let mut buf = Vec::new();
         write_frame(&mut buf, &f).unwrap();
         let mut cursor = &buf[..];
@@ -493,6 +577,7 @@ mod tests {
                 data: data.clone(),
             },
             Request::Stats,
+            Request::StatsJson,
             Request::Drain,
         ];
         for (k, r) in reqs.iter().enumerate() {
@@ -511,6 +596,9 @@ mod tests {
             },
             Response::StatsOk {
                 text: "shard0: ok".into(),
+            },
+            Response::StatsJsonOk {
+                json: "{\"shards\":[]}".into(),
             },
             Response::DrainOk { served: 10_000 },
             Response::Err {
@@ -548,11 +636,7 @@ mod tests {
         let n = bytes.len();
         bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
         assert_eq!(read_frame(&mut &bytes[..]), Err(WireError::BadVersion(9)));
-        let bogus = Frame {
-            opcode: 0x7F,
-            request_id: 0,
-            payload: Vec::new(),
-        };
+        let bogus = Frame::new(0x7F, 0, Vec::new());
         assert_eq!(Request::from_frame(&bogus), Err(WireError::BadOpcode(0x7F)));
         assert_eq!(
             Response::from_frame(&bogus),
@@ -561,11 +645,47 @@ mod tests {
     }
 
     #[test]
+    fn traced_frames_round_trip_and_untraced_stay_v1() {
+        let ctx = TraceContext {
+            trace_id: 0x1111_2222_3333_4444,
+            parent_span_id: 99,
+        };
+        let traced =
+            Frame::new(op::READ_LINE, 7, 5u64.to_le_bytes().to_vec()).with_trace(Some(ctx));
+        let bytes = traced.encode();
+        assert_eq!(bytes[4], WIRE_VERSION_TRACED);
+        let back = read_frame(&mut &bytes[..]).unwrap();
+        assert_eq!(back, traced);
+        assert_eq!(back.trace, Some(ctx));
+        // Stripping the context restores the exact v1 encoding.
+        let plain = traced.clone().with_trace(None);
+        let v1 = plain.encode();
+        assert_eq!(v1[4], WIRE_VERSION);
+        assert_eq!(v1.len() + TRACE_EXT_BYTES, bytes.len());
+        assert_eq!(read_frame(&mut &v1[..]).unwrap().trace, None);
+    }
+
+    #[test]
+    fn truncated_trace_extension_is_rejected() {
+        // A v2 frame whose body is too short to hold the extension: force
+        // the version byte on a payload-less v1 frame and re-CRC.
+        let mut bytes = Frame::new(op::STATS, 1, Vec::new()).encode();
+        bytes[4] = WIRE_VERSION_TRACED;
+        let n = bytes.len();
+        let crc = crc32(&bytes[4..n - 4]);
+        bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut &bytes[..]),
+            Err(WireError::BadLength(_))
+        ));
+    }
+
+    #[test]
     fn impossible_lengths_are_rejected() {
         let mut bytes = 3u32.to_le_bytes().to_vec();
         bytes.extend_from_slice(&[0, 0, 0]);
         assert_eq!(read_frame(&mut &bytes[..]), Err(WireError::BadLength(3)));
-        let huge = ((MAX_PAYLOAD + FRAME_OVERHEAD + 1) as u32).to_le_bytes();
+        let huge = ((MAX_PAYLOAD + FRAME_OVERHEAD + TRACE_EXT_BYTES + 1) as u32).to_le_bytes();
         assert!(matches!(
             read_frame(&mut &huge[..]),
             Err(WireError::BadLength(_))

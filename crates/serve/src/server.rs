@@ -30,14 +30,26 @@
 //! data ops), waits for every shard queue to empty and every batch task to
 //! finish, acknowledges with the lifetime served count, then shuts the
 //! server down.
+//!
+//! **Tracing.** Started via [`Server::start_traced`], frames carrying a v2
+//! trace context get per-stage spans — request decode, admission-queue
+//! wait, slow-start gate, shard-batch service (verify attempts in the
+//! span's detail), response encode + socket write — recorded into the
+//! supplied [`Tracer`], every span parented under the client's root span so
+//! `experiments trace-report` can attribute the full RTT. Untraced frames
+//! pay one branch per stage. The `STATS_JSON` opcode returns a
+//! machine-readable snapshot (per-shard queue depth, slow-start window,
+//! busy/shed counters, sim-latency histogram summaries) that the load
+//! generator polls mid-run.
 
 use crate::proto::{code, read_frame, Frame, Request, Response, WireError};
 use crate::shard::{ShardBackend, ShardMap, ShardOp};
 use reram_core::Scheme;
 use reram_exec::ThreadPool;
 use reram_fault::FaultInjector;
-use reram_obs::{Counter, Obs};
+use reram_obs::{Counter, Gauge, Hist, Obs, TraceContext, Tracer};
 use std::collections::VecDeque;
+use std::fmt::Write as _;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -78,11 +90,20 @@ impl Default for ServeConfig {
     }
 }
 
+/// The trace half of a queued op: the wire context to parent spans under
+/// and the enqueue stamp the admission-queue span starts from.
+#[derive(Clone, Copy)]
+struct PendTrace {
+    ctx: TraceContext,
+    enq_ns: u64,
+}
+
 /// A queued data operation awaiting its shard's batch task.
 struct Pending {
     op: ShardOp,
     request_id: u64,
     conn: Arc<ConnWriter>,
+    trace: Option<PendTrace>,
 }
 
 /// Admission-side state of one shard (guarded separately from the backend
@@ -116,20 +137,40 @@ struct Inner {
     shutdown: AtomicBool,
     faults: Option<Arc<FaultInjector>>,
     conn_seq: AtomicU64,
+    tracer: Tracer,
     c_requests: Counter,
     c_busy: Counter,
     c_drops: Counter,
     c_stalls: Counter,
     c_corrupt: Counter,
+    /// Per-shard admission-queue depth (`serve.shard{i}.queue_depth`).
+    g_queue: Vec<Gauge>,
+    /// Per-shard batch-task occupancy (`serve.shard{i}.in_flight`).
+    g_inflight: Vec<Gauge>,
+    h_sim_read: Hist,
+    h_sim_write: Hist,
 }
 
 impl Inner {
     /// Sends `resp` on `conn`, applying the response-corruption fault if
     /// one is scheduled for this connection's stream. Send failures are
     /// swallowed: a vanished client's responses have nowhere to go, and the
-    /// reader thread notices the close independently.
-    fn send(&self, conn: &ConnWriter, request_id: u64, resp: &Response) {
-        let frame = resp.to_frame(request_id);
+    /// reader thread notices the close independently. When `trace` is set
+    /// the context is echoed on the response frame and the encode + socket
+    /// write becomes a `server.write` span.
+    fn send(
+        &self,
+        conn: &ConnWriter,
+        request_id: u64,
+        resp: &Response,
+        trace: Option<TraceContext>,
+    ) {
+        let t0 = if trace.is_some() {
+            self.tracer.now_ns()
+        } else {
+            0
+        };
+        let frame = resp.to_frame(request_id).with_trace(trace);
         let mut bytes = frame.encode();
         if let Some(inj) = &self.faults {
             let target = format!("conn{}", conn.id);
@@ -148,6 +189,16 @@ impl Inner {
         let mut s = conn.stream.lock().expect("conn writer poisoned");
         let _ = s.write_all(&bytes);
         let _ = s.flush();
+        drop(s);
+        if let Some(ctx) = trace {
+            self.tracer.record_span(
+                ctx,
+                "server.write",
+                t0,
+                self.tracer.now_ns(),
+                bytes.len() as u64,
+            );
+        }
     }
 
     /// Consults the shard-stall fault site once per batch: freezes the
@@ -170,20 +221,39 @@ impl Inner {
         }
     }
 
-    /// Services one batch on the shard backend and responds.
+    /// Services one batch on the shard backend and responds. Traced ops get
+    /// `server.queue` (enqueue → batch pickup, shard index in detail),
+    /// `server.gate` (slow-start / stall time), and `server.service`
+    /// (backend batch, verify attempts in detail for writes) spans.
     fn service_and_respond(&self, shard: usize, batch: &[Pending]) {
+        let traced = batch.iter().any(|p| p.trace.is_some());
+        let t_batch = if traced { self.tracer.now_ns() } else { 0 };
         self.maybe_stall(shard);
+        let t_gate = if traced { self.tracer.now_ns() } else { 0 };
         let ops: Vec<ShardOp> = batch.iter().map(|p| p.op.clone()).collect();
         let outcomes = {
             let mut be = self.backends[shard].lock().expect("backend poisoned");
             be.service_batch(&ops)
         };
+        let t_svc = if traced { self.tracer.now_ns() } else { 0 };
         for o in outcomes {
             let p = &batch[o.batch_index];
             if matches!(o.response, Response::Busy { .. }) {
                 self.c_busy.inc();
             }
-            self.send(&p.conn, p.request_id, &o.response);
+            if let Some(tr) = &p.trace {
+                self.tracer
+                    .record_span(tr.ctx, "server.queue", tr.enq_ns, t_batch, shard as u64);
+                self.tracer
+                    .record_span(tr.ctx, "server.gate", t_batch, t_gate, 0);
+                let detail = match o.response {
+                    Response::WriteOk { attempts, .. } => u64::from(attempts),
+                    _ => 0,
+                };
+                self.tracer
+                    .record_span(tr.ctx, "server.service", t_gate, t_svc, detail);
+            }
+            self.send(&p.conn, p.request_id, &o.response, p.trace.map(|t| t.ctx));
         }
         // A clean batch re-opens the slow-start window one doubling.
         let mut st = self.states[shard].lock().expect("shard state poisoned");
@@ -201,17 +271,28 @@ impl Inner {
                 let mut st = self.states[shard].lock().expect("shard state poisoned");
                 if st.queue.is_empty() {
                     st.inflight = false;
+                    self.g_queue[shard].set(0.0);
+                    self.g_inflight[shard].set(0.0);
                     return;
                 }
                 let n = st.queue.len().min(self.batch_max);
-                st.queue.drain(..n).collect()
+                let batch: Vec<Pending> = st.queue.drain(..n).collect();
+                self.g_queue[shard].set(st.queue.len() as f64);
+                batch
             };
             self.service_and_respond(shard, &batch);
         }
     }
 
     /// Admits one data op, or answers immediately with `Busy`/`Err`.
-    fn admit(self: &Arc<Self>, line: u64, op: ShardOp, request_id: u64, conn: &Arc<ConnWriter>) {
+    fn admit(
+        self: &Arc<Self>,
+        line: u64,
+        op: ShardOp,
+        request_id: u64,
+        conn: &Arc<ConnWriter>,
+        trace: Option<TraceContext>,
+    ) {
         if self.draining.load(Ordering::SeqCst) {
             self.send(
                 conn,
@@ -220,6 +301,7 @@ impl Inner {
                     code: code::DRAINING,
                     detail: "server is draining".into(),
                 },
+                trace,
             );
             return;
         }
@@ -231,10 +313,15 @@ impl Inner {
                     code: code::OUT_OF_RANGE,
                     detail: format!("line {line} >= {}", self.map.total_lines()),
                 },
+                trace,
             );
             return;
         }
         let shard = self.map.shard_of(line);
+        let pend_trace = trace.map(|ctx| PendTrace {
+            ctx,
+            enq_ns: self.tracer.now_ns(),
+        });
         let mut op = Some(op);
         let spawn = {
             let mut st = self.states[shard].lock().expect("shard state poisoned");
@@ -243,7 +330,7 @@ impl Inner {
                 let retry_after_us = (100 + 20 * st.queue.len()) as u32;
                 drop(st);
                 self.c_busy.inc();
-                self.send(conn, request_id, &Response::Busy { retry_after_us });
+                self.send(conn, request_id, &Response::Busy { retry_after_us }, trace);
                 return;
             }
             if !st.inflight && st.queue.is_empty() {
@@ -254,10 +341,12 @@ impl Inner {
                 // the pool below.
                 st.inflight = true;
                 drop(st);
+                self.g_inflight[shard].set(1.0);
                 let batch = [Pending {
                     op: op.take().expect("op consumed once"),
                     request_id,
                     conn: Arc::clone(conn),
+                    trace: pend_trace,
                 }];
                 self.service_and_respond(shard, &batch);
                 // Work may have queued behind us while we serviced; keep
@@ -274,6 +363,8 @@ impl Inner {
                 if follow_up {
                     let inner = Arc::clone(self);
                     self.pool.spawn(move || inner.run_batches(shard));
+                } else {
+                    self.g_inflight[shard].set(0.0);
                 }
                 return;
             }
@@ -281,7 +372,9 @@ impl Inner {
                 op: op.take().expect("op consumed once"),
                 request_id,
                 conn: Arc::clone(conn),
+                trace: pend_trace,
             });
+            self.g_queue[shard].set(st.queue.len() as f64);
             if st.inflight {
                 false
             } else {
@@ -290,6 +383,7 @@ impl Inner {
             }
         };
         if spawn {
+            self.g_inflight[shard].set(1.0);
             let inner = Arc::clone(self);
             self.pool.spawn(move || inner.run_batches(shard));
         }
@@ -317,6 +411,68 @@ impl Inner {
             self.c_corrupt.get(),
         ));
         text
+    }
+
+    /// The `STATS_JSON` payload: a machine-readable snapshot of per-shard
+    /// admission state (queue depth, slow-start window, in-flight flag),
+    /// backend counters, service totals, and sim-latency histogram
+    /// summaries. One JSON object, no trailing newline, hand-rolled like
+    /// every other serializer in the workspace.
+    fn snapshot_json(&self) -> String {
+        let mut out = String::with_capacity(256 + 160 * self.backends.len());
+        let _ = write!(
+            out,
+            "{{\"draining\":{},\"shards\":[",
+            self.draining.load(Ordering::SeqCst)
+        );
+        for (i, be) in self.backends.iter().enumerate() {
+            let s = be.lock().expect("backend poisoned").stats();
+            let (queued, window, inflight, stalls) = {
+                let st = self.states[i].lock().expect("shard state poisoned");
+                (st.queue.len(), st.window, st.inflight, st.stalls)
+            };
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"shard\":{i},\"queued\":{queued},\"window\":{window},\
+                 \"inflight\":{inflight},\"stalls\":{stalls},\"served\":{},\
+                 \"reads\":{},\"writes\":{},\"busy\":{},\"degraded\":{},\
+                 \"sim_ms\":{:.3}}}",
+                s.served,
+                s.reads,
+                s.writes,
+                s.busy_rejections,
+                s.degraded_lines,
+                s.sim_now_ns / 1e6,
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"service\":{{\"requests\":{},\"busy\":{},\"conn_drops\":{},\
+             \"shard_stalls\":{},\"corrupt_frames\":{}}}",
+            self.c_requests.get(),
+            self.c_busy.get(),
+            self.c_drops.get(),
+            self.c_stalls.get(),
+            self.c_corrupt.get(),
+        );
+        let fin = |x: f64| if x.is_finite() { x } else { 0.0 };
+        let r = self.h_sim_read.snapshot();
+        let w = self.h_sim_write.snapshot();
+        let _ = write!(
+            out,
+            ",\"hist\":{{\"sim_read_ns\":{{\"count\":{},\"p50\":{:.1},\"p99\":{:.1}}},\
+             \"sim_write_ns\":{{\"count\":{},\"p50\":{:.1},\"p99\":{:.1}}}}}}}",
+            r.count(),
+            fin(r.p50()),
+            fin(r.p99()),
+            w.count(),
+            fin(w.p50()),
+            fin(w.p99()),
+        );
+        out
     }
 
     /// Total data requests retired across shards.
@@ -362,6 +518,7 @@ impl Inner {
                             code: code::BAD_FRAME,
                             detail: e.to_string(),
                         },
+                        None,
                     );
                     continue;
                 }
@@ -377,23 +534,54 @@ impl Inner {
                 }
             }
             self.c_requests.inc();
-            match Request::from_frame(&frame) {
+            // A v2 trace context on the frame opts this request into span
+            // recording (when the server has a tracer at all).
+            let trace = if self.tracer.enabled() {
+                frame.trace
+            } else {
+                None
+            };
+            let t_dec = if trace.is_some() {
+                self.tracer.now_ns()
+            } else {
+                0
+            };
+            let parsed = Request::from_frame(&frame);
+            if let Some(ctx) = trace {
+                self.tracer.record_span(
+                    ctx,
+                    "server.decode",
+                    t_dec,
+                    self.tracer.now_ns(),
+                    frame.payload.len() as u64,
+                );
+            }
+            match parsed {
                 Ok(Request::ReadLine { line }) => {
                     let op = ShardOp::Read {
                         local: self.map.local_of(line),
                     };
-                    self.admit(line, op, frame.request_id, &conn);
+                    self.admit(line, op, frame.request_id, &conn, trace);
                 }
                 Ok(Request::WriteLine { line, data }) => {
                     let op = ShardOp::Write {
                         local: self.map.local_of(line),
                         data,
                     };
-                    self.admit(line, op, frame.request_id, &conn);
+                    self.admit(line, op, frame.request_id, &conn, trace);
                 }
                 Ok(Request::Stats) => {
                     let text = self.stats_text();
-                    self.send(&conn, frame.request_id, &Response::StatsOk { text });
+                    self.send(&conn, frame.request_id, &Response::StatsOk { text }, trace);
+                }
+                Ok(Request::StatsJson) => {
+                    let json = self.snapshot_json();
+                    self.send(
+                        &conn,
+                        frame.request_id,
+                        &Response::StatsJsonOk { json },
+                        trace,
+                    );
                 }
                 Ok(Request::Drain) => {
                     self.draining.store(true, Ordering::SeqCst);
@@ -401,7 +589,12 @@ impl Inner {
                         thread::sleep(Duration::from_micros(200));
                     }
                     let served = self.total_served();
-                    self.send(&conn, frame.request_id, &Response::DrainOk { served });
+                    self.send(
+                        &conn,
+                        frame.request_id,
+                        &Response::DrainOk { served },
+                        trace,
+                    );
                     self.shutdown.store(true, Ordering::SeqCst);
                     // Wake the accept loop so it observes the flag.
                     let _ = TcpStream::connect(addr);
@@ -415,6 +608,7 @@ impl Inner {
                             code: code::BAD_FRAME,
                             detail: e.to_string(),
                         },
+                        trace,
                     );
                 }
             }
@@ -436,9 +630,10 @@ impl std::fmt::Debug for Server {
 }
 
 impl Server {
-    /// Binds `cfg.addr` and starts serving. Telemetry resolves on `obs`
-    /// (`serve.*` counters, `serve.shard.*` histograms); `faults` arms the
-    /// connection-drop / shard-stall / response-corruption sites.
+    /// Binds `cfg.addr` and starts serving without tracing. Telemetry
+    /// resolves on `obs` (`serve.*` counters, `serve.shard.*` histograms);
+    /// `faults` arms the connection-drop / shard-stall /
+    /// response-corruption sites.
     ///
     /// # Errors
     ///
@@ -446,6 +641,23 @@ impl Server {
     pub fn start(
         cfg: &ServeConfig,
         obs: &Obs,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> std::io::Result<Server> {
+        Self::start_traced(cfg, obs, Tracer::off(), faults)
+    }
+
+    /// [`Server::start`] plus request-scoped tracing: frames carrying a v2
+    /// trace context record per-stage spans into `tracer` (drain it after
+    /// the run with [`Tracer::write_jsonl`]). A [`Tracer::off`] handle
+    /// makes this identical to [`Server::start`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start_traced(
+        cfg: &ServeConfig,
+        obs: &Obs,
+        tracer: Tracer,
         faults: Option<Arc<FaultInjector>>,
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
@@ -478,11 +690,20 @@ impl Server {
             shutdown: AtomicBool::new(false),
             faults,
             conn_seq: AtomicU64::new(0),
+            tracer,
             c_requests: obs.counter("serve.requests"),
             c_busy: obs.counter("serve.busy"),
             c_drops: obs.counter("serve.conn_drops"),
             c_stalls: obs.counter("serve.shard_stalls"),
             c_corrupt: obs.counter("serve.corrupt_frames"),
+            g_queue: (0..cfg.shards)
+                .map(|i| obs.gauge(&format!("serve.shard{i}.queue_depth")))
+                .collect(),
+            g_inflight: (0..cfg.shards)
+                .map(|i| obs.gauge(&format!("serve.shard{i}.in_flight")))
+                .collect(),
+            h_sim_read: obs.hist("serve.shard.sim_read_ns"),
+            h_sim_write: obs.hist("serve.shard.sim_write_ns"),
         });
         let accept_inner = Arc::clone(&inner);
         let accept = thread::Builder::new()
@@ -584,9 +805,25 @@ impl Client {
     ///
     /// Propagates transport failures.
     pub fn send(&mut self, req: &Request) -> Result<u64, WireError> {
+        self.send_with_trace(req, None)
+    }
+
+    /// [`Client::send`] with an optional trace context stamped on the
+    /// frame (upgrading it to wire v2). The server parents its stage spans
+    /// under [`TraceContext::parent_span_id`] and echoes the context on
+    /// the response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn send_with_trace(
+        &mut self,
+        req: &Request,
+        trace: Option<TraceContext>,
+    ) -> Result<u64, WireError> {
         let id = self.next_id;
         self.next_id += 1;
-        let frame = req.to_frame(id);
+        let frame = req.to_frame(id).with_trace(trace);
         self.stream.write_all(&frame.encode())?;
         self.stream.flush()?;
         Ok(id)
@@ -778,6 +1015,82 @@ mod tests {
             c.call(&Request::ReadLine { line: 0 }).unwrap(),
             Response::ReadOk { .. }
         ));
+        server.stop();
+        server.join();
+    }
+
+    #[test]
+    fn traced_requests_record_every_server_stage() {
+        let obs = Obs::new();
+        let tracer = Tracer::new(1);
+        let server = Server::start_traced(&tiny_cfg(), &obs, tracer.clone(), None).unwrap();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        let ctx = TraceContext {
+            trace_id: 42,
+            parent_span_id: 7,
+        };
+        let data = Box::new([0x5Au8; LINE_BYTES]);
+        let id = c
+            .send_with_trace(&Request::WriteLine { line: 3, data }, Some(ctx))
+            .unwrap();
+        assert!(matches!(c.recv(id).unwrap(), Response::WriteOk { .. }));
+        // An untraced request on the same connection records nothing.
+        assert!(matches!(
+            c.call(&Request::ReadLine { line: 3 }).unwrap(),
+            Response::ReadOk { .. }
+        ));
+        server.stop();
+        server.join();
+        let spans = tracer.drain();
+        assert!(
+            spans
+                .iter()
+                .all(|s| s.trace_id == 42 && s.parent_span_id == 7),
+            "{spans:?}"
+        );
+        let stages: Vec<&str> = spans.iter().map(|s| s.stage).collect();
+        for want in [
+            "server.decode",
+            "server.queue",
+            "server.gate",
+            "server.service",
+            "server.write",
+        ] {
+            assert_eq!(
+                stages.iter().filter(|s| **s == want).count(),
+                1,
+                "stage {want} in {stages:?}"
+            );
+        }
+        let service = spans.iter().find(|s| s.stage == "server.service").unwrap();
+        assert_eq!(service.detail, 1, "write verify attempts ride in detail");
+    }
+
+    #[test]
+    fn stats_json_returns_a_machine_readable_snapshot() {
+        let obs = Obs::new();
+        let server = Server::start(&tiny_cfg(), &obs, None).unwrap();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        for k in 0..4u64 {
+            let data = Box::new([k as u8; LINE_BYTES]);
+            let r = c.call(&Request::WriteLine { line: k, data }).unwrap();
+            assert!(matches!(r, Response::WriteOk { .. }));
+        }
+        match c.call(&Request::StatsJson).unwrap() {
+            Response::StatsJsonOk { json } => {
+                assert!(json.starts_with("{\"draining\":false"), "{json}");
+                assert!(json.contains("\"shard\":0"), "{json}");
+                assert!(json.contains("\"shard\":1"), "{json}");
+                assert!(json.contains("\"writes\":2"), "{json}");
+                assert!(json.contains("\"window\":16"), "{json}");
+                assert!(json.contains("\"service\":{\"requests\":"), "{json}");
+                assert!(json.contains("\"sim_write_ns\":{\"count\":4"), "{json}");
+            }
+            other => panic!("expected StatsJsonOk, got {other:?}"),
+        }
+        // Per-shard admission gauges registered and quiesced back to zero.
+        assert_eq!(obs.gauge("serve.shard0.queue_depth").get(), 0.0);
+        assert_eq!(obs.gauge("serve.shard1.in_flight").get(), 0.0);
         server.stop();
         server.join();
     }

@@ -11,11 +11,11 @@ const SEED: u64 = 0x5EED_F00D_CAFE_0001;
 fn random_frame(rng: &mut Rng64, payload_len: usize) -> Frame {
     let mut payload = vec![0u8; payload_len];
     rng.fill_bytes(&mut payload);
-    Frame {
-        opcode: [op::READ_LINE, op::WRITE_LINE, op::READ_OK, op::ERR][rng.gen_range_usize(0, 4)],
-        request_id: rng.next_u64(),
+    Frame::new(
+        [op::READ_LINE, op::WRITE_LINE, op::READ_OK, op::ERR][rng.gen_range_usize(0, 4)],
+        rng.next_u64(),
         payload,
-    }
+    )
 }
 
 #[test]

@@ -1,0 +1,120 @@
+//! Seeded property tests for the v2 trace-context frame extension
+//! (PR 6): traced frames round-trip bit-exactly, untraced frames stay
+//! **byte-identical** to wire v1 (old clients keep parsing), and the
+//! 16-byte extension sits under the CRC like everything else.
+
+use reram_obs::TraceContext;
+use reram_serve::proto::{op, read_frame, Frame, WireError, MAX_PAYLOAD};
+use reram_serve::{TRACE_EXT_BYTES, WIRE_VERSION, WIRE_VERSION_TRACED};
+use reram_workloads::Rng64;
+
+const SEED: u64 = 0x7ACE_C0DE_2026_0006;
+
+fn random_frame(rng: &mut Rng64, payload_len: usize) -> Frame {
+    let mut payload = vec![0u8; payload_len];
+    rng.fill_bytes(&mut payload);
+    Frame::new(
+        [op::READ_LINE, op::WRITE_LINE, op::READ_OK, op::STATS_JSON][rng.gen_range_usize(0, 4)],
+        rng.next_u64(),
+        payload,
+    )
+}
+
+fn random_ctx(rng: &mut Rng64) -> TraceContext {
+    TraceContext {
+        trace_id: rng.next_u64() | 1, // never 0
+        parent_span_id: rng.next_u64() | 1,
+    }
+}
+
+#[test]
+fn traced_frames_round_trip_bit_exactly() {
+    let mut rng = Rng64::new(SEED);
+    for _ in 0..500 {
+        let len = rng.gen_range_usize(0, 256);
+        let ctx = random_ctx(&mut rng);
+        let f = random_frame(&mut rng, len).with_trace(Some(ctx));
+        let bytes = f.encode();
+        assert_eq!(bytes[4], WIRE_VERSION_TRACED, "traced frames are v2");
+        let back = read_frame(&mut &bytes[..]).unwrap();
+        assert_eq!(back, f);
+        let t = back.trace.unwrap();
+        assert_eq!(t.trace_id, ctx.trace_id);
+        assert_eq!(t.parent_span_id, ctx.parent_span_id);
+    }
+}
+
+#[test]
+fn untraced_frames_are_byte_identical_to_wire_v1() {
+    // `.with_trace(None)` must be a no-op at the byte level: a v1-only
+    // peer sees exactly the frames it always saw.
+    let mut rng = Rng64::new(SEED ^ 1);
+    for _ in 0..300 {
+        let len = rng.gen_range_usize(0, 128);
+        let f = random_frame(&mut rng, len);
+        let plain = f.encode();
+        let via_api = f.clone().with_trace(None).encode();
+        assert_eq!(plain, via_api, "with_trace(None) must not change bytes");
+        assert_eq!(plain[4], WIRE_VERSION);
+        let back = read_frame(&mut &plain[..]).unwrap();
+        assert!(back.trace.is_none());
+        assert_eq!(back, f);
+    }
+}
+
+#[test]
+fn the_extension_adds_exactly_sixteen_bytes() {
+    let mut rng = Rng64::new(SEED ^ 2);
+    for _ in 0..100 {
+        let len = rng.gen_range_usize(0, MAX_PAYLOAD.min(256));
+        let f = random_frame(&mut rng, len);
+        let plain = f.encode().len();
+        let traced = f.with_trace(Some(random_ctx(&mut rng))).encode().len();
+        assert_eq!(traced, plain + TRACE_EXT_BYTES);
+    }
+}
+
+#[test]
+fn corrupting_the_trace_extension_is_caught_by_the_crc() {
+    // The extension lives inside the CRC-covered region: any single-bit
+    // flip in its 16 bytes must fail the frame, and frame sync must hold
+    // for the next frame on the stream.
+    let mut rng = Rng64::new(SEED ^ 3);
+    for round in 0..300 {
+        let len = rng.gen_range_usize(0, 64);
+        let f = random_frame(&mut rng, len).with_trace(Some(random_ctx(&mut rng)));
+        let trailer = random_frame(&mut rng, 8);
+        let mut bytes = f.encode();
+        // Extension bytes sit after len(4) + ver(1) + op(1) + req_id(8).
+        let idx = 14 + rng.gen_range_usize(0, TRACE_EXT_BYTES);
+        bytes[idx] ^= 1 << rng.gen_u64_below(8);
+        bytes.extend_from_slice(&trailer.encode());
+        let mut cursor = &bytes[..];
+        match read_frame(&mut cursor) {
+            Err(WireError::CrcMismatch { .. }) => {}
+            other => panic!("round {round}: flip at {idx} gave {other:?}"),
+        }
+        assert_eq!(read_frame(&mut cursor).unwrap(), trailer);
+    }
+}
+
+#[test]
+fn mixed_streams_interleave_v1_and_v2_frames() {
+    // A single connection may interleave traced (sampled) and untraced
+    // frames; the reader must track the per-frame version byte.
+    let mut rng = Rng64::new(SEED ^ 4);
+    let mut stream = Vec::new();
+    let mut sent = Vec::new();
+    for _ in 0..64 {
+        let len = rng.gen_range_usize(0, 96);
+        let traced = rng.gen_u64_below(2) == 1;
+        let f = random_frame(&mut rng, len).with_trace(traced.then(|| random_ctx(&mut rng)));
+        stream.extend_from_slice(&f.encode());
+        sent.push(f);
+    }
+    let mut cursor = &stream[..];
+    for want in &sent {
+        assert_eq!(&read_frame(&mut cursor).unwrap(), want);
+    }
+    assert!(cursor.is_empty());
+}
