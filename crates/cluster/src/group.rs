@@ -1,0 +1,959 @@
+//! The live in-process replicated shard group.
+//!
+//! [`ClusterGroup::start`] spins up N replicas. Each replica is a full
+//! [`reram_serve::Server`] (its own TCP listener and shard backends)
+//! plugged into consensus through the [`Replicator`] hook; one **pump
+//! thread** owns every replica's [`RaftCore`] and drives the whole group:
+//!
+//! * delivers replica-to-replica messages over an in-memory bus, each hop
+//!   round-tripping the v3 CRC-framed wire codec;
+//! * advances logical time (`tick_ms` per tick) for elections and
+//!   heartbeats;
+//! * applies committed entries **in log order** through each replica's own
+//!   [`ShardBackend::service_batch`] — the same write-verify ladder the
+//!   single-node server uses, so DRVR escalation state converges
+//!   deterministically on every replica;
+//! * resolves pending client writes: a leader's `WriteLine` parks in
+//!   [`Replicator::replicate_write`] until its entry is committed and
+//!   applied (plus, under [`ReplicationMode::All`], held by every live
+//!   replica), and the ack carries the *pump's* verify outcome.
+//!
+//! Fault sites ([`reram_fault::site`]): `cluster.leader.kill` (per tick,
+//! target `group`) stops the leader's server and crash-stops its core;
+//! `cluster.net.partition` (per tick, target `peer<id>`) isolates a
+//! replica; `cluster.msg.stale_term` (per delivery, target `peer<id>`)
+//! rewrites a message's term downward to prove the term checks hold.
+
+use crate::core::{CoreConfig, RaftCore, Role};
+use reram_fault::{site, FaultInjector};
+use reram_obs::{Obs, TraceContext, Tracer};
+use reram_serve::cluster::{ClusterMsg, ReplicaId};
+use reram_serve::proto::{Frame, Response, LINE_BYTES};
+use reram_serve::shard::{ShardBackend, ShardMap, ShardOp};
+use reram_serve::{ClusterStatus, ReplicationMode, Replicator, ServeConfig, Server, WriteAck};
+use std::collections::{HashMap, VecDeque};
+use std::net::SocketAddr;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of a live replica group.
+#[derive(Debug, Clone)]
+pub struct GroupConfig {
+    /// Replicas in the group (3+ to survive a leader kill).
+    pub replicas: u16,
+    /// Per-replica server config (`addr` should be `127.0.0.1:0`; every
+    /// replica binds its own port).
+    pub serve: ServeConfig,
+    /// Cluster seed: election timeouts and all consensus randomness.
+    pub seed: u64,
+    /// Write-ack condition.
+    pub mode: ReplicationMode,
+    /// Milliseconds per consensus tick (elections take 10–20 ticks).
+    pub tick_ms: u64,
+    /// Log-compaction threshold (entries kept beyond the applied prefix).
+    pub snapshot_keep: u64,
+}
+
+impl GroupConfig {
+    /// A 3-replica majority-ack group on loopback with 1 ms ticks.
+    #[must_use]
+    pub fn new(serve: ServeConfig, seed: u64) -> GroupConfig {
+        GroupConfig {
+            replicas: 3,
+            serve,
+            seed,
+            mode: ReplicationMode::Majority,
+            tick_ms: 1,
+            snapshot_keep: 4096,
+        }
+    }
+}
+
+/// A client write parked in [`Replicator::replicate_write`].
+struct Proposal {
+    ticket: u64,
+    node: ReplicaId,
+    line: u64,
+    data: Box<[u8; LINE_BYTES]>,
+}
+
+/// Cross-thread state shared between server connection threads and the
+/// pump. Kept small: the cores, backends and bus live inside the pump.
+struct PumpState {
+    shutdown: bool,
+    next_ticket: u64,
+    proposals: VecDeque<Proposal>,
+    results: HashMap<u64, Result<WriteAck, String>>,
+    kill_leader_req: bool,
+    killed_ack: Option<Option<ReplicaId>>,
+    digest_req: bool,
+    digests: Option<Vec<Option<u32>>>,
+}
+
+struct Shared {
+    state: Mutex<PumpState>,
+    /// Wakes the pump (new proposal / control request / shutdown).
+    work: Condvar,
+    /// Wakes threads waiting on results / control acks.
+    done: Condvar,
+    /// Per-replica status snapshot, refreshed every pump pass.
+    statuses: Mutex<Vec<ClusterStatus>>,
+    addrs: Vec<SocketAddr>,
+}
+
+impl Shared {
+    fn addr_of(&self, id: ReplicaId) -> String {
+        self.addrs
+            .get(id as usize)
+            .map(|a| a.to_string())
+            .unwrap_or_default()
+    }
+}
+
+/// The [`Replicator`] each server plugs in: forwards writes to the pump
+/// and answers leadership questions from the status snapshot.
+struct NodeReplicator {
+    shared: Arc<Shared>,
+    node: ReplicaId,
+}
+
+impl NodeReplicator {
+    fn snapshot(&self) -> ClusterStatus {
+        self.shared.statuses.lock().expect("statuses poisoned")[self.node as usize].clone()
+    }
+}
+
+impl Replicator for NodeReplicator {
+    fn is_leader(&self) -> bool {
+        self.snapshot().role == "leader"
+    }
+
+    fn leader_hint(&self) -> String {
+        self.snapshot().leader
+    }
+
+    fn replicate_write(&self, line: u64, data: &[u8; LINE_BYTES]) -> Result<WriteAck, String> {
+        let ticket = {
+            let mut st = self.shared.state.lock().expect("pump state poisoned");
+            if st.shutdown {
+                return Err(String::new());
+            }
+            let ticket = st.next_ticket;
+            st.next_ticket += 1;
+            st.proposals.push_back(Proposal {
+                ticket,
+                node: self.node,
+                line,
+                data: Box::new(*data),
+            });
+            self.shared.work.notify_one();
+            ticket
+        };
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let mut st = self.shared.state.lock().expect("pump state poisoned");
+        loop {
+            if let Some(res) = st.results.remove(&ticket) {
+                return res;
+            }
+            if st.shutdown || Instant::now() >= deadline {
+                return Err(self.snapshot().leader);
+            }
+            let (guard, _) = self
+                .shared
+                .done
+                .wait_timeout(st, Duration::from_millis(50))
+                .expect("pump state poisoned");
+            st = guard;
+        }
+    }
+
+    fn status(&self) -> ClusterStatus {
+        self.snapshot()
+    }
+}
+
+/// One replica as the pump sees it.
+struct Node {
+    core: RaftCore,
+    backends: Arc<Vec<Mutex<ShardBackend>>>,
+    server: Option<Server>,
+    inbox: VecDeque<(ReplicaId, Vec<u8>)>,
+    /// Verify outcomes by log index (term, ack), pruned as `applied`
+    /// advances; pending tickets resolve against this.
+    acks: HashMap<u64, (u64, WriteAck)>,
+    killed: bool,
+    /// Tick until which this replica is partitioned off the bus.
+    partitioned_until: u64,
+}
+
+struct PendingTicket {
+    ticket: u64,
+    node: ReplicaId,
+    index: u64,
+    term: u64,
+}
+
+/// A running replica group. Stop it with [`ClusterGroup::shutdown`].
+pub struct ClusterGroup {
+    shared: Arc<Shared>,
+    pump: Option<JoinHandle<()>>,
+    cfg: GroupConfig,
+}
+
+impl std::fmt::Debug for ClusterGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterGroup")
+            .field("replicas", &self.cfg.replicas)
+            .field("addrs", &self.shared.addrs)
+            .finish()
+    }
+}
+
+impl ClusterGroup {
+    /// Binds `cfg.replicas` servers on loopback, wires each into the
+    /// consensus pump, and starts the pump thread. A leader emerges within
+    /// a few election timeouts (tens of milliseconds at the default
+    /// `tick_ms`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates a bind failure from any replica's server.
+    pub fn start(
+        cfg: &GroupConfig,
+        obs: &Obs,
+        tracer: Tracer,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> std::io::Result<ClusterGroup> {
+        assert!(cfg.replicas >= 1, "at least one replica");
+        let statuses = vec![
+            ClusterStatus {
+                role: "follower",
+                term: 0,
+                commit: 0,
+                applied: 0,
+                lag: 0,
+                leader: String::new(),
+            };
+            cfg.replicas as usize
+        ];
+        // Servers must exist before `Shared` is final (it embeds the bound
+        // addresses), but the replicators need `Shared`. Two-phase: build
+        // servers against a pre-shared core, then freeze the addresses.
+        let mut servers = Vec::new();
+        let mut backends_by_node = Vec::new();
+        let mut addrs: Vec<SocketAddr> = Vec::new();
+        let shared_cell: Arc<Mutex<Option<Arc<Shared>>>> = Arc::new(Mutex::new(None));
+        for id in 0..cfg.replicas {
+            let backends = Server::build_backends(&cfg.serve, obs);
+            let repl = Arc::new(LateBoundReplicator {
+                cell: Arc::clone(&shared_cell),
+                node: id,
+            });
+            let server = Server::start_replicated(
+                &cfg.serve,
+                obs,
+                tracer.clone(),
+                faults.clone(),
+                repl,
+                Arc::clone(&backends),
+            )?;
+            addrs.push(server.local_addr());
+            servers.push(server);
+            backends_by_node.push(backends);
+        }
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PumpState {
+                shutdown: false,
+                next_ticket: 1,
+                proposals: VecDeque::new(),
+                results: HashMap::new(),
+                kill_leader_req: false,
+                killed_ack: None,
+                digest_req: false,
+                digests: None,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            statuses: Mutex::new(statuses),
+            addrs,
+        });
+        *shared_cell.lock().expect("shared cell") = Some(Arc::clone(&shared));
+
+        let nodes: Vec<Node> = servers
+            .into_iter()
+            .zip(backends_by_node)
+            .enumerate()
+            .map(|(id, (server, backends))| {
+                let mut core_cfg = CoreConfig::new(id as ReplicaId, cfg.replicas, cfg.seed);
+                core_cfg.snapshot_keep = cfg.snapshot_keep;
+                Node {
+                    core: RaftCore::new(core_cfg),
+                    backends,
+                    server: Some(server),
+                    inbox: VecDeque::new(),
+                    acks: HashMap::new(),
+                    killed: false,
+                    partitioned_until: 0,
+                }
+            })
+            .collect();
+
+        let pump = {
+            let shared = Arc::clone(&shared);
+            let obs = obs.clone();
+            let tracer = tracer.clone();
+            let faults = faults.clone();
+            let cfg = cfg.clone();
+            std::thread::Builder::new()
+                .name("cluster-pump".into())
+                .spawn(move || {
+                    Pump {
+                        shared,
+                        nodes,
+                        pending: Vec::new(),
+                        map: ShardMap::new(cfg.serve.shards, cfg.serve.lines_per_shard),
+                        mode: cfg.mode,
+                        tick_ms: cfg.tick_ms.max(1),
+                        obs,
+                        tracer,
+                        faults,
+                        tick: 0,
+                        last_leader: None,
+                        leaderless_since_tick: 0,
+                        span_seq: 0,
+                    }
+                    .run();
+                })
+                .expect("spawn cluster pump")
+        };
+        Ok(ClusterGroup {
+            shared,
+            pump: Some(pump),
+            cfg: cfg.clone(),
+        })
+    }
+
+    /// Bound addresses, indexed by replica id.
+    #[must_use]
+    pub fn addrs(&self) -> Vec<SocketAddr> {
+        self.shared.addrs.clone()
+    }
+
+    /// Latest status snapshot for every replica.
+    #[must_use]
+    pub fn statuses(&self) -> Vec<ClusterStatus> {
+        self.shared
+            .statuses
+            .lock()
+            .expect("statuses poisoned")
+            .clone()
+    }
+
+    /// The current leader's replica id, if one is established.
+    #[must_use]
+    pub fn leader(&self) -> Option<ReplicaId> {
+        self.statuses()
+            .iter()
+            .position(|s| s.role == "leader")
+            .map(|i| i as ReplicaId)
+    }
+
+    /// Blocks until a leader is established (or `timeout` elapses).
+    #[must_use]
+    pub fn wait_for_leader(&self, timeout: Duration) -> Option<ReplicaId> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(l) = self.leader() {
+                return Some(l);
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Blocks until every live replica has applied everything it has
+    /// committed and all live commit indexes agree.
+    pub fn wait_converged(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let st = self.statuses();
+            let live: Vec<&ClusterStatus> = st.iter().filter(|s| s.role != "dead").collect();
+            let commits: Vec<u64> = live.iter().map(|s| s.commit).collect();
+            let settled = live.iter().all(|s| s.lag == 0)
+                && commits.windows(2).all(|w| w[0] == w[1])
+                && !live.is_empty();
+            if settled {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Crash-stops the current leader (the failover drill's kill switch):
+    /// its server stops accepting and its core leaves the group. Returns
+    /// the killed replica id, or `None` when no leader was established.
+    pub fn kill_leader(&self) -> Option<ReplicaId> {
+        let mut st = self.shared.state.lock().expect("pump state poisoned");
+        st.kill_leader_req = true;
+        st.killed_ack = None;
+        self.shared.work.notify_one();
+        loop {
+            if let Some(ack) = st.killed_ack.take() {
+                return ack;
+            }
+            if st.shutdown {
+                return None;
+            }
+            let (guard, _) = self
+                .shared
+                .done
+                .wait_timeout(st, Duration::from_millis(50))
+                .expect("pump state poisoned");
+            st = guard;
+        }
+    }
+
+    /// Per-replica write-ledger digests (`None` for killed replicas).
+    /// Live replicas that have converged report identical digests — this
+    /// is the byte-identity check the failover drill gates on.
+    #[must_use]
+    pub fn ledger_digests(&self) -> Vec<Option<u32>> {
+        let mut st = self.shared.state.lock().expect("pump state poisoned");
+        st.digest_req = true;
+        st.digests = None;
+        self.shared.work.notify_one();
+        loop {
+            if let Some(d) = st.digests.take() {
+                return d;
+            }
+            if st.shutdown {
+                return Vec::new();
+            }
+            let (guard, _) = self
+                .shared
+                .done
+                .wait_timeout(st, Duration::from_millis(50))
+                .expect("pump state poisoned");
+            st = guard;
+        }
+    }
+
+    /// Stops every replica's server and the pump, then joins them.
+    pub fn shutdown(mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pump state poisoned");
+            st.shutdown = true;
+            self.shared.work.notify_all();
+            self.shared.done.notify_all();
+        }
+        if let Some(h) = self.pump.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ClusterGroup {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().expect("pump state poisoned");
+        st.shutdown = true;
+        self.shared.work.notify_all();
+        self.shared.done.notify_all();
+        drop(st);
+        if let Some(h) = self.pump.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Replicator whose `Shared` arrives after server construction (servers
+/// must bind before the address table can be frozen).
+struct LateBoundReplicator {
+    cell: Arc<Mutex<Option<Arc<Shared>>>>,
+    node: ReplicaId,
+}
+
+impl LateBoundReplicator {
+    fn bound(&self) -> Option<NodeReplicator> {
+        self.cell
+            .lock()
+            .expect("shared cell")
+            .as_ref()
+            .map(|s| NodeReplicator {
+                shared: Arc::clone(s),
+                node: self.node,
+            })
+    }
+}
+
+impl Replicator for LateBoundReplicator {
+    fn is_leader(&self) -> bool {
+        self.bound().is_some_and(|r| r.is_leader())
+    }
+
+    fn leader_hint(&self) -> String {
+        self.bound().map(|r| r.leader_hint()).unwrap_or_default()
+    }
+
+    fn replicate_write(&self, line: u64, data: &[u8; LINE_BYTES]) -> Result<WriteAck, String> {
+        match self.bound() {
+            Some(r) => r.replicate_write(line, data),
+            None => Err(String::new()),
+        }
+    }
+
+    fn status(&self) -> ClusterStatus {
+        self.bound().map(|r| r.status()).unwrap_or(ClusterStatus {
+            role: "follower",
+            term: 0,
+            commit: 0,
+            applied: 0,
+            lag: 0,
+            leader: String::new(),
+        })
+    }
+}
+
+/// The pump thread's working set.
+struct Pump {
+    shared: Arc<Shared>,
+    nodes: Vec<Node>,
+    pending: Vec<PendingTicket>,
+    map: ShardMap,
+    mode: ReplicationMode,
+    tick_ms: u64,
+    obs: Obs,
+    tracer: Tracer,
+    faults: Option<Arc<FaultInjector>>,
+    tick: u64,
+    last_leader: Option<ReplicaId>,
+    leaderless_since_tick: u64,
+    span_seq: u64,
+}
+
+impl Pump {
+    fn run(&mut self) {
+        let mut last_tick = Instant::now();
+        loop {
+            // 1. Pull work from the shared state.
+            let (proposals, shutdown, kill_req, digest_req) = {
+                let mut st = self.shared.state.lock().expect("pump state poisoned");
+                let props: Vec<Proposal> = st.proposals.drain(..).collect();
+                let kill = std::mem::take(&mut st.kill_leader_req);
+                let dig = std::mem::take(&mut st.digest_req);
+                (props, st.shutdown, kill, dig)
+            };
+            if shutdown {
+                self.fail_all_pending();
+                for n in &mut self.nodes {
+                    if let Some(s) = n.server.take() {
+                        s.stop();
+                        s.join();
+                    }
+                }
+                self.shared.done.notify_all();
+                return;
+            }
+            if kill_req {
+                let victim = self.kill_current_leader();
+                let mut st = self.shared.state.lock().expect("pump state poisoned");
+                st.killed_ack = Some(victim);
+                self.shared.done.notify_all();
+            }
+
+            // 2. Proposals → leader log appends.
+            for p in proposals {
+                self.handle_proposal(p);
+            }
+
+            // 3. Drain the bus until quiescent.
+            self.deliver_all();
+
+            // 4. Advance logical time on cadence.
+            let mut ticked = false;
+            while last_tick.elapsed() >= Duration::from_millis(self.tick_ms) {
+                last_tick += Duration::from_millis(self.tick_ms);
+                self.advance_tick();
+                ticked = true;
+            }
+            if ticked {
+                self.deliver_all();
+            }
+
+            // 5. Apply committed entries through each replica's ladder.
+            self.apply_all();
+
+            // 6. Resolve parked writes.
+            self.resolve_pending();
+
+            // 7. Publish status (and digests when asked).
+            self.publish_status();
+            if digest_req {
+                let digs: Vec<Option<u32>> = self
+                    .nodes
+                    .iter()
+                    .map(|n| (!n.killed).then(|| n.core.ledger_digest()))
+                    .collect();
+                let mut st = self.shared.state.lock().expect("pump state poisoned");
+                st.digests = Some(digs);
+                self.shared.done.notify_all();
+            }
+
+            // 8. Sleep until the next tick or the next piece of work.
+            let st = self.shared.state.lock().expect("pump state poisoned");
+            if st.proposals.is_empty() && !st.shutdown && !st.kill_leader_req && !st.digest_req {
+                let _ = self
+                    .shared
+                    .work
+                    .wait_timeout(st, Duration::from_millis(self.tick_ms))
+                    .expect("pump state poisoned");
+            }
+        }
+    }
+
+    fn live_count(&self) -> u32 {
+        self.nodes.iter().filter(|n| !n.killed).count() as u32
+    }
+
+    fn leader_id(&self) -> Option<ReplicaId> {
+        let mut it = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.killed && n.core.role() == Role::Leader)
+            .map(|(i, _)| i as ReplicaId);
+        match (it.next(), it.next()) {
+            (Some(l), None) => Some(l),
+            _ => None,
+        }
+    }
+
+    fn hint_for(&self, node: ReplicaId) -> String {
+        self.nodes[node as usize]
+            .core
+            .leader_hint()
+            .filter(|l| !self.nodes[*l as usize].killed)
+            .map(|l| self.shared.addr_of(l))
+            .unwrap_or_default()
+    }
+
+    fn fail_all_pending(&mut self) {
+        let mut st = self.shared.state.lock().expect("pump state poisoned");
+        for p in self.pending.drain(..) {
+            st.results.insert(p.ticket, Err(String::new()));
+        }
+        self.shared.done.notify_all();
+    }
+
+    fn handle_proposal(&mut self, p: Proposal) {
+        let node = p.node as usize;
+        if self.nodes[node].killed || self.nodes[node].core.role() != Role::Leader {
+            let hint = self.hint_for(p.node);
+            let mut st = self.shared.state.lock().expect("pump state poisoned");
+            st.results.insert(p.ticket, Err(hint));
+            self.shared.done.notify_all();
+            return;
+        }
+        self.obs.counter("cluster.proposals").inc();
+        let (index, out) = self.nodes[node]
+            .core
+            .propose(p.line, p.data)
+            .expect("role checked above");
+        let term = self.nodes[node].core.term();
+        self.pending.push(PendingTicket {
+            ticket: p.ticket,
+            node: p.node,
+            index,
+            term,
+        });
+        self.route(p.node, out);
+    }
+
+    /// Encodes outbound messages through the v3 codec onto the bus,
+    /// honoring partitions and kills.
+    fn route(&mut self, from: ReplicaId, out: Vec<(ReplicaId, ClusterMsg)>) {
+        for (to, msg) in out {
+            let cut = |n: &Node| n.killed || self.tick < n.partitioned_until;
+            if cut(&self.nodes[from as usize]) || cut(&self.nodes[to as usize]) {
+                self.obs.counter("cluster.msgs.dropped").inc();
+                continue;
+            }
+            self.obs.counter("cluster.msgs.sent").inc();
+            let bytes = msg.to_frame(0).encode();
+            self.nodes[to as usize].inbox.push_back((from, bytes));
+        }
+    }
+
+    fn deliver_all(&mut self) {
+        loop {
+            let mut progressed = false;
+            for id in 0..self.nodes.len() {
+                while let Some((from, bytes)) = self.nodes[id].inbox.pop_front() {
+                    progressed = true;
+                    if self.nodes[id].killed {
+                        self.obs.counter("cluster.msgs.dropped").inc();
+                        continue;
+                    }
+                    let frame = Frame::decode_body(&bytes[4..]).expect("bus frames decode");
+                    let mut msg = ClusterMsg::from_frame(&frame).expect("bus frames re-type");
+                    if let Some(f) = self
+                        .faults
+                        .as_ref()
+                        .and_then(|fi| fi.fire(site::STALE_TERM, &format!("peer{id}")))
+                    {
+                        let back = (f.param as u64).max(1);
+                        msg = msg.with_term(msg.term().saturating_sub(back));
+                        self.obs.counter("cluster.faults.stale_term").inc();
+                    }
+                    let out = self.nodes[id].core.step(&msg);
+                    let _ = from;
+                    self.route(id as ReplicaId, out);
+                }
+            }
+            if !progressed {
+                return;
+            }
+        }
+    }
+
+    fn advance_tick(&mut self) {
+        self.tick += 1;
+        if let Some(fi) = self.faults.clone() {
+            if fi.fire(site::LEADER_KILL, "group").is_some() {
+                let _ = self.kill_current_leader();
+            }
+            for id in 0..self.nodes.len() {
+                if self.nodes[id].killed {
+                    continue;
+                }
+                if let Some(f) = fi.fire(site::PARTITION, &format!("peer{id}")) {
+                    let ticks = if f.param > 0.0 { f.param as u64 } else { 40 };
+                    self.nodes[id].partitioned_until = self.tick + ticks;
+                    self.obs.counter("cluster.faults.partition").inc();
+                }
+            }
+        }
+        for id in 0..self.nodes.len() {
+            if self.nodes[id].killed {
+                continue;
+            }
+            let before = self.nodes[id].core.elections_started();
+            let out = self.nodes[id].core.tick();
+            if self.nodes[id].core.elections_started() > before {
+                self.obs.counter("cluster.elections").inc();
+            }
+            self.route(id as ReplicaId, out);
+        }
+        self.note_leadership();
+    }
+
+    fn note_leadership(&mut self) {
+        let now_leader = self.leader_id();
+        if now_leader == self.last_leader {
+            return;
+        }
+        match now_leader {
+            Some(l) => {
+                self.obs.counter("cluster.leader_changes").inc();
+                self.obs
+                    .hist("cluster.election.ticks")
+                    .record((self.tick - self.leaderless_since_tick) as f64);
+                if self.tracer.enabled() {
+                    // A synthetic trace id keyed off the change sequence:
+                    // leader-change spans ride the same v2 stream as
+                    // request spans but never collide with client ids.
+                    self.span_seq += 1;
+                    let ctx = TraceContext {
+                        trace_id: (0xC1 << 56) | self.span_seq,
+                        parent_span_id: 0,
+                    };
+                    let now = self.tracer.now_ns();
+                    self.tracer
+                        .record_span(ctx, "cluster.leader_change", now, now, u64::from(l));
+                }
+            }
+            None => self.leaderless_since_tick = self.tick,
+        }
+        self.last_leader = now_leader;
+    }
+
+    fn kill_current_leader(&mut self) -> Option<ReplicaId> {
+        let l = self.leader_id()?;
+        let node = &mut self.nodes[l as usize];
+        node.killed = true;
+        node.inbox.clear();
+        if let Some(s) = node.server.take() {
+            s.stop();
+            s.join();
+        }
+        self.obs.counter("cluster.leader.kills").inc();
+        self.last_leader = None;
+        self.leaderless_since_tick = self.tick;
+        // Writes parked on the dead leader can never be acked by it.
+        let mut st = self.shared.state.lock().expect("pump state poisoned");
+        let mut kept = Vec::new();
+        for p in self.pending.drain(..) {
+            if p.node == l {
+                st.results.insert(p.ticket, Err(String::new()));
+            } else {
+                kept.push(p);
+            }
+        }
+        self.pending = kept;
+        self.shared.done.notify_all();
+        Some(l)
+    }
+
+    /// Applies committed entries on every live replica, in log order,
+    /// through that replica's own shard backends.
+    fn apply_all(&mut self) {
+        for id in 0..self.nodes.len() {
+            if self.nodes[id].killed {
+                continue;
+            }
+            if let Some((_, _, lines)) = self.nodes[id].core.take_install() {
+                self.obs.counter("cluster.snapshots.installed").inc();
+                for (line, data) in lines {
+                    let shard = self.map.shard_of(line);
+                    let local = self.map.local_of(line);
+                    let mut b = self.nodes[id].backends[shard]
+                        .lock()
+                        .expect("backend poisoned");
+                    let _ = b.service_batch(&[ShardOp::Write { local, data }]);
+                }
+            }
+            let entries = self.nodes[id].core.take_applyable();
+            if entries.is_empty() {
+                continue;
+            }
+            for e in entries {
+                if e.is_noop() {
+                    continue;
+                }
+                self.obs.counter("cluster.applies").inc();
+                let shard = self.map.shard_of(e.line);
+                let local = self.map.local_of(e.line);
+                let outcomes = {
+                    let mut b = self.nodes[id].backends[shard]
+                        .lock()
+                        .expect("backend poisoned");
+                    b.service_batch(&[ShardOp::Write {
+                        local,
+                        data: e.data.clone(),
+                    }])
+                };
+                let ack = match outcomes.first().map(|o| &o.response) {
+                    Some(Response::WriteOk { attempts, degraded }) => WriteAck {
+                        attempts: *attempts,
+                        degraded: *degraded,
+                    },
+                    _ => WriteAck {
+                        attempts: 0,
+                        degraded: true,
+                    },
+                };
+                self.nodes[id].acks.insert(e.index, (e.term, ack));
+            }
+            // Prune the ack window well behind the applied frontier.
+            let applied = self.nodes[id].core.applied();
+            if self.nodes[id].acks.len() > 8192 {
+                self.nodes[id].acks.retain(|&i, _| i + 1024 >= applied);
+            }
+        }
+    }
+
+    fn resolve_pending(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let live = self.live_count();
+        let mode = self.mode;
+        let mut resolved: Vec<(u64, Result<WriteAck, String>)> = Vec::new();
+        let mut kept = Vec::new();
+        let pending = std::mem::take(&mut self.pending);
+        for p in pending {
+            let n = &self.nodes[p.node as usize];
+            if n.killed {
+                resolved.push((p.ticket, Err(String::new())));
+                continue;
+            }
+            match n.acks.get(&p.index) {
+                Some((t, ack)) if *t == p.term => {
+                    let replicated = n.core.replicated_count(p.index);
+                    let need = match mode {
+                        ReplicationMode::Majority => 0, // commit already proves majority
+                        ReplicationMode::All => live,
+                    };
+                    if replicated >= need {
+                        resolved.push((p.ticket, Ok(*ack)));
+                    } else {
+                        kept.push(p);
+                    }
+                }
+                Some(_) => {
+                    // The index applied under a different term: the
+                    // proposal was overwritten by a new leader's log.
+                    resolved.push((p.ticket, Err(self.hint_for(p.node))));
+                }
+                None if n.core.applied() >= p.index => {
+                    // Applied past it without an ack: the slot became a
+                    // no-op barrier — the original entry is gone.
+                    resolved.push((p.ticket, Err(self.hint_for(p.node))));
+                }
+                None if n.core.role() != Role::Leader => {
+                    // Deposed before commit. The client retries through
+                    // the redirect; if the entry still commits later the
+                    // duplicate apply is idempotent.
+                    resolved.push((p.ticket, Err(self.hint_for(p.node))));
+                }
+                None => kept.push(p),
+            }
+        }
+        self.pending = kept;
+        if !resolved.is_empty() {
+            let mut st = self.shared.state.lock().expect("pump state poisoned");
+            for (ticket, res) in resolved {
+                st.results.insert(ticket, res);
+            }
+            self.shared.done.notify_all();
+        }
+    }
+
+    fn publish_status(&self) {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        for (id, n) in self.nodes.iter().enumerate() {
+            let role = if n.killed {
+                "dead"
+            } else {
+                n.core.role().name()
+            };
+            let commit = n.core.commit();
+            let applied = n.core.applied();
+            let lag = commit.saturating_sub(applied);
+            if !n.killed {
+                self.obs.hist("cluster.repl.lag").record(lag as f64);
+            }
+            let leader = n
+                .core
+                .leader_hint()
+                .filter(|l| !self.nodes[*l as usize].killed)
+                .map(|l| self.shared.addr_of(l))
+                .unwrap_or_default();
+            out.push(ClusterStatus {
+                role,
+                term: n.core.term(),
+                commit,
+                applied,
+                lag,
+                leader,
+            });
+            let _ = id;
+        }
+        *self.shared.statuses.lock().expect("statuses poisoned") = out;
+    }
+}

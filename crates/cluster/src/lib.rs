@@ -1,0 +1,44 @@
+//! # reram-cluster — replicated shard groups with deterministic failover
+//!
+//! Replicates the `reram-serve` memory service across a group of replicas
+//! with a compact, seeded-deterministic raft-style consensus core, so that
+//! killing the leader mid-run loses **zero acknowledged writes** and the
+//! surviving replicas converge to a byte-identical write ledger.
+//!
+//! Three layers:
+//!
+//! * [`core`] — [`core::RaftCore`], the pure consensus state machine:
+//!   leader election with randomized-but-seeded timeouts, a replicated
+//!   write-ledger log of term/index/CRC entries
+//!   ([`reram_serve::cluster::WireEntry`]), commit-on-majority, and
+//!   snapshot/catch-up for lagging replicas. No threads, no clock, no
+//!   sockets — time is an explicit `tick()`.
+//! * [`sim`] — [`sim::SimCluster`], a single-threaded simulated-clock
+//!   harness that drives N cores through the real v3 wire codec (every
+//!   hop encodes and decodes a CRC-framed message) under seeded partition
+//!   and kill schedules, asserting raft's safety invariants (at most one
+//!   leader per term; a committed entry is never lost or rewritten).
+//! * [`group`] — [`group::ClusterGroup`], the live in-process cluster:
+//!   one TCP [`reram_serve::Server`] per replica sharing its shard
+//!   backends with a consensus pump thread. Followers redirect data ops
+//!   with `NotLeader`; leader writes replicate before they are
+//!   acknowledged ([`reram_serve::ReplicationMode`]); committed entries
+//!   replay through each replica's own `VerifiedStore` write-verify
+//!   ladder so DRVR escalation state converges deterministically.
+//!
+//! Fault sites (`reram-fault`): `cluster.leader.kill` stops the current
+//! leader's server and excludes it from consensus; `cluster.net.partition`
+//! isolates a replica for a parameterized number of ticks;
+//! `cluster.msg.stale_term` rewrites a delivered message's term downward,
+//! which the protocol must shrug off.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod core;
+pub mod group;
+pub mod sim;
+
+pub use crate::core::{CoreConfig, RaftCore, Role};
+pub use group::{ClusterGroup, GroupConfig};
+pub use sim::{SimCluster, SimConfig};

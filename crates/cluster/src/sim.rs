@@ -1,0 +1,298 @@
+//! Single-threaded simulated-clock cluster for deterministic safety tests.
+//!
+//! [`SimCluster`] owns N [`RaftCore`]s and a per-replica inbox. One
+//! [`SimCluster::step_tick`] advances every live core's logical clock by
+//! one tick and then delivers messages until the network is quiescent —
+//! always in replica-id order, so a given (seed, schedule of kills and
+//! partitions) replays bit-identically. Every message crosses the real v3
+//! wire codec: it is packed into a [`Frame`], encoded to bytes, decoded
+//! back and re-typed, so the simulator also exercises CRC framing on every
+//! hop.
+//!
+//! After each delivery the harness checks raft's two safety invariants:
+//!
+//! * **Election safety** — at most one leader is ever observed per term.
+//! * **Committed-entry durability** — once any replica commits index `i`,
+//!   the entry identity (term + CRC) at `i` never changes on any replica,
+//!   and no later observation loses it.
+//!
+//! Violations panic with a diagnostic, which is exactly what the
+//! `election_safety` test sweep wants.
+
+use crate::core::{CoreConfig, RaftCore, Role};
+use reram_serve::cluster::{ClusterMsg, ReplicaId};
+use reram_serve::proto::{Frame, LINE_BYTES};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Simulator dimensions.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Group size.
+    pub replicas: u16,
+    /// Cluster seed (drives every replica's election timeouts).
+    pub seed: u64,
+    /// Log-compaction threshold forwarded to each core.
+    pub snapshot_keep: u64,
+}
+
+impl SimConfig {
+    /// A 3-replica simulation with small logs (compaction exercised early).
+    #[must_use]
+    pub fn new(replicas: u16, seed: u64) -> SimConfig {
+        SimConfig {
+            replicas,
+            seed,
+            snapshot_keep: 64,
+        }
+    }
+}
+
+/// The deterministic in-memory cluster. See the module docs.
+#[derive(Debug)]
+pub struct SimCluster {
+    cores: Vec<RaftCore>,
+    inboxes: Vec<VecDeque<(ReplicaId, Vec<u8>)>>,
+    /// Tick until which each replica is partitioned (None = connected).
+    partitioned: Vec<Option<u64>>,
+    killed: Vec<bool>,
+    tick: u64,
+    next_request_id: u64,
+    /// term → the single leader observed for it.
+    leaders_by_term: BTreeMap<u64, ReplicaId>,
+    /// index → (term, crc) identity of a committed entry.
+    committed: BTreeMap<u64, (u64, u32)>,
+    /// Messages dropped by partitions or kills (visibility for tests).
+    dropped: u64,
+    /// Snapshot installs observed across the run.
+    installs: u64,
+    /// Entries handed to the (simulated) apply path across all replicas.
+    applied_entries: u64,
+}
+
+impl SimCluster {
+    /// Builds the group; all replicas start as followers at term 0.
+    #[must_use]
+    pub fn new(cfg: &SimConfig) -> SimCluster {
+        let n = cfg.replicas as usize;
+        let cores = (0..cfg.replicas)
+            .map(|id| {
+                let mut c = CoreConfig::new(id, cfg.replicas, cfg.seed);
+                c.snapshot_keep = cfg.snapshot_keep;
+                RaftCore::new(c)
+            })
+            .collect();
+        SimCluster {
+            cores,
+            inboxes: (0..n).map(|_| VecDeque::new()).collect(),
+            partitioned: vec![None; n],
+            killed: vec![false; n],
+            tick: 0,
+            next_request_id: 1,
+            leaders_by_term: BTreeMap::new(),
+            committed: BTreeMap::new(),
+            dropped: 0,
+            installs: 0,
+            applied_entries: 0,
+        }
+    }
+
+    /// Snapshot installs observed across the run (catch-up coverage).
+    #[must_use]
+    pub fn installs(&self) -> u64 {
+        self.installs
+    }
+
+    /// Entries handed to the simulated apply path, summed over replicas.
+    #[must_use]
+    pub fn applied_entries(&self) -> u64 {
+        self.applied_entries
+    }
+
+    /// The current logical tick.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.tick
+    }
+
+    /// Messages dropped so far by partitions and kills.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Immutable view of replica `id`'s core.
+    #[must_use]
+    pub fn core(&self, id: ReplicaId) -> &RaftCore {
+        &self.cores[id as usize]
+    }
+
+    /// The live leader, if exactly one replica currently claims the role.
+    #[must_use]
+    pub fn leader(&self) -> Option<ReplicaId> {
+        let mut it = self
+            .cores
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| !self.killed[*i] && c.role() == Role::Leader)
+            .map(|(i, _)| i as ReplicaId);
+        match (it.next(), it.next()) {
+            (Some(l), None) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Permanently removes replica `id` from the group (crash-stop).
+    pub fn kill(&mut self, id: ReplicaId) {
+        self.killed[id as usize] = true;
+        self.inboxes[id as usize].clear();
+    }
+
+    /// True when `id` has been killed.
+    #[must_use]
+    pub fn is_killed(&self, id: ReplicaId) -> bool {
+        self.killed[id as usize]
+    }
+
+    /// Isolates replica `id` for the next `ticks` ticks: everything to or
+    /// from it is dropped, but its clock keeps running (so it times out,
+    /// starts elections, and must be re-absorbed on heal).
+    pub fn partition(&mut self, id: ReplicaId, ticks: u64) {
+        self.partitioned[id as usize] = Some(self.tick + ticks);
+    }
+
+    fn cut_off(&self, id: ReplicaId) -> bool {
+        self.killed[id as usize]
+            || self.partitioned[id as usize].is_some_and(|until| self.tick < until)
+    }
+
+    /// Proposes `write line = data` on the current leader. Returns the
+    /// assigned log index, or `None` when no unique leader exists.
+    pub fn propose(&mut self, line: u64, data: [u8; LINE_BYTES]) -> Option<u64> {
+        let l = self.leader()?;
+        let (index, out) = self.cores[l as usize].propose(line, Box::new(data))?;
+        self.route(l, out);
+        self.deliver_all();
+        Some(index)
+    }
+
+    /// Advances every live replica's clock by one tick, then delivers
+    /// messages until quiescent and checks the safety invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a safety invariant is violated.
+    pub fn step_tick(&mut self) {
+        self.tick += 1;
+        for id in 0..self.cores.len() {
+            if self.killed[id] {
+                continue;
+            }
+            let out = self.cores[id].tick();
+            self.route(id as ReplicaId, out);
+        }
+        self.deliver_all();
+    }
+
+    /// Encodes each outbound message through the v3 codec into the
+    /// destination inbox, dropping across partition/kill cuts.
+    fn route(&mut self, from: ReplicaId, out: Vec<(ReplicaId, ClusterMsg)>) {
+        for (to, msg) in out {
+            if self.cut_off(from) || self.cut_off(to) {
+                self.dropped += 1;
+                continue;
+            }
+            let rid = self.next_request_id;
+            self.next_request_id += 1;
+            let bytes = msg.to_frame(rid).encode();
+            self.inboxes[to as usize].push_back((from, bytes));
+        }
+    }
+
+    fn deliver_all(&mut self) {
+        loop {
+            let mut any = false;
+            for id in 0..self.cores.len() {
+                while let Some((_, bytes)) = self.inboxes[id].pop_front() {
+                    any = true;
+                    if self.killed[id] {
+                        self.dropped += 1;
+                        continue;
+                    }
+                    // The length prefix is consumed by the stream reader in
+                    // the live path; the simulator hands the body straight
+                    // to the decoder.
+                    let frame = Frame::decode_body(&bytes[4..]).expect("sim frames decode cleanly");
+                    let msg = ClusterMsg::from_frame(&frame).expect("sim frames re-type");
+                    let out = self.cores[id].step(&msg);
+                    self.route(id as ReplicaId, out);
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        self.check_invariants();
+        // Drain the host interface so apply/compaction (and therefore the
+        // snapshot catch-up path) run in simulation too.
+        for id in 0..self.cores.len() {
+            if self.killed[id] {
+                continue;
+            }
+            if self.cores[id].take_install().is_some() {
+                self.installs += 1;
+            }
+            self.applied_entries += self.cores[id].take_applyable().len() as u64;
+        }
+    }
+
+    fn check_invariants(&mut self) {
+        // Election safety: one leader per term, ever.
+        for (id, c) in self.cores.iter().enumerate() {
+            if self.killed[id] || c.role() != Role::Leader {
+                continue;
+            }
+            let prev = self
+                .leaders_by_term
+                .entry(c.term())
+                .or_insert(id as ReplicaId);
+            assert!(
+                *prev == id as ReplicaId,
+                "two leaders in term {}: {} and {} (tick {})",
+                c.term(),
+                prev,
+                id,
+                self.tick
+            );
+        }
+        // Committed-entry durability: identities at committed indexes are
+        // write-once across all replicas and all time.
+        for (id, c) in self.cores.iter().enumerate() {
+            if self.killed[id] {
+                continue;
+            }
+            for (index, term, crc) in c.committed_identities() {
+                let prev = self.committed.entry(index).or_insert((term, crc));
+                assert!(
+                    *prev == (term, crc),
+                    "committed entry {index} changed identity on replica {id} \
+                     (was term {} crc {:08x}, now term {term} crc {crc:08x}, tick {})",
+                    prev.0,
+                    prev.1,
+                    self.tick
+                );
+            }
+        }
+    }
+
+    /// Highest index committed anywhere in the run so far.
+    #[must_use]
+    pub fn max_committed(&self) -> u64 {
+        self.committed.keys().next_back().copied().unwrap_or(0)
+    }
+
+    /// Number of distinct terms that elected a leader.
+    #[must_use]
+    pub fn terms_with_leader(&self) -> usize {
+        self.leaders_by_term.len()
+    }
+}

@@ -1,0 +1,222 @@
+//! Deterministic election-safety and durability sweep (PR 7, satellite 2).
+//!
+//! Drives [`SimCluster`] — a single-threaded, simulated-clock cluster in
+//! which every message crosses the real v3 wire codec — across a grid of
+//! seeds × adversarial schedules (partitions, leader kills, both). The
+//! simulator itself panics the moment either safety invariant breaks
+//! (two leaders in one term, or a committed entry changing identity), so
+//! the sweep's job is to generate enough chaos that a violation would
+//! have somewhere to happen, then assert liveness afterwards: the group
+//! re-elects, keeps committing, and converges byte-identically on heal.
+
+use reram_cluster::{SimCluster, SimConfig};
+use reram_serve::proto::LINE_BYTES;
+use reram_workloads::Rng64;
+
+const SEEDS: [u64; 6] = [1, 2, 7, 0xDEAD_BEEF, 0x2026_0808, 0x7777_7777_7777_7777];
+
+fn patterned(line: u64, salt: u64) -> [u8; LINE_BYTES] {
+    let mut data = [0u8; LINE_BYTES];
+    let mut rng = Rng64::new(line.wrapping_mul(0x9E37_79B9).wrapping_add(salt));
+    rng.fill_bytes(&mut data);
+    data
+}
+
+/// Ticks until a unique leader exists, with a hard cap so a liveness bug
+/// fails the test instead of hanging it.
+fn settle(sim: &mut SimCluster) -> u16 {
+    for _ in 0..500 {
+        if let Some(l) = sim.leader() {
+            return l;
+        }
+        sim.step_tick();
+    }
+    panic!("no leader after 500 ticks (tick {})", sim.now());
+}
+
+/// Proposes `count` writes, ticking through leader gaps.
+fn pump_writes(sim: &mut SimCluster, count: u64, salt: u64) -> u64 {
+    let mut done = 0;
+    let mut budget = 5_000;
+    while done < count {
+        budget -= 1;
+        assert!(budget > 0, "writes stalled at {done}/{count}");
+        let line = done % 256;
+        if sim.propose(line, patterned(line, salt)).is_some() {
+            done += 1;
+        } else {
+            sim.step_tick();
+        }
+    }
+    done
+}
+
+/// All live replicas agree on commit index and last index.
+fn assert_converged(sim: &mut SimCluster, replicas: u16) {
+    for _ in 0..500 {
+        sim.step_tick();
+        let live: Vec<_> = (0..replicas)
+            .filter(|&id| !sim.is_killed(id))
+            .map(|id| (sim.core(id).commit(), sim.core(id).last_index()))
+            .collect();
+        let (c0, l0) = live[0];
+        if c0 > 0 && live.iter().all(|&(c, l)| c == c0 && l == l0) {
+            return;
+        }
+    }
+    panic!("live replicas never converged (tick {})", sim.now());
+}
+
+#[test]
+fn quiet_clusters_elect_one_leader_and_replicate_across_seeds() {
+    for &seed in &SEEDS {
+        for replicas in [3u16, 5] {
+            let mut sim = SimCluster::new(&SimConfig::new(replicas, seed));
+            settle(&mut sim);
+            pump_writes(&mut sim, 40, seed);
+            assert_converged(&mut sim, replicas);
+            assert!(
+                sim.max_committed() >= 40,
+                "seed {seed:#x} n={replicas}: only {} committed",
+                sim.max_committed()
+            );
+        }
+    }
+}
+
+#[test]
+fn partitions_heal_without_losing_committed_entries() {
+    for &seed in &SEEDS {
+        let mut sim = SimCluster::new(&SimConfig::new(3, seed));
+        let mut rng = Rng64::new(seed ^ 0xFACE);
+        settle(&mut sim);
+        pump_writes(&mut sim, 20, seed);
+        let floor = sim.max_committed();
+        // Three rounds of partition chaos: isolate a random replica (the
+        // leader included) long enough for it to time out and campaign,
+        // keep writing through the majority, then heal and re-absorb.
+        for round in 0..3u64 {
+            let victim = rng.gen_u64_below(3) as u16;
+            sim.partition(victim, 30);
+            for _ in 0..35 {
+                sim.step_tick();
+            }
+            settle(&mut sim);
+            pump_writes(&mut sim, 10, seed ^ round);
+        }
+        assert_converged(&mut sim, 3);
+        assert!(
+            sim.max_committed() >= floor + 30,
+            "seed {seed:#x}: committed index regressed or stalled \
+             ({} after floor {floor})",
+            sim.max_committed()
+        );
+        assert!(sim.dropped() > 0, "partitions never dropped a message");
+    }
+}
+
+#[test]
+fn leader_kills_preserve_every_committed_write() {
+    for &seed in &SEEDS {
+        let mut sim = SimCluster::new(&SimConfig::new(5, seed));
+        settle(&mut sim);
+        pump_writes(&mut sim, 25, seed);
+        // Kill two successive leaders; a 5-group still has quorum (3/5).
+        for round in 0..2u64 {
+            let leader = settle(&mut sim);
+            let committed_before = sim.max_committed();
+            sim.kill(leader);
+            settle(&mut sim);
+            pump_writes(&mut sim, 15, seed ^ (round + 100));
+            assert!(
+                sim.max_committed() > committed_before,
+                "seed {seed:#x} round {round}: no progress after kill"
+            );
+        }
+        assert_converged(&mut sim, 5);
+        // The SimCluster invariant checker has been asserting all along
+        // that no committed identity ever changed; terms_with_leader > 1
+        // confirms the kills actually forced re-elections.
+        assert!(
+            sim.terms_with_leader() >= 3,
+            "kills did not force elections"
+        );
+    }
+}
+
+#[test]
+fn lagging_replicas_catch_up_via_snapshot_install() {
+    // Small snapshot_keep forces compaction, so a replica partitioned
+    // through heavy write traffic returns to find the log truncated and
+    // must take the InstallSnapshot path.
+    let mut installs_seen = 0;
+    for &seed in &SEEDS {
+        let mut cfg = SimConfig::new(3, seed);
+        cfg.snapshot_keep = 8;
+        let mut sim = SimCluster::new(&cfg);
+        settle(&mut sim);
+        pump_writes(&mut sim, 10, seed);
+        let victim = (settle(&mut sim) + 1) % 3;
+        sim.partition(victim, 200);
+        pump_writes(&mut sim, 60, seed ^ 0x5A);
+        for _ in 0..210 {
+            sim.step_tick();
+        }
+        assert_converged(&mut sim, 3);
+        installs_seen += sim.installs();
+        assert!(
+            sim.core(victim).commit() >= 70,
+            "seed {seed:#x}: victim {victim} stuck at commit {}",
+            sim.core(victim).commit()
+        );
+    }
+    assert!(
+        installs_seen > 0,
+        "no seed exercised the snapshot catch-up path"
+    );
+}
+
+#[test]
+fn combined_chaos_sweep_stays_safe() {
+    // Everything at once: partitions and kills interleaved with writes,
+    // across seeds. Safety is enforced tick-by-tick inside the simulator;
+    // this test asserts the group also stays live and convergent.
+    for &seed in &SEEDS[..3] {
+        let mut sim = SimCluster::new(&SimConfig::new(5, seed));
+        let mut rng = Rng64::new(seed ^ 0xC1A5);
+        settle(&mut sim);
+        pump_writes(&mut sim, 10, seed);
+        let mut kills = 0u32;
+        for round in 0..6u64 {
+            match rng.gen_u64_below(3) {
+                0 if kills < 2 => {
+                    let leader = settle(&mut sim);
+                    sim.kill(leader);
+                    kills += 1;
+                }
+                1 => {
+                    let victim = rng.gen_u64_below(5) as u16;
+                    if !sim.is_killed(victim) {
+                        sim.partition(victim, rng.gen_u64_below(25) + 10);
+                    }
+                }
+                _ => {}
+            }
+            for _ in 0..20 {
+                sim.step_tick();
+            }
+            settle(&mut sim);
+            pump_writes(&mut sim, 8, seed ^ round.wrapping_mul(31));
+        }
+        assert_converged(&mut sim, 5);
+        // 68 indexes were proposed (10 + 6×8 plus noop barriers), but a
+        // deposed leader's unacknowledged tail is legitimately truncated,
+        // so require sustained progress rather than an exact count.
+        assert!(
+            sim.max_committed() >= 45,
+            "chaos run lost throughput: committed {}",
+            sim.max_committed()
+        );
+        assert!(sim.applied_entries() > 0, "apply path never ran");
+    }
+}

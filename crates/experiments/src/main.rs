@@ -7,6 +7,7 @@
 //! experiments list
 //! experiments serve    [--addr HOST:PORT] [--shards N] [...]   # memory service
 //! experiments loadgen  [--clients N] [--requests N] [...]      # traffic generator
+//! experiments cluster  [--replicas N] [--kill] [...]           # replicated group + failover drill
 //! experiments trace-report SPANS.jsonl... [--check]            # span critical path
 //! experiments trajectory-check TRAJECTORY.jsonl                # bench growth gate
 //! ```
@@ -40,6 +41,7 @@
 //! `DIR/telemetry_summary.csv` (metric, count, mean, p50, p99, p999, max) and
 //! prints the human-readable report.
 
+mod cluster_cmd;
 mod report_cmd;
 mod serve_cmd;
 
@@ -152,6 +154,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("serve") => return serve_cmd::serve_cmd(&args[1..]),
         Some("loadgen") => return serve_cmd::loadgen_cmd(&args[1..]),
+        Some("cluster") => return cluster_cmd::cluster_cmd(&args[1..]),
         Some("trace-report") => return report_cmd::trace_report_cmd(&args[1..]),
         Some("trajectory-check") => return report_cmd::trajectory_cmd(&args[1..]),
         _ => {}

@@ -41,14 +41,14 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 /// Parses a required positive-integer flag value.
-fn parse_num<T: std::str::FromStr>(flag: &str, v: Option<String>) -> Result<T, String> {
+pub(crate) fn parse_num<T: std::str::FromStr>(flag: &str, v: Option<String>) -> Result<T, String> {
     v.and_then(|s| s.parse().ok())
         .ok_or_else(|| format!("{flag} needs a number"))
 }
 
 /// Builds the obs registry for `--telemetry DIR` (JSONL events + summary
 /// on drop is the caller's concern; the subcommands just need the sink).
-fn obs_for(telemetry: Option<&PathBuf>) -> Result<Obs, String> {
+pub(crate) fn obs_for(telemetry: Option<&PathBuf>) -> Result<Obs, String> {
     match telemetry {
         Some(dir) => {
             std::fs::create_dir_all(dir)
@@ -60,7 +60,10 @@ fn obs_for(telemetry: Option<&PathBuf>) -> Result<Obs, String> {
     }
 }
 
-fn load_faults(path: Option<&PathBuf>, obs: &Obs) -> Result<Option<Arc<FaultInjector>>, String> {
+pub(crate) fn load_faults(
+    path: Option<&PathBuf>,
+    obs: &Obs,
+) -> Result<Option<Arc<FaultInjector>>, String> {
     match path {
         Some(p) => {
             let plan = FaultPlan::load(p)
@@ -77,7 +80,7 @@ fn load_faults(path: Option<&PathBuf>, obs: &Obs) -> Result<Option<Arc<FaultInje
 }
 
 /// Writes the telemetry summaries (CSV + JSON) when a sink was attached.
-fn finish_telemetry(obs: &Obs, telemetry: Option<&PathBuf>) {
+pub(crate) fn finish_telemetry(obs: &Obs, telemetry: Option<&PathBuf>) {
     if let Some(dir) = telemetry {
         obs.flush();
         for (name, text) in [
@@ -338,6 +341,7 @@ pub fn loadgen_cmd(args: &[String]) -> ExitCode {
         trace_sample: if trace_dir.is_some() { trace_sample } else { 0 },
         poll_stats_ms,
         slo_p99_budget_us: slo_p99_us,
+        peers: Vec::new(),
     };
     let report = reram_loadgen::run_traced(&cfg, &obs, &client_tracer);
     let self_hosted = hosted.is_some();

@@ -166,7 +166,8 @@ fn stage_rank(stage: &str) -> usize {
         "server.gate" => 2,
         "server.service" => 3,
         "server.write" => 4,
-        _ => 5,
+        "repl.wait" => 5,
+        _ => 6,
     }
 }
 
@@ -474,6 +475,31 @@ mod tests {
         assert_eq!(r.overshoot, 0);
         assert_eq!(r.write_tails, 1);
         assert!(r.is_sound());
+    }
+
+    #[test]
+    fn a_replicated_write_decomposes_into_decode_and_repl_wait() {
+        // Replicated writes record `server.decode` plus `repl.wait`
+        // (local append → majority ack) and nothing else — the apply
+        // happens inside the cluster pump, not the connection thread. The
+        // stages must still sum under the client RTT (`--check` sound),
+        // and `repl.wait` ranks after the single-node server stages.
+        let spans = vec![
+            span(1, 1, 0, "client.rtt", 0, 100_000),
+            span(1, 2, 1, "server.decode", 0, 5_000),
+            span(1, 3, 1, "repl.wait", 5_000, 80_000),
+        ];
+        let r = analyze(&spans, 0);
+        assert_eq!(r.joined, 1);
+        assert_eq!(r.overshoot, 0);
+        assert!(r.is_sound());
+        let names: Vec<&str> = r.stages.iter().map(|s| s.stage.as_str()).collect();
+        assert_eq!(
+            names,
+            ["client.rtt", "server.decode", "repl.wait", RESIDUAL_STAGE]
+        );
+        let repl = r.stages.iter().find(|s| s.stage == "repl.wait").unwrap();
+        assert!((repl.p50_us - 75.0).abs() < 1e-9);
     }
 
     #[test]

@@ -30,11 +30,16 @@ fn field_f64(line: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// Parses every well-formed trajectory line; skips blanks and comments.
+/// Parses every well-formed trajectory line; skips blanks, comments, and
+/// replicated-mode datapoints (`"mode": "replicated"` entries document the
+/// consensus tax but only single-node throughput is gated).
 #[must_use]
 pub fn parse_points(text: &str) -> Vec<TrajPoint> {
     text.lines()
         .filter_map(|line| {
+            if line.contains("\"mode\": \"replicated\"") {
+                return None;
+            }
             Some(TrajPoint {
                 #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
                 pr: field_f64(line, "pr")? as u64,
@@ -103,6 +108,19 @@ mod tests {
         assert_eq!(pts.len(), 2);
         assert_eq!(pts[0].pr, 5);
         assert!((pts[0].req_per_s - 47_680.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replicated_mode_datapoints_are_documentation_not_gate_input() {
+        // A replicated entry pays the consensus tax and would trip the
+        // regression floor; the gate only reads single-node lines.
+        let text = "{\"pr\": 6, \"req_per_s\": 48000.0}\n\
+                    {\"pr\": 7, \"mode\": \"replicated\", \"req_per_s\": 6000.0}\n\
+                    {\"pr\": 7, \"req_per_s\": 48100.0}\n";
+        let pts = parse_points(text);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[1].pr, 7);
+        assert!(check(&pts, 0.10).is_ok());
     }
 
     #[test]

@@ -80,6 +80,16 @@ pub mod site {
     pub const SHARD_STALL: &str = "serve.shard.stall";
     /// Response framing: consulted once per response (target = `conn<id>`).
     pub const RESP_CORRUPT: &str = "serve.resp.corrupt";
+    /// Cluster pump heartbeat: consulted once per pump tick (target =
+    /// `group`); fires a leader kill at the scheduled tick.
+    pub const LEADER_KILL: &str = "cluster.leader.kill";
+    /// Cluster pump heartbeat: consulted once per pump tick per replica
+    /// (target = `peer<id>`); isolates that replica for `param` ticks.
+    pub const PARTITION: &str = "cluster.net.partition";
+    /// Cluster message delivery: consulted once per delivered message
+    /// (target = `peer<id>`); rewrites the message's term to a stale value
+    /// so the receiver's term checks must reject it.
+    pub const STALE_TERM: &str = "cluster.msg.stale_term";
 }
 
 /// What kind of failure to inject. The `param` on the [`FaultSpec`] scales
@@ -119,6 +129,17 @@ pub enum FaultKind {
     /// One response frame's payload is corrupted in flight; the wire CRC
     /// catches it and the client re-requests.
     RespCorrupt,
+    /// The current cluster leader is killed (process-style: its listener
+    /// stops and its replica stays dead); the survivors elect a successor
+    /// and clients follow `NotLeader` redirects.
+    LeaderKill,
+    /// One replica is isolated from the cluster bus for `param` pump ticks
+    /// (default 50); it catches up from the leader's log or a snapshot when
+    /// the partition heals.
+    Partition,
+    /// A delivered cluster message has its term rewound to a stale value;
+    /// the receiver's term checks must reject it without state damage.
+    StaleTerm,
 }
 
 impl FaultKind {
@@ -139,6 +160,9 @@ impl FaultKind {
             FaultKind::ConnDrop => "conn_drop",
             FaultKind::ShardStall => "shard_stall",
             FaultKind::RespCorrupt => "resp_corrupt",
+            FaultKind::LeaderKill => "leader_kill",
+            FaultKind::Partition => "partition",
+            FaultKind::StaleTerm => "stale_term",
         }
     }
 
@@ -159,6 +183,9 @@ impl FaultKind {
             "conn_drop" => FaultKind::ConnDrop,
             "shard_stall" => FaultKind::ShardStall,
             "resp_corrupt" => FaultKind::RespCorrupt,
+            "leader_kill" => FaultKind::LeaderKill,
+            "partition" => FaultKind::Partition,
+            "stale_term" => FaultKind::StaleTerm,
             _ => return None,
         })
     }
@@ -482,6 +509,9 @@ mod tests {
             FaultKind::ConnDrop,
             FaultKind::ShardStall,
             FaultKind::RespCorrupt,
+            FaultKind::LeaderKill,
+            FaultKind::Partition,
+            FaultKind::StaleTerm,
         ] {
             assert_eq!(FaultKind::parse(kind.name()), Some(kind));
         }

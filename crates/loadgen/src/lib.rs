@@ -99,6 +99,12 @@ pub struct LoadConfig {
     /// Latency SLO: the p99 budget in microseconds (0 = no SLO tracking).
     /// Violations are RTTs over budget; the error budget is 1 %.
     pub slo_p99_budget_us: f64,
+    /// Every replica of a clustered service (including `addr`). Clients
+    /// follow `NotLeader` redirect hints, and rotate through this list
+    /// when a hint is missing (mid-election) or a peer stops answering
+    /// (leader kill). Empty = single-node service, no redirect handling
+    /// beyond the hint itself.
+    pub peers: Vec<SocketAddr>,
 }
 
 impl LoadConfig {
@@ -119,6 +125,7 @@ impl LoadConfig {
             trace_sample: 0,
             poll_stats_ms: 0,
             slo_p99_budget_us: 0.0,
+            peers: Vec::new(),
         }
     }
 }
@@ -152,6 +159,9 @@ pub struct LoadReport {
     pub reconnects: u64,
     /// Responses re-requested after CRC corruption.
     pub corrupt_retries: u64,
+    /// `NotLeader` redirects followed (clustered services; retries, never
+    /// ledger entries).
+    pub redirects: u64,
     /// Reads whose data contradicted the client's own writes (must be 0).
     pub read_mismatches: u64,
     /// Audit reads that contradicted an acknowledged write (must be 0).
@@ -187,7 +197,7 @@ impl LoadReport {
              \"req_per_s\": {:.1},\n  \"p50_us\": {:.1},\n  \"p99_us\": {:.1},\n  \
              \"p999_us\": {:.1},\n  \"mean_us\": {:.1},\n  \"max_us\": {:.1},\n  \
              \"busy_retries\": {},\n  \"shed\": {},\n  \"reconnects\": {},\n  \
-             \"corrupt_retries\": {},\n  \"read_mismatches\": {},\n  \
+             \"corrupt_retries\": {},\n  \"redirects\": {},\n  \"read_mismatches\": {},\n  \
              \"audit_failures\": {},\n  \"audited_writes\": {},\n  \
              \"ledger_crc\": \"{:08x}\",\n  \"drained_served\": {},\n  \
              \"slo_violations\": {},\n  \"slo_burn_rate\": {},\n  \
@@ -205,6 +215,7 @@ impl LoadReport {
             self.shed,
             self.reconnects,
             self.corrupt_retries,
+            self.redirects,
             self.read_mismatches,
             self.audit_failures,
             self.audited_writes,
@@ -224,6 +235,7 @@ struct Retries {
     busy: u64,
     reconnects: u64,
     corrupt: u64,
+    redirects: u64,
 }
 
 /// One client's results, returned to the orchestrator.
@@ -242,14 +254,42 @@ struct ClientResult {
 /// test-harness bug, not a condition to spin on forever.
 const MAX_ATTEMPTS: u32 = 100_000;
 
+/// The next address to try after a `NotLeader` redirect: the server's
+/// hint when it parses, otherwise (mid-election, empty hint) the peer
+/// after `current` in the known-peer ring.
+fn redirect_target(hint: &str, current: SocketAddr, peers: &[SocketAddr]) -> SocketAddr {
+    if let Ok(a) = hint.parse::<SocketAddr>() {
+        return a;
+    }
+    next_peer(current, peers)
+}
+
+/// The peer after `current` in the ring (or `current` when the list is
+/// empty — single-node services have nowhere else to go).
+fn next_peer(current: SocketAddr, peers: &[SocketAddr]) -> SocketAddr {
+    if peers.is_empty() {
+        return current;
+    }
+    let i = peers
+        .iter()
+        .position(|p| *p == current)
+        .map_or(0, |i| (i + 1) % peers.len());
+    peers[i]
+}
+
 /// Connects with bounded patience (the server may briefly be between
-/// accept cycles under fault injection).
-fn connect_retry(addr: SocketAddr, _retries: &mut Retries) -> Client {
+/// accept cycles under fault injection). With a peer list, a peer that
+/// keeps refusing is assumed dead (leader kill) and the ring rotates.
+fn connect_retry(addr: &mut SocketAddr, peers: &[SocketAddr], _retries: &mut Retries) -> Client {
     let mut backoff_us = 100;
     for attempt in 0..MAX_ATTEMPTS {
-        match Client::connect(addr) {
+        match Client::connect(*addr) {
             Ok(c) => return c,
             Err(_) if attempt + 1 < MAX_ATTEMPTS => {
+                if !peers.is_empty() && attempt % 8 == 7 {
+                    *addr = next_peer(*addr, peers);
+                    backoff_us = 100;
+                }
                 thread::sleep(Duration::from_micros(backoff_us));
                 backoff_us = (backoff_us * 2).min(10_000);
             }
@@ -261,16 +301,18 @@ fn connect_retry(addr: SocketAddr, _retries: &mut Retries) -> Client {
 
 /// Resolves one request: retries `Busy` (bounded backoff honoring the
 /// server's hint), reconnects on transport failure, re-requests on a
-/// corrupted response. Returns the final non-transient response.
+/// corrupted response, follows `NotLeader` redirects. Returns the final
+/// non-transient response.
 fn resolve(
     conn: &mut Option<Client>,
-    addr: SocketAddr,
+    addr: &mut SocketAddr,
+    peers: &[SocketAddr],
     req: &Request,
     retries: &mut Retries,
 ) -> Response {
     for _ in 0..MAX_ATTEMPTS {
         if conn.is_none() {
-            *conn = Some(connect_retry(addr, retries));
+            *conn = Some(connect_retry(addr, peers, retries));
         }
         let c = conn.as_mut().expect("connected");
         match c.call(req) {
@@ -282,6 +324,14 @@ fn resolve(
                 code: code::DRAINING,
                 ..
             }) => {
+                thread::sleep(Duration::from_micros(500));
+            }
+            Ok(Response::NotLeader { leader }) => {
+                // Transient, never ledger-recorded: hop to the leader (or
+                // the next peer while the election settles) and re-ask.
+                retries.redirects += 1;
+                *addr = redirect_target(&leader, *addr, peers);
+                *conn = None;
                 thread::sleep(Duration::from_micros(500));
             }
             Ok(resp) => return resp,
@@ -368,6 +418,9 @@ fn close_root(tracer: &Tracer, tr: ReqTrace, idx: usize) {
 struct ClientState {
     idx: usize,
     gen: TraceGenerator,
+    /// Current target: starts at `cfg.addr`, moves with `NotLeader`
+    /// redirects and dead-peer rotation.
+    addr: SocketAddr,
     conn: Option<Client>,
     retries: Retries,
     ledger: Ledger,
@@ -388,6 +441,7 @@ impl ClientState {
         ClientState {
             idx,
             gen: TraceGenerator::new(cfg.profile, stream_seed).with_address_lines(lines_per_client),
+            addr: cfg.addr,
             conn: None,
             retries: Retries::default(),
             ledger: Ledger::new(),
@@ -406,7 +460,7 @@ impl ClientState {
     fn transmit(&mut self, cfg: &LoadConfig, p: PendingReq) -> PendingReq {
         for _ in 0..MAX_ATTEMPTS {
             if self.conn.is_none() {
-                self.conn = Some(connect_retry(cfg.addr, &mut self.retries));
+                self.conn = Some(connect_retry(&mut self.addr, &cfg.peers, &mut self.retries));
             }
             let trace = p.trace.map(|t| t.ctx);
             match self
@@ -471,6 +525,15 @@ impl ClientState {
                     code: code::DRAINING,
                     ..
                 }) => {
+                    thread::sleep(Duration::from_micros(500));
+                    p = self.transmit(cfg, p);
+                }
+                Ok(Response::NotLeader { leader }) => {
+                    // Transient, never ledger-recorded: hop toward the
+                    // leader and resend the same request.
+                    self.retries.redirects += 1;
+                    self.addr = redirect_target(&leader, self.addr, &cfg.peers);
+                    self.conn = None;
                     thread::sleep(Duration::from_micros(500));
                     p = self.transmit(cfg, p);
                 }
@@ -540,7 +603,8 @@ impl ClientState {
                 audited_writes += 1;
                 let resp = resolve(
                     &mut self.conn,
-                    cfg.addr,
+                    &mut self.addr,
+                    &cfg.peers,
                     &Request::ReadLine { line },
                     &mut self.retries,
                 );
@@ -632,6 +696,7 @@ fn run_client_open(
         .wrapping_add((client_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let mut gen =
         TraceGenerator::new(cfg.profile, stream_seed).with_address_lines(lines_per_client);
+    let mut addr = cfg.addr;
     let mut conn: Option<Client> = None;
     let mut retries = Retries::default();
     let mut ledger = Ledger::new();
@@ -667,13 +732,20 @@ fn run_client_open(
         let mut r = None;
         for _ in 0..MAX_ATTEMPTS {
             if conn.is_none() {
-                conn = Some(connect_retry(cfg.addr, &mut retries));
+                conn = Some(connect_retry(&mut addr, &cfg.peers, &mut retries));
             }
             let c = conn.as_mut().expect("connected");
             let sent = c
                 .send_with_trace(&req, trace.map(|t| t.ctx))
                 .and_then(|id| c.recv(id));
             match sent {
+                Ok(Response::NotLeader { leader }) => {
+                    // Transient, never ledger-recorded.
+                    retries.redirects += 1;
+                    addr = redirect_target(&leader, addr, &cfg.peers);
+                    conn = None;
+                    thread::sleep(Duration::from_micros(500));
+                }
                 Ok(resp) => {
                     r = Some(resp);
                     break;
@@ -734,7 +806,8 @@ fn run_client_open(
             audited_writes += 1;
             let resp = resolve(
                 &mut conn,
-                cfg.addr,
+                &mut addr,
+                &cfg.peers,
                 &Request::ReadLine { line },
                 &mut retries,
             );
@@ -790,6 +863,9 @@ fn poll_stats(addr: SocketAddr, poll_ms: u64, obs: &Obs, stop: &AtomicBool) -> u
     let h_depth = obs.hist("loadgen.poll.queue_depth");
     let g_window = obs.gauge("loadgen.poll.min_window");
     let g_busy = obs.gauge("loadgen.poll.server_busy");
+    let g_term = obs.gauge("loadgen.poll.cluster.term");
+    let g_commit = obs.gauge("loadgen.poll.cluster.commit");
+    let h_lag = obs.hist("loadgen.poll.cluster.lag");
     let mut polls = 0u64;
     let Ok(mut c) = Client::connect(addr) else {
         return 0;
@@ -807,6 +883,20 @@ fn poll_stats(addr: SocketAddr, poll_ms: u64, obs: &Obs, stop: &AtomicBool) -> u
                 let svc = json.find("\"service\":").map_or("", |p| &json[p..]);
                 if let Some(b) = extract_u64s(svc, "busy").first() {
                     g_busy.set(*b as f64);
+                }
+                // Replicated services append a "cluster" object: track the
+                // polled replica's term/commit and its replication lag.
+                let cl = json.find("\"cluster\":").map_or("", |p| &json[p..]);
+                if !cl.is_empty() {
+                    if let Some(t) = extract_u64s(cl, "term").first() {
+                        g_term.set(*t as f64);
+                    }
+                    if let Some(ci) = extract_u64s(cl, "commit").first() {
+                        g_commit.set(*ci as f64);
+                    }
+                    if let Some(l) = extract_u64s(cl, "lag").first() {
+                        h_lag.record(*l as f64);
+                    }
                 }
             }
             // The server vanished (drain/stop) or answered oddly: the
@@ -917,6 +1007,7 @@ pub fn run_traced(cfg: &LoadConfig, obs: &Obs, tracer: &Tracer) -> LoadReport {
     let mut shed = 0;
     let mut reconnects = 0;
     let mut corrupt_retries = 0;
+    let mut redirects = 0;
     let mut read_mismatches = 0;
     let mut audit_failures = 0;
     let mut audited_writes = 0;
@@ -928,6 +1019,7 @@ pub fn run_traced(cfg: &LoadConfig, obs: &Obs, tracer: &Tracer) -> LoadReport {
         shed += r.shed;
         reconnects += r.retries.reconnects;
         corrupt_retries += r.retries.corrupt;
+        redirects += r.retries.redirects;
         read_mismatches += r.read_mismatches;
         audit_failures += r.audit_failures;
         audited_writes += r.audited_writes;
@@ -936,8 +1028,15 @@ pub fn run_traced(cfg: &LoadConfig, obs: &Obs, tracer: &Tracer) -> LoadReport {
 
     let drained_served = if cfg.drain {
         let mut retries = Retries::default();
-        let mut conn = Some(connect_retry(cfg.addr, &mut retries));
-        match resolve(&mut conn, cfg.addr, &Request::Drain, &mut retries) {
+        let mut addr = cfg.addr;
+        let mut conn = Some(connect_retry(&mut addr, &cfg.peers, &mut retries));
+        match resolve(
+            &mut conn,
+            &mut addr,
+            &cfg.peers,
+            &Request::Drain,
+            &mut retries,
+        ) {
             Response::DrainOk { served } => Some(served),
             other => panic!("drain answered {other:?}"),
         }
@@ -966,6 +1065,7 @@ pub fn run_traced(cfg: &LoadConfig, obs: &Obs, tracer: &Tracer) -> LoadReport {
         shed,
         reconnects,
         corrupt_retries,
+        redirects,
         read_mismatches,
         audit_failures,
         audited_writes,
@@ -1010,6 +1110,7 @@ mod tests {
             shed: 0,
             reconnects: 2,
             corrupt_retries: 3,
+            redirects: 4,
             read_mismatches: 0,
             audit_failures: 0,
             audited_writes: 5,
@@ -1026,6 +1127,7 @@ mod tests {
             "\"req_per_s\"",
             "\"p999_us\"",
             "\"ledger_crc\": \"deadbeef\"",
+            "\"redirects\": 4",
             "\"audit_failures\": 0",
             "\"drained_served\": 10",
             "\"slo_violations\": 3",

@@ -20,6 +20,12 @@
 //!   admission queues with `Busy` shedding and slow-start recovery,
 //!   graceful drain, and deterministic fault hooks (connection drop, shard
 //!   stall, response corruption) through `reram-fault`.
+//! * [`cluster`] — the replica-to-replica consensus message shapes
+//!   ([`cluster::ClusterMsg`], [`cluster::WireEntry`]) behind the v3
+//!   opcode block, plus the [`server::Replicator`] hook a consensus engine
+//!   (the `reram-cluster` crate) plugs into the server: leader redirect
+//!   via [`proto::Response::NotLeader`] and replication-before-ack for
+//!   writes.
 //!
 //! The companion `reram-loadgen` crate drives this service with seeded
 //! open- and closed-loop traffic and audits that every acknowledged write
@@ -28,13 +34,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod proto;
 pub mod server;
 pub mod shard;
 
+pub use cluster::{ClusterMsg, ReplicaId, WireEntry, WIRE_ENTRY_BYTES};
 pub use proto::{
     Frame, Request, Response, WireError, LINE_BYTES, TRACE_EXT_BYTES, WIRE_VERSION,
-    WIRE_VERSION_TRACED,
+    WIRE_VERSION_CLUSTER, WIRE_VERSION_TRACED,
 };
-pub use server::{Client, ServeConfig, Server};
+pub use server::{
+    Client, ClusterStatus, ReplicationMode, Replicator, ServeConfig, Server, WriteAck,
+};
 pub use shard::{ShardBackend, ShardMap, ShardOp, ShardStats};

@@ -34,6 +34,18 @@
 //! Request opcodes: `READ_LINE` / `WRITE_LINE` / `STATS` / `STATS_JSON` /
 //! `DRAIN`. Response opcodes mirror them, plus `BUSY` (admission control
 //! shed the request; carries a retry-after hint) and `ERR` (typed failure).
+//!
+//! **Cluster extension (v3).** Replica-to-replica consensus traffic
+//! (AppendEntries / RequestVote / InstallSnapshot, see [`cluster`]) rides
+//! the same frame layout under version byte [`WIRE_VERSION_CLUSTER`] — no
+//! extension bytes, just a reserved opcode block (`0x10..0x20` requests,
+//! `0x90..0xA0` responses). The negotiation is per-frame like the trace
+//! extension: data frames keep encoding byte-identically to v1/v2, and a
+//! pre-cluster peer that receives a v3 frame rejects it as a typed
+//! [`WireError::BadVersion`] while staying in stream sync (the length
+//! prefix, not the version byte, delimits the frame). Clients never see a
+//! v3 frame; the one cluster-era opcode a client can observe is the
+//! [`Response::NotLeader`] redirect, which travels as plain v1/v2.
 
 use reram_obs::TraceContext;
 use std::io::{Read, Write};
@@ -43,6 +55,11 @@ pub const WIRE_VERSION: u8 = 1;
 
 /// Version byte of a frame carrying the 16-byte trace-context extension.
 pub const WIRE_VERSION_TRACED: u8 = 2;
+
+/// Version byte of replica-to-replica cluster frames (same layout as v1;
+/// the version gate keeps pre-cluster peers from misreading consensus
+/// opcodes as anything but a typed rejection).
+pub const WIRE_VERSION_CLUSTER: u8 = 3;
 
 /// Size of the trace-context extension (trace id + parent span id).
 pub const TRACE_EXT_BYTES: usize = 16;
@@ -81,8 +98,30 @@ pub mod op {
     pub const DRAIN_OK: u8 = 0x85;
     /// JSON stats snapshot follows.
     pub const STATS_JSON_OK: u8 = 0x86;
+    /// The node is a follower; payload = leader address hint (may be
+    /// empty while an election is in flight). Clients re-route and resend.
+    pub const NOT_LEADER: u8 = 0x87;
+    /// Cluster: leader → follower log replication / heartbeat.
+    pub const APPEND_ENTRIES: u8 = 0x10;
+    /// Cluster: candidate → peer vote solicitation.
+    pub const REQUEST_VOTE: u8 = 0x11;
+    /// Cluster: leader → lagging follower state transfer.
+    pub const INSTALL_SNAPSHOT: u8 = 0x12;
+    /// Cluster: follower → leader replication ack/nack.
+    pub const APPEND_OK: u8 = 0x90;
+    /// Cluster: peer → candidate vote grant/denial.
+    pub const VOTE_OK: u8 = 0x91;
+    /// Cluster: follower → leader snapshot installed.
+    pub const SNAPSHOT_OK: u8 = 0x92;
     /// Typed failure (payload = code byte + detail text).
     pub const ERR: u8 = 0xFF;
+
+    /// True for opcodes in the reserved replica-to-replica block; frames
+    /// carrying them encode under [`super::WIRE_VERSION_CLUSTER`].
+    #[must_use]
+    pub fn is_cluster(opcode: u8) -> bool {
+        matches!(opcode, 0x10..=0x1F | 0x90..=0x9F)
+    }
 }
 
 /// Error codes carried by an [`Response::Err`] payload.
@@ -222,6 +261,8 @@ impl Frame {
         out.extend_from_slice(&(body_len as u32).to_le_bytes());
         out.push(if self.trace.is_some() {
             WIRE_VERSION_TRACED
+        } else if op::is_cluster(self.opcode) {
+            WIRE_VERSION_CLUSTER
         } else {
             WIRE_VERSION
         });
@@ -254,7 +295,7 @@ impl Frame {
             return Err(WireError::CrcMismatch { got, want });
         }
         let trace = match head[0] {
-            WIRE_VERSION => None,
+            WIRE_VERSION | WIRE_VERSION_CLUSTER => None,
             WIRE_VERSION_TRACED => {
                 if head.len() < FRAME_OVERHEAD - 4 + TRACE_EXT_BYTES {
                     return Err(WireError::BadLength(body.len() as u32));
@@ -442,6 +483,13 @@ pub enum Response {
         /// Data requests served over the server's lifetime.
         served: u64,
     },
+    /// This replica is not the shard group's leader; the client should
+    /// re-route to `leader` (or rotate through its peer list when the hint
+    /// is empty, i.e. an election is still in flight) and resend.
+    NotLeader {
+        /// `host:port` of the believed leader, or empty when unknown.
+        leader: String,
+    },
     /// Typed failure.
     Err {
         /// One of [`code`]'s constants.
@@ -466,6 +514,7 @@ impl Response {
             Response::StatsOk { text } => (op::STATS_OK, text.as_bytes().to_vec()),
             Response::StatsJsonOk { json } => (op::STATS_JSON_OK, json.as_bytes().to_vec()),
             Response::DrainOk { served } => (op::DRAIN_OK, served.to_le_bytes().to_vec()),
+            Response::NotLeader { leader } => (op::NOT_LEADER, leader.as_bytes().to_vec()),
             Response::Err { code, detail } => {
                 let mut p = vec![*code];
                 p.extend_from_slice(detail.as_bytes());
@@ -530,6 +579,9 @@ impl Response {
                     served: u64::from_le_bytes(bytes),
                 })
             }
+            op::NOT_LEADER => Ok(Response::NotLeader {
+                leader: String::from_utf8_lossy(p).into_owned(),
+            }),
             op::ERR => {
                 if p.is_empty() {
                     return Err(WireError::BadPayload("empty err payload".into()));
@@ -601,6 +653,12 @@ mod tests {
                 json: "{\"shards\":[]}".into(),
             },
             Response::DrainOk { served: 10_000 },
+            Response::NotLeader {
+                leader: "127.0.0.1:7171".into(),
+            },
+            Response::NotLeader {
+                leader: String::new(),
+            },
             Response::Err {
                 code: code::OUT_OF_RANGE,
                 detail: "line 1e9".into(),
@@ -678,6 +736,21 @@ mod tests {
             read_frame(&mut &bytes[..]),
             Err(WireError::BadLength(_))
         ));
+    }
+
+    #[test]
+    fn cluster_opcodes_ride_version_three_and_redirects_stay_v1() {
+        let f = Frame::new(op::APPEND_ENTRIES, 42, vec![1, 2, 3]);
+        let bytes = f.encode();
+        assert_eq!(bytes[4], WIRE_VERSION_CLUSTER);
+        assert_eq!(read_frame(&mut &bytes[..]).unwrap(), f);
+        // The client-visible redirect is an ordinary v1 response.
+        let nl = Response::NotLeader {
+            leader: "127.0.0.1:9".into(),
+        }
+        .to_frame(7)
+        .encode();
+        assert_eq!(nl[4], WIRE_VERSION);
     }
 
     #[test]

@@ -41,8 +41,22 @@
 //! machine-readable snapshot (per-shard queue depth, slow-start window,
 //! busy/shed counters, sim-latency histogram summaries) that the load
 //! generator polls mid-run.
+//!
+//! **Replication.** Started via [`Server::start_replicated`], the server
+//! delegates cluster decisions to a [`Replicator`] (implemented by
+//! `reram-cluster`): data ops on a non-leader answer
+//! [`Response::NotLeader`] with a leader-address hint, and writes on the
+//! leader go through [`Replicator::replicate_write`] — append to the
+//! replicated write-ledger, wait for the [`ReplicationMode`]'s ack
+//! condition, apply through the shard backend's write-verify ladder —
+//! *before* the `WriteOk` is sent, so an acknowledged write survives a
+//! leader kill by construction. The append→ack wait is surfaced as the
+//! `repl.wait` trace stage and the `serve.repl.wait_ns` histogram; the
+//! `STATS_JSON` snapshot gains a `cluster` object (role / term /
+//! commit-index / replication lag) that loadgen's poll monitor re-exports
+//! as `loadgen.poll.cluster.*`.
 
-use crate::proto::{code, read_frame, Frame, Request, Response, WireError};
+use crate::proto::{code, read_frame, Frame, Request, Response, WireError, LINE_BYTES};
 use crate::shard::{ShardBackend, ShardMap, ShardOp};
 use reram_core::Scheme;
 use reram_exec::ThreadPool;
@@ -90,6 +104,94 @@ impl Default for ServeConfig {
     }
 }
 
+/// When a replicated write may be acknowledged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicationMode {
+    /// Ack once a majority of replicas hold the entry and the leader has
+    /// applied it (the raft commit rule; survives any minority loss).
+    Majority,
+    /// Ack only once *every* live replica holds the entry — slower, but a
+    /// failover loses zero replication lag.
+    All,
+}
+
+impl ReplicationMode {
+    /// Stable flag-file name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplicationMode::Majority => "majority",
+            ReplicationMode::All => "all",
+        }
+    }
+
+    /// Parses a flag value (`majority` / `all`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<ReplicationMode> {
+        match s {
+            "majority" => Some(ReplicationMode::Majority),
+            "all" => Some(ReplicationMode::All),
+            _ => None,
+        }
+    }
+}
+
+/// The verify-ladder outcome of a replicated write, reported by the apply
+/// pump so the leader can answer `WriteOk` without re-running the write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteAck {
+    /// Write passes the verify controller issued (1 = clean).
+    pub attempts: u32,
+    /// True when the line entered degraded mode (uncorrectable).
+    pub degraded: bool,
+}
+
+/// A point-in-time view of one replica's consensus state, rendered into
+/// the `STATS_JSON` snapshot's `cluster` object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterStatus {
+    /// `leader` / `follower` / `candidate` / `dead`.
+    pub role: &'static str,
+    /// Current term.
+    pub term: u64,
+    /// Highest committed log index.
+    pub commit: u64,
+    /// Highest log index applied through the write-verify ladder.
+    pub applied: u64,
+    /// Replication lag in entries (`commit - applied`).
+    pub lag: u64,
+    /// `host:port` of the believed leader (empty when unknown).
+    pub leader: String,
+}
+
+/// The consensus hook a cluster engine plugs into the server. The server
+/// stays ignorant of elections and logs; it only asks three questions:
+/// am I the leader, where should clients go instead, and — for writes —
+/// replicate this and tell me the verify outcome.
+pub trait Replicator: Send + Sync {
+    /// True while this replica believes it is the group's leader.
+    fn is_leader(&self) -> bool;
+
+    /// `host:port` redirect hint for [`Response::NotLeader`] (empty while
+    /// an election is in flight).
+    fn leader_hint(&self) -> String;
+
+    /// Appends `write line = data` to the replicated log, waits for the
+    /// configured [`ReplicationMode`]'s ack condition plus the local
+    /// apply, and returns the verify-ladder outcome.
+    ///
+    /// # Errors
+    ///
+    /// The current leader hint, when this replica is not (or stopped
+    /// being) the leader — the server turns it into a `NotLeader`
+    /// redirect and the client resends elsewhere, so a failed replicate
+    /// is never acknowledged.
+    fn replicate_write(&self, line: u64, data: &[u8; LINE_BYTES]) -> Result<WriteAck, String>;
+
+    /// Snapshot of this replica's role/term/commit/lag for `STATS_JSON`.
+    fn status(&self) -> ClusterStatus;
+}
+
 /// The trace half of a queued op: the wire context to parent spans under
 /// and the enqueue stamp the admission-queue span starts from.
 #[derive(Clone, Copy)]
@@ -131,11 +233,12 @@ struct Inner {
     queue_cap: usize,
     batch_max: usize,
     states: Vec<Mutex<ShardState>>,
-    backends: Vec<Mutex<ShardBackend>>,
+    backends: Arc<Vec<Mutex<ShardBackend>>>,
     pool: ThreadPool,
     draining: AtomicBool,
     shutdown: AtomicBool,
     faults: Option<Arc<FaultInjector>>,
+    replicator: Option<Arc<dyn Replicator>>,
     conn_seq: AtomicU64,
     tracer: Tracer,
     c_requests: Counter,
@@ -149,6 +252,9 @@ struct Inner {
     g_inflight: Vec<Gauge>,
     h_sim_read: Hist,
     h_sim_write: Hist,
+    /// Local-append → ack-condition wait of replicated writes
+    /// (`serve.repl.wait_ns`; empty in single-node mode).
+    h_repl_wait: Hist,
 }
 
 impl Inner {
@@ -389,6 +495,71 @@ impl Inner {
         }
     }
 
+    /// Services one write through the replication path: append to the
+    /// replicated log, wait for the ack condition (the `repl.wait` stage),
+    /// and answer from the apply pump's verify outcome. A replica that is
+    /// not — or stops being — the leader answers `NotLeader` with a hint;
+    /// the client re-routes and resends, so nothing is acknowledged that
+    /// replication did not retire.
+    fn replicated_write(
+        &self,
+        line: u64,
+        data: &[u8; LINE_BYTES],
+        request_id: u64,
+        conn: &Arc<ConnWriter>,
+        trace: Option<TraceContext>,
+    ) {
+        let repl = self.replicator.as_ref().expect("replicated path");
+        if self.draining.load(Ordering::SeqCst) {
+            self.send(
+                conn,
+                request_id,
+                &Response::Err {
+                    code: code::DRAINING,
+                    detail: "server is draining".into(),
+                },
+                trace,
+            );
+            return;
+        }
+        if !self.map.contains(line) {
+            self.send(
+                conn,
+                request_id,
+                &Response::Err {
+                    code: code::OUT_OF_RANGE,
+                    detail: format!("line {line} >= {}", self.map.total_lines()),
+                },
+                trace,
+            );
+            return;
+        }
+        let t0 = if trace.is_some() {
+            self.tracer.now_ns()
+        } else {
+            0
+        };
+        let start = std::time::Instant::now();
+        let result = repl.replicate_write(line, data);
+        self.h_repl_wait.record(start.elapsed().as_nanos() as f64);
+        if let Some(ctx) = trace {
+            let detail = match &result {
+                Ok(ack) => u64::from(ack.attempts),
+                Err(_) => 0,
+            };
+            self.tracer
+                .record_span(ctx, "repl.wait", t0, self.tracer.now_ns(), detail);
+        }
+        let resp = match result {
+            Ok(ack) => Response::WriteOk {
+                attempts: ack.attempts,
+                degraded: ack.degraded,
+            },
+            Err(hint) => Response::NotLeader { leader: hint },
+        };
+        self.send(conn, request_id, &resp, trace);
+    }
+
     /// The stats text: one row per shard plus a service summary line.
     fn stats_text(&self) -> String {
         let mut text = String::new();
@@ -458,6 +629,20 @@ impl Inner {
             self.c_stalls.get(),
             self.c_corrupt.get(),
         );
+        if let Some(repl) = &self.replicator {
+            let s = repl.status();
+            let _ = write!(
+                out,
+                ",\"cluster\":{{\"role\":\"{}\",\"term\":{},\"commit\":{},\
+                 \"applied\":{},\"lag\":{},\"leader\":\"{}\"}}",
+                s.role,
+                s.term,
+                s.commit,
+                s.applied,
+                s.lag,
+                s.leader.replace('"', ""),
+            );
+        }
         let fin = |x: f64| if x.is_finite() { x } else { 0.0 };
         let r = self.h_sim_read.snapshot();
         let w = self.h_sim_write.snapshot();
@@ -556,6 +741,30 @@ impl Inner {
                     frame.payload.len() as u64,
                 );
             }
+            // Data ops on a non-leader replica redirect instead of
+            // serving: followers may lag the committed log, so neither
+            // reads nor writes are safe off-leader.
+            let redirect = |req: &Result<Request, WireError>| -> Option<String> {
+                let repl = self.replicator.as_ref()?;
+                if matches!(
+                    req,
+                    Ok(Request::ReadLine { .. } | Request::WriteLine { .. })
+                ) && !repl.is_leader()
+                {
+                    Some(repl.leader_hint())
+                } else {
+                    None
+                }
+            };
+            if let Some(leader) = redirect(&parsed) {
+                self.send(
+                    &conn,
+                    frame.request_id,
+                    &Response::NotLeader { leader },
+                    trace,
+                );
+                continue;
+            }
             match parsed {
                 Ok(Request::ReadLine { line }) => {
                     let op = ShardOp::Read {
@@ -564,6 +773,10 @@ impl Inner {
                     self.admit(line, op, frame.request_id, &conn, trace);
                 }
                 Ok(Request::WriteLine { line, data }) => {
+                    if self.replicator.is_some() {
+                        self.replicated_write(line, &data, frame.request_id, &conn, trace);
+                        continue;
+                    }
                     let op = ShardOp::Write {
                         local: self.map.local_of(line),
                         data,
@@ -660,6 +873,53 @@ impl Server {
         tracer: Tracer,
         faults: Option<Arc<FaultInjector>>,
     ) -> std::io::Result<Server> {
+        let backends = Self::build_backends(cfg, obs);
+        Self::start_impl(cfg, obs, tracer, faults, None, backends)
+    }
+
+    /// Builds the per-shard backend stack for `cfg` without starting a
+    /// server. A cluster engine builds one set per replica, hands it to
+    /// [`Server::start_replicated`], and applies committed log entries to
+    /// the same backends from its pump — one write-verify ladder per
+    /// replica, shared by the serving and the replication path.
+    #[must_use]
+    pub fn build_backends(cfg: &ServeConfig, obs: &Obs) -> Arc<Vec<Mutex<ShardBackend>>> {
+        let map = ShardMap::new(cfg.shards, cfg.lines_per_shard);
+        Arc::new(
+            (0..cfg.shards)
+                .map(|s| Mutex::new(ShardBackend::new(map, s, cfg.scheme, obs)))
+                .collect(),
+        )
+    }
+
+    /// [`Server::start_traced`] plus a consensus hook: data ops redirect
+    /// off non-leaders with [`Response::NotLeader`], and writes replicate
+    /// through `replicator` before they are acknowledged. `backends` must
+    /// come from [`Server::build_backends`] with the same `cfg` — the
+    /// replicator's apply pump shares them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start_replicated(
+        cfg: &ServeConfig,
+        obs: &Obs,
+        tracer: Tracer,
+        faults: Option<Arc<FaultInjector>>,
+        replicator: Arc<dyn Replicator>,
+        backends: Arc<Vec<Mutex<ShardBackend>>>,
+    ) -> std::io::Result<Server> {
+        Self::start_impl(cfg, obs, tracer, faults, Some(replicator), backends)
+    }
+
+    fn start_impl(
+        cfg: &ServeConfig,
+        obs: &Obs,
+        tracer: Tracer,
+        faults: Option<Arc<FaultInjector>>,
+        replicator: Option<Arc<dyn Replicator>>,
+        backends: Arc<Vec<Mutex<ShardBackend>>>,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let map = ShardMap::new(cfg.shards, cfg.lines_per_shard);
@@ -682,13 +942,12 @@ impl Server {
                     })
                 })
                 .collect(),
-            backends: (0..cfg.shards)
-                .map(|s| Mutex::new(ShardBackend::new(map, s, cfg.scheme, obs)))
-                .collect(),
+            backends,
             pool: ThreadPool::with_obs(workers, obs),
             draining: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
             faults,
+            replicator,
             conn_seq: AtomicU64::new(0),
             tracer,
             c_requests: obs.counter("serve.requests"),
@@ -704,6 +963,7 @@ impl Server {
                 .collect(),
             h_sim_read: obs.hist("serve.shard.sim_read_ns"),
             h_sim_write: obs.hist("serve.shard.sim_write_ns"),
+            h_repl_wait: obs.hist("serve.repl.wait_ns"),
         });
         let accept_inner = Arc::clone(&inner);
         let accept = thread::Builder::new()

@@ -1,0 +1,209 @@
+//! Seeded property tests for the v3 cluster opcode block (PR 7):
+//! consensus messages round-trip bit-exactly through CRC-framed v3
+//! frames, corruption is rejected with the stream left in frame sync,
+//! per-entry CRCs catch payload damage even behind a valid frame CRC,
+//! and version negotiation holds — data-plane frames stay byte-identical
+//! to wire v1/v2, so pre-cluster peers keep parsing everything they ever
+//! parsed.
+
+use reram_serve::cluster::{ClusterMsg, SnapshotLine, WireEntry};
+use reram_serve::proto::{crc32, op, read_frame, Frame, WireError, LINE_BYTES};
+use reram_serve::{Response, WIRE_VERSION, WIRE_VERSION_CLUSTER};
+use reram_workloads::Rng64;
+
+const SEED: u64 = 0xC1A5_7E12_2026_0007;
+
+fn random_line(rng: &mut Rng64) -> Box<[u8; LINE_BYTES]> {
+    let mut data = Box::new([0u8; LINE_BYTES]);
+    rng.fill_bytes(&mut data[..]);
+    data
+}
+
+fn random_entry(rng: &mut Rng64) -> WireEntry {
+    WireEntry {
+        term: rng.gen_u64_below(1 << 20),
+        index: rng.gen_u64_below(1 << 40),
+        line: rng.gen_u64_below(1 << 30),
+        data: random_line(rng),
+    }
+}
+
+fn random_msg(rng: &mut Rng64) -> ClusterMsg {
+    match rng.gen_u64_below(6) {
+        0 => ClusterMsg::AppendEntries {
+            term: rng.gen_u64_below(1 << 20),
+            leader: rng.gen_u64_below(64) as u16,
+            prev_index: rng.gen_u64_below(1 << 40),
+            prev_term: rng.gen_u64_below(1 << 20),
+            commit: rng.gen_u64_below(1 << 40),
+            entries: (0..rng.gen_range_usize(0, 5))
+                .map(|_| random_entry(rng))
+                .collect(),
+        },
+        1 => ClusterMsg::AppendResp {
+            term: rng.gen_u64_below(1 << 20),
+            from: rng.gen_u64_below(64) as u16,
+            success: rng.gen_u64_below(2) == 1,
+            match_index: rng.gen_u64_below(1 << 40),
+        },
+        2 => ClusterMsg::VoteReq {
+            term: rng.gen_u64_below(1 << 20),
+            candidate: rng.gen_u64_below(64) as u16,
+            last_index: rng.gen_u64_below(1 << 40),
+            last_term: rng.gen_u64_below(1 << 20),
+        },
+        3 => ClusterMsg::VoteResp {
+            term: rng.gen_u64_below(1 << 20),
+            from: rng.gen_u64_below(64) as u16,
+            granted: rng.gen_u64_below(2) == 1,
+        },
+        4 => {
+            let lines: Vec<SnapshotLine> = (0..rng.gen_range_usize(0, 4))
+                .map(|_| (rng.gen_u64_below(1 << 30), random_line(rng)))
+                .collect();
+            ClusterMsg::Snapshot {
+                term: rng.gen_u64_below(1 << 20),
+                leader: rng.gen_u64_below(64) as u16,
+                last_index: rng.gen_u64_below(1 << 40),
+                last_term: rng.gen_u64_below(1 << 20),
+                lines,
+            }
+        }
+        _ => ClusterMsg::SnapshotResp {
+            term: rng.gen_u64_below(1 << 20),
+            from: rng.gen_u64_below(64) as u16,
+            match_index: rng.gen_u64_below(1 << 40),
+        },
+    }
+}
+
+#[test]
+fn cluster_messages_round_trip_through_v3_frames() {
+    let mut rng = Rng64::new(SEED);
+    for round in 0..500 {
+        let msg = random_msg(&mut rng);
+        let rid = rng.next_u64();
+        let frame = msg.to_frame(rid);
+        assert!(op::is_cluster(frame.opcode), "round {round}");
+        let bytes = frame.encode();
+        assert_eq!(bytes[4], WIRE_VERSION_CLUSTER, "cluster frames ride v3");
+        let back = read_frame(&mut &bytes[..]).unwrap();
+        assert_eq!(back.request_id, rid);
+        assert_eq!(ClusterMsg::from_frame(&back).unwrap(), msg);
+    }
+}
+
+#[test]
+fn corrupting_a_cluster_frame_is_caught_and_the_stream_resyncs() {
+    // Any flip inside the CRC-covered region (version byte through the
+    // CRC itself) must fail the frame, and the length prefix must carry
+    // the reader cleanly to the next frame.
+    let mut rng = Rng64::new(SEED ^ 1);
+    for round in 0..300 {
+        let msg = random_msg(&mut rng);
+        let mut bytes = msg.to_frame(rng.next_u64()).encode();
+        let trailer_msg = random_msg(&mut rng);
+        let trailer = trailer_msg.to_frame(rng.next_u64());
+        let idx = 4 + rng.gen_range_usize(0, bytes.len() - 4);
+        bytes[idx] ^= 1 << rng.gen_u64_below(8);
+        bytes.extend_from_slice(&trailer.encode());
+        let mut cursor = &bytes[..];
+        match read_frame(&mut cursor) {
+            Err(WireError::CrcMismatch { .. }) => {}
+            other => panic!("round {round}: flip at {idx} gave {other:?}"),
+        }
+        let back = read_frame(&mut cursor).unwrap();
+        assert_eq!(back, trailer);
+        assert_eq!(ClusterMsg::from_frame(&back).unwrap(), trailer_msg);
+    }
+}
+
+#[test]
+fn entry_crcs_catch_damage_behind_a_valid_frame_crc() {
+    // A hostile (or buggy) peer could reseal the outer frame CRC around a
+    // damaged log entry; the per-entry CRC is the deeper line of defense.
+    let mut rng = Rng64::new(SEED ^ 2);
+    for round in 0..200 {
+        let entries: Vec<WireEntry> = (1..=rng.gen_range_usize(1, 4))
+            .map(|_| random_entry(&mut rng))
+            .collect();
+        let msg = ClusterMsg::AppendEntries {
+            term: 7,
+            leader: 1,
+            prev_index: 3,
+            prev_term: 6,
+            commit: 2,
+            entries,
+        };
+        let mut bytes = msg.to_frame(99).encode();
+        // Flip one byte inside the entry block (after the 36-byte append
+        // header that follows the length prefix and 10-byte frame header),
+        // then reseal the outer CRC so only the entry CRC can object.
+        let entry_block = 4 + 10 + 36;
+        let idx = entry_block + rng.gen_range_usize(0, bytes.len() - 4 - entry_block);
+        bytes[idx] ^= 0x40;
+        let body_end = bytes.len() - 4;
+        let crc = crc32(&bytes[4..body_end]);
+        bytes[body_end..].copy_from_slice(&crc.to_le_bytes());
+        let frame = read_frame(&mut &bytes[..]).expect("outer CRC was resealed");
+        match ClusterMsg::from_frame(&frame) {
+            Err(WireError::CrcMismatch { .. }) => {}
+            other => panic!("round {round}: entry damage at {idx} gave {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn data_plane_frames_stay_byte_identical_for_pre_cluster_peers() {
+    // Version negotiation is per frame: only cluster opcodes use v3. A
+    // replica talking to a v1/v2 peer emits exactly the bytes it always
+    // emitted for requests and responses — including the NotLeader
+    // redirect, which clients must parse without understanding v3.
+    let mut rng = Rng64::new(SEED ^ 3);
+    for _ in 0..300 {
+        let mut payload = vec![0u8; rng.gen_range_usize(0, 96)];
+        rng.fill_bytes(&mut payload);
+        let f = Frame::new(
+            [op::READ_LINE, op::WRITE_LINE, op::READ_OK, op::NOT_LEADER][rng.gen_range_usize(0, 4)],
+            rng.next_u64(),
+            payload,
+        );
+        let bytes = f.encode();
+        assert_eq!(bytes[4], WIRE_VERSION, "data plane stays v1");
+        assert_eq!(read_frame(&mut &bytes[..]).unwrap(), f);
+    }
+    let redirect = Response::NotLeader {
+        leader: "127.0.0.1:4242".into(),
+    };
+    let bytes = redirect.to_frame(5).encode();
+    assert_eq!(bytes[4], WIRE_VERSION, "redirects ride v1");
+    let back = Response::from_frame(&read_frame(&mut &bytes[..]).unwrap()).unwrap();
+    assert_eq!(back, redirect);
+}
+
+#[test]
+fn mixed_streams_interleave_v1_data_and_v3_cluster_frames() {
+    // One socket carries both: redirected data ops and consensus traffic.
+    // The reader must switch on the per-frame version byte.
+    let mut rng = Rng64::new(SEED ^ 4);
+    let mut stream = Vec::new();
+    let mut sent = Vec::new();
+    for _ in 0..64 {
+        if rng.gen_u64_below(2) == 1 {
+            let f = random_msg(&mut rng).to_frame(rng.next_u64());
+            stream.extend_from_slice(&f.encode());
+            sent.push(f);
+        } else {
+            let mut payload = vec![0u8; rng.gen_range_usize(0, 48)];
+            rng.fill_bytes(&mut payload);
+            let f = Frame::new(op::READ_OK, rng.next_u64(), payload);
+            stream.extend_from_slice(&f.encode());
+            sent.push(f);
+        }
+    }
+    let mut cursor = &stream[..];
+    for want in &sent {
+        assert_eq!(&read_frame(&mut cursor).unwrap(), want);
+    }
+    assert!(cursor.is_empty());
+}
