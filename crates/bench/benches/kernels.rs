@@ -7,6 +7,7 @@ use reram_array::{ArrayGeometry, ArrayModel};
 use reram_bench::{black_box, Harness};
 use reram_circuit::{Crosspoint, SolveOptions, SolverWorkspace};
 use reram_core::{partition_reset, Scheme, WriteModel};
+use reram_durable::{DurableConfig, DurableLog, REC_ENTRY};
 use reram_exec::{par_map, ThreadPool};
 use reram_loadgen::{run_traced, LoadConfig};
 use reram_mem::{FnwCodec, MemoryConfig, MemoryController, Request, SecurityRefresh};
@@ -246,6 +247,44 @@ fn bench_par_map_overhead(h: &mut Harness) {
     }
 }
 
+/// WAL append path: one CRC-guarded fixed-stride record into a segment
+/// file, with and without the per-record fsync the durable serve/cluster
+/// paths batch away (they sync per drained batch, not per record — the
+/// unsynced number is the hot-path cost, the synced one the worst case).
+fn bench_wal_append(h: &mut Harness) {
+    let dir = std::env::temp_dir().join(format!("reram-bench-wal-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let payload = [0xA5u8; 64];
+    let mut cfg = DurableConfig::new(dir.join("plain"), payload.len());
+    cfg.segment_records = 4096;
+    let (mut log, _) = DurableLog::open(cfg, &Obs::off(), None).expect("open wal");
+    h.bench("wal_append_64b", move || {
+        log.append(REC_ENTRY, black_box(&payload)).expect("append");
+        log.current_segment()
+    });
+
+    let wide = [0x5Au8; 512];
+    let mut cfg = DurableConfig::new(dir.join("wide"), wide.len());
+    cfg.segment_records = 4096;
+    let (mut log, _) = DurableLog::open(cfg, &Obs::off(), None).expect("open wal");
+    h.bench("wal_append_512b", move || {
+        log.append(REC_ENTRY, black_box(&wide)).expect("append");
+        log.current_segment()
+    });
+
+    let mut cfg = DurableConfig::new(dir.join("synced"), payload.len());
+    cfg.segment_records = 4096;
+    let (mut log, _) = DurableLog::open(cfg, &Obs::off(), None).expect("open wal");
+    h.bench("wal_append_64b_synced", move || {
+        log.append(REC_ENTRY, black_box(&payload)).expect("append");
+        log.sync().expect("sync");
+        log.current_segment()
+    });
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// One self-hosted closed-loop serve run; returns measured req/s.
 /// `trace_sample` = 0 means tracing fully off (the v1 baseline path).
 fn serve_run(trace_sample: u64, clients: usize, requests: u64) -> f64 {
@@ -355,6 +394,7 @@ fn main() {
     bench_write_planning(&mut h);
     bench_controller(&mut h);
     bench_par_map_overhead(&mut h);
+    bench_wal_append(&mut h);
     bench_trace_overhead(&mut h);
     h.finish();
 }

@@ -34,6 +34,41 @@ use std::collections::BTreeMap;
 /// Outbound messages produced by a core transition: `(destination, msg)`.
 pub type Outbound = Vec<(ReplicaId, ClusterMsg)>;
 
+/// One persistence obligation recorded by a core transition. With WAL
+/// recording enabled ([`RaftCore::enable_wal`]) the host drains these via
+/// [`RaftCore::take_wal_ops`] after every transition and persists them
+/// (through `reram-durable`) **before** externalizing the transition's
+/// effects (acks, votes, outbound messages) — the standard write-ahead
+/// contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp {
+    /// Append one log entry at its index. An index at or below a
+    /// previously appended one supersedes that entry and its suffix
+    /// (the conflict-truncation case folds into replay).
+    Append(WireEntry),
+    /// Discard persisted entries from `0` (the index) upward — recorded
+    /// when a conflicting suffix is dropped before re-append.
+    TruncateFrom(u64),
+    /// Durable vote state changed; must hit the media before the vote
+    /// or the higher term is acted on.
+    Meta {
+        /// The new current term.
+        term: u64,
+        /// Who this replica voted for in `term`, if anyone.
+        voted_for: Option<ReplicaId>,
+    },
+    /// The log base moved — local compaction folded entries into the
+    /// image, or a leader-sent snapshot was adopted wholesale. The host
+    /// persists a snapshot of [`RaftCore::image_lines`] plus the
+    /// surviving [`RaftCore::tail_entries`] and GCs older segments.
+    SnapshotAt {
+        /// New snapshot base index.
+        last_index: u64,
+        /// Term of the entry at `last_index`.
+        last_term: u64,
+    },
+}
+
 /// A replica's consensus role.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Role {
@@ -132,6 +167,10 @@ pub struct RaftCore {
     rng: Rng64,
     leader_hint: Option<ReplicaId>,
     elections_started: u64,
+    /// Persistence obligations since the last `take_wal_ops` (only
+    /// recorded when `wal_enabled`, so memory-only groups pay nothing).
+    wal_ops: Vec<WalOp>,
+    wal_enabled: bool,
 }
 
 impl RaftCore {
@@ -173,6 +212,75 @@ impl RaftCore {
             rng,
             leader_hint: None,
             elections_started: 0,
+            wal_ops: Vec::new(),
+            wal_enabled: false,
+        }
+    }
+
+    /// Rebuilds a core from recovered durable state: the snapshot base
+    /// (`base_index`, `base_term`, `image`), the surviving log tail and
+    /// the persisted vote state. `commit` and `applied` restart at the
+    /// snapshot base — only the image is provably committed; the
+    /// recovered tail re-commits when the leader next re-teaches the
+    /// commit index, so a possibly-uncommitted suffix is never applied.
+    ///
+    /// # Panics
+    ///
+    /// As [`RaftCore::new`]; additionally when `entries` is not a
+    /// gap-free run starting at `base_index + 1`.
+    #[must_use]
+    pub fn restore(
+        cfg: CoreConfig,
+        term: u64,
+        voted_for: Option<ReplicaId>,
+        base_index: u64,
+        base_term: u64,
+        image: Vec<SnapshotLine>,
+        entries: Vec<WireEntry>,
+    ) -> RaftCore {
+        let mut core = RaftCore::new(cfg);
+        for (k, e) in entries.iter().enumerate() {
+            assert_eq!(
+                e.index,
+                base_index + 1 + k as u64,
+                "recovered log must be gap-free above the snapshot base"
+            );
+        }
+        core.term = term;
+        core.voted_for = voted_for;
+        core.base_index = base_index;
+        core.base_term = base_term;
+        core.image = image.into_iter().collect();
+        core.entries = entries;
+        core.commit = base_index;
+        core.applied = base_index;
+        core
+    }
+
+    /// Turns on WAL-op recording (see [`WalOp`]); hosts that persist
+    /// call this right after `new`/`restore`.
+    pub fn enable_wal(&mut self) {
+        self.wal_enabled = true;
+    }
+
+    /// Drains the persistence obligations recorded since the last call,
+    /// in transition order.
+    pub fn take_wal_ops(&mut self) -> Vec<WalOp> {
+        std::mem::take(&mut self.wal_ops)
+    }
+
+    fn wal(&mut self, op: WalOp) {
+        if self.wal_enabled {
+            self.wal_ops.push(op);
+        }
+    }
+
+    fn wal_meta(&mut self) {
+        if self.wal_enabled {
+            self.wal_ops.push(WalOp::Meta {
+                term: self.term,
+                voted_for: self.voted_for,
+            });
         }
     }
 
@@ -182,6 +290,33 @@ impl RaftCore {
     #[must_use]
     pub fn id(&self) -> ReplicaId {
         self.cfg.id
+    }
+
+    /// Who this replica voted for in the current term, if anyone.
+    #[must_use]
+    pub fn voted_for(&self) -> Option<ReplicaId> {
+        self.voted_for
+    }
+
+    /// The snapshot base as `(base_index, base_term)`.
+    #[must_use]
+    pub fn base(&self) -> (u64, u64) {
+        (self.base_index, self.base_term)
+    }
+
+    /// The line image at or below the snapshot base, in deterministic
+    /// (line-sorted) order — the payload a host persists on
+    /// [`WalOp::SnapshotAt`].
+    #[must_use]
+    pub fn image_lines(&self) -> Vec<SnapshotLine> {
+        self.image.iter().map(|(l, d)| (*l, d.clone())).collect()
+    }
+
+    /// The log entries still above the snapshot base, in index order —
+    /// rewritten into a fresh WAL segment on [`WalOp::SnapshotAt`].
+    #[must_use]
+    pub fn tail_entries(&self) -> Vec<WireEntry> {
+        self.entries.clone()
     }
 
     /// Current role.
@@ -260,6 +395,37 @@ impl RaftCore {
         reram_serve::proto::crc32(&acc)
     }
 
+    /// Digest of the **committed client-write set**: per-entry CRCs
+    /// over `(line, data)`, deduplicated and folded in sorted order —
+    /// terms, indices, noop barriers and entry order all excluded.
+    /// Unlike [`RaftCore::ledger_digest`] this is stable across *runs*
+    /// of the same seeded workload: election timing varies term
+    /// values, concurrent clients interleave their (individually
+    /// deterministic) writes in a scheduling-dependent order, and a
+    /// leader crash makes clients re-propose a possibly-committed
+    /// write (data ops are idempotent, so raft legitimately commits it
+    /// twice) — but the *set* of committed writes is invariant. The
+    /// crash-recovery drill compares this against its crash-free
+    /// baseline run: a lost or corrupted write is a missing element, a
+    /// foreign write an extra one. Entries already folded into a
+    /// snapshot base are not covered; the drill runs compaction-free.
+    #[must_use]
+    pub fn writes_digest(&self) -> u32 {
+        let committed = (self.commit - self.base_index) as usize;
+        let mut crcs = std::collections::BTreeSet::new();
+        let mut buf = [0u8; 8 + LINE_BYTES];
+        for e in self.entries[..committed].iter().filter(|e| !e.is_noop()) {
+            buf[..8].copy_from_slice(&e.line.to_le_bytes());
+            buf[8..].copy_from_slice(&e.data[..]);
+            crcs.insert(reram_serve::proto::crc32(&buf));
+        }
+        let mut acc = Vec::with_capacity(crcs.len() * 4);
+        for c in crcs {
+            acc.extend_from_slice(&c.to_le_bytes());
+        }
+        reram_serve::proto::crc32(&acc)
+    }
+
     // ----- time -----------------------------------------------------------
 
     /// Advances logical time by one tick: leaders heartbeat, followers and
@@ -302,6 +468,7 @@ impl RaftCore {
                 .gen_u64_below(self.cfg.election_max - self.cfg.election_min);
         self.leader_hint = None;
         self.elections_started += 1;
+        self.wal_meta();
         if self.majority() == 1 {
             // replicas == 1: self-vote is the majority.
             return self.become_leader();
@@ -328,6 +495,7 @@ impl RaftCore {
         self.voted_for = None;
         self.votes = 0;
         self.ticks_idle = 0;
+        self.wal_meta();
     }
 
     fn become_leader(&mut self) -> Outbound {
@@ -343,6 +511,7 @@ impl RaftCore {
         // The no-op barrier: committing an entry of the new term is the
         // only way raft may commit the predecessors' tail.
         let noop = WireEntry::noop(self.term, next);
+        self.wal(WalOp::Append(noop.clone()));
         self.entries.push(noop);
         self.match_index[self.cfg.id as usize] = self.last_index();
         if self.cfg.replicas == 1 {
@@ -430,12 +599,14 @@ impl RaftCore {
             return None;
         }
         let index = self.last_index() + 1;
-        self.entries.push(WireEntry {
+        let entry = WireEntry {
             term: self.term,
             index,
             line,
             data,
-        });
+        };
+        self.wal(WalOp::Append(entry.clone()));
+        self.entries.push(entry);
         self.match_index[self.cfg.id as usize] = index;
         if self.cfg.replicas == 1 {
             self.advance_commit();
@@ -506,6 +677,7 @@ impl RaftCore {
                 if granted {
                     self.voted_for = Some(*candidate);
                     self.ticks_idle = 0;
+                    self.wal_meta();
                 }
                 vec![(
                     *candidate,
@@ -578,12 +750,15 @@ impl RaftCore {
                             // Conflict: drop the divergent (uncommitted)
                             // suffix, then append.
                             debug_assert!(e.index > self.commit, "no conflicts below commit");
+                            self.wal(WalOp::TruncateFrom(e.index));
+                            self.wal(WalOp::Append(e.clone()));
                             self.entries
                                 .truncate((e.index - self.base_index - 1) as usize);
                             self.entries.push(e.clone());
                         }
                         None => {
                             debug_assert_eq!(e.index, self.last_index() + 1, "gap-free append");
+                            self.wal(WalOp::Append(e.clone()));
                             self.entries.push(e.clone());
                         }
                     }
@@ -662,6 +837,10 @@ impl RaftCore {
                     self.commit = self.commit.max(*last_index);
                     self.applied = *last_index;
                     self.pending_install = Some((*last_index, *last_term, lines.clone()));
+                    self.wal(WalOp::SnapshotAt {
+                        last_index: *last_index,
+                        last_term: *last_term,
+                    });
                 }
                 vec![(
                     *leader,
@@ -735,6 +914,10 @@ impl RaftCore {
         }
         self.base_index = keep_from;
         self.base_term = new_base_term;
+        self.wal(WalOp::SnapshotAt {
+            last_index: keep_from,
+            last_term: new_base_term,
+        });
     }
 }
 
@@ -847,6 +1030,55 @@ mod tests {
             let more = cores[to as usize].step(&msg);
             inflight.extend(more.into_iter().filter(|(t, _)| *t != drop_for));
         }
+    }
+
+    #[test]
+    fn wal_ops_replay_restores_an_identical_ledger() {
+        let mut cores = group(3, 13);
+        for c in cores.iter_mut() {
+            c.enable_wal();
+        }
+        let l = elect_leader(&mut cores);
+        for k in 0..6u64 {
+            let (_, out) = cores[l]
+                .propose(k, Box::new([k as u8; LINE_BYTES]))
+                .unwrap();
+            deliver(&mut cores, out);
+        }
+        let f = (l + 1) % 3;
+        // Replay the follower's recorded ops the way a recovery would:
+        // meta latest-wins, appends self-healing on conflict.
+        let mut term = 0;
+        let mut voted = None;
+        let mut entries: Vec<WireEntry> = Vec::new();
+        for op in cores[f].take_wal_ops() {
+            match op {
+                WalOp::Meta { term: t, voted_for } => {
+                    term = t;
+                    voted = voted_for;
+                }
+                WalOp::Append(e) => {
+                    while entries.last().is_some_and(|p| p.index >= e.index) {
+                        entries.pop();
+                    }
+                    entries.push(e);
+                }
+                WalOp::TruncateFrom(i) => entries.retain(|e| e.index < i),
+                WalOp::SnapshotAt { .. } => {}
+            }
+        }
+        let restored = RaftCore::restore(
+            CoreConfig::new(f as u16, 3, 13),
+            term,
+            voted,
+            0,
+            0,
+            Vec::new(),
+            entries,
+        );
+        assert_eq!(restored.term(), cores[f].term());
+        assert_eq!(restored.ledger_digest(), cores[f].ledger_digest());
+        assert_eq!(restored.commit(), 0, "recovered tail is not yet committed");
     }
 
     #[test]

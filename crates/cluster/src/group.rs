@@ -24,15 +24,19 @@
 //! replica; `cluster.msg.stale_term` (per delivery, target `peer<id>`)
 //! rewrites a message's term downward to prove the term checks hold.
 
-use crate::core::{CoreConfig, RaftCore, Role};
-use reram_fault::{site, FaultInjector};
+use crate::core::{CoreConfig, RaftCore, Role, WalOp};
+use reram_durable::{DurableConfig, DurableLog, Recovered, REC_ENTRY, REC_META, REC_TRUNCATE};
+use reram_fault::{site, FaultInjector, FaultKind};
 use reram_obs::{Obs, TraceContext, Tracer};
-use reram_serve::cluster::{ClusterMsg, ReplicaId};
+use reram_serve::cluster::{ClusterMsg, ReplicaId, SnapshotLine, WireEntry};
 use reram_serve::proto::{Frame, Response, LINE_BYTES};
 use reram_serve::shard::{ShardBackend, ShardMap, ShardOp};
-use reram_serve::{ClusterStatus, ReplicationMode, Replicator, ServeConfig, Server, WriteAck};
+use reram_serve::{
+    ClusterStatus, ReplicationMode, Replicator, ServeConfig, Server, WriteAck, WIRE_ENTRY_BYTES,
+};
 use std::collections::{HashMap, VecDeque};
 use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -53,6 +57,13 @@ pub struct GroupConfig {
     pub tick_ms: u64,
     /// Log-compaction threshold (entries kept beyond the applied prefix).
     pub snapshot_keep: u64,
+    /// Persist every replica's log and snapshots under this directory
+    /// (one `replica<id>` subdirectory each). `None` keeps the group
+    /// memory-only, as before PR 9.
+    pub durable_dir: Option<PathBuf>,
+    /// Base records per WAL segment before the seeded rotation jitter
+    /// (only meaningful with `durable_dir`).
+    pub wal_segment_records: u64,
 }
 
 impl GroupConfig {
@@ -66,8 +77,139 @@ impl GroupConfig {
             mode: ReplicationMode::Majority,
             tick_ms: 1,
             snapshot_keep: 4096,
+            durable_dir: None,
+            wal_segment_records: 1024,
         }
     }
+}
+
+/// Per-replica durable-log configuration under the group directory.
+fn durable_cfg(dir: &Path, cfg: &GroupConfig, id: ReplicaId) -> DurableConfig {
+    DurableConfig {
+        dir: dir.join(format!("replica{id}")),
+        payload_bytes: WIRE_ENTRY_BYTES,
+        segment_records: cfg.wal_segment_records,
+        seed: cfg.seed.wrapping_add(u64::from(id) + 1),
+        target: format!("replica{id}"),
+    }
+}
+
+/// Encodes a line image as a snapshot's opaque state blob
+/// (`line (u64 LE) | 64 B data` per line, in line order).
+fn encode_image(lines: &[SnapshotLine]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(lines.len() * (8 + LINE_BYTES));
+    for (line, data) in lines {
+        out.extend_from_slice(&line.to_le_bytes());
+        out.extend_from_slice(&data[..]);
+    }
+    out
+}
+
+fn decode_image(blob: &[u8]) -> Vec<SnapshotLine> {
+    blob.chunks_exact(8 + LINE_BYTES)
+        .map(|c| {
+            let line = u64::from_le_bytes(c[..8].try_into().expect("8 bytes"));
+            let mut data = Box::new([0u8; LINE_BYTES]);
+            data.copy_from_slice(&c[8..]);
+            (line, data)
+        })
+        .collect()
+}
+
+/// Wire-encodes one entry as a WAL record payload.
+fn entry_payload(e: &WireEntry) -> Vec<u8> {
+    let mut p = Vec::with_capacity(WIRE_ENTRY_BYTES);
+    e.encode_into(&mut p);
+    p
+}
+
+/// Replays a recovered WAL into consensus state: the newest meta record
+/// wins, entry appends self-heal conflicts (an index at or below a
+/// previous one supersedes that suffix), explicit truncations drop
+/// suffixes, and any record that cannot be proven contiguous with the
+/// log so far ends the replay — the leader re-teaches the lost tail.
+#[allow(clippy::type_complexity)]
+fn replay_wal(
+    recovered: &Recovered,
+    obs: &Obs,
+) -> (
+    u64,
+    Option<ReplicaId>,
+    u64,
+    u64,
+    Vec<SnapshotLine>,
+    Vec<WireEntry>,
+) {
+    let (base_index, base_term, image) =
+        recovered.snapshot.as_ref().map_or((0, 0, Vec::new()), |s| {
+            (s.last_index, s.last_term, decode_image(&s.state))
+        });
+    let mut term = 0u64;
+    let mut voted: Option<ReplicaId> = None;
+    let mut entries: Vec<WireEntry> = Vec::new();
+    let u64_at = |p: &[u8], o: usize| u64::from_le_bytes(p[o..o + 8].try_into().expect("8 bytes"));
+    for rec in &recovered.records {
+        match rec.kind {
+            REC_META if rec.payload.len() == 16 => {
+                term = u64_at(&rec.payload, 0);
+                let v = u64_at(&rec.payload, 8);
+                #[allow(clippy::cast_possible_truncation)]
+                {
+                    voted = (v != u64::MAX).then_some(v as ReplicaId);
+                }
+            }
+            REC_TRUNCATE if rec.payload.len() == 8 => {
+                let from = u64_at(&rec.payload, 0);
+                entries.retain(|e| e.index < from);
+            }
+            REC_ENTRY => match WireEntry::decode_from(&rec.payload) {
+                Ok(e) => {
+                    if e.index <= base_index {
+                        continue; // covered by the snapshot (stale segment)
+                    }
+                    while entries.last().is_some_and(|p| p.index >= e.index) {
+                        entries.pop();
+                    }
+                    if e.index != base_index + 1 + entries.len() as u64 {
+                        // A gap: continuity is unprovable from here on.
+                        obs.counter("durable.wal.gap_discards").inc();
+                        break;
+                    }
+                    entries.push(e);
+                }
+                Err(_) => {
+                    // The record CRC passed but the entry's own seal did
+                    // not: treat like bit rot, never apply the suffix.
+                    obs.counter("durable.entry.corrupt").inc();
+                    break;
+                }
+            },
+            _ => {}
+        }
+    }
+    (term, voted, base_index, base_term, image, entries)
+}
+
+/// Replays recovered image lines through a replica's own shard
+/// backends — the VerifiedStore write-verify ladder — so per-replica
+/// verify state is re-derived, not assumed.
+fn replay_image(
+    map: &ShardMap,
+    backends: &[Mutex<ShardBackend>],
+    lines: &[SnapshotLine],
+    obs: &Obs,
+) {
+    for (line, data) in lines {
+        let shard = map.shard_of(*line);
+        let local = map.local_of(*line);
+        let mut b = backends[shard].lock().expect("backend poisoned");
+        let _ = b.service_batch(&[ShardOp::Write {
+            local,
+            data: data.clone(),
+        }]);
+    }
+    obs.counter("cluster.recovery.lines_replayed")
+        .add(lines.len() as u64);
 }
 
 /// A client write parked in [`Replicator::replicate_write`].
@@ -89,6 +231,11 @@ struct PumpState {
     killed_ack: Option<Option<ReplicaId>>,
     digest_req: bool,
     digests: Option<Vec<Option<u32>>>,
+    write_digests: Option<Vec<Option<u32>>>,
+    store_digest_req: bool,
+    store_digests: Option<Vec<Option<u32>>>,
+    restart_req: Option<ReplicaId>,
+    restart_ack: Option<bool>,
 }
 
 struct Shared {
@@ -185,6 +332,66 @@ struct Node {
     killed: bool,
     /// Tick until which this replica is partitioned off the bus.
     partitioned_until: u64,
+    /// This replica's on-disk log (durable groups only). Dropped on
+    /// crash — like a dead process closing its files — and reopened,
+    /// with full recovery, on restart.
+    durable: Option<DurableLog>,
+}
+
+/// State recovered from one replica's durable directory at open time.
+struct RecoveredNode {
+    log: DurableLog,
+    term: u64,
+    voted: Option<ReplicaId>,
+    base_index: u64,
+    base_term: u64,
+    image: Vec<SnapshotLine>,
+    entries: Vec<WireEntry>,
+}
+
+/// Opens replica `id`'s durable log and replays it into consensus state.
+fn recover_node(
+    cfg: &GroupConfig,
+    dir: &Path,
+    id: ReplicaId,
+    obs: &Obs,
+    faults: Option<Arc<FaultInjector>>,
+) -> std::io::Result<RecoveredNode> {
+    let (log, recovered) = DurableLog::open(durable_cfg(dir, cfg, id), obs, faults)?;
+    let (term, voted, base_index, base_term, image, entries) = replay_wal(&recovered, obs);
+    Ok(RecoveredNode {
+        log,
+        term,
+        voted,
+        base_index,
+        base_term,
+        image,
+        entries,
+    })
+}
+
+/// Builds replica `id`'s consensus core from recovered state (or fresh
+/// when `rec` is `None`) with WAL-op recording switched on for durable
+/// groups.
+fn build_core(cfg: &GroupConfig, id: ReplicaId, rec: Option<&RecoveredNode>) -> RaftCore {
+    let mut core_cfg = CoreConfig::new(id, cfg.replicas, cfg.seed);
+    core_cfg.snapshot_keep = cfg.snapshot_keep;
+    let mut core = match rec {
+        Some(r) => RaftCore::restore(
+            core_cfg,
+            r.term,
+            r.voted,
+            r.base_index,
+            r.base_term,
+            r.image.clone(),
+            r.entries.clone(),
+        ),
+        None => RaftCore::new(core_cfg),
+    };
+    if cfg.durable_dir.is_some() {
+        core.enable_wal();
+    }
+    core
 }
 
 struct PendingTicket {
@@ -244,8 +451,21 @@ impl ClusterGroup {
         let mut backends_by_node = Vec::new();
         let mut addrs: Vec<SocketAddr> = Vec::new();
         let shared_cell: Arc<Mutex<Option<Arc<Shared>>>> = Arc::new(Mutex::new(None));
+        // Recover persisted state first, so a rebooted replica's backends
+        // already hold its snapshot image before the listener goes live.
+        let mut recovered: Vec<Option<RecoveredNode>> = Vec::new();
+        for id in 0..cfg.replicas {
+            recovered.push(match &cfg.durable_dir {
+                Some(dir) => Some(recover_node(cfg, dir, id, obs, faults.clone())?),
+                None => None,
+            });
+        }
+        let map = ShardMap::new(cfg.serve.shards, cfg.serve.lines_per_shard);
         for id in 0..cfg.replicas {
             let backends = Server::build_backends(&cfg.serve, obs);
+            if let Some(rec) = &recovered[id as usize] {
+                replay_image(&map, &backends, &rec.image, obs);
+            }
             let repl = Arc::new(LateBoundReplicator {
                 cell: Arc::clone(&shared_cell),
                 node: id,
@@ -272,6 +492,11 @@ impl ClusterGroup {
                 killed_ack: None,
                 digest_req: false,
                 digests: None,
+                write_digests: None,
+                store_digest_req: false,
+                store_digests: None,
+                restart_req: None,
+                restart_ack: None,
             }),
             work: Condvar::new(),
             done: Condvar::new(),
@@ -283,19 +508,17 @@ impl ClusterGroup {
         let nodes: Vec<Node> = servers
             .into_iter()
             .zip(backends_by_node)
+            .zip(recovered)
             .enumerate()
-            .map(|(id, (server, backends))| {
-                let mut core_cfg = CoreConfig::new(id as ReplicaId, cfg.replicas, cfg.seed);
-                core_cfg.snapshot_keep = cfg.snapshot_keep;
-                Node {
-                    core: RaftCore::new(core_cfg),
-                    backends,
-                    server: Some(server),
-                    inbox: VecDeque::new(),
-                    acks: HashMap::new(),
-                    killed: false,
-                    partitioned_until: 0,
-                }
+            .map(|(id, ((server, backends), rec))| Node {
+                core: build_core(cfg, id as ReplicaId, rec.as_ref()),
+                backends,
+                server: Some(server),
+                inbox: VecDeque::new(),
+                acks: HashMap::new(),
+                killed: false,
+                partitioned_until: 0,
+                durable: rec.map(|r| r.log),
             })
             .collect();
 
@@ -322,6 +545,7 @@ impl ClusterGroup {
                         last_leader: None,
                         leaderless_since_tick: 0,
                         span_seq: 0,
+                        cfg,
                     }
                     .run();
                 })
@@ -419,6 +643,47 @@ impl ClusterGroup {
         }
     }
 
+    /// Replica ids currently crash-stopped (role `"dead"`).
+    #[must_use]
+    pub fn dead_replicas(&self) -> Vec<ReplicaId> {
+        self.statuses()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.role == "dead")
+            .map(|(i, _)| i as ReplicaId)
+            .collect()
+    }
+
+    /// Reboots a crashed replica from its durable directory: the WAL and
+    /// snapshots are re-read (running the full torn-tail/bit-rot recovery
+    /// path), the consensus core is restored, backend verify state is
+    /// re-derived by replaying the snapshot image through the
+    /// write-verify ladder, and the replica rebinds its original address
+    /// and rejoins the group as a follower.
+    ///
+    /// Returns `false` when the replica is not crashed, the group is not
+    /// durable, or recovery could not complete.
+    pub fn restart_replica(&self, id: ReplicaId) -> bool {
+        let mut st = self.shared.state.lock().expect("pump state poisoned");
+        st.restart_req = Some(id);
+        st.restart_ack = None;
+        self.shared.work.notify_one();
+        loop {
+            if let Some(ok) = st.restart_ack.take() {
+                return ok;
+            }
+            if st.shutdown {
+                return false;
+            }
+            let (guard, _) = self
+                .shared
+                .done
+                .wait_timeout(st, Duration::from_millis(50))
+                .expect("pump state poisoned");
+            st = guard;
+        }
+    }
+
     /// Per-replica write-ledger digests (`None` for killed replicas).
     /// Live replicas that have converged report identical digests — this
     /// is the byte-identity check the failover drill gates on.
@@ -430,6 +695,61 @@ impl ClusterGroup {
         self.shared.work.notify_one();
         loop {
             if let Some(d) = st.digests.take() {
+                return d;
+            }
+            if st.shutdown {
+                return Vec::new();
+            }
+            let (guard, _) = self
+                .shared
+                .done
+                .wait_timeout(st, Duration::from_millis(50))
+                .expect("pump state poisoned");
+            st = guard;
+        }
+    }
+
+    /// Per-replica **committed-write-sequence** digests (`None` for
+    /// killed replicas): terms and noop barriers excluded, so the value
+    /// is stable across independent runs of the same seeded workload —
+    /// election timing legitimately varies the term values that
+    /// [`ClusterGroup::ledger_digests`] folds in. The crash-recovery
+    /// drill compares these against its crash-free baseline run.
+    #[must_use]
+    pub fn write_digests(&self) -> Vec<Option<u32>> {
+        let mut st = self.shared.state.lock().expect("pump state poisoned");
+        st.digest_req = true;
+        st.write_digests = None;
+        self.shared.work.notify_one();
+        loop {
+            if let Some(d) = st.write_digests.take() {
+                return d;
+            }
+            if st.shutdown {
+                return Vec::new();
+            }
+            let (guard, _) = self
+                .shared
+                .done
+                .wait_timeout(st, Duration::from_millis(50))
+                .expect("pump state poisoned");
+            st = guard;
+        }
+    }
+
+    /// Per-replica store-image digests (`None` for killed replicas): a
+    /// CRC-32 over every data line, shard-major in local-line order.
+    /// Converged replicas report identical store digests even when their
+    /// log digests differ by election noise — this is the oracle the
+    /// snapshot catch-up property gates on.
+    #[must_use]
+    pub fn store_digests(&self) -> Vec<Option<u32>> {
+        let mut st = self.shared.state.lock().expect("pump state poisoned");
+        st.store_digest_req = true;
+        st.store_digests = None;
+        self.shared.work.notify_one();
+        loop {
+            if let Some(d) = st.store_digests.take() {
                 return d;
             }
             if st.shutdown {
@@ -534,6 +854,7 @@ struct Pump {
     last_leader: Option<ReplicaId>,
     leaderless_since_tick: u64,
     span_seq: u64,
+    cfg: GroupConfig,
 }
 
 impl Pump {
@@ -541,12 +862,14 @@ impl Pump {
         let mut last_tick = Instant::now();
         loop {
             // 1. Pull work from the shared state.
-            let (proposals, shutdown, kill_req, digest_req) = {
+            let (proposals, shutdown, kill_req, digest_req, store_digest_req, restart_req) = {
                 let mut st = self.shared.state.lock().expect("pump state poisoned");
                 let props: Vec<Proposal> = st.proposals.drain(..).collect();
                 let kill = std::mem::take(&mut st.kill_leader_req);
                 let dig = std::mem::take(&mut st.digest_req);
-                (props, st.shutdown, kill, dig)
+                let sdig = std::mem::take(&mut st.store_digest_req);
+                let restart = st.restart_req.take();
+                (props, st.shutdown, kill, dig, sdig, restart)
             };
             if shutdown {
                 self.fail_all_pending();
@@ -563,6 +886,16 @@ impl Pump {
                 let victim = self.kill_current_leader();
                 let mut st = self.shared.state.lock().expect("pump state poisoned");
                 st.killed_ack = Some(victim);
+                self.shared.done.notify_all();
+            }
+            if let Some(id) = restart_req {
+                let ok = self.restart_replica(id);
+                // Refresh statuses before acking so callers never observe
+                // the rebooted replica as still dead (wait_converged would
+                // otherwise settle on the old survivors alone).
+                self.publish_status();
+                let mut st = self.shared.state.lock().expect("pump state poisoned");
+                st.restart_ack = Some(ok);
                 self.shared.done.notify_all();
             }
 
@@ -588,6 +921,11 @@ impl Pump {
             // 5. Apply committed entries through each replica's ladder.
             self.apply_all();
 
+            // 5b. Persist recorded WAL ops before any ack can escape —
+            // the write-ahead half of the durability contract. A
+            // scheduled `durable.crash` fault lands here.
+            self.persist_all();
+
             // 6. Resolve parked writes.
             self.resolve_pending();
 
@@ -599,14 +937,34 @@ impl Pump {
                     .iter()
                     .map(|n| (!n.killed).then(|| n.core.ledger_digest()))
                     .collect();
+                let writes: Vec<Option<u32>> = self
+                    .nodes
+                    .iter()
+                    .map(|n| (!n.killed).then(|| n.core.writes_digest()))
+                    .collect();
                 let mut st = self.shared.state.lock().expect("pump state poisoned");
                 st.digests = Some(digs);
+                st.write_digests = Some(writes);
+                self.shared.done.notify_all();
+            }
+            if store_digest_req {
+                let digs: Vec<Option<u32>> = (0..self.nodes.len())
+                    .map(|id| (!self.nodes[id].killed).then(|| self.store_digest(id)))
+                    .collect();
+                let mut st = self.shared.state.lock().expect("pump state poisoned");
+                st.store_digests = Some(digs);
                 self.shared.done.notify_all();
             }
 
             // 8. Sleep until the next tick or the next piece of work.
             let st = self.shared.state.lock().expect("pump state poisoned");
-            if st.proposals.is_empty() && !st.shutdown && !st.kill_leader_req && !st.digest_req {
+            if st.proposals.is_empty()
+                && !st.shutdown
+                && !st.kill_leader_req
+                && !st.digest_req
+                && !st.store_digest_req
+                && st.restart_req.is_none()
+            {
                 let _ = self
                     .shared
                     .work
@@ -782,23 +1140,53 @@ impl Pump {
         self.last_leader = now_leader;
     }
 
+    /// CRC-32 over replica `id`'s entire store image, shard-major in
+    /// local-line order — the byte-identity oracle for catch-up checks.
+    fn store_digest(&self, id: usize) -> u32 {
+        let n = &self.nodes[id];
+        let mut image = Vec::with_capacity(self.map.total_lines() as usize * LINE_BYTES);
+        for shard in 0..self.map.shards() {
+            let b = n.backends[shard].lock().expect("backend poisoned");
+            for local in 0..self.map.lines_per_shard() {
+                image.extend_from_slice(&b.peek(local));
+            }
+        }
+        reram_durable::crc32(&image)
+    }
+
     fn kill_current_leader(&mut self) -> Option<ReplicaId> {
         let l = self.leader_id()?;
-        let node = &mut self.nodes[l as usize];
+        self.obs.counter("cluster.leader.kills").inc();
+        self.crash_replica(l);
+        Some(l)
+    }
+
+    /// Crash-stops replica `id` process-style: the server stops
+    /// accepting, the core leaves the group, the durable-log handle is
+    /// dropped (a dead process closes its files) — but the on-disk state
+    /// stays put for a later [`Pump::restart_replica`].
+    fn crash_replica(&mut self, id: ReplicaId) {
+        let node = &mut self.nodes[id as usize];
+        if node.killed {
+            return;
+        }
         node.killed = true;
         node.inbox.clear();
+        node.durable = None;
         if let Some(s) = node.server.take() {
             s.stop();
             s.join();
         }
-        self.obs.counter("cluster.leader.kills").inc();
-        self.last_leader = None;
-        self.leaderless_since_tick = self.tick;
-        // Writes parked on the dead leader can never be acked by it.
+        self.obs.counter("cluster.replica.crashes").inc();
+        if self.last_leader == Some(id) {
+            self.last_leader = None;
+            self.leaderless_since_tick = self.tick;
+        }
+        // Writes parked on the dead replica can never be acked by it.
         let mut st = self.shared.state.lock().expect("pump state poisoned");
         let mut kept = Vec::new();
         for p in self.pending.drain(..) {
-            if p.node == l {
+            if p.node == id {
                 st.results.insert(p.ticket, Err(String::new()));
             } else {
                 kept.push(p);
@@ -806,7 +1194,159 @@ impl Pump {
         }
         self.pending = kept;
         self.shared.done.notify_all();
-        Some(l)
+    }
+
+    /// Persists every live replica's recorded WAL ops. After each
+    /// persisted record the `durable.crash` fault site is consulted for
+    /// that replica — a scheduled [`FaultKind::ReplicaCrash`] crash-stops
+    /// it at exactly that persistence point, cutting the rest of its
+    /// batch short the way a real crash would.
+    fn persist_all(&mut self) {
+        let mut crashed: Vec<ReplicaId> = Vec::new();
+        for id in 0..self.nodes.len() {
+            if self.nodes[id].killed || self.nodes[id].durable.is_none() {
+                // Recording stays on while unpersistable so a crashed
+                // replica's core (inert anyway) cannot grow unbounded.
+                self.nodes[id].core.take_wal_ops();
+                continue;
+            }
+            let ops = self.nodes[id].core.take_wal_ops();
+            let mut crash_here = false;
+            for op in ops {
+                if crash_here {
+                    break; // the crash cut persistence short
+                }
+                // Snapshot materialization needs the core immutably, so
+                // pull the image before borrowing the log mutably.
+                let (image, tail) = if matches!(op, WalOp::SnapshotAt { .. }) {
+                    (
+                        self.nodes[id].core.image_lines(),
+                        self.nodes[id].core.tail_entries(),
+                    )
+                } else {
+                    (Vec::new(), Vec::new())
+                };
+                let log = self.nodes[id].durable.as_mut().expect("checked above");
+                let res = match op {
+                    WalOp::Append(e) => log.append(REC_ENTRY, &entry_payload(&e)),
+                    WalOp::TruncateFrom(i) => log.append(REC_TRUNCATE, &i.to_le_bytes()),
+                    WalOp::Meta { term, voted_for } => {
+                        let mut p = [0u8; 16];
+                        p[..8].copy_from_slice(&term.to_le_bytes());
+                        p[8..]
+                            .copy_from_slice(&voted_for.map_or(u64::MAX, u64::from).to_le_bytes());
+                        log.append(REC_META, &p)
+                    }
+                    WalOp::SnapshotAt {
+                        last_index,
+                        last_term,
+                    } => {
+                        let blob = encode_image(&image);
+                        let tail_recs: Vec<(u8, Vec<u8>)> =
+                            tail.iter().map(|e| (REC_ENTRY, entry_payload(e))).collect();
+                        self.obs.counter("cluster.durable.snapshots").inc();
+                        log.install_snapshot(last_index, last_term, &blob, &tail_recs)
+                    }
+                };
+                if res.is_err() {
+                    self.obs.counter("cluster.durable.io_errors").inc();
+                }
+                self.obs.counter("cluster.durable.persisted").inc();
+                if let Some(f) = self
+                    .faults
+                    .as_ref()
+                    .and_then(|fi| fi.fire(site::CRASH, &format!("replica{id}")))
+                {
+                    if f.kind == FaultKind::ReplicaCrash {
+                        crash_here = true;
+                    }
+                }
+            }
+            if crash_here {
+                crashed.push(id as ReplicaId);
+            }
+        }
+        for id in crashed {
+            self.obs.counter("cluster.faults.crash").inc();
+            self.crash_replica(id);
+        }
+    }
+
+    /// Reboots a crashed replica from its durable directory: reopen the
+    /// log (running the full torn-tail/bit-rot recovery), rebuild the
+    /// core via [`RaftCore::restore`], re-derive backend verify state by
+    /// replaying the snapshot image through the write-verify ladder, and
+    /// rebind the replica's original address. The rejoined follower
+    /// re-learns any lost log tail from the leader.
+    fn restart_replica(&mut self, id: ReplicaId) -> bool {
+        let idx = id as usize;
+        if idx >= self.nodes.len() || !self.nodes[idx].killed {
+            return false;
+        }
+        let Some(dir) = self.cfg.durable_dir.clone() else {
+            return false;
+        };
+        let Ok(rec) = recover_node(&self.cfg, &dir, id, &self.obs, self.faults.clone()) else {
+            self.obs.counter("cluster.durable.io_errors").inc();
+            return false;
+        };
+        let core = build_core(&self.cfg, id, Some(&rec));
+        let backends = Server::build_backends(&self.cfg.serve, &self.obs);
+        replay_image(&self.map, &backends, &rec.image, &self.obs);
+        // Rebind the replica's original address (freed when its server
+        // stopped); a brief retry absorbs the OS releasing the port.
+        let mut serve_cfg = self.cfg.serve.clone();
+        serve_cfg.addr = self.shared.addr_of(id);
+        let repl: Arc<dyn Replicator> = Arc::new(NodeReplicator {
+            shared: Arc::clone(&self.shared),
+            node: id,
+        });
+        let mut server = None;
+        for _ in 0..200 {
+            match Server::start_replicated(
+                &serve_cfg,
+                &self.obs,
+                self.tracer.clone(),
+                self.faults.clone(),
+                Arc::clone(&repl),
+                Arc::clone(&backends),
+            ) {
+                Ok(s) => {
+                    server = Some(s);
+                    break;
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+        let Some(server) = server else {
+            self.obs.counter("cluster.durable.io_errors").inc();
+            return false;
+        };
+        let node = &mut self.nodes[idx];
+        node.core = core;
+        node.backends = backends;
+        node.server = Some(server);
+        node.inbox.clear();
+        node.acks.clear();
+        node.killed = false;
+        node.partitioned_until = 0;
+        node.durable = Some(rec.log);
+        self.obs.counter("cluster.replica.restarts").inc();
+        self.obs.event(
+            "cluster.recovery",
+            &[
+                ("replica", reram_obs::Value::U64(u64::from(id))),
+                ("base_index", reram_obs::Value::U64(rec.base_index)),
+                (
+                    "tail_entries",
+                    reram_obs::Value::U64(rec.entries.len() as u64),
+                ),
+            ],
+        );
+        if let Some(fi) = &self.faults {
+            fi.note_recovery(site::CRASH, "replica_restarted");
+        }
+        true
     }
 
     /// Applies committed entries on every live replica, in log order,

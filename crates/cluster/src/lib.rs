@@ -39,6 +39,6 @@ pub mod core;
 pub mod group;
 pub mod sim;
 
-pub use crate::core::{CoreConfig, RaftCore, Role};
+pub use crate::core::{CoreConfig, RaftCore, Role, WalOp};
 pub use group::{ClusterGroup, GroupConfig};
 pub use sim::{SimCluster, SimConfig};

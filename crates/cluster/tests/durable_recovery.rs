@@ -1,0 +1,241 @@
+//! Durable-group crash/recovery drills (PR 9 acceptance).
+//!
+//! Three invariants, each against a real 3-replica [`ClusterGroup`]
+//! persisting WAL segments and snapshots to disk:
+//!
+//! * A replica crash-stopped mid-run by a scheduled `durable.crash`
+//!   fault, then rebooted from its durable directory, rejoins the group
+//!   and converges to the same replicated-log and store digests as the
+//!   survivors — and the client outcome ledger is byte-identical to a
+//!   crash-free durable baseline.
+//! * A cold full-group restart (shutdown, reopen the same directories)
+//!   recovers every replica's store image byte-identically.
+//! * After log compaction has discarded the entries a lagging follower
+//!   would need, snapshot catch-up restores a store digest
+//!   byte-identical to the leader's — across seeds (satellite 2).
+
+use reram_cluster::{ClusterGroup, GroupConfig};
+use reram_fault::{site, FaultInjector, FaultKind, FaultPlan, FaultSpec};
+use reram_loadgen::LoadConfig;
+use reram_obs::{Obs, Tracer};
+use reram_serve::ServeConfig;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A unique scratch directory (std only — no tempfile crate here).
+fn test_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock")
+        .subsec_nanos();
+    let dir = std::env::temp_dir().join(format!(
+        "reram_cluster_{tag}_{}_{n}_{nanos}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}
+
+fn group_config(dir: &std::path::Path, seed: u64) -> GroupConfig {
+    let serve = ServeConfig {
+        shards: 2,
+        lines_per_shard: 512,
+        ..ServeConfig::default()
+    };
+    let mut gcfg = GroupConfig::new(serve, seed);
+    gcfg.durable_dir = Some(dir.to_path_buf());
+    gcfg.wal_segment_records = 256;
+    gcfg
+}
+
+fn run_load(
+    group: &ClusterGroup,
+    obs: &Obs,
+    seed: u64,
+    requests: u64,
+) -> reram_loadgen::LoadReport {
+    let addrs = group.addrs();
+    let mut lcfg = LoadConfig::new(addrs[0]);
+    lcfg.peers = addrs;
+    lcfg.clients = 4;
+    lcfg.requests_per_client = requests;
+    lcfg.seed = seed;
+    lcfg.total_lines = 2 * 512;
+    lcfg.audit = true;
+    reram_loadgen::run(&lcfg, obs)
+}
+
+fn live_digests(d: &[Option<u32>]) -> Vec<u32> {
+    d.iter().flatten().copied().collect()
+}
+
+#[test]
+fn crashed_replica_rejoins_with_identical_digests() {
+    const SEED: u64 = 0xD00D_2026;
+
+    // Crash-free durable baseline.
+    let base_dir = test_dir("base");
+    let obs = Obs::new();
+    let group = ClusterGroup::start(&group_config(&base_dir, SEED), &obs, Tracer::off(), None)
+        .expect("group starts");
+    group
+        .wait_for_leader(Duration::from_secs(10))
+        .expect("election");
+    let baseline = run_load(&group, &obs, SEED, 300);
+    assert_eq!(baseline.audit_failures, 0);
+    group.shutdown();
+    std::fs::remove_dir_all(&base_dir).ok();
+
+    // Same workload, with replica 2 crash-stopped at its 100th persisted
+    // WAL record and rebooted after the run.
+    let dir = test_dir("crash");
+    let obs = Obs::new();
+    let plan = FaultPlan::new(SEED).with(
+        FaultSpec::new(site::CRASH, FaultKind::ReplicaCrash)
+            .target("replica2")
+            .occurrence(100),
+    );
+    let faults = Arc::new(FaultInjector::new(plan, &obs));
+    let group = ClusterGroup::start(&group_config(&dir, SEED), &obs, Tracer::off(), Some(faults))
+        .expect("group starts");
+    group
+        .wait_for_leader(Duration::from_secs(10))
+        .expect("election");
+    let drilled = run_load(&group, &obs, SEED, 300);
+    assert_eq!(drilled.audit_failures, 0, "post-crash audit");
+    assert_eq!(
+        drilled.ledger_crc, baseline.ledger_crc,
+        "replica crash perturbed the outcome ledger"
+    );
+    assert!(
+        group.wait_converged(Duration::from_secs(30)),
+        "survivors did not converge"
+    );
+    assert_eq!(group.dead_replicas(), vec![2], "replica 2 should be dead");
+    assert!(obs.counter("cluster.replica.crashes").get() >= 1);
+
+    // Reboot from disk and require full byte-identity with the survivors.
+    assert!(group.restart_replica(2), "restart failed");
+    assert!(
+        group.wait_converged(Duration::from_secs(30)),
+        "rebooted replica did not converge"
+    );
+    let ledgers = live_digests(&group.ledger_digests());
+    assert_eq!(ledgers.len(), 3, "all three replicas should be live");
+    assert!(
+        ledgers.iter().all(|d| *d == ledgers[0]),
+        "rebooted replica's log diverged: {ledgers:?}"
+    );
+    let stores = live_digests(&group.store_digests());
+    assert_eq!(stores.len(), 3);
+    assert!(
+        stores.iter().all(|d| *d == stores[0]),
+        "rebooted replica's store diverged: {stores:?}"
+    );
+    assert_eq!(obs.counter("cluster.replica.restarts").get(), 1);
+    assert!(obs.counter("fault.recovered").get() >= 1);
+    group.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cold_full_group_restart_recovers_the_store_byte_identically() {
+    const SEED: u64 = 0xC01D_2026;
+    let dir = test_dir("cold");
+
+    let obs = Obs::new();
+    let group = ClusterGroup::start(&group_config(&dir, SEED), &obs, Tracer::off(), None)
+        .expect("group starts");
+    group
+        .wait_for_leader(Duration::from_secs(10))
+        .expect("election");
+    let report = run_load(&group, &obs, SEED, 200);
+    assert_eq!(report.audit_failures, 0);
+    assert!(group.wait_converged(Duration::from_secs(30)));
+    let stores_before = live_digests(&group.store_digests());
+    assert_eq!(stores_before.len(), 3);
+    group.shutdown();
+
+    // Reopen the same directories: every replica recovers its snapshot
+    // and log, re-elects, and re-commits its recovered tail.
+    let obs = Obs::new();
+    let group = ClusterGroup::start(&group_config(&dir, SEED), &obs, Tracer::off(), None)
+        .expect("group restarts from disk");
+    group
+        .wait_for_leader(Duration::from_secs(10))
+        .expect("re-election");
+    assert!(
+        group.wait_converged(Duration::from_secs(30)),
+        "cold-restarted group did not converge"
+    );
+    let stores_after = live_digests(&group.store_digests());
+    assert_eq!(
+        stores_after, stores_before,
+        "cold restart lost or reordered acknowledged writes"
+    );
+    group.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Satellite 2: once compaction has discarded the log entries a lagging
+/// follower would need, catch-up must go through the snapshot path —
+/// and the caught-up store must be byte-identical to the leader's,
+/// across seeds.
+#[test]
+fn snapshot_catchup_restores_byte_identical_store_across_seeds() {
+    for seed in [0x5EED_0001_u64, 0x5EED_0002, 0x5EED_0003] {
+        let dir = test_dir("catchup");
+        let obs = Obs::new();
+        // Crash replica 1 early, then keep writing with an aggressive
+        // compaction threshold so the leader's log base moves far past
+        // the crashed follower's last record.
+        let plan = FaultPlan::new(seed).with(
+            FaultSpec::new(site::CRASH, FaultKind::ReplicaCrash)
+                .target("replica1")
+                .occurrence(20),
+        );
+        let faults = Arc::new(FaultInjector::new(plan, &obs));
+        let mut gcfg = group_config(&dir, seed);
+        gcfg.snapshot_keep = 32;
+        let group =
+            ClusterGroup::start(&gcfg, &obs, Tracer::off(), Some(faults)).expect("group starts");
+        group
+            .wait_for_leader(Duration::from_secs(10))
+            .expect("election");
+        let report = run_load(&group, &obs, seed, 250);
+        assert_eq!(report.audit_failures, 0, "seed {seed:#x}: audit");
+        assert!(group.wait_converged(Duration::from_secs(30)));
+        assert_eq!(group.dead_replicas(), vec![1], "seed {seed:#x}");
+
+        let installed_before = obs.counter("cluster.snapshots.installed").get();
+        assert!(group.restart_replica(1), "seed {seed:#x}: restart failed");
+        assert!(
+            group.dead_replicas().is_empty(),
+            "seed {seed:#x}: replica 1 still dead after restart"
+        );
+        assert!(
+            group.wait_converged(Duration::from_secs(30)),
+            "seed {seed:#x}: catch-up did not converge"
+        );
+        assert!(
+            obs.counter("cluster.snapshots.installed").get() > installed_before,
+            "seed {seed:#x}: catch-up never took the snapshot path"
+        );
+        // The store digest is the oracle here, not the log digest: under
+        // aggressive compaction each replica compacts at its own applied
+        // frontier, so log digests (which fold the snapshot base) differ
+        // legitimately between converged replicas.
+        let stores = live_digests(&group.store_digests());
+        assert_eq!(stores.len(), 3, "seed {seed:#x}");
+        assert!(
+            stores.iter().all(|d| *d == stores[0]),
+            "seed {seed:#x}: caught-up store diverged: {stores:?}"
+        );
+        group.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -8,6 +8,7 @@
 //! experiments serve    [--addr HOST:PORT] [--shards N] [...]   # memory service
 //! experiments loadgen  [--clients N] [--requests N] [...]      # traffic generator
 //! experiments cluster  [--replicas N] [--kill] [...]           # replicated group + failover drill
+//! experiments recovery [--plan ci/crash_plan.json] [...]       # durable crashpoint sweep
 //! experiments trace-report SPANS.jsonl... [--check]            # span critical path
 //! experiments trajectory-check TRAJECTORY.jsonl                # bench growth gate
 //! ```
@@ -42,6 +43,7 @@
 //! prints the human-readable report.
 
 mod cluster_cmd;
+mod recovery_cmd;
 mod report_cmd;
 mod serve_cmd;
 
@@ -155,6 +157,7 @@ fn main() -> ExitCode {
         Some("serve") => return serve_cmd::serve_cmd(&args[1..]),
         Some("loadgen") => return serve_cmd::loadgen_cmd(&args[1..]),
         Some("cluster") => return cluster_cmd::cluster_cmd(&args[1..]),
+        Some("recovery") => return recovery_cmd::recovery_cmd(&args[1..]),
         Some("trace-report") => return report_cmd::trace_report_cmd(&args[1..]),
         Some("trajectory-check") => return report_cmd::trajectory_cmd(&args[1..]),
         _ => {}

@@ -218,6 +218,7 @@ pub fn loadgen_cmd(args: &[String]) -> ExitCode {
     let mut trace_sample = 64u64;
     let mut poll_stats_ms = 0u64;
     let mut slo_p99_us = 0.0f64;
+    let mut durable_dir: Option<PathBuf> = None;
     let mut it = args.iter().cloned();
     let parsed: Result<(), String> = (|| {
         while let Some(a) = it.next() {
@@ -255,6 +256,9 @@ pub fn loadgen_cmd(args: &[String]) -> ExitCode {
                 "--trace-sample" => trace_sample = parse_num("--trace-sample", it.next())?,
                 "--poll-stats" => poll_stats_ms = parse_num("--poll-stats", it.next())?,
                 "--slo-p99" => slo_p99_us = parse_num("--slo-p99", it.next())?,
+                "--durable" => {
+                    durable_dir = Some(PathBuf::from(it.next().ok_or("--durable needs a dir")?));
+                }
                 other => return Err(format!("unknown loadgen flag {other}")),
             }
         }
@@ -266,6 +270,10 @@ pub fn loadgen_cmd(args: &[String]) -> ExitCode {
     }
     if external_addr.is_some() && fault_path.is_some() {
         eprintln!("error: --faults arms the *server*; it requires self-hosting (drop --addr)");
+        return ExitCode::FAILURE;
+    }
+    if external_addr.is_some() && durable_dir.is_some() {
+        eprintln!("error: --durable opens the *hosted* server's WAL; drop --addr to self-host");
         return ExitCode::FAILURE;
     }
     let Some(profile) = BenchProfile::by_name(&profile_name) else {
@@ -316,14 +324,19 @@ pub fn loadgen_cmd(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let server =
-                match Server::start_traced(&server_cfg, &obs, server_tracer.clone(), faults) {
-                    Ok(s) => s,
-                    Err(e) => {
-                        eprintln!("error: cannot bind {}: {e}", server_cfg.addr);
-                        return ExitCode::FAILURE;
-                    }
-                };
+            let started = match &durable_dir {
+                Some(dir) => {
+                    Server::start_durable(&server_cfg, &obs, server_tracer.clone(), faults, dir)
+                }
+                None => Server::start_traced(&server_cfg, &obs, server_tracer.clone(), faults),
+            };
+            let server = match started {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot bind {}: {e}", server_cfg.addr);
+                    return ExitCode::FAILURE;
+                }
+            };
             (server.local_addr(), Some(server))
         }
     };

@@ -31,13 +31,14 @@ fn field_f64(line: &str, key: &str) -> Option<f64> {
 }
 
 /// Parses every well-formed trajectory line; skips blanks, comments, and
-/// replicated-mode datapoints (`"mode": "replicated"` entries document the
-/// consensus tax but only single-node throughput is gated).
+/// off-mode datapoints (`"mode": "replicated"` entries document the
+/// consensus tax, `"mode": "durable"` the WAL fsync tax — only plain
+/// single-node throughput is gated).
 #[must_use]
 pub fn parse_points(text: &str) -> Vec<TrajPoint> {
     text.lines()
         .filter_map(|line| {
-            if line.contains("\"mode\": \"replicated\"") {
+            if line.contains("\"mode\": \"replicated\"") || line.contains("\"mode\": \"durable\"") {
                 return None;
             }
             Some(TrajPoint {
@@ -120,6 +121,19 @@ mod tests {
         let pts = parse_points(text);
         assert_eq!(pts.len(), 2);
         assert_eq!(pts[1].pr, 7);
+        assert!(check(&pts, 0.10).is_ok());
+    }
+
+    #[test]
+    fn durable_mode_datapoints_are_documentation_not_gate_input() {
+        // A durable entry pays the WAL fsync tax; only plain single-node
+        // lines feed the regression floor.
+        let text = "{\"pr\": 8, \"req_per_s\": 48000.0}\n\
+                    {\"pr\": 9, \"mode\": \"durable\", \"req_per_s\": 46000.0}\n\
+                    {\"pr\": 9, \"req_per_s\": 48200.0}\n";
+        let pts = parse_points(text);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[1].pr, 9);
         assert!(check(&pts, 0.10).is_ok());
     }
 

@@ -90,6 +90,19 @@ pub mod site {
     /// (target = `peer<id>`); rewrites the message's term to a stale value
     /// so the receiver's term checks must reject it.
     pub const STALE_TERM: &str = "cluster.msg.stale_term";
+    /// WAL record append: consulted once per persisted record (target =
+    /// the log's target label, e.g. `replica<id>`); injects torn writes,
+    /// bit rot, or lost fsyncs into the record just written.
+    pub const WAL_APPEND: &str = "durable.wal.append";
+    /// WAL replay: consulted once per segment opened during recovery
+    /// (target = the log's target label); truncates the read mid-record to
+    /// model a short read.
+    pub const WAL_REPLAY: &str = "durable.wal.replay";
+    /// Durable persistence point: consulted once per batch of records
+    /// persisted by a replica (target = `replica<id>`); a fired
+    /// [`FaultKind::ReplicaCrash`] kills the replica process-style right
+    /// after that persistence point, keeping its on-disk state.
+    pub const CRASH: &str = "durable.crash";
 }
 
 /// What kind of failure to inject. The `param` on the [`FaultSpec`] scales
@@ -140,6 +153,24 @@ pub enum FaultKind {
     /// A delivered cluster message has its term rewound to a stale value;
     /// the receiver's term checks must reject it without state damage.
     StaleTerm,
+    /// A WAL record append writes only a prefix of the record (power cut
+    /// mid-write); recovery must truncate the torn tail, never apply it.
+    TornWrite,
+    /// A WAL segment read stops mid-record during replay (`param` = bytes
+    /// to cut, default half a record); handled exactly like a torn tail.
+    ShortRead,
+    /// One byte of the record just written is flipped on media (`param` =
+    /// byte offset, default drawn from the plan PRNG); the record CRC must
+    /// catch it on replay and the suffix is discarded, never applied.
+    BitRot,
+    /// The record append is acknowledged but the bytes never reach the
+    /// media (a lost buffered write / dropped fsync); recovery comes back
+    /// without the record and re-replicates it from the leader.
+    LostFsync,
+    /// The replica is killed process-style at the persistence point where
+    /// this fires, keeping its on-disk state; the crashpoint harness
+    /// restarts it and asserts byte-identical recovery.
+    ReplicaCrash,
 }
 
 impl FaultKind {
@@ -163,6 +194,11 @@ impl FaultKind {
             FaultKind::LeaderKill => "leader_kill",
             FaultKind::Partition => "partition",
             FaultKind::StaleTerm => "stale_term",
+            FaultKind::TornWrite => "torn_write",
+            FaultKind::ShortRead => "short_read",
+            FaultKind::BitRot => "bit_rot",
+            FaultKind::LostFsync => "lost_fsync",
+            FaultKind::ReplicaCrash => "replica_crash",
         }
     }
 
@@ -186,6 +222,11 @@ impl FaultKind {
             "leader_kill" => FaultKind::LeaderKill,
             "partition" => FaultKind::Partition,
             "stale_term" => FaultKind::StaleTerm,
+            "torn_write" => FaultKind::TornWrite,
+            "short_read" => FaultKind::ShortRead,
+            "bit_rot" => FaultKind::BitRot,
+            "lost_fsync" => FaultKind::LostFsync,
+            "replica_crash" => FaultKind::ReplicaCrash,
             _ => return None,
         })
     }
@@ -400,6 +441,7 @@ impl FaultInjector {
     /// `action` taken (ladder rung, retry, quarantine…).
     pub fn note_recovery(&self, site: &str, action: &str) {
         self.recovered.fetch_add(1, Ordering::Relaxed);
+        self.obs.counter("fault.recovered").inc();
         self.obs.counter(&format!("recovery.{site}")).inc();
         self.obs.event(
             "recovery",
@@ -512,6 +554,11 @@ mod tests {
             FaultKind::LeaderKill,
             FaultKind::Partition,
             FaultKind::StaleTerm,
+            FaultKind::TornWrite,
+            FaultKind::ShortRead,
+            FaultKind::BitRot,
+            FaultKind::LostFsync,
+            FaultKind::ReplicaCrash,
         ] {
             assert_eq!(FaultKind::parse(kind.name()), Some(kind));
         }
@@ -533,5 +580,29 @@ mod tests {
         inj.note_recovery("solver", "cold_restart");
         inj.note_recovery("verify", "retry=2");
         assert_eq!(inj.recovered(), 2);
+    }
+
+    #[test]
+    fn fault_and_recovery_counters_land_in_the_telemetry_summary() {
+        let obs = Obs::new();
+        let plan = FaultPlan::new(11).with(
+            FaultSpec::new(site::WAL_APPEND, FaultKind::TornWrite)
+                .target("replica1")
+                .occurrence(0),
+        );
+        let inj = FaultInjector::new(plan, &obs);
+        inj.fire(site::WAL_APPEND, "replica1").expect("armed");
+        inj.note_recovery(site::WAL_REPLAY, "truncate_to_last_good");
+        let json = obs.summary_json();
+        for row in [
+            "\"fault.injected\"",
+            "\"fault.durable.wal.append\"",
+            "\"fault.recovered\"",
+            "\"recovery.durable.wal.replay\"",
+        ] {
+            assert!(json.contains(row), "summary_json missing {row}: {json}");
+        }
+        let csv = obs.summary_csv();
+        assert!(csv.contains("recovery.durable.wal.replay"));
     }
 }

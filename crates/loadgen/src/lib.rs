@@ -47,7 +47,7 @@ use ledger::{combine_digests, Ledger, Outcome};
 use reram_obs::{Histogram, Obs, SloTracker, SpanRecord, TraceContext, Tracer};
 use reram_serve::proto::{code, crc32, Request, Response, WireError, LINE_BYTES};
 use reram_serve::server::Client;
-use reram_workloads::{AccessKind, BenchProfile, TraceGenerator};
+use reram_workloads::{AccessKind, BenchProfile, Rng64, TraceGenerator};
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -229,13 +229,98 @@ impl LoadReport {
     }
 }
 
-/// Retry bookkeeping for one client.
-#[derive(Debug, Default)]
+/// Consecutive `NotLeader` hops one request may chase before the run
+/// aborts. A healthy group settles an election within a handful of hops;
+/// a request still bouncing after this many means the cluster has no
+/// reachable leader (partition, total failure), and spinning further
+/// would hang the harness silently instead of reporting it.
+const MAX_REDIRECT_HOPS: u32 = 64;
+
+/// Shortest redirect backoff, µs — the floor of the jitter window.
+const REDIRECT_BASE_US: u64 = 200;
+
+/// Longest redirect backoff, µs — caps the decorrelated growth so a
+/// long election never parks clients for whole seconds.
+const REDIRECT_CAP_US: u64 = 20_000;
+
+/// Retry bookkeeping for one client, including the bounded
+/// decorrelated-jitter backoff state for `NotLeader` redirect chasing.
+#[derive(Debug)]
 struct Retries {
     busy: u64,
     reconnects: u64,
     corrupt: u64,
     redirects: u64,
+    /// Consecutive redirect hops on the in-flight request; cleared by
+    /// [`Retries::settle`] when any substantive response arrives.
+    hops: u32,
+    /// The previous redirect sleep, µs — the decorrelation state.
+    prev_us: u64,
+    rng: Rng64,
+}
+
+impl Default for Retries {
+    fn default() -> Self {
+        Self::seeded(0xBAC0_0FF5)
+    }
+}
+
+impl Retries {
+    /// Backoff state seeded per client, so clients chasing the same
+    /// election draw different jitter instead of stampeding in lockstep.
+    fn seeded(seed: u64) -> Self {
+        Retries {
+            busy: 0,
+            reconnects: 0,
+            corrupt: 0,
+            redirects: 0,
+            hops: 0,
+            prev_us: REDIRECT_BASE_US,
+            rng: Rng64::new(seed ^ 0xBAC0_0FF5_0000_0000),
+        }
+    }
+
+    /// Counts one redirect hop, enforces the per-request hop cap, and
+    /// returns the next decorrelated-jitter sleep: uniform in
+    /// `[base, prev × 3]`, capped at [`REDIRECT_CAP_US`]. Growth keyed
+    /// to the *previous draw* (not the attempt number) is what spreads
+    /// concurrent chasers apart — two clients that collide once draw
+    /// from different windows ever after.
+    ///
+    /// # Panics
+    ///
+    /// Panics once a single request exceeds [`MAX_REDIRECT_HOPS`]
+    /// consecutive hops — an unreachable-leader condition the run must
+    /// surface, not spin on.
+    fn next_redirect_us(&mut self) -> u64 {
+        self.redirects += 1;
+        self.hops += 1;
+        assert!(
+            self.hops <= MAX_REDIRECT_HOPS,
+            "request chased {MAX_REDIRECT_HOPS} consecutive NotLeader redirects \
+             without reaching a leader"
+        );
+        let hi = self
+            .prev_us
+            .saturating_mul(3)
+            .clamp(REDIRECT_BASE_US + 1, REDIRECT_CAP_US);
+        let us = self.rng.gen_range_u64(REDIRECT_BASE_US, hi + 1);
+        self.prev_us = us;
+        us
+    }
+
+    /// One redirect hop: count, cap, then sleep the jitter interval.
+    fn redirect_hop(&mut self) {
+        let us = self.next_redirect_us();
+        thread::sleep(Duration::from_micros(us));
+    }
+
+    /// A substantive (non-redirect) response arrived: the node we
+    /// reached is serving, so the hop chain and backoff window reset.
+    fn settle(&mut self) {
+        self.hops = 0;
+        self.prev_us = REDIRECT_BASE_US;
+    }
 }
 
 /// One client's results, returned to the orchestrator.
@@ -318,23 +403,28 @@ fn resolve(
         match c.call(req) {
             Ok(Response::Busy { retry_after_us }) => {
                 retries.busy += 1;
+                retries.settle();
                 thread::sleep(Duration::from_micros(u64::from(retry_after_us.min(2_000))));
             }
             Ok(Response::Err {
                 code: code::DRAINING,
                 ..
             }) => {
+                retries.settle();
                 thread::sleep(Duration::from_micros(500));
             }
             Ok(Response::NotLeader { leader }) => {
                 // Transient, never ledger-recorded: hop to the leader (or
-                // the next peer while the election settles) and re-ask.
-                retries.redirects += 1;
+                // the next peer while the election settles) and re-ask,
+                // with bounded decorrelated-jitter backoff.
                 *addr = redirect_target(&leader, *addr, peers);
                 *conn = None;
-                thread::sleep(Duration::from_micros(500));
+                retries.redirect_hop();
             }
-            Ok(resp) => return resp,
+            Ok(resp) => {
+                retries.settle();
+                return resp;
+            }
             Err(WireError::CrcMismatch { .. }) => {
                 // The stream is still in frame sync — just ask again.
                 retries.corrupt += 1;
@@ -443,7 +533,7 @@ impl ClientState {
             gen: TraceGenerator::new(cfg.profile, stream_seed).with_address_lines(lines_per_client),
             addr: cfg.addr,
             conn: None,
-            retries: Retries::default(),
+            retries: Retries::seeded(stream_seed),
             ledger: Ledger::new(),
             rtt_us: Histogram::new(),
             expected: BTreeMap::new(),
@@ -518,6 +608,7 @@ impl ClientState {
             match c.recv(p.id) {
                 Ok(Response::Busy { retry_after_us }) => {
                     self.retries.busy += 1;
+                    self.retries.settle();
                     thread::sleep(Duration::from_micros(u64::from(retry_after_us.min(2_000))));
                     p = self.transmit(cfg, p);
                 }
@@ -525,19 +616,21 @@ impl ClientState {
                     code: code::DRAINING,
                     ..
                 }) => {
+                    self.retries.settle();
                     thread::sleep(Duration::from_micros(500));
                     p = self.transmit(cfg, p);
                 }
                 Ok(Response::NotLeader { leader }) => {
                     // Transient, never ledger-recorded: hop toward the
-                    // leader and resend the same request.
-                    self.retries.redirects += 1;
+                    // leader and resend the same request, with bounded
+                    // decorrelated-jitter backoff.
                     self.addr = redirect_target(&leader, self.addr, &cfg.peers);
                     self.conn = None;
-                    thread::sleep(Duration::from_micros(500));
+                    self.retries.redirect_hop();
                     p = self.transmit(cfg, p);
                 }
                 Ok(r) => {
+                    self.retries.settle();
                     resp = Some(r);
                     break;
                 }
@@ -698,7 +791,7 @@ fn run_client_open(
         TraceGenerator::new(cfg.profile, stream_seed).with_address_lines(lines_per_client);
     let mut addr = cfg.addr;
     let mut conn: Option<Client> = None;
-    let mut retries = Retries::default();
+    let mut retries = Retries::seeded(stream_seed);
     let mut ledger = Ledger::new();
     let mut rtt_us = Histogram::new();
     let obs_rtt = obs.hist("loadgen.rtt_us");
@@ -740,13 +833,14 @@ fn run_client_open(
                 .and_then(|id| c.recv(id));
             match sent {
                 Ok(Response::NotLeader { leader }) => {
-                    // Transient, never ledger-recorded.
-                    retries.redirects += 1;
+                    // Transient, never ledger-recorded; bounded
+                    // decorrelated-jitter backoff between hops.
                     addr = redirect_target(&leader, addr, &cfg.peers);
                     conn = None;
-                    thread::sleep(Duration::from_micros(500));
+                    retries.redirect_hop();
                 }
                 Ok(resp) => {
+                    retries.settle();
                     r = Some(resp);
                     break;
                 }
@@ -1147,6 +1241,55 @@ mod tests {
             }
         }
         assert!(trace_id_for(0, 0) != 0, "trace ids are never zero");
+    }
+
+    #[test]
+    fn redirect_backoff_stays_in_bounds_and_decorrelates() {
+        let mut r = Retries::seeded(7);
+        let mut prev = REDIRECT_BASE_US;
+        for _ in 0..MAX_REDIRECT_HOPS {
+            let us = r.next_redirect_us();
+            assert!(us >= REDIRECT_BASE_US, "below floor: {us}");
+            assert!(us <= REDIRECT_CAP_US, "over cap: {us}");
+            assert!(
+                us <= prev
+                    .saturating_mul(3)
+                    .clamp(REDIRECT_BASE_US + 1, REDIRECT_CAP_US),
+                "outside the decorrelated window: {us} after {prev}"
+            );
+            prev = us;
+        }
+        assert_eq!(r.redirects, u64::from(MAX_REDIRECT_HOPS));
+        // Two clients with different seeds draw different jitter.
+        let (mut a, mut b) = (Retries::seeded(1), Retries::seeded(2));
+        let sa: Vec<u64> = (0..8).map(|_| a.next_redirect_us()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next_redirect_us()).collect();
+        assert_ne!(sa, sb, "per-client seeds should decorrelate backoff");
+    }
+
+    #[test]
+    fn redirect_settle_resets_the_hop_chain() {
+        let mut r = Retries::seeded(3);
+        for _ in 0..MAX_REDIRECT_HOPS {
+            r.next_redirect_us();
+        }
+        r.settle();
+        assert_eq!(r.hops, 0);
+        assert_eq!(r.prev_us, REDIRECT_BASE_US);
+        // The chain restarts cleanly: another full run of hops is fine.
+        for _ in 0..MAX_REDIRECT_HOPS {
+            r.next_redirect_us();
+        }
+        assert_eq!(r.redirects, 2 * u64::from(MAX_REDIRECT_HOPS));
+    }
+
+    #[test]
+    #[should_panic(expected = "consecutive NotLeader redirects")]
+    fn redirect_hop_cap_panics_instead_of_spinning() {
+        let mut r = Retries::seeded(5);
+        for _ in 0..=MAX_REDIRECT_HOPS {
+            r.next_redirect_us();
+        }
     }
 
     #[test]

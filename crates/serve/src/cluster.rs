@@ -67,7 +67,10 @@ impl WireEntry {
         crc32(&buf)
     }
 
-    fn encode_into(&self, out: &mut Vec<u8>) {
+    /// Appends the [`WIRE_ENTRY_BYTES`]-byte encoding (fields + CRC) to
+    /// `out`. The same encoding rides inside consensus frames and inside
+    /// the durable WAL's fixed-size records.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.term.to_le_bytes());
         out.extend_from_slice(&self.index.to_le_bytes());
         out.extend_from_slice(&self.line.to_le_bytes());
@@ -75,7 +78,14 @@ impl WireEntry {
         out.extend_from_slice(&self.crc().to_le_bytes());
     }
 
-    fn decode_from(p: &[u8]) -> Result<WireEntry, WireError> {
+    /// Decodes one entry from the front of `p`, verifying the entry CRC.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::BadPayload`] when `p` is shorter than
+    /// [`WIRE_ENTRY_BYTES`], [`WireError::CrcMismatch`] when the sealed
+    /// region fails its CRC.
+    pub fn decode_from(p: &[u8]) -> Result<WireEntry, WireError> {
         if p.len() < WIRE_ENTRY_BYTES {
             return Err(WireError::BadPayload(format!(
                 "log entry needs {WIRE_ENTRY_BYTES} B, got {}",

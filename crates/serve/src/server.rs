@@ -59,6 +59,7 @@
 use crate::proto::{code, read_frame, Frame, Request, Response, WireError, LINE_BYTES};
 use crate::shard::{ShardBackend, ShardMap, ShardOp};
 use reram_core::Scheme;
+use reram_durable::{DurableConfig, DurableLog, REC_ENTRY};
 use reram_exec::ThreadPool;
 use reram_fault::FaultInjector;
 use reram_obs::{Counter, Gauge, Hist, Obs, TraceContext, Tracer};
@@ -239,6 +240,11 @@ struct Inner {
     shutdown: AtomicBool,
     faults: Option<Arc<FaultInjector>>,
     replicator: Option<Arc<dyn Replicator>>,
+    /// Single-node write-ahead log ([`Server::start_durable`]): every
+    /// acknowledged write is appended (global line + data) before its
+    /// `WriteOk` leaves the server. `None` in in-memory and replicated
+    /// modes (a cluster pump persists replicated entries itself).
+    durable: Option<Mutex<DurableLog>>,
     conn_seq: AtomicU64,
     tracer: Tracer,
     c_requests: Counter,
@@ -246,6 +252,8 @@ struct Inner {
     c_drops: Counter,
     c_stalls: Counter,
     c_corrupt: Counter,
+    /// WAL append failures in durable mode (`serve.wal.errors`).
+    c_wal_errors: Counter,
     /// Per-shard admission-queue depth (`serve.shard{i}.queue_depth`).
     g_queue: Vec<Gauge>,
     /// Per-shard batch-task occupancy (`serve.shard{i}.in_flight`).
@@ -342,6 +350,34 @@ impl Inner {
             be.service_batch(&ops)
         };
         let t_svc = if traced { self.tracer.now_ns() } else { 0 };
+        // Durable mode: every acknowledged write's record must be on the
+        // log before its ack can leave — the write-ahead half of the
+        // recovery contract. The whole batch goes down in one staged
+        // append (one log lock, one media write) before any response is
+        // sent, so the per-write WAL tax amortizes across the batch.
+        if let Some(log) = &self.durable {
+            let mut payloads: Vec<Vec<u8>> = Vec::new();
+            for o in &outcomes {
+                let p = &batch[o.batch_index];
+                if let (ShardOp::Write { local, data }, Response::WriteOk { .. }) =
+                    (&p.op, &o.response)
+                {
+                    let line = self.map.global(shard, *local);
+                    let mut payload = Vec::with_capacity(8 + LINE_BYTES);
+                    payload.extend_from_slice(&line.to_le_bytes());
+                    payload.extend_from_slice(&data[..]);
+                    payloads.push(payload);
+                }
+            }
+            if !payloads.is_empty() {
+                let records: Vec<(u8, &[u8])> =
+                    payloads.iter().map(|p| (REC_ENTRY, p.as_slice())).collect();
+                let mut log = log.lock().expect("durable log poisoned");
+                if log.append_batch(&records).is_err() {
+                    self.c_wal_errors.inc();
+                }
+            }
+        }
         for o in outcomes {
             let p = &batch[o.batch_index];
             if matches!(o.response, Response::Busy { .. }) {
@@ -801,6 +837,12 @@ impl Inner {
                     while !self.quiesced() {
                         thread::sleep(Duration::from_micros(200));
                     }
+                    // A graceful drain leaves the log fully synced; an
+                    // abrupt stop intentionally does not (that is what
+                    // the recovery path is for).
+                    if let Some(log) = &self.durable {
+                        let _ = log.lock().expect("durable log poisoned").sync();
+                    }
                     let served = self.total_served();
                     self.send(
                         &conn,
@@ -874,7 +916,57 @@ impl Server {
         faults: Option<Arc<FaultInjector>>,
     ) -> std::io::Result<Server> {
         let backends = Self::build_backends(cfg, obs);
-        Self::start_impl(cfg, obs, tracer, faults, None, backends)
+        Self::start_impl(cfg, obs, tracer, faults, None, None, backends)
+    }
+
+    /// [`Server::start_traced`] plus single-node durability: every
+    /// acknowledged write is appended to a segmented write-ahead log
+    /// under `dir` (global line + data per record) *before* its `WriteOk`
+    /// is sent, and on start the surviving log is replayed through the
+    /// write-verify ladder into fresh backends — so a crash-stopped
+    /// server reboots with every acknowledged write intact. Torn or
+    /// bit-rotted log tails are truncated and counted during the replay
+    /// ([`reram_durable::DurableLog::open`]'s recovery contract), never
+    /// silently applied.
+    ///
+    /// Counters: `serve.wal.replayed` (records re-applied on boot),
+    /// `serve.wal.errors` (append failures), plus the `durable.wal.*`
+    /// family from the log itself.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure and log-open I/O errors.
+    pub fn start_durable(
+        cfg: &ServeConfig,
+        obs: &Obs,
+        tracer: Tracer,
+        faults: Option<Arc<FaultInjector>>,
+        dir: &std::path::Path,
+    ) -> std::io::Result<Server> {
+        let mut dcfg = DurableConfig::new(dir, 8 + LINE_BYTES);
+        dcfg.target = "serve".to_string();
+        let (log, recovered) = DurableLog::open(dcfg, obs, faults.clone())?;
+        let backends = Self::build_backends(cfg, obs);
+        let map = ShardMap::new(cfg.shards, cfg.lines_per_shard);
+        let mut replayed = 0u64;
+        for rec in &recovered.records {
+            if rec.kind != REC_ENTRY || rec.payload.len() != 8 + LINE_BYTES {
+                continue;
+            }
+            let line = u64::from_le_bytes(rec.payload[..8].try_into().expect("8 bytes"));
+            if !map.contains(line) {
+                continue;
+            }
+            let mut data = Box::new([0u8; LINE_BYTES]);
+            data.copy_from_slice(&rec.payload[8..]);
+            let shard = map.shard_of(line);
+            let local = map.local_of(line);
+            let mut be = backends[shard].lock().expect("backend poisoned");
+            let _ = be.service_batch(&[ShardOp::Write { local, data }]);
+            replayed += 1;
+        }
+        obs.counter("serve.wal.replayed").add(replayed);
+        Self::start_impl(cfg, obs, tracer, faults, None, Some(log), backends)
     }
 
     /// Builds the per-shard backend stack for `cfg` without starting a
@@ -909,7 +1001,7 @@ impl Server {
         replicator: Arc<dyn Replicator>,
         backends: Arc<Vec<Mutex<ShardBackend>>>,
     ) -> std::io::Result<Server> {
-        Self::start_impl(cfg, obs, tracer, faults, Some(replicator), backends)
+        Self::start_impl(cfg, obs, tracer, faults, Some(replicator), None, backends)
     }
 
     fn start_impl(
@@ -918,6 +1010,7 @@ impl Server {
         tracer: Tracer,
         faults: Option<Arc<FaultInjector>>,
         replicator: Option<Arc<dyn Replicator>>,
+        durable: Option<DurableLog>,
         backends: Arc<Vec<Mutex<ShardBackend>>>,
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
@@ -948,6 +1041,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             faults,
             replicator,
+            durable: durable.map(Mutex::new),
             conn_seq: AtomicU64::new(0),
             tracer,
             c_requests: obs.counter("serve.requests"),
@@ -955,6 +1049,7 @@ impl Server {
             c_drops: obs.counter("serve.conn_drops"),
             c_stalls: obs.counter("serve.shard_stalls"),
             c_corrupt: obs.counter("serve.corrupt_frames"),
+            c_wal_errors: obs.counter("serve.wal.errors"),
             g_queue: (0..cfg.shards)
                 .map(|i| obs.gauge(&format!("serve.shard{i}.queue_depth")))
                 .collect(),
@@ -1353,6 +1448,52 @@ mod tests {
         assert_eq!(obs.gauge("serve.shard1.in_flight").get(), 0.0);
         server.stop();
         server.join();
+    }
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::AtomicU64;
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock")
+            .subsec_nanos();
+        std::env::temp_dir().join(format!(
+            "reram_serve_{tag}_{}_{n}_{nanos}",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn durable_server_recovers_acknowledged_writes_after_abrupt_stop() {
+        let dir = scratch_dir("durable");
+        let obs = Obs::off();
+        let server = Server::start_durable(&tiny_cfg(), &obs, Tracer::off(), None, &dir).unwrap();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        for k in 0..24u64 {
+            let data = Box::new([(k as u8) ^ 0x5A; LINE_BYTES]);
+            let r = c.call(&Request::WriteLine { line: k, data }).unwrap();
+            assert!(matches!(r, Response::WriteOk { .. }));
+        }
+        // Abrupt stop: no drain, no final sync — the crash signature.
+        server.stop();
+        server.join();
+
+        let obs = Obs::new();
+        let server = Server::start_durable(&tiny_cfg(), &obs, Tracer::off(), None, &dir).unwrap();
+        assert_eq!(obs.counter("serve.wal.replayed").get(), 24);
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        for k in 0..24u64 {
+            match c.call(&Request::ReadLine { line: k }).unwrap() {
+                Response::ReadOk { data } => {
+                    assert_eq!(data[0], (k as u8) ^ 0x5A, "line {k} lost on restart");
+                }
+                other => panic!("expected ReadOk, got {other:?}"),
+            }
+        }
+        server.stop();
+        server.join();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
