@@ -13,6 +13,7 @@ use reram_loadgen::{run_traced, LoadConfig};
 use reram_mem::{FnwCodec, MemoryConfig, MemoryController, Request, SecurityRefresh};
 use reram_obs::{Obs, TraceContext, Tracer};
 use reram_serve::{ServeConfig, Server};
+use reram_surrogate::{fit, FitConfig, Pattern, SurrogateEstimator, SurrogateModel};
 use reram_workloads::BenchProfile;
 use std::sync::Arc;
 
@@ -286,8 +287,14 @@ fn bench_wal_append(h: &mut Harness) {
 }
 
 /// One self-hosted closed-loop serve run; returns measured req/s.
-/// `trace_sample` = 0 means tracing fully off (the v1 baseline path).
-fn serve_run(trace_sample: u64, clients: usize, requests: u64) -> f64 {
+/// `trace_sample` = 0 means tracing fully off (the v1 baseline path);
+/// `surrogate` switches the server to LUT-priced write timing.
+fn serve_run(
+    trace_sample: u64,
+    clients: usize,
+    requests: u64,
+    surrogate: Option<Arc<SurrogateModel>>,
+) -> f64 {
     let obs = Obs::off();
     let (server_tracer, client_tracer) = if trace_sample > 0 {
         (Tracer::new(trace_sample), Tracer::new(trace_sample))
@@ -300,6 +307,7 @@ fn serve_run(trace_sample: u64, clients: usize, requests: u64) -> f64 {
         queue_cap: 64,
         batch_max: 8,
         workers: 2,
+        surrogate,
         ..ServeConfig::default()
     };
     let server = Server::start_traced(&cfg, &obs, server_tracer, None).unwrap();
@@ -347,10 +355,10 @@ fn bench_trace_overhead(h: &mut Harness) {
 
     let (clients, requests) = if h.is_smoke() { (2, 25) } else { (8, 1250) };
     h.bench("trace_serve_untraced", move || {
-        serve_run(0, clients, requests)
+        serve_run(0, clients, requests, None)
     });
     h.bench("trace_serve_traced_1in64", move || {
-        serve_run(64, clients, requests)
+        serve_run(64, clients, requests, None)
     });
 
     if let (Some(skip), Some(record), Some(base)) = (
@@ -382,6 +390,121 @@ fn bench_trace_overhead(h: &mut Harness) {
     }
 }
 
+/// Loads the committed surrogate artifact; falls back to a deterministic
+/// quick fit when the bench runs outside the repo tree.
+fn surrogate_model() -> Arc<SurrogateModel> {
+    let committed =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../ci/surrogate_model.json");
+    match reram_surrogate::load(&committed) {
+        Ok(m) => Arc::new(m),
+        Err(_) => {
+            let cfg = FitConfig {
+                size: 32,
+                counts: 2,
+                schemes: vec![Scheme::UdrvrPr],
+                ..FitConfig::default()
+            };
+            Arc::new(fit(&cfg).expect("quick surrogate fit").0)
+        }
+    }
+}
+
+/// PR-10 acceptance, part 1: one surrogate LUT lookup prices every served
+/// write inline, so it must stay sub-microsecond — hard-asserted here on
+/// both a row/count sweep (cache-honest) and the worst-case corner.
+fn bench_surrogate_lookup(h: &mut Harness) {
+    let model = surrogate_model();
+    let scheme = if model.tables.iter().any(|t| t.scheme == "udrvr_pr") {
+        Scheme::UdrvrPr
+    } else {
+        Scheme::Drvr
+    };
+    let est = Arc::new(SurrogateEstimator::new(Arc::clone(&model), scheme).expect("estimator"));
+    let (size, counts) = (model.size, model.counts.min(8));
+    {
+        let est = Arc::clone(&est);
+        let mut k = 0usize;
+        h.bench("surrogate_lookup_sweep", move || {
+            k += 1;
+            let row = (k * 97) % size;
+            let count = 1 + k % counts;
+            est.estimate_count(black_box(row), black_box(count), black_box(Pattern::Even))
+        });
+    }
+    {
+        let est = Arc::clone(&est);
+        h.bench("surrogate_lookup_worst_corner", move || {
+            est.estimate_count(
+                black_box(size - 1),
+                black_box(counts),
+                black_box(Pattern::Random),
+            )
+        });
+    }
+    for name in ["surrogate_lookup_sweep", "surrogate_lookup_worst_corner"] {
+        if let Some(s) = h.get(name) {
+            assert!(
+                s.min_ns < 1_000.0,
+                "{name} takes {:.1} ns per lookup (must be < 1 µs)",
+                s.min_ns
+            );
+        }
+    }
+}
+
+/// PR-10 acceptance, part 2: re-relaxing a declared ≤k-cell change must
+/// beat the cold solve it replaces (the bitwise-identity property is
+/// pinned by the circuit crate's test suite; this is the speed half).
+fn bench_incremental_solve(h: &mut Harness) {
+    let sizes: &[usize] = if h.is_full() {
+        &[64, 128, 256, 512]
+    } else {
+        &[64, 128, 256]
+    };
+    for &n in sizes {
+        let model = ArrayModel::paper_baseline().with_geometry(ArrayGeometry::new(n, 8));
+        let cp = model.to_crosspoint(n - 1, &[n - 1], &[3.0]);
+        let mut ws = SolverWorkspace::new();
+        cp.solve_warm(&SolveOptions::default(), &mut ws)
+            .expect("baseline solve");
+        h.bench(&format!("incremental_solve_1cell_{n}x{n}"), move || {
+            ws.note_cells_changed(black_box(&[(n - 1, n - 1)]));
+            cp.solve_incremental(&SolveOptions::default(), &mut ws)
+                .unwrap()
+        });
+    }
+    if let Some(ratio) = h.compare("incremental_solve_1cell_256x256", "kcl_solve_256x256") {
+        assert!(
+            ratio < 1.0,
+            "incremental 1-cell re-solve is {ratio:.3}x the cold solve at 256x256 (must be < 1.0x)"
+        );
+    }
+}
+
+/// PR-10 acceptance, part 3: the serve layer under surrogate physics must
+/// sustain ≥ 95% of the analytic-mode closed-loop throughput — the same
+/// deterministic A/B shape as the tracing-overhead gate.
+fn bench_surrogate_serve(h: &mut Harness) {
+    let model = surrogate_model();
+    let (clients, requests) = if h.is_smoke() { (2, 25) } else { (8, 1250) };
+    h.bench("surrogate_serve_analytic", move || {
+        serve_run(0, clients, requests, None)
+    });
+    {
+        let model = Arc::clone(&model);
+        h.bench("surrogate_serve_lut", move || {
+            serve_run(0, clients, requests, Some(Arc::clone(&model)))
+        });
+    }
+    if let Some(ratio) = h.compare("surrogate_serve_lut", "surrogate_serve_analytic") {
+        assert!(
+            ratio < 1.0 / 0.95,
+            "surrogate-physics serve run is {ratio:.4}x the analytic run \
+             (must sustain >= 95% of analytic req/s)"
+        );
+    }
+}
+
 fn main() {
     let mut h = Harness::from_args();
     bench_solver(&mut h);
@@ -396,5 +519,8 @@ fn main() {
     bench_par_map_overhead(&mut h);
     bench_wal_append(&mut h);
     bench_trace_overhead(&mut h);
+    bench_surrogate_lookup(&mut h);
+    bench_incremental_solve(&mut h);
+    bench_surrogate_serve(&mut h);
     h.finish();
 }

@@ -28,6 +28,21 @@
 //!   model. The exact nonlinear KCL residual check still gates convergence,
 //!   so a stale cache can never produce a wrong answer — at worst it
 //!   triggers a cache refresh and more sweeps.
+//! * **Incremental settled-line tracking** —
+//!   [`Crosspoint::solve_incremental`] additionally skips every line whose
+//!   previous relaxation provably changed nothing: a line is *settled* once
+//!   relaxing it produced zero bitwise change (every update was exactly
+//!   `0.0` and no cache entry moved), and stays settled until one of its
+//!   inputs — a crossing line's voltage, a cache entry on it, its boundary
+//!   stamps, or (caller-declared via
+//!   [`SolverWorkspace::note_cells_changed`]) one of its devices — changes
+//!   bitwise. Because relaxation is deterministic, skipping a settled line
+//!   is *exactly* the arithmetic the full sweep would have performed, so
+//!   incremental solves are bitwise-identical to [`Crosspoint::solve_warm`]
+//!   (property-tested in `tests/incremental.rs`). With the linearization
+//!   cache on, warm lines reach their exact fixed point after a couple of
+//!   sweeps, so when ≤ k cells change between consecutive solves only the
+//!   electrically affected lines re-relax.
 
 use crate::workspace::SolverWorkspace;
 use crate::{
@@ -547,6 +562,22 @@ fn bl_chunk(
     Ok(out)
 }
 
+/// Bitwise equality of a line's `(end_a.stamp(), end_b.stamp())` pair, the
+/// granularity at which incremental solves auto-detect boundary changes.
+/// `to_bits` (not `==`) so that a NaN-poisoned stamp still unsettles its
+/// line rather than comparing unequal to itself forever.
+fn stamp_eq(a: ((f64, f64), (f64, f64)), b: ((f64, f64), (f64, f64))) -> bool {
+    let key = |s: ((f64, f64), (f64, f64))| {
+        (
+            s.0 .0.to_bits(),
+            s.0 .1.to_bits(),
+            s.1 .0.to_bits(),
+            s.1 .1.to_bits(),
+        )
+    };
+    key(a) == key(b)
+}
+
 /// Reclaims a buffer round-tripped through `Arc` for a `par_map` fan-out.
 /// [`par_map`] guarantees every closure clone is dropped by return, so the
 /// `try_unwrap` always succeeds; the clone is a safety net, not a code path.
@@ -682,7 +713,7 @@ impl Crosspoint {
     /// Exactly as [`Crosspoint::solve`].
     pub fn solve_observed(&self, opts: &SolveOptions, obs: &Obs) -> Result<Solution, SolveError> {
         let mut ws = SolverWorkspace::new();
-        let stats = self.solve_tracked(opts, &mut ws, obs)?;
+        let stats = self.solve_tracked(opts, &mut ws, obs, false)?;
         let mut sol = Solution::empty();
         self.fill_solution(&ws.vw, &ws.vb, &ws.cur, stats, &mut sol);
         Ok(sol)
@@ -725,7 +756,7 @@ impl Crosspoint {
         ws: &mut SolverWorkspace,
         obs: &Obs,
     ) -> Result<Solution, SolveError> {
-        let stats = self.solve_tracked(opts, ws, obs)?;
+        let stats = self.solve_tracked(opts, ws, obs, false)?;
         let mut sol = Solution::empty();
         self.fill_solution(&ws.vw, &ws.vb, &ws.cur, stats, &mut sol);
         Ok(sol)
@@ -745,7 +776,79 @@ impl Crosspoint {
         opts: &SolveOptions,
         ws: &'w mut SolverWorkspace,
     ) -> Result<&'w Solution, SolveError> {
-        let stats = self.solve_tracked(opts, ws, &Obs::off())?;
+        let stats = self.solve_tracked(opts, ws, &Obs::off(), false)?;
+        let sol = ws.sol.get_or_insert_with(Solution::empty);
+        self.fill_solution(&ws.vw, &ws.vb, &ws.cur, stats, sol);
+        Ok(sol)
+    }
+
+    /// [`Crosspoint::solve_warm`] with settled-line skipping: line batches
+    /// whose every line is provably at its exact fixed point (see the
+    /// module docs) are not re-relaxed, so when few cells changed since the
+    /// previous incremental solve through this workspace, each sweep costs
+    /// only the electrically affected lines. The result — [`Solution`] and
+    /// [`SolveStats`] — is bitwise-identical to what [`Crosspoint::solve_warm`]
+    /// would have produced on a workspace with the same solve history (only
+    /// cache-telemetry counters may differ); `tests/incremental.rs`
+    /// property-tests the identity.
+    ///
+    /// Boundary-source, wire-resistance, and option changes between solves
+    /// are detected automatically; *device* changes must be declared via
+    /// [`SolverWorkspace::note_cells_changed`] (or the blunt
+    /// [`SolverWorkspace::note_all_changed`]) before the call — an
+    /// undeclared device swap voids the identity guarantee. Incremental
+    /// solves always relax serially (the point is to do less work, not to
+    /// fan it out), and only pay off with
+    /// [`SolveOptions::lin_cache_epsilon_volts`] enabled: without the
+    /// cache, a line's stamps go through the device model every sweep and
+    /// lines rarely reach a bitwise fixed point.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Crosspoint::solve_warm`]. After any error the warm seed
+    /// and the settled flags are effectively dropped — the next solve
+    /// cold-starts and re-relaxes everything.
+    pub fn solve_incremental(
+        &self,
+        opts: &SolveOptions,
+        ws: &mut SolverWorkspace,
+    ) -> Result<Solution, SolveError> {
+        self.solve_incremental_observed(opts, ws, &Obs::off())
+    }
+
+    /// [`Crosspoint::solve_incremental`] with telemetry (see
+    /// [`Crosspoint::solve_warm_observed`]); additionally records the
+    /// per-solve `circuit.solve.incremental.skip_ratio` (fraction of line
+    /// relaxations skipped as settled).
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Crosspoint::solve_incremental`].
+    pub fn solve_incremental_observed(
+        &self,
+        opts: &SolveOptions,
+        ws: &mut SolverWorkspace,
+        obs: &Obs,
+    ) -> Result<Solution, SolveError> {
+        let stats = self.solve_tracked(opts, ws, obs, true)?;
+        let mut sol = Solution::empty();
+        self.fill_solution(&ws.vw, &ws.vb, &ws.cur, stats, &mut sol);
+        Ok(sol)
+    }
+
+    /// [`Crosspoint::solve_incremental`] without the per-call [`Solution`]
+    /// allocations (the incremental twin of [`Crosspoint::solve_into`]).
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Crosspoint::solve_incremental`]; on error the
+    /// workspace's previous solution buffer is left unchanged.
+    pub fn solve_incremental_into<'w>(
+        &self,
+        opts: &SolveOptions,
+        ws: &'w mut SolverWorkspace,
+    ) -> Result<&'w Solution, SolveError> {
+        let stats = self.solve_tracked(opts, ws, &Obs::off(), true)?;
         let sol = ws.sol.get_or_insert_with(Solution::empty);
         self.fill_solution(&ws.vw, &ws.vb, &ws.cur, stats, sol);
         Ok(sol)
@@ -758,9 +861,10 @@ impl Crosspoint {
         opts: &SolveOptions,
         ws: &mut SolverWorkspace,
         obs: &Obs,
+        incremental: bool,
     ) -> Result<SolveStats, SolveError> {
         let span = obs.span("circuit.solve.wall_ns");
-        let res = self.solve_core(opts, ws, obs);
+        let res = self.solve_core(opts, ws, obs, incremental);
         drop(span);
         if obs.enabled() {
             obs.counter("circuit.solve.solves").inc();
@@ -770,6 +874,11 @@ impl Crosspoint {
             if ws.last_cache_lookups > 0 {
                 obs.hist("circuit.solve.cache.skip_ratio")
                     .record(ws.cache_skip_ratio());
+            }
+            let lines = ws.last_lines_skipped + ws.last_lines_relaxed;
+            if incremental && lines > 0 {
+                obs.hist("circuit.solve.incremental.skip_ratio")
+                    .record(ws.last_lines_skipped as f64 / lines as f64);
             }
             match &res {
                 Ok(stats) => {
@@ -809,10 +918,13 @@ impl Crosspoint {
         opts: &SolveOptions,
         ws: &mut SolverWorkspace,
         obs: &Obs,
+        incremental: bool,
     ) -> Result<SolveStats, SolveError> {
         ws.last_warm = false;
         ws.last_cache_hits = 0;
         ws.last_cache_lookups = 0;
+        ws.last_lines_skipped = 0;
+        ws.last_lines_relaxed = 0;
         if !self.has_source() {
             return Err(SolveError::NoSource);
         }
@@ -863,6 +975,57 @@ impl Crosspoint {
             self.initial_guess_into(&mut ws.vw, &mut ws.vb);
         }
 
+        // Settled-line bookkeeping for incremental solves (see the module
+        // docs). The previous solve's flags are only meaningful if that
+        // solve was also incremental of these dimensions, its converged
+        // planes survive as this solve's warm seed, and every relax input
+        // that is not per-line — options, wire conductances — is bitwise
+        // unchanged; otherwise every line starts dirty. Per-line boundary
+        // stamps are diffed individually so a bias change (e.g. a DRVR
+        // level step on a few lines) dirties only the lines it drives.
+        let track = incremental;
+        if track {
+            let wire = (self.r_wire_wl().to_bits(), self.r_wire_bl().to_bits());
+            let prior_valid = warm
+                && ws.settle_dims == Some((rows, cols))
+                && ws.last_opts == Some(*opts)
+                && ws.last_wire == Some(wire);
+            if prior_valid {
+                for i in 0..rows {
+                    let s = (self.wl_left(i).stamp(), self.wl_right(i).stamp());
+                    if !stamp_eq(s, ws.last_wl_stamps[i]) {
+                        ws.settled_wl[i] = false;
+                        ws.last_wl_stamps[i] = s;
+                    }
+                }
+                for j in 0..cols {
+                    let s = (self.bl_near(j).stamp(), self.bl_far(j).stamp());
+                    if !stamp_eq(s, ws.last_bl_stamps[j]) {
+                        ws.settled_bl[j] = false;
+                        ws.last_bl_stamps[j] = s;
+                    }
+                }
+            } else {
+                ws.settled_wl.clear();
+                ws.settled_wl.resize(rows, false);
+                ws.settled_bl.clear();
+                ws.settled_bl.resize(cols, false);
+                ws.last_wl_stamps.clear();
+                ws.last_wl_stamps
+                    .extend((0..rows).map(|i| (self.wl_left(i).stamp(), self.wl_right(i).stamp())));
+                ws.last_bl_stamps.clear();
+                ws.last_bl_stamps
+                    .extend((0..cols).map(|j| (self.bl_near(j).stamp(), self.bl_far(j).stamp())));
+            }
+            ws.settle_dims = Some((rows, cols));
+            ws.last_opts = Some(*opts);
+            ws.last_wire = Some(wire);
+        } else {
+            // Non-incremental solves relax every line but do not maintain
+            // the flags, so whatever state they leave behind is stale.
+            ws.settle_dims = None;
+        }
+
         // `None` disables the cache outright; it is also how the stall
         // recovery below retires a cache that twice failed the exact
         // residual check.
@@ -888,17 +1051,29 @@ impl Crosspoint {
         // Parallelism needs at least two pool workers to ever pay for its
         // snapshotting: with one worker the fan-out is serial execution plus
         // dispatch overhead, so fall through to the in-place loops (which
-        // compute bitwise-identical results anyway).
-        let par: Option<(Arc<ThreadPool>, Arc<ParPlan>)> = ws
-            .pool
-            .as_ref()
-            .filter(|p| p.workers() >= 2 && n >= ws.par_min_cells)
-            .map(|p| {
-                (
-                    Arc::clone(p),
-                    Arc::new(ParPlan::new(self, opts, p.workers())),
-                )
-            });
+        // compute bitwise-identical results anyway). Cold solves also stay
+        // serial unless the threshold is the explicit force value `0`: a
+        // cold start burns most of its sweeps far from convergence where
+        // the linearization cache misses, and measured cold fan-out is a
+        // wash at 512×512 and a regression below (BENCH_solver.json) — the
+        // parallel path earns its snapshots on warm, cache-hot sweeps.
+        // Incremental solves always relax serially: settled-line skipping
+        // is per-batch bookkeeping the chunked fan-out cannot see.
+        let par: Option<(Arc<ThreadPool>, Arc<ParPlan>)> = if incremental {
+            None
+        } else {
+            ws.pool
+                .as_ref()
+                .filter(|p| {
+                    p.workers() >= 2 && n >= ws.par_min_cells && (warm || ws.par_min_cells == 0)
+                })
+                .map(|p| {
+                    (
+                        Arc::clone(p),
+                        Arc::new(ParPlan::new(self, opts, p.workers())),
+                    )
+                })
+        };
 
         let mut converged = None;
         // Residual trajectory for NotConverged diagnostics: sampled a few
@@ -935,6 +1110,10 @@ impl Crosspoint {
                     rhs,
                     last_cache_hits,
                     last_cache_lookups,
+                    settled_wl,
+                    settled_bl,
+                    last_lines_skipped,
+                    last_lines_relaxed,
                     ..
                 } = &mut *ws;
                 let cells = self.cells();
@@ -947,6 +1126,18 @@ impl Crosspoint {
                 let mut r0 = 0;
                 while r0 < rows {
                     let t_n = LINE_BATCH.min(rows - r0);
+                    // A batch is skipped only when *every* line in it is
+                    // settled — each skipped relax is then a provable
+                    // bitwise no-op (module docs), so the sweep's arithmetic
+                    // is exactly the full schedule minus no-ops.
+                    if track && settled_wl[r0..r0 + t_n].iter().all(|&s| s) {
+                        *last_lines_skipped += t_n as u64;
+                        r0 += t_n;
+                        continue;
+                    }
+                    *last_lines_relaxed += t_n as u64;
+                    let mut dirty = [false; LINE_BATCH];
+                    #[allow(clippy::needless_range_loop)] // indexes several parallel arrays
                     for t in 0..t_n {
                         let i = r0 + t;
                         let (gl, vl) = self.wl_left(i).stamp();
@@ -966,6 +1157,19 @@ impl Crosspoint {
                                     *last_cache_hits += 1;
                                 } else {
                                     let (g, i0) = cr[j].linearize(v);
+                                    // A cache entry is an input to both
+                                    // lines crossing at (i, j): a bitwise
+                                    // change unsettles this row (it cannot
+                                    // settle this relax) and the crossing
+                                    // column.
+                                    if track
+                                        && (lv[j].to_bits() != v.to_bits()
+                                            || lg[j].to_bits() != g.to_bits()
+                                            || li[j].to_bits() != i0.to_bits())
+                                    {
+                                        dirty[t] = true;
+                                        settled_bl[j] = false;
+                                    }
                                     lv[j] = v;
                                     lg[j] = g;
                                     li[j] = i0;
@@ -1011,11 +1215,33 @@ impl Crosspoint {
                     for t in 0..t_n {
                         let base = (r0 + t) * cols;
                         let vwr = &mut vw[base..base + cols];
-                        for (j, w) in vwr.iter_mut().enumerate() {
-                            let dv = (rhs[j * t_n + t] - *w)
-                                .clamp(-opts.max_step_volts, opts.max_step_volts);
-                            *w += dv;
-                            max_dv = max_dv.max(dv.abs());
+                        if track {
+                            let mut d = dirty[t];
+                            for (j, w) in vwr.iter_mut().enumerate() {
+                                let dv = (rhs[j * t_n + t] - *w)
+                                    .clamp(-opts.max_step_volts, opts.max_step_volts);
+                                let old = *w;
+                                *w += dv;
+                                max_dv = max_dv.max(dv.abs());
+                                if old.to_bits() != w.to_bits() {
+                                    d = true;
+                                    settled_bl[j] = false;
+                                } else if dv != 0.0 {
+                                    // Sub-ulp update: the value bits stood
+                                    // still but `dv` was not the exact zero
+                                    // a re-relax must reproduce in the
+                                    // `max_delta_volts` fold — not settled.
+                                    d = true;
+                                }
+                            }
+                            settled_wl[r0 + t] = !d;
+                        } else {
+                            for (j, w) in vwr.iter_mut().enumerate() {
+                                let dv = (rhs[j * t_n + t] - *w)
+                                    .clamp(-opts.max_step_volts, opts.max_step_volts);
+                                *w += dv;
+                                max_dv = max_dv.max(dv.abs());
+                            }
                         }
                     }
                     r0 += t_n;
@@ -1029,12 +1255,20 @@ impl Crosspoint {
                 let mut c0 = 0;
                 while c0 < cols {
                     let t_n = LINE_BATCH.min(cols - c0);
+                    if track && settled_bl[c0..c0 + t_n].iter().all(|&s| s) {
+                        *last_lines_skipped += t_n as u64;
+                        c0 += t_n;
+                        continue;
+                    }
+                    *last_lines_relaxed += t_n as u64;
+                    let mut dirty = [false; LINE_BATCH];
                     let mut near = [(0.0f64, 0.0f64); LINE_BATCH];
                     let mut far = [(0.0f64, 0.0f64); LINE_BATCH];
                     for t in 0..t_n {
                         near[t] = self.bl_near(c0 + t).stamp();
                         far[t] = self.bl_far(c0 + t).stamp();
                     }
+                    #[allow(clippy::needless_range_loop)] // indexes several parallel arrays
                     for i in 0..rows {
                         let base = i * cols + c0;
                         let vbr = &vb[base..base + t_n];
@@ -1051,6 +1285,14 @@ impl Crosspoint {
                                     *last_cache_hits += 1;
                                 } else {
                                     let (g, i0) = cr[t].linearize(v);
+                                    if track
+                                        && (lv[t].to_bits() != v.to_bits()
+                                            || lg[t].to_bits() != g.to_bits()
+                                            || li[t].to_bits() != i0.to_bits())
+                                    {
+                                        dirty[t] = true;
+                                        settled_wl[i] = false;
+                                    }
                                     lv[t] = v;
                                     lg[t] = g;
                                     li[t] = i0;
@@ -1098,11 +1340,32 @@ impl Crosspoint {
                     for i in 0..rows {
                         let base = i * cols + c0;
                         let vbr = &mut vb[base..base + t_n];
-                        for (t, b) in vbr.iter_mut().enumerate() {
-                            let dv = (rhs[i * t_n + t] - *b)
-                                .clamp(-opts.max_step_volts, opts.max_step_volts);
-                            *b += dv;
-                            max_dv = max_dv.max(dv.abs());
+                        if track {
+                            for (t, b) in vbr.iter_mut().enumerate() {
+                                let dv = (rhs[i * t_n + t] - *b)
+                                    .clamp(-opts.max_step_volts, opts.max_step_volts);
+                                let old = *b;
+                                *b += dv;
+                                max_dv = max_dv.max(dv.abs());
+                                if old.to_bits() != b.to_bits() {
+                                    dirty[t] = true;
+                                    settled_wl[i] = false;
+                                } else if dv != 0.0 {
+                                    dirty[t] = true;
+                                }
+                            }
+                        } else {
+                            for (t, b) in vbr.iter_mut().enumerate() {
+                                let dv = (rhs[i * t_n + t] - *b)
+                                    .clamp(-opts.max_step_volts, opts.max_step_volts);
+                                *b += dv;
+                                max_dv = max_dv.max(dv.abs());
+                            }
+                        }
+                    }
+                    if track {
+                        for t in 0..t_n {
+                            settled_bl[c0 + t] = !dirty[t];
                         }
                     }
                     c0 += t_n;
@@ -1136,6 +1399,13 @@ impl Crosspoint {
                         eps_active = None;
                     }
                     cache_stalls += 1;
+                    // Either arm changed every line's relax inputs (cache
+                    // entries wiped, or the cached arm abandoned): nothing
+                    // stays settled.
+                    if track {
+                        ws.settled_wl.fill(false);
+                        ws.settled_bl.fill(false);
+                    }
                 } else {
                     // No cache left to refresh: the stall is terminal once
                     // it survives a few confirming sweeps.
@@ -1168,6 +1438,14 @@ impl Crosspoint {
                 ws.seeded = Some((rows, cols));
                 if warm {
                     ws.warm_hits_total += 1;
+                }
+                // A cache retired mid-solve leaves flags that were earned
+                // under uncached relaxation; the next solve re-arms the
+                // cache from `opts`, under which those relaxes would write
+                // entries and not be no-ops. Drop them.
+                if track && eps_active.is_none() && opts.lin_cache_epsilon_volts.is_some() {
+                    ws.settled_wl.fill(false);
+                    ws.settled_bl.fill(false);
                 }
                 Ok(stats)
             }

@@ -12,7 +12,7 @@
 //! [`Crosspoint::solve`](crate::Crosspoint::solve), so each solve starts
 //! from the previous operating point and reuses every allocation.
 
-use crate::solve::Solution;
+use crate::solve::{Solution, SolveOptions};
 use reram_exec::ThreadPool;
 use reram_fault::FaultInjector;
 use std::sync::Arc;
@@ -76,6 +76,31 @@ pub struct SolverWorkspace {
     /// Fault-injection plane and the (site, target) scope this workspace
     /// fires under; `None` disables injection entirely.
     pub(crate) faults: Option<(Arc<FaultInjector>, String)>,
+    /// Per-word-line settled flags for incremental solves: `true` means the
+    /// line's last relaxation produced zero bitwise change and none of its
+    /// inputs has changed since, so re-relaxing it is provably a no-op.
+    pub(crate) settled_wl: Vec<bool>,
+    /// Per-bit-line settled flags (see [`Self::settled_wl`]).
+    pub(crate) settled_bl: Vec<bool>,
+    /// Dimensions the settled flags belong to; `None` until an incremental
+    /// solve has run (any non-incremental solve clears it, because only
+    /// incremental solves maintain the flags).
+    pub(crate) settle_dims: Option<(usize, usize)>,
+    /// Per-word-line boundary stamps of the previous incremental solve;
+    /// diffed at the next solve to auto-detect bias changes per line.
+    pub(crate) last_wl_stamps: Vec<((f64, f64), (f64, f64))>,
+    /// Per-bit-line boundary stamps (see [`Self::last_wl_stamps`]).
+    pub(crate) last_bl_stamps: Vec<((f64, f64), (f64, f64))>,
+    /// Options of the previous incremental solve; a mismatch invalidates
+    /// every settled flag (tolerances and cache epsilon are relax inputs).
+    pub(crate) last_opts: Option<SolveOptions>,
+    /// Wire resistance fingerprint `(r_wire_wl, r_wire_bl)` of the
+    /// previous incremental solve, compared bitwise.
+    pub(crate) last_wire: Option<(u64, u64)>,
+    /// Line relaxations skipped as settled in the most recent solve.
+    pub(crate) last_lines_skipped: u64,
+    /// Line relaxations actually performed in the most recent solve.
+    pub(crate) last_lines_relaxed: u64,
 }
 
 impl Default for SolverWorkspace {
@@ -107,6 +132,15 @@ impl SolverWorkspace {
             warm_hits_total: 0,
             sol: None,
             faults: None,
+            settled_wl: Vec::new(),
+            settled_bl: Vec::new(),
+            settle_dims: None,
+            last_wl_stamps: Vec::new(),
+            last_bl_stamps: Vec::new(),
+            last_opts: None,
+            last_wire: None,
+            last_lines_skipped: 0,
+            last_lines_relaxed: 0,
         }
     }
 
@@ -184,9 +218,12 @@ impl SolverWorkspace {
 
     /// Invalidates every linearization-cache entry. Call after mutating
     /// cell devices between warm solves to skip the (automatic, but
-    /// slower) stall-detect-and-retry recovery.
+    /// slower) stall-detect-and-retry recovery. Cache entries are inputs
+    /// to settled-line skipping, so this also marks every line dirty for
+    /// the next [`Crosspoint::solve_incremental`](crate::Crosspoint::solve_incremental).
     pub fn invalidate_cache(&mut self) {
         self.lin_v.fill(f64::NAN);
+        self.note_all_changed();
     }
 
     /// The solution produced by the most recent
@@ -194,5 +231,51 @@ impl SolverWorkspace {
     #[must_use]
     pub fn solution(&self) -> Option<&Solution> {
         self.sol.as_ref()
+    }
+
+    /// Declares that the devices at `cells` (`(row, col)` pairs) changed
+    /// since the previous solve through this workspace, so the lines that
+    /// cross them must re-relax in the next
+    /// [`Crosspoint::solve_incremental`](crate::Crosspoint::solve_incremental).
+    ///
+    /// This is the caller half of the incremental contract: boundary-source
+    /// and wire changes are detected automatically, but device swaps inside
+    /// the mesh are invisible to the solver until the affected lines
+    /// re-linearize — an undeclared change silently voids the
+    /// bitwise-identity guarantee. Indices beyond the tracked dimensions
+    /// are ignored (the next solve of new dimensions re-relaxes everything
+    /// anyway).
+    pub fn note_cells_changed(&mut self, cells: &[(usize, usize)]) {
+        if let Some((rows, cols)) = self.settle_dims {
+            for &(i, j) in cells {
+                if i < rows {
+                    self.settled_wl[i] = false;
+                }
+                if j < cols {
+                    self.settled_bl[j] = false;
+                }
+            }
+        }
+    }
+
+    /// Marks every line dirty: the next incremental solve re-relaxes the
+    /// whole mesh (the blunt, always-safe form of
+    /// [`SolverWorkspace::note_cells_changed`]).
+    pub fn note_all_changed(&mut self) {
+        self.settled_wl.fill(false);
+        self.settled_bl.fill(false);
+    }
+
+    /// Line relaxations the most recent solve skipped because the line was
+    /// provably settled (0 for non-incremental solves).
+    #[must_use]
+    pub fn lines_skipped(&self) -> u64 {
+        self.last_lines_skipped
+    }
+
+    /// Line relaxations the most recent solve actually performed.
+    #[must_use]
+    pub fn lines_relaxed(&self) -> u64 {
+        self.last_lines_relaxed
     }
 }

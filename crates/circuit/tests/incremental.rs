@@ -1,0 +1,301 @@
+//! Property suite: incremental settled-line solves are bitwise-identical
+//! to full warm solves.
+//!
+//! Two workspaces are driven through the same sequence of networks — one
+//! via [`Crosspoint::solve_warm`], one via
+//! [`Crosspoint::solve_incremental`] — and every solution is compared down
+//! to the last bit (plane voltages, cell currents, source currents, and
+//! convergence stats). The update patterns cover the shapes the memory
+//! stack produces: seeded random single-cell toggles, row bursts,
+//! partition-boundary RESET groups, and the linearization-cache edges
+//! (stale entries after undeclared-then-blanket-declared device swaps,
+//! explicit invalidation, epsilon changes, dimension changes).
+
+use reram_circuit::{
+    CellDevice, Crosspoint, LineEnd, PolySelector, Solution, SolveOptions, SolverWorkspace,
+};
+use reram_workloads::Rng64;
+
+/// Cases per property, 8× under `--features proptest` (same knob as
+/// `proptests.rs`).
+fn cases(base: usize) -> usize {
+    if cfg!(feature = "proptest") {
+        base * 8
+    } else {
+        base
+    }
+}
+
+/// Half-selected low-resistance cell (the array's background device).
+fn lrs() -> CellDevice {
+    CellDevice::Selector(PolySelector::new(90e-6, 3.0, 1000.0))
+}
+
+/// Fully-selected cell mid-RESET: same selector family, higher drive.
+fn sel() -> CellDevice {
+    CellDevice::Selector(PolySelector::new(150e-6, 3.0, 1000.0))
+}
+
+/// RESET-style bias: the selected row's WL grounded, every other WL held at
+/// half-select; selected BLs at `vrst`, the rest at half-select.
+fn reset_bias(cp: &mut Crosspoint, sel_row: usize, sel_cols: &[usize], vrst: f64) {
+    for i in 0..cp.rows() {
+        cp.set_wl_left(
+            i,
+            if i == sel_row {
+                LineEnd::ground()
+            } else {
+                LineEnd::driven(vrst / 2.0)
+            },
+        );
+    }
+    for j in 0..cp.cols() {
+        cp.set_bl_near(
+            j,
+            if sel_cols.contains(&j) {
+                LineEnd::driven(vrst)
+            } else {
+                LineEnd::driven(vrst / 2.0)
+            },
+        );
+    }
+}
+
+fn assert_identical(rows: usize, cols: usize, full: &Solution, inc: &Solution, ctx: &str) {
+    let (sf, si) = (full.stats(), inc.stats());
+    assert_eq!(sf.sweeps, si.sweeps, "{ctx}: sweeps");
+    assert_eq!(
+        sf.residual_amps.to_bits(),
+        si.residual_amps.to_bits(),
+        "{ctx}: residual_amps"
+    );
+    assert_eq!(
+        sf.max_delta_volts.to_bits(),
+        si.max_delta_volts.to_bits(),
+        "{ctx}: max_delta_volts"
+    );
+    for i in 0..rows {
+        assert_eq!(
+            full.source_current_wl_left(i).to_bits(),
+            inc.source_current_wl_left(i).to_bits(),
+            "{ctx}: src wl_left {i}"
+        );
+        for j in 0..cols {
+            assert_eq!(
+                full.wl_voltage(i, j).to_bits(),
+                inc.wl_voltage(i, j).to_bits(),
+                "{ctx}: vw ({i},{j})"
+            );
+            assert_eq!(
+                full.bl_voltage(i, j).to_bits(),
+                inc.bl_voltage(i, j).to_bits(),
+                "{ctx}: vb ({i},{j})"
+            );
+            assert_eq!(
+                full.cell_current(i, j).to_bits(),
+                inc.cell_current(i, j).to_bits(),
+                "{ctx}: current ({i},{j})"
+            );
+        }
+    }
+    for j in 0..cols {
+        assert_eq!(
+            full.source_current_bl_near(j).to_bits(),
+            inc.source_current_bl_near(j).to_bits(),
+            "{ctx}: src bl_near {j}"
+        );
+    }
+}
+
+/// The twin workspaces under test.
+struct Pair {
+    full: SolverWorkspace,
+    inc: SolverWorkspace,
+}
+
+impl Pair {
+    fn new() -> Self {
+        Self {
+            full: SolverWorkspace::new(),
+            inc: SolverWorkspace::new(),
+        }
+    }
+
+    /// Solves `cp` through both workspaces and asserts bitwise identity.
+    fn check(&mut self, cp: &Crosspoint, opts: &SolveOptions, ctx: &str) {
+        let full = cp
+            .solve_warm(opts, &mut self.full)
+            .unwrap_or_else(|e| panic!("{ctx}: full solve failed: {e}"));
+        let inc = cp
+            .solve_incremental(opts, &mut self.inc)
+            .unwrap_or_else(|e| panic!("{ctx}: incremental solve failed: {e}"));
+        assert_identical(cp.rows(), cp.cols(), &full, &inc, ctx);
+    }
+}
+
+fn cached_opts() -> SolveOptions {
+    SolveOptions {
+        lin_cache_epsilon_volts: Some(1e-5),
+        ..SolveOptions::default()
+    }
+}
+
+#[test]
+fn single_cell_updates_bitwise_identical() {
+    let mut rng = Rng64::new(0xA1);
+    let (rows, cols) = (24, 24);
+    let opts = cached_opts();
+    let mut cp = Crosspoint::uniform(rows, cols, 11.5, lrs());
+    reset_bias(&mut cp, 0, &[5], 3.3);
+    let mut p = Pair::new();
+    p.check(&cp, &opts, "initial");
+    let mut skipped = 0u64;
+    for step in 0..cases(16) {
+        let (i, j) = (rng.gen_range_usize(0, rows), rng.gen_range_usize(0, cols));
+        let dev = if rng.gen_bool(0.5) { sel() } else { lrs() };
+        cp.set_cell(i, j, dev);
+        p.inc.note_cells_changed(&[(i, j)]);
+        if rng.gen_bool(0.5) {
+            // The caller that knows its devices moved refreshes the cache
+            // up front; the one that doesn't leans on stall recovery
+            // (exercised by the other half of the steps).
+            p.full.invalidate_cache();
+            p.inc.invalidate_cache();
+        }
+        p.check(&cp, &opts, &format!("single-cell step {step}"));
+        if rng.gen_bool(0.3) {
+            // Re-query with nothing changed: the incremental path should
+            // skip most lines, and still match bitwise.
+            p.check(&cp, &opts, &format!("single-cell requery {step}"));
+            skipped += p.inc.lines_skipped();
+        }
+    }
+    assert!(skipped > 0, "settled-line skipping never engaged");
+}
+
+#[test]
+fn row_burst_updates_bitwise_identical() {
+    let mut rng = Rng64::new(0xB2);
+    let (rows, cols) = (24, 24);
+    let opts = cached_opts();
+    let mut cp = Crosspoint::uniform(rows, cols, 11.5, lrs());
+    reset_bias(&mut cp, 3, &[], 3.3);
+    let mut p = Pair::new();
+    p.check(&cp, &opts, "initial");
+    for step in 0..cases(12) {
+        if rng.gen_bool(0.3) {
+            // Bias-only step: move the grounded row. No `note_*` call —
+            // boundary-stamp changes must be auto-detected.
+            let r = rng.gen_range_usize(0, rows);
+            reset_bias(&mut cp, r, &[], 3.3);
+        } else {
+            let i = rng.gen_range_usize(0, rows);
+            let j0 = rng.gen_range_usize(0, cols - 1);
+            let len = rng.gen_range_usize(1, cols - j0 + 1).min(8);
+            let dev = if rng.gen_bool(0.5) { sel() } else { lrs() };
+            let burst: Vec<(usize, usize)> = (j0..j0 + len).map(|j| (i, j)).collect();
+            for &(i, j) in &burst {
+                cp.set_cell(i, j, dev);
+            }
+            p.inc.note_cells_changed(&burst);
+            p.full.invalidate_cache();
+            p.inc.invalidate_cache();
+        }
+        p.check(&cp, &opts, &format!("row-burst step {step}"));
+    }
+}
+
+#[test]
+fn partition_boundary_updates_bitwise_identical() {
+    // 32 rows in four 8-row sections; writes walk the section boundaries
+    // with four evenly-spread selected columns (the PR partition shape).
+    let mut rng = Rng64::new(0xC3);
+    let (rows, cols) = (32, 32);
+    let opts = cached_opts();
+    let mut cp = Crosspoint::uniform(rows, cols, 11.5, lrs());
+    let mut prev: Vec<(usize, usize)> = Vec::new();
+    let boundary_rows = [7usize, 8, 15, 16, 23, 24, 31];
+    let mut p = Pair::new();
+    reset_bias(&mut cp, 0, &[], 3.3);
+    p.check(&cp, &opts, "initial");
+    for step in 0..cases(10) {
+        let r = boundary_rows[rng.gen_range_usize(0, boundary_rows.len())];
+        let c0 = rng.gen_range_usize(0, cols / 4);
+        let selected: Vec<(usize, usize)> = (0..4).map(|s| (r, c0 + s * (cols / 4))).collect();
+        let mut changed = prev.clone();
+        for &(i, j) in &prev {
+            cp.set_cell(i, j, lrs());
+        }
+        for &(i, j) in &selected {
+            cp.set_cell(i, j, sel());
+        }
+        changed.extend_from_slice(&selected);
+        let sel_cols: Vec<usize> = selected.iter().map(|&(_, j)| j).collect();
+        reset_bias(&mut cp, r, &sel_cols, 3.3);
+        p.inc.note_cells_changed(&changed);
+        p.full.invalidate_cache();
+        p.inc.invalidate_cache();
+        prev = selected;
+        p.check(&cp, &opts, &format!("partition step {step}"));
+    }
+}
+
+#[test]
+fn cache_invalidation_edges_bitwise_identical() {
+    let (rows, cols) = (24, 24);
+    let mut cp = Crosspoint::uniform(rows, cols, 11.5, lrs());
+    reset_bias(&mut cp, 2, &[4, 12, 20], 3.3);
+    let cached = cached_opts();
+    let uncached = SolveOptions::default();
+    let mut p = Pair::new();
+    p.check(&cp, &cached, "initial cached");
+
+    // Option change (cache epsilon dropped): the settled flags from the
+    // cached solve are invalid for uncached relaxation and must be reset.
+    p.check(&cp, &uncached, "cached -> uncached");
+    // …and re-armed.
+    p.check(&cp, &cached, "uncached -> cached");
+
+    // Undeclared-then-blanket-declared device swap: `note_all_changed`
+    // without cache invalidation leaves stale entries that both paths must
+    // recover from identically (stall-refresh arm).
+    cp.set_cell(2, 4, sel());
+    p.inc.note_all_changed();
+    p.check(&cp, &cached, "stale cache after device swap");
+
+    // Explicit invalidation on both sides.
+    cp.set_cell(2, 12, sel());
+    p.full.invalidate_cache();
+    p.inc.invalidate_cache();
+    p.inc.note_cells_changed(&[(2, 12)]);
+    p.check(&cp, &cached, "invalidated cache after device swap");
+
+    // Dimension change: both paths cold-start, then return to the old
+    // dimensions (another cold start — the seed was consumed).
+    let mut small = Crosspoint::uniform(12, 12, 11.5, lrs());
+    reset_bias(&mut small, 1, &[3], 3.3);
+    p.check(&small, &cached, "dimension change down");
+    p.check(&cp, &cached, "dimension change back up");
+}
+
+#[test]
+fn requery_skips_settled_lines() {
+    // After a couple of no-change re-queries every line reaches its exact
+    // fixed point and the incremental path skips essentially everything.
+    let (rows, cols) = (32, 32);
+    let mut cp = Crosspoint::uniform(rows, cols, 11.5, lrs());
+    reset_bias(&mut cp, 5, &[2, 10, 18, 26], 3.3);
+    let opts = cached_opts();
+    let mut p = Pair::new();
+    p.check(&cp, &opts, "initial");
+    p.check(&cp, &opts, "requery 1");
+    p.check(&cp, &opts, "requery 2");
+    p.check(&cp, &opts, "requery 3");
+    let skipped = p.inc.lines_skipped();
+    let relaxed = p.inc.lines_relaxed();
+    assert!(
+        skipped >= (rows + cols) as u64 / 2,
+        "requery skipped only {skipped} line relaxations ({relaxed} relaxed)"
+    );
+    assert_eq!(p.full.lines_skipped(), 0, "full solves must never skip");
+}

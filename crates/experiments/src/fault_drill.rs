@@ -11,12 +11,13 @@
 //! against a committed golden copy, so every cell must be deterministic.
 
 use crate::table::{fnum, ExpTable};
-use reram_array::{ArrayGeometry, ArrayModel};
+use reram_array::{ArrayGeometry, ArrayModel, Spread};
 use reram_circuit::{SolveOptions, SolverWorkspace};
 use reram_core::{Drvr, Scheme, WriteModel};
 use reram_fault::FaultInjector;
 use reram_mem::{ChargePump, FunctionalStore, VerifiedStore};
 use reram_obs::Obs;
+use reram_surrogate::{fit, load_with_faults, to_json, FitConfig, Pattern, SurrogateEstimator};
 use std::sync::Arc;
 
 /// Lines the memory-controller drill writes.
@@ -111,6 +112,99 @@ pub fn fault_drill(faults: Option<&Arc<FaultInjector>>, obs: &Obs) -> ExpTable {
         }
     }
 
+    // Station 3: the surrogate artifact. Fit a small model from the
+    // solver, serialize it, and reload through the CRC guard — an injected
+    // `surrogate.load`/`surrogate_corrupt` must be rejected and recovered
+    // by re-fitting from the solver. Then three lookups through the
+    // estimator's `surrogate.miss` site — an injected miss must fall back
+    // to the analytic model, bitlessly.
+    let cfg = FitConfig {
+        size: 16,
+        counts: 2,
+        schemes: vec![Scheme::Drvr],
+        ..FitConfig::default()
+    };
+    match fit(&cfg) {
+        Ok((fitted, _)) => {
+            let path = std::env::temp_dir()
+                .join(format!("reram_surrogate_drill_{}.json", std::process::id()));
+            let write_ok = std::fs::write(&path, to_json(&fitted)).is_ok();
+            let fault_arg = faults.map(|inj| (inj.as_ref(), "fault_drill"));
+            let (model, outcome, detail) = match load_with_faults(&path, fault_arg) {
+                Ok(m) if write_ok => (m, "clean", "artifact loaded, crc ok".to_string()),
+                Ok(m) => (
+                    m,
+                    "clean",
+                    "artifact loaded (write reported failure)".to_string(),
+                ),
+                Err(e) => {
+                    // The recovery ladder: the artifact is untrusted, so
+                    // re-calibrate from the solver — the ground truth is
+                    // always available, just slower. The fit is
+                    // deterministic, so the recovered model is the one the
+                    // artifact should have held.
+                    if let Some(inj) = faults {
+                        inj.note_recovery(reram_fault::site::SURROGATE_LOAD, "refit_from_solver");
+                    }
+                    let (refit, _) = fit(&cfg).expect("refit from solver");
+                    (refit, "recovered", format!("refit after: {e}"))
+                }
+            };
+            std::fs::remove_file(&path).ok();
+            t.row(vec![
+                "surrogate.load".to_string(),
+                "drill artifact".to_string(),
+                "1".to_string(),
+                outcome.to_string(),
+                detail,
+            ]);
+
+            let mut est = SurrogateEstimator::new(Arc::new(model), Scheme::Drvr)
+                .expect("drill scheme is calibrated");
+            if let Some(inj) = faults {
+                est = est.with_faults(Arc::clone(inj), "fault_drill");
+            }
+            let wm = WriteModel::new(
+                ArrayModel::paper_baseline().with_geometry(ArrayGeometry::new(cfg.size, 8)),
+                Scheme::Drvr,
+            );
+            let kin = wm.model().kinetics();
+            for row in [0usize, cfg.size / 2, cfg.size - 1] {
+                let (outcome, latency_ns) = match est.estimate_count(row, 2, Pattern::Even) {
+                    Some(e) => ("clean", e.latency_ns),
+                    None => {
+                        // Analytic fallback: the paper's closed-form drop
+                        // model prices the write instead.
+                        if let Some(inj) = faults {
+                            inj.note_recovery(
+                                reram_fault::site::SURROGATE_MISS,
+                                "analytic_fallback",
+                            );
+                        }
+                        let veff = wm.effective_volts(row, 0, 0, 2, Spread::Even);
+                        ("recovered", kin.latency_ns(veff))
+                    }
+                };
+                t.row(vec![
+                    "surrogate.miss".to_string(),
+                    format!("lookup row{row}"),
+                    "1".to_string(),
+                    outcome.to_string(),
+                    format!("latency_ns={}", fnum(latency_ns)),
+                ]);
+            }
+        }
+        Err(e) => {
+            t.row(vec![
+                "surrogate.load".to_string(),
+                "drill artifact".to_string(),
+                "-".to_string(),
+                "failed".to_string(),
+                e.to_string(),
+            ]);
+        }
+    }
+
     t.note(format!(
         "degraded lines: [{}]; injected={} recovered={}",
         degraded.join(" "),
@@ -129,18 +223,20 @@ mod tests {
     use super::*;
     use reram_fault::{FaultKind, FaultPlan, FaultSpec};
 
+    /// Rows stations 2 and 3 contribute: the solver case, the artifact
+    /// load, and three surrogate lookups.
+    const EXTRA_ROWS: usize = 5;
+
     #[test]
     fn clean_drill_is_all_clean() {
         let obs = Obs::off();
         let t = fault_drill(None, &obs);
-        assert_eq!(t.rows.len(), DRILL_LINES * 2 + 1);
+        assert_eq!(t.rows.len(), DRILL_LINES * 2 + EXTRA_ROWS);
         assert!(t.rows.iter().all(|r| r[3] == "clean"), "{:?}", t.rows);
     }
 
-    #[test]
-    fn armed_drill_recovers_recoverables_and_degrades_stuck_cells() {
-        let obs = Obs::off();
-        let plan = FaultPlan::new(11)
+    fn armed_plan() -> FaultPlan {
+        FaultPlan::new(11)
             .with(
                 FaultSpec::new(reram_fault::site::VERIFY, FaultKind::VerifyMiscompare)
                     .target("line2"),
@@ -150,8 +246,24 @@ mod tests {
             .with(FaultSpec::new(
                 reram_fault::site::SOLVER,
                 FaultKind::SolverNotConverged,
-            ));
-        let inj = Arc::new(FaultInjector::new(plan, &obs));
+            ))
+            .with(
+                FaultSpec::new(
+                    reram_fault::site::SURROGATE_LOAD,
+                    FaultKind::SurrogateCorrupt,
+                )
+                .target("fault_drill"),
+            )
+            .with(
+                FaultSpec::new(reram_fault::site::SURROGATE_MISS, FaultKind::SurrogateMiss)
+                    .target("fault_drill"),
+            )
+    }
+
+    #[test]
+    fn armed_drill_recovers_recoverables_and_degrades_stuck_cells() {
+        let obs = Obs::off();
+        let inj = Arc::new(FaultInjector::new(armed_plan(), &obs));
         let t = fault_drill(Some(&inj), &obs);
         let outcome = |case: &str| {
             t.rows
@@ -165,23 +277,17 @@ mod tests {
         assert_eq!(outcome("line6 r0"), "degraded");
         assert_eq!(outcome("32x32 worst-case RESET"), "recovered");
         assert_eq!(outcome("line2 r1"), "clean", "occurrence 0 only fires once");
-        assert!(inj.injected() >= 4);
+        // The surrogate ladder: corrupted artifact re-fit from the solver,
+        // injected lookup miss absorbed by the analytic fallback.
+        assert_eq!(outcome("drill artifact"), "recovered");
+        assert_eq!(outcome("lookup row0"), "recovered");
+        assert_eq!(outcome("lookup row8"), "clean");
+        assert_eq!(outcome("lookup row15"), "clean");
+        assert!(inj.injected() >= 6);
+        assert!(inj.recovered() >= 5);
         // Determinism: a second drill under the same plan matches row-for-row.
         let obs2 = Obs::off();
-        let inj2 = Arc::new(FaultInjector::new(
-            FaultPlan::new(11)
-                .with(
-                    FaultSpec::new(reram_fault::site::VERIFY, FaultKind::VerifyMiscompare)
-                        .target("line2"),
-                )
-                .with(FaultSpec::new(reram_fault::site::PUMP, FaultKind::PumpDroop).target("line4"))
-                .with(FaultSpec::new(reram_fault::site::CELL, FaultKind::CellStuck).target("line6"))
-                .with(FaultSpec::new(
-                    reram_fault::site::SOLVER,
-                    FaultKind::SolverNotConverged,
-                )),
-            &obs2,
-        ));
+        let inj2 = Arc::new(FaultInjector::new(armed_plan(), &obs2));
         let t2 = fault_drill(Some(&inj2), &obs2);
         assert_eq!(t.rows, t2.rows);
     }

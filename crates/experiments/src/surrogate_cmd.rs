@@ -1,0 +1,182 @@
+//! The `surrogate-fit` and `surrogate-check` subcommands: offline
+//! calibration of the IR-drop surrogate and the CI drift gate over its
+//! committed artifact.
+//!
+//! ```text
+//! experiments surrogate-fit   [--out ci/surrogate_model.json] [--quick] [--report PATH]
+//! experiments surrogate-check [--model ci/surrogate_model.json] [--report PATH]
+//! ```
+//!
+//! `surrogate-fit` sweeps the full KCL solver across the DRVR / DRVR+PR /
+//! UDRVR+PR operating points, fits the LUT + rank-1 model, commits the
+//! measured (rounded-up) held-out error bounds into the artifact, and
+//! writes it CRC-guarded. `surrogate-check` reloads the committed artifact,
+//! re-measures the held-out error against the live solver, and exits
+//! nonzero when any measurement exceeds its committed bound — the CI
+//! `surrogate-smoke` leg's gate. Both write the per-scheme error report
+//! (`--report`) the CI leg uploads as an artifact.
+
+use reram_surrogate::{check, fit, load, to_json, CheckReport, FitConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Default committed-artifact location, relative to the repo root.
+const DEFAULT_ARTIFACT: &str = "ci/surrogate_model.json";
+
+fn print_report(report: &CheckReport) {
+    println!(
+        "{:<10} {:>7} {:>12} {:>12} {:>12} {:>12} {:>6}",
+        "scheme", "points", "max_err_V", "bound_V", "max_lat_err", "bound_lat", "pass"
+    );
+    for s in &report.schemes {
+        println!(
+            "{:<10} {:>7} {:>12.6} {:>12.6} {:>12.6} {:>12.6} {:>6}",
+            s.scheme,
+            s.points,
+            s.measured_max_err_volts,
+            s.bound_max_err_volts,
+            s.measured_max_latency_err_frac,
+            s.bound_max_latency_err_frac,
+            s.pass
+        );
+    }
+}
+
+fn write_report(report: &CheckReport, path: Option<&PathBuf>) -> bool {
+    let Some(p) = path else { return true };
+    match std::fs::write(p, report.to_json()) {
+        Ok(()) => {
+            eprintln!("[error report written to {}]", p.display());
+            true
+        }
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", p.display());
+            false
+        }
+    }
+}
+
+/// `experiments surrogate-fit ...`
+pub fn surrogate_fit_cmd(args: &[String]) -> ExitCode {
+    let mut out = PathBuf::from(DEFAULT_ARTIFACT);
+    let mut report_path: Option<PathBuf> = None;
+    let mut cfg = FitConfig::default();
+    let mut it = args.iter().cloned();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out = PathBuf::from(p),
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--report" => match it.next() {
+                Some(p) => report_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--report needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--quick" => cfg = FitConfig::quick(),
+            other => {
+                eprintln!("unknown flag {other}");
+                eprintln!(
+                    "usage: experiments surrogate-fit [--out PATH] [--quick] [--report PATH]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let t0 = Instant::now();
+    let (model, report) = match fit(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "[surrogate-fit: {} scheme(s), {}x{} MAT, {} solves, {:.2} s]",
+        model.tables.len(),
+        model.size,
+        model.size,
+        report.solves,
+        t0.elapsed().as_secs_f64()
+    );
+    print_report(&report);
+    if let Err(e) = std::fs::write(&out, to_json(&model)) {
+        eprintln!("failed to write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("artifact written to {}", out.display());
+    if !write_report(&report, report_path.as_ref()) {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// `experiments surrogate-check ...`
+pub fn surrogate_check_cmd(args: &[String]) -> ExitCode {
+    let mut model_path = PathBuf::from(DEFAULT_ARTIFACT);
+    let mut report_path: Option<PathBuf> = None;
+    let mut it = args.iter().cloned();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--model" => match it.next() {
+                Some(p) => model_path = PathBuf::from(p),
+                None => {
+                    eprintln!("--model needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--report" => match it.next() {
+                Some(p) => report_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--report needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown flag {other}");
+                eprintln!("usage: experiments surrogate-check [--model PATH] [--report PATH]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let model = match load(&model_path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: cannot load {}: {e}", model_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let t0 = Instant::now();
+    let report = match check(&model) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "[surrogate-check: {} scheme(s), {} solves, {:.2} s]",
+        report.schemes.len(),
+        report.solves,
+        t0.elapsed().as_secs_f64()
+    );
+    print_report(&report);
+    if !write_report(&report, report_path.as_ref()) {
+        return ExitCode::FAILURE;
+    }
+    if !report.pass() {
+        eprintln!(
+            "error: surrogate drifted past its committed bounds (artifact {})",
+            model_path.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("surrogate within committed bounds");
+    ExitCode::SUCCESS
+}

@@ -31,14 +31,15 @@ fn field_f64(line: &str, key: &str) -> Option<f64> {
 }
 
 /// Parses every well-formed trajectory line; skips blanks, comments, and
-/// off-mode datapoints (`"mode": "replicated"` entries document the
-/// consensus tax, `"mode": "durable"` the WAL fsync tax — only plain
-/// single-node throughput is gated).
+/// any mode-tagged datapoint (`"mode": "replicated"` documents the
+/// consensus tax, `"mode": "durable"` the WAL fsync tax, `"mode":
+/// "surrogate"` the LUT-physics run — only plain single-node analytic
+/// throughput is gated).
 #[must_use]
 pub fn parse_points(text: &str) -> Vec<TrajPoint> {
     text.lines()
         .filter_map(|line| {
-            if line.contains("\"mode\": \"replicated\"") || line.contains("\"mode\": \"durable\"") {
+            if line.contains("\"mode\":") {
                 return None;
             }
             Some(TrajPoint {
@@ -134,6 +135,19 @@ mod tests {
         let pts = parse_points(text);
         assert_eq!(pts.len(), 2);
         assert_eq!(pts[1].pr, 9);
+        assert!(check(&pts, 0.10).is_ok());
+    }
+
+    #[test]
+    fn surrogate_mode_datapoints_are_documentation_not_gate_input() {
+        // A surrogate-physics entry tracks LUT-priced timing, not the
+        // analytic baseline the floor is pinned to.
+        let text = "{\"pr\": 9, \"req_per_s\": 48000.0}\n\
+                    {\"pr\": 10, \"mode\": \"surrogate\", \"req_per_s\": 46500.0}\n\
+                    {\"pr\": 10, \"req_per_s\": 48100.0}\n";
+        let pts = parse_points(text);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[1].pr, 10);
         assert!(check(&pts, 0.10).is_ok());
     }
 

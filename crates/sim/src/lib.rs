@@ -38,4 +38,4 @@ pub mod system;
 pub use batch::run_batch;
 pub use config::SimConfig;
 pub use result::SimResult;
-pub use system::{Knobs, Simulator};
+pub use system::{Knobs, Physics, Simulator};

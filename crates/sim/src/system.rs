@@ -1,7 +1,7 @@
 //! The closed-loop event-driven system simulator.
 
 use crate::{SimConfig, SimResult};
-use reram_array::ArrayModel;
+use reram_array::{ArrayGeometry, ArrayModel, ResetKinetics};
 use reram_circuit::{SolveOptions, SolverWorkspace};
 use reram_core::{Scheme, WriteModel};
 use reram_fault::{FaultInjector, FaultKind};
@@ -11,10 +11,15 @@ use reram_mem::{
     Request, RowMapper, SecurityRefresh,
 };
 use reram_obs::{Obs, Value};
+use reram_surrogate::{pattern_cols, Pattern, SurrogateEstimator, SurrogateModel};
 use reram_workloads::{AccessKind, BenchProfile, TraceGenerator};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
+
+/// 8-bit words per 64 B line — converts a plan's total RESET count into
+/// the mean concurrent-RESET group size a physics lookup prices.
+const LINE_WORDS: usize = 64;
 
 /// A min-heap event, ordered by time (then insertion sequence for
 /// determinism).
@@ -92,6 +97,136 @@ struct Core {
     finish_ns: f64,
 }
 
+/// Write-RESET timing source — the `--physics` knob.
+///
+/// The trace-driven loop never solves a circuit per write; this selects
+/// where the RESET-phase latency numbers come from instead:
+///
+/// * [`Physics::Analytic`] (default) — the pre-characterized drop model
+///   ([`WriteModel`]'s plan latencies), exactly the pre-PR-10 behavior.
+/// * [`Physics::Surrogate`] — the fitted LUT + rank-1 model
+///   ([`reram_surrogate`]); a lookup outside the calibrated domain (or
+///   with no model attached) falls back per-write to the analytic value
+///   and counts `sim.physics.surrogate_misses`.
+/// * [`Physics::Solver`] — the exact KCL solver, memoized per
+///   (row-section, concurrent-RESET count) so a run costs at most
+///   `sections × data_width` solves plus one worst-case probe.
+///
+/// Only write *timing* switches sources; the energy ledger stays on the
+/// analytic plan in every mode so the modes remain energy-comparable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Physics {
+    /// Pre-characterized analytic drop model (the default).
+    #[default]
+    Analytic,
+    /// Fitted surrogate LUT with analytic fallback on miss.
+    Surrogate,
+    /// Exact KCL solver, memoized per (section, count).
+    Solver,
+}
+
+impl Physics {
+    /// Parses a `--physics` flag value.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "analytic" => Some(Physics::Analytic),
+            "surrogate" => Some(Physics::Surrogate),
+            "solver" => Some(Physics::Solver),
+            _ => None,
+        }
+    }
+
+    /// Stable flag/STATS name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Physics::Analytic => "analytic",
+            Physics::Surrogate => "surrogate",
+            Physics::Solver => "solver",
+        }
+    }
+}
+
+/// Exact-solver timing source for [`Physics::Solver`]: a warm incremental
+/// solver sweep memoized per (representative row, count) — each section is
+/// represented by its midpoint row, the same granularity the surrogate LUT
+/// resolves, so a run pays for at most `sections × data_width` solves.
+struct ExactTimer {
+    write: WriteModel,
+    geom: ArrayGeometry,
+    kin: ResetKinetics,
+    ws: SolverWorkspace,
+    opts: SolveOptions,
+    prev: Vec<(usize, usize)>,
+    cache: HashMap<(usize, usize), Option<f64>>,
+}
+
+impl ExactTimer {
+    fn new(array: ArrayModel, scheme: Scheme) -> Self {
+        Self {
+            write: WriteModel::new(array, scheme),
+            geom: array.geometry(),
+            kin: array.kinetics(),
+            ws: SolverWorkspace::new(),
+            opts: SolveOptions::default(),
+            prev: Vec::new(),
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Worst-case effective RESET voltage of an evenly spread `count`-cell
+    /// group on `row`, from the exact solver. `None` = solver failure.
+    fn veff(&mut self, row: usize, count: usize, solves: &reram_obs::Counter) -> Option<f64> {
+        if let Some(v) = self.cache.get(&(row, count)) {
+            return *v;
+        }
+        let cols = pattern_cols(self.geom.size(), count, Pattern::Even, 0, row);
+        let applied: Vec<f64> = cols
+            .iter()
+            .map(|&j| self.write.applied_volts(row, self.geom.group_of_col(j)))
+            .collect();
+        let cp = self.write.model().to_crosspoint(row, &cols, &applied);
+        let mut changed = self.prev.clone();
+        changed.extend(cols.iter().map(|&j| (row, j)));
+        self.ws.note_cells_changed(&changed);
+        let veff = cp
+            .solve_incremental(&self.opts, &mut self.ws)
+            .ok()
+            .map(|sol| {
+                cols.iter()
+                    .map(|&j| sol.bl_voltage(row, j) - sol.wl_voltage(row, j))
+                    .fold(f64::INFINITY, f64::min)
+            });
+        solves.inc();
+        self.prev = cols.iter().map(|&j| (row, j)).collect();
+        self.cache.insert((row, count), veff);
+        veff
+    }
+
+    /// Section-memoized RESET latency for a write on `row` with `count`
+    /// concurrent RESETs. `None` = solver failure or below-threshold veff
+    /// (caller falls back to the analytic value).
+    fn reset_latency_ns(
+        &mut self,
+        row: usize,
+        count: usize,
+        solves: &reram_obs::Counter,
+    ) -> Option<f64> {
+        let rps = self.geom.size() / self.geom.drvr_sections();
+        let rep = (row / rps) * rps + rps / 2;
+        let veff = self.veff(rep, count, solves)?;
+        (veff >= self.kin.v_fail()).then(|| self.kin.latency_ns(veff))
+    }
+
+    /// Worst-case RESET latency: the farthest row driving a full
+    /// `data_width`-cell group.
+    fn worst_latency_ns(&mut self, solves: &reram_obs::Counter) -> Option<f64> {
+        let veff = self.veff(self.geom.size() - 1, self.geom.data_width(), solves)?;
+        (veff >= self.kin.v_fail()).then(|| self.kin.latency_ns(veff))
+    }
+}
+
 /// Ablation overrides for the mechanisms SCH bundles, letting experiments
 /// separate *where* writes land (row mapping), *how* they are timed
 /// (deterministic worst case vs per-plan), and whether the wear-leveling
@@ -118,6 +253,8 @@ pub struct Simulator {
     array: ArrayModel,
     obs: Obs,
     faults: Option<Arc<FaultInjector>>,
+    physics: Physics,
+    surrogate: Option<Arc<SurrogateModel>>,
 }
 
 impl Simulator {
@@ -133,7 +270,27 @@ impl Simulator {
             array: ArrayModel::paper_baseline(),
             obs: Obs::off(),
             faults: None,
+            physics: Physics::Analytic,
+            surrogate: None,
         }
+    }
+
+    /// Selects the write-RESET timing source (see [`Physics`]).
+    /// [`Physics::Surrogate`] additionally needs a model via
+    /// [`Simulator::with_surrogate`]; without one every lookup misses and
+    /// the run times analytically.
+    #[must_use]
+    pub fn with_physics(mut self, physics: Physics) -> Self {
+        self.physics = physics;
+        self
+    }
+
+    /// Attaches the fitted surrogate model [`Physics::Surrogate`] answers
+    /// from.
+    #[must_use]
+    pub fn with_surrogate(mut self, model: Arc<SurrogateModel>) -> Self {
+        self.surrogate = Some(model);
+        self
     }
 
     /// Replaces the array model — the Fig. 18/19/20 sweeps change the MAT
@@ -265,6 +422,44 @@ impl Simulator {
         let worst_reset_ns = wm
             .array_reset_latency_ns()
             .expect("scheme must complete writes");
+        // Physics timing source (--physics): surrogate lookups and the
+        // memoized exact solver override the analytic RESET latencies;
+        // any miss/failure falls back to the analytic value per write.
+        let estimator = if self.physics == Physics::Surrogate {
+            self.surrogate
+                .as_ref()
+                .and_then(|m| SurrogateEstimator::new(Arc::clone(m), self.scheme).ok())
+        } else {
+            None
+        };
+        let mut exact =
+            (self.physics == Physics::Solver).then(|| ExactTimer::new(self.array, self.scheme));
+        let c_sur_hits = self.obs.counter("sim.physics.surrogate_hits");
+        let c_sur_misses = self.obs.counter("sim.physics.surrogate_misses");
+        let c_exact_solves = self.obs.counter("sim.physics.exact_solves");
+        // The worst-case write budget (non-per-plan timing discipline)
+        // derives from the same source: the farthest row driving a full
+        // data-width group.
+        let budget_reset_ns = match self.physics {
+            Physics::Analytic => worst_reset_ns,
+            Physics::Surrogate => match estimator.as_ref().and_then(|e| {
+                let count = e.model().counts.min(geom.data_width());
+                e.estimate_count(geom.size() - 1, count, Pattern::Even)
+            }) {
+                Some(est) => {
+                    c_sur_hits.inc();
+                    est.latency_ns
+                }
+                None => {
+                    c_sur_misses.inc();
+                    worst_reset_ns
+                }
+            },
+            Physics::Solver => exact
+                .as_mut()
+                .and_then(|x| x.worst_latency_ns(&c_exact_solves))
+                .unwrap_or(worst_reset_ns),
+        };
         const SCH_MIGRATION_OVERHEAD: f64 = 1.25;
         // SCH schedules at page granularity with reactive migration: its
         // fast-row latency classes cannot undercut a floor relative to the
@@ -362,16 +557,38 @@ impl Simulator {
                     } else {
                         0.0
                     };
-                    let reset_ns = if per_plan_timing {
-                        if plan.resets > 0 {
-                            plan.reset_phase_ns.max(floor)
-                        } else {
-                            0.0
-                        }
-                    } else if plan.resets > 0 {
-                        worst_reset_ns
-                    } else {
+                    let reset_ns = if plan.resets == 0 {
                         0.0
+                    } else if per_plan_timing {
+                        // Per-plan discipline: price this write's own RESET
+                        // group through the selected physics source.
+                        let analytic = plan.reset_phase_ns.max(floor);
+                        let count = (plan.resets as usize).div_ceil(LINE_WORDS).max(1);
+                        match self.physics {
+                            Physics::Analytic => analytic,
+                            Physics::Surrogate => match estimator
+                                .as_ref()
+                                .and_then(|e| e.estimate_count(row, count, Pattern::Even))
+                            {
+                                Some(est) => {
+                                    c_sur_hits.inc();
+                                    est.latency_ns.max(floor)
+                                }
+                                None => {
+                                    c_sur_misses.inc();
+                                    analytic
+                                }
+                            },
+                            Physics::Solver => exact
+                                .as_mut()
+                                .and_then(|x| {
+                                    let count = count.min(geom.data_width());
+                                    x.reset_latency_ns(row, count, &c_exact_solves)
+                                })
+                                .map_or(analytic, |l| l.max(floor)),
+                        }
+                    } else {
+                        budget_reset_ns
                     };
                     let mut service_ns =
                         (pump.write_overhead_ns() + reset_ns + plan.set_phase_ns) * overhead;
@@ -741,6 +958,89 @@ mod tests {
         assert_eq!(obs.counter("sim.probe.solve_failed").get(), 0);
         assert_eq!(clean.elapsed_ns, faulted.elapsed_ns);
         assert_eq!(clean.cell_writes, faulted.cell_writes);
+    }
+
+    #[test]
+    fn surrogate_physics_times_writes_from_the_lut() {
+        use reram_surrogate::{fit, FitConfig};
+        let cfg = SimConfig::paper_baseline().with_instructions_per_core(40_000);
+        let p = BenchProfile::by_name("mcf_m").expect("benchmark");
+        let size = 64;
+        let array =
+            ArrayModel::paper_baseline().with_geometry(reram_array::ArrayGeometry::new(size, 8));
+        let (model, _) = fit(&FitConfig {
+            size,
+            counts: 2,
+            schemes: vec![Scheme::Drvr],
+            ..FitConfig::default()
+        })
+        .expect("fit at the sim's geometry");
+        let model = Arc::new(model);
+        let run = |physics: Physics| {
+            let obs = Obs::new();
+            let knobs = Knobs {
+                per_plan_timing: Some(true),
+                ..Knobs::default()
+            };
+            let r = Simulator::new(cfg, Scheme::Drvr, p, 11)
+                .with_array(array)
+                .with_knobs(knobs)
+                .with_physics(physics)
+                .with_surrogate(Arc::clone(&model))
+                .with_obs(&obs)
+                .run();
+            (
+                r,
+                obs.counter("sim.physics.surrogate_hits").get(),
+                obs.counter("sim.physics.surrogate_misses").get(),
+            )
+        };
+        let (analytic, a_hits, _) = run(Physics::Analytic);
+        assert_eq!(a_hits, 0, "analytic mode never consults the surrogate");
+        let (sur, hits, misses) = run(Physics::Surrogate);
+        assert!(hits > 0, "surrogate mode must answer lookups");
+        assert_eq!(misses, 0, "every (row, count) is in the calibrated domain");
+        assert!(sur.elapsed_ns > 0.0 && sur.ipc() > 0.0);
+        // Same work, different timing source: traffic identical.
+        assert_eq!(sur.cell_writes, analytic.cell_writes);
+        let (again, again_hits, _) = run(Physics::Surrogate);
+        assert_eq!(sur.elapsed_ns, again.elapsed_ns, "mode is deterministic");
+        assert_eq!(hits, again_hits);
+    }
+
+    #[test]
+    fn solver_physics_memoizes_per_section_and_count() {
+        let cfg = SimConfig::paper_baseline().with_instructions_per_core(30_000);
+        let p = BenchProfile::by_name("mcf_m").expect("benchmark");
+        let size = 64;
+        let array =
+            ArrayModel::paper_baseline().with_geometry(reram_array::ArrayGeometry::new(size, 8));
+        let run = || {
+            let obs = Obs::new();
+            let knobs = Knobs {
+                per_plan_timing: Some(true),
+                ..Knobs::default()
+            };
+            let r = Simulator::new(cfg, Scheme::Drvr, p, 11)
+                .with_array(array)
+                .with_knobs(knobs)
+                .with_physics(Physics::Solver)
+                .with_obs(&obs)
+                .run();
+            (r, obs.counter("sim.physics.exact_solves").get())
+        };
+        let (r, solves) = run();
+        assert!(r.ipc() > 0.0);
+        assert!(solves > 0, "solver mode must solve");
+        let geom = array.geometry();
+        let cap = (geom.drvr_sections() * geom.data_width() + 1) as u64;
+        assert!(
+            solves <= cap,
+            "memoization bounds the solves: {solves} > {cap}"
+        );
+        let (r2, solves2) = run();
+        assert_eq!(r.elapsed_ns, r2.elapsed_ns, "solver mode is deterministic");
+        assert_eq!(solves, solves2);
     }
 
     #[test]

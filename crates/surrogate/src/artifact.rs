@@ -1,0 +1,639 @@
+//! Versioned, CRC-guarded on-disk format for the fitted surrogate.
+//!
+//! The artifact (`ci/surrogate_model.json`) is a single JSON object whose
+//! **last** member is the model payload; the `crc32` member is the CRC-32
+//! of the exact payload substring (first `{` after the `"payload"` key to
+//! its matching `}`, inclusive). Guarding the raw bytes instead of a
+//! re-serialization means a corrupted artifact is rejected without having
+//! to trust the corrupted contents, and the committed file can be
+//! re-verified byte-for-byte in CI. Floats are serialized with Rust's
+//! shortest round-trip formatting, so parse(to_json(m)) == m bitwise.
+//!
+//! Loading consults the [`reram_fault::site::SURROGATE_LOAD`] fault site:
+//! an injected [`reram_fault::FaultKind::SurrogateCorrupt`] flips one byte
+//! of the payload before validation, which the CRC must catch — callers
+//! fall back to the analytic model or the full solver and count the
+//! recovery.
+
+use std::fmt;
+use std::iter::Peekable;
+use std::str::Chars;
+
+use reram_fault::{site, FaultInjector, FaultKind};
+
+use crate::crc32;
+use crate::model::{SchemeTable, SurrogateModel, PATTERNS};
+
+/// Artifact format identifier.
+pub const FORMAT_NAME: &str = "reram-surrogate-model";
+
+/// Current artifact format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Why an artifact failed to load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArtifactError {
+    /// Filesystem error.
+    Io(String),
+    /// Not syntactically valid JSON.
+    Syntax(String),
+    /// Valid JSON that does not describe a surrogate model.
+    Format(String),
+    /// Payload bytes do not match the recorded checksum.
+    CrcMismatch {
+        /// Checksum recorded in the artifact.
+        recorded: u32,
+        /// Checksum of the payload bytes actually present.
+        actual: u32,
+    },
+    /// Format version this build does not understand.
+    Version(u32),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "artifact io: {e}"),
+            ArtifactError::Syntax(e) => write!(f, "artifact syntax: {e}"),
+            ArtifactError::Format(e) => write!(f, "artifact format: {e}"),
+            ArtifactError::CrcMismatch { recorded, actual } => write!(
+                f,
+                "artifact payload checksum mismatch: recorded {recorded:08x}, actual {actual:08x}"
+            ),
+            ArtifactError::Version(v) => write!(f, "unsupported artifact version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+fn fmt_f64_array(xs: &[f64]) -> String {
+    let mut s = String::from("[");
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!("{x}"));
+    }
+    s.push(']');
+    s
+}
+
+fn payload_json(m: &SurrogateModel) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("    \"seed\": {},\n", m.seed));
+    s.push_str(&format!("    \"size\": {},\n", m.size));
+    s.push_str(&format!("    \"data_width\": {},\n", m.data_width));
+    s.push_str(&format!("    \"sections\": {},\n", m.sections));
+    s.push_str(&format!("    \"counts\": {},\n", m.counts));
+    s.push_str("    \"tables\": [\n");
+    for (i, t) in m.tables.iter().enumerate() {
+        s.push_str("      {\n");
+        s.push_str(&format!("        \"scheme\": \"{}\",\n", t.scheme));
+        s.push_str(&format!("        \"base\": {},\n", fmt_f64_array(&t.base)));
+        s.push_str(&format!(
+            "        \"slope_u\": {},\n",
+            fmt_f64_array(&t.slope_u)
+        ));
+        s.push_str(&format!(
+            "        \"slope_v\": {},\n",
+            fmt_f64_array(&t.slope_v)
+        ));
+        s.push_str(&format!(
+            "        \"max_err_volts\": {},\n",
+            t.max_err_volts
+        ));
+        s.push_str(&format!(
+            "        \"mean_err_volts\": {},\n",
+            t.mean_err_volts
+        ));
+        s.push_str(&format!(
+            "        \"max_latency_err_frac\": {},\n",
+            t.max_latency_err_frac
+        ));
+        s.push_str(&format!(
+            "        \"max_energy_err_frac\": {}\n",
+            t.max_energy_err_frac
+        ));
+        s.push_str(if i + 1 < m.tables.len() {
+            "      },\n"
+        } else {
+            "      }\n"
+        });
+    }
+    s.push_str("    ]\n");
+    s.push_str("  }");
+    s
+}
+
+/// Serializes `m` to the versioned artifact text (payload last, CRC-32 of
+/// the exact payload substring in the `crc32` member).
+#[must_use]
+pub fn to_json(m: &SurrogateModel) -> String {
+    let payload = payload_json(m);
+    let crc = crc32(payload.as_bytes());
+    format!(
+        "{{\n  \"format\": \"{FORMAT_NAME}\",\n  \"version\": {},\n  \"crc32\": \"{crc:08x}\",\n  \"payload\": {payload}\n}}\n",
+        m.version
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader (zero-dependency; numbers kept as raw tokens so u64
+// seeds survive without a float round-trip)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Reader<'a> {
+    it: Peekable<Chars<'a>>,
+}
+
+impl<'a> Reader<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            it: text.chars().peekable(),
+        }
+    }
+
+    fn err(msg: impl Into<String>) -> ArtifactError {
+        ArtifactError::Syntax(msg.into())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.it.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.it.next();
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), ArtifactError> {
+        self.skip_ws();
+        match self.it.next() {
+            Some(got) if got == c => Ok(()),
+            Some(got) => Err(Self::err(format!("expected '{c}', found '{got}'"))),
+            None => Err(Self::err(format!("expected '{c}', found end of input"))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ArtifactError> {
+        self.expect('"')?;
+        let mut s = String::new();
+        loop {
+            match self.it.next() {
+                Some('"') => return Ok(s),
+                Some('\\') => match self.it.next() {
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    Some('/') => s.push('/'),
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('r') => s.push('\r'),
+                    Some(other) => {
+                        return Err(Self::err(format!("unsupported escape '\\{other}'")))
+                    }
+                    None => return Err(Self::err("unterminated escape")),
+                },
+                Some(c) => s.push(c),
+                None => return Err(Self::err("unterminated string")),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ArtifactError> {
+        self.skip_ws();
+        match self.it.peek() {
+            Some('"') => Ok(Json::Str(self.string()?)),
+            Some('{') => {
+                self.it.next();
+                let mut members = Vec::new();
+                self.skip_ws();
+                if self.it.peek() == Some(&'}') {
+                    self.it.next();
+                    return Ok(Json::Obj(members));
+                }
+                loop {
+                    let key = self.string()?;
+                    self.expect(':')?;
+                    members.push((key, self.value()?));
+                    self.skip_ws();
+                    match self.it.next() {
+                        Some(',') => self.skip_ws(),
+                        Some('}') => return Ok(Json::Obj(members)),
+                        _ => return Err(Self::err("expected ',' or '}' in object")),
+                    }
+                }
+            }
+            Some('[') => {
+                self.it.next();
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.it.peek() == Some(&']') {
+                    self.it.next();
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.it.next() {
+                        Some(',') => {}
+                        Some(']') => return Ok(Json::Arr(items)),
+                        _ => return Err(Self::err("expected ',' or ']' in array")),
+                    }
+                }
+            }
+            Some('t') | Some('f') | Some('n') => {
+                let mut word = String::new();
+                while matches!(self.it.peek(), Some(c) if c.is_ascii_alphabetic()) {
+                    word.push(self.it.next().unwrap());
+                }
+                match word.as_str() {
+                    "true" => Ok(Json::Bool(true)),
+                    "false" => Ok(Json::Bool(false)),
+                    "null" => Ok(Json::Null),
+                    other => Err(Self::err(format!("unexpected token '{other}'"))),
+                }
+            }
+            Some(c) if *c == '-' || c.is_ascii_digit() => {
+                let mut tok = String::new();
+                while matches!(
+                    self.it.peek(),
+                    Some(c) if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')
+                ) {
+                    tok.push(self.it.next().unwrap());
+                }
+                // Validate now so downstream accessors can't see junk.
+                tok.parse::<f64>()
+                    .map_err(|_| Self::err(format!("bad number '{tok}'")))?;
+                Ok(Json::Num(tok))
+            }
+            Some(c) => Err(Self::err(format!("unexpected character '{c}'"))),
+            None => Err(Self::err("unexpected end of input")),
+        }
+    }
+
+    fn document(mut self) -> Result<Json, ArtifactError> {
+        let v = self.value()?;
+        self.skip_ws();
+        if self.it.next().is_some() {
+            return Err(Self::err("trailing data after document"));
+        }
+        Ok(v)
+    }
+}
+
+// Typed accessors --------------------------------------------------------
+
+fn get<'j>(obj: &'j [(String, Json)], key: &str) -> Result<&'j Json, ArtifactError> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| ArtifactError::Format(format!("missing member \"{key}\"")))
+}
+
+fn as_obj(v: &Json, what: &str) -> Result<Vec<(String, Json)>, ArtifactError> {
+    match v {
+        Json::Obj(m) => Ok(m.clone()),
+        _ => Err(ArtifactError::Format(format!("{what} must be an object"))),
+    }
+}
+
+fn as_u64(v: &Json, what: &str) -> Result<u64, ArtifactError> {
+    match v {
+        Json::Num(tok) => tok
+            .parse::<u64>()
+            .map_err(|_| ArtifactError::Format(format!("{what} must be a non-negative integer"))),
+        _ => Err(ArtifactError::Format(format!("{what} must be a number"))),
+    }
+}
+
+fn as_usize(v: &Json, what: &str) -> Result<usize, ArtifactError> {
+    Ok(as_u64(v, what)? as usize)
+}
+
+fn as_f64(v: &Json, what: &str) -> Result<f64, ArtifactError> {
+    match v {
+        Json::Num(tok) => tok
+            .parse::<f64>()
+            .map_err(|_| ArtifactError::Format(format!("{what} must be a number"))),
+        _ => Err(ArtifactError::Format(format!("{what} must be a number"))),
+    }
+}
+
+fn as_str(v: &Json, what: &str) -> Result<String, ArtifactError> {
+    match v {
+        Json::Str(s) => Ok(s.clone()),
+        _ => Err(ArtifactError::Format(format!("{what} must be a string"))),
+    }
+}
+
+fn as_f64_array(v: &Json, what: &str) -> Result<Vec<f64>, ArtifactError> {
+    match v {
+        Json::Arr(items) => items.iter().map(|x| as_f64(x, what)).collect(),
+        _ => Err(ArtifactError::Format(format!("{what} must be an array"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CRC extraction and parse
+// ---------------------------------------------------------------------------
+
+/// Extracts the exact payload substring (`{` … matching `}`) from the raw
+/// artifact text, tracking strings so braces inside them don't count.
+fn payload_span(text: &str) -> Result<&str, ArtifactError> {
+    let key = "\"payload\"";
+    let at = text
+        .find(key)
+        .ok_or_else(|| ArtifactError::Format("missing member \"payload\"".into()))?;
+    let rest = &text[at + key.len()..];
+    let colon = rest
+        .find(':')
+        .ok_or_else(|| ArtifactError::Syntax("expected ':' after \"payload\"".into()))?;
+    let body = rest[colon + 1..].trim_start();
+    if !body.starts_with('{') {
+        return Err(ArtifactError::Format("payload must be an object".into()));
+    }
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut esc = false;
+    for (i, c) in body.char_indices() {
+        if esc {
+            esc = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => esc = true,
+            '"' => in_str = !in_str,
+            '{' if !in_str => depth += 1,
+            '}' if !in_str => {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok(&body[..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    Err(ArtifactError::Syntax("unterminated payload object".into()))
+}
+
+/// Scans the recorded checksum (`"crc32": "hhhhhhhh"`) out of the raw
+/// artifact text, without depending on the rest of the document parsing.
+fn recorded_crc(text: &str) -> Result<u32, ArtifactError> {
+    let key = "\"crc32\"";
+    let at = text
+        .find(key)
+        .ok_or_else(|| ArtifactError::Format("missing member \"crc32\"".into()))?;
+    let rest = text[at + key.len()..].trim_start();
+    let rest = rest
+        .strip_prefix(':')
+        .ok_or_else(|| ArtifactError::Syntax("expected ':' after \"crc32\"".into()))?
+        .trim_start();
+    let hex = rest
+        .strip_prefix('"')
+        .and_then(|r| r.split('"').next())
+        .ok_or_else(|| ArtifactError::Format("crc32 must be a string".into()))?;
+    u32::from_str_radix(hex, 16)
+        .map_err(|_| ArtifactError::Format("crc32 must be 8 hex digits".into()))
+}
+
+fn scheme_table(v: &Json, counts: usize, sections: usize) -> Result<SchemeTable, ArtifactError> {
+    let obj = as_obj(v, "table")?;
+    let t = SchemeTable {
+        scheme: as_str(get(&obj, "scheme")?, "scheme")?,
+        base: as_f64_array(get(&obj, "base")?, "base")?,
+        slope_u: as_f64_array(get(&obj, "slope_u")?, "slope_u")?,
+        slope_v: as_f64_array(get(&obj, "slope_v")?, "slope_v")?,
+        max_err_volts: as_f64(get(&obj, "max_err_volts")?, "max_err_volts")?,
+        mean_err_volts: as_f64(get(&obj, "mean_err_volts")?, "mean_err_volts")?,
+        max_latency_err_frac: as_f64(get(&obj, "max_latency_err_frac")?, "max_latency_err_frac")?,
+        max_energy_err_frac: as_f64(get(&obj, "max_energy_err_frac")?, "max_energy_err_frac")?,
+    };
+    if t.base.len() != sections * counts * PATTERNS
+        || t.slope_u.len() != sections
+        || t.slope_v.len() != counts * PATTERNS
+    {
+        return Err(ArtifactError::Format(format!(
+            "table \"{}\" shape does not match sections={sections} counts={counts}",
+            t.scheme
+        )));
+    }
+    Ok(t)
+}
+
+/// Parses and validates artifact text into a [`SurrogateModel`].
+///
+/// Validation order: payload CRC first (against the raw bytes), then
+/// format name, version, and shape — so corruption is always reported as
+/// corruption, never as a confusing downstream shape error.
+pub fn parse(text: &str) -> Result<SurrogateModel, ArtifactError> {
+    // CRC first, against the raw bytes — the recorded checksum is scanned
+    // out of the raw text too, so a payload corruption that breaks JSON
+    // syntax still reports as corruption.
+    let payload_raw = payload_span(text)?;
+    let recorded = recorded_crc(text)?;
+    let actual = crc32(payload_raw.as_bytes());
+    if recorded != actual {
+        return Err(ArtifactError::CrcMismatch { recorded, actual });
+    }
+    let doc = Reader::new(text).document()?;
+    let top = as_obj(&doc, "artifact")?;
+    let format = as_str(get(&top, "format")?, "format")?;
+    if format != FORMAT_NAME {
+        return Err(ArtifactError::Format(format!(
+            "format \"{format}\" is not \"{FORMAT_NAME}\""
+        )));
+    }
+    let version = as_u64(get(&top, "version")?, "version")? as u32;
+    if version != FORMAT_VERSION {
+        return Err(ArtifactError::Version(version));
+    }
+    let payload = as_obj(get(&top, "payload")?, "payload")?;
+    let size = as_usize(get(&payload, "size")?, "size")?;
+    let sections = as_usize(get(&payload, "sections")?, "sections")?;
+    let counts = as_usize(get(&payload, "counts")?, "counts")?;
+    let data_width = as_usize(get(&payload, "data_width")?, "data_width")?;
+    if size == 0 || sections == 0 || counts == 0 || data_width == 0 {
+        return Err(ArtifactError::Format("domain must be non-trivial".into()));
+    }
+    if size % sections != 0 || size % data_width != 0 {
+        return Err(ArtifactError::Format(
+            "size must be a multiple of sections and data_width".into(),
+        ));
+    }
+    let tables = match get(&payload, "tables")? {
+        Json::Arr(items) => items
+            .iter()
+            .map(|t| scheme_table(t, counts, sections))
+            .collect::<Result<Vec<_>, _>>()?,
+        _ => return Err(ArtifactError::Format("tables must be an array".into())),
+    };
+    if tables.is_empty() {
+        return Err(ArtifactError::Format("artifact has no tables".into()));
+    }
+    Ok(SurrogateModel {
+        version,
+        seed: as_u64(get(&payload, "seed")?, "seed")?,
+        size,
+        data_width,
+        sections,
+        counts,
+        tables,
+    })
+}
+
+/// Loads an artifact from disk. Equivalent to
+/// [`load_with_faults`]`(path, None)`.
+pub fn load(path: &std::path::Path) -> Result<SurrogateModel, ArtifactError> {
+    load_with_faults(path, None)
+}
+
+/// Loads an artifact from disk, consulting the `surrogate.load` fault site
+/// once per attempt under the caller's stable target label. An injected
+/// `SurrogateCorrupt` flips the payload byte at offset `param` (its
+/// midpoint when `param` ≤ 0) **before** validation; the CRC guard must
+/// turn that into an error so the caller can fall back — re-fit from the
+/// solver, or drop to the analytic model — and count the recovery.
+pub fn load_with_faults(
+    path: &std::path::Path,
+    faults: Option<(&FaultInjector, &str)>,
+) -> Result<SurrogateModel, ArtifactError> {
+    let mut text =
+        std::fs::read_to_string(path).map_err(|e| ArtifactError::Io(format!("{path:?}: {e}")))?;
+    if let Some((inj, target)) = faults {
+        if let Some(f) = inj.fire(site::SURROGATE_LOAD, target) {
+            if f.kind == FaultKind::SurrogateCorrupt {
+                text = corrupt(&text, f.param);
+            }
+        }
+    }
+    parse(&text)
+}
+
+/// Flips one payload byte (ASCII-safely, digit → different digit) at
+/// `offset` bytes past the start of the payload object.
+fn corrupt(text: &str, offset_param: f64) -> String {
+    let Ok(payload) = payload_span(text) else {
+        return text.to_string();
+    };
+    let start = payload.as_ptr() as usize - text.as_ptr() as usize;
+    let offset = if offset_param > 0.0 {
+        (offset_param as usize).min(payload.len() - 1)
+    } else {
+        payload.len() / 2
+    };
+    let mut bytes = text.as_bytes().to_vec();
+    let at = start + offset;
+    bytes[at] = match bytes[at] {
+        b'9' => b'0',
+        b if b.is_ascii_digit() => b + 1,
+        b => b ^ 0x01,
+    };
+    String::from_utf8(bytes).unwrap_or_else(|_| text.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SchemeTable;
+
+    fn sample() -> SurrogateModel {
+        SurrogateModel {
+            version: FORMAT_VERSION,
+            seed: u64::MAX - 7,
+            size: 16,
+            data_width: 8,
+            sections: 2,
+            counts: 2,
+            tables: vec![SchemeTable {
+                scheme: "drvr".into(),
+                base: vec![0.125; 8],
+                slope_u: vec![1.0, -0.5],
+                slope_v: vec![0.25, 1e-3, -2.5e-4, 0.75],
+                max_err_volts: 0.0042,
+                mean_err_volts: 0.001,
+                max_latency_err_frac: 0.011,
+                max_energy_err_frac: 0.011,
+            }],
+        }
+    }
+
+    #[test]
+    fn round_trips_bitwise() {
+        let m = sample();
+        let text = to_json(&m);
+        let back = parse(&text).expect("round trip");
+        assert_eq!(m, back);
+        // u64 seed survives exactly (would not fit in an f64).
+        assert_eq!(back.seed, u64::MAX - 7);
+    }
+
+    #[test]
+    fn corrupt_payload_is_rejected_by_crc() {
+        let text = to_json(&sample());
+        let bad = corrupt(&text, 0.0);
+        assert_ne!(text, bad);
+        match parse(&bad) {
+            Err(ArtifactError::CrcMismatch { .. }) => {}
+            other => panic!("expected CRC mismatch, got {other:?}"),
+        }
+        // Every payload byte flip must be caught.
+        for off in [1.0, 10.0, 100.0] {
+            let bad = corrupt(&text, off);
+            assert!(parse(&bad).is_err(), "flip at {off} escaped validation");
+        }
+    }
+
+    #[test]
+    fn version_and_format_are_enforced() {
+        let m = sample();
+        let text = to_json(&m);
+        let newer = text.replace("\"version\": 1", "\"version\": 2");
+        assert_eq!(parse(&newer), Err(ArtifactError::Version(2)));
+        let renamed = text.replace(FORMAT_NAME, "not-a-surrogate");
+        assert!(matches!(parse(&renamed), Err(ArtifactError::Format(_))));
+    }
+
+    #[test]
+    fn injected_corruption_is_caught_on_load() {
+        use reram_fault::{FaultPlan, FaultSpec};
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "reram_surrogate_artifact_test_{}.json",
+            std::process::id()
+        ));
+        std::fs::write(&path, to_json(&sample())).unwrap();
+        let obs = reram_obs::Obs::off();
+        let plan = FaultPlan::new(1).with(
+            FaultSpec::new(site::SURROGATE_LOAD, FaultKind::SurrogateCorrupt).target("drill"),
+        );
+        let inj = FaultInjector::new(plan, &obs);
+        match load_with_faults(&path, Some((&inj, "drill"))) {
+            Err(ArtifactError::CrcMismatch { .. }) => {}
+            other => panic!("expected CRC mismatch from injected corruption, got {other:?}"),
+        }
+        assert_eq!(inj.injected(), 1);
+        // Occurrence 0 fired once; the fallback reload is clean.
+        assert!(load_with_faults(&path, Some((&inj, "drill"))).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let mut m = sample();
+        m.tables[0].slope_u.push(0.0);
+        let text = to_json(&m);
+        assert!(matches!(parse(&text), Err(ArtifactError::Format(_))));
+    }
+}

@@ -1,0 +1,289 @@
+//! The serving-rate query front-end: per-write latency/energy estimates
+//! from the fitted surrogate, with fault-injectable misses.
+//!
+//! A [`SurrogateEstimator`] binds one scheme's table to the write model
+//! (for per-driver applied voltages) and the RESET kinetics (for the
+//! voltage → latency map). A lookup is an LUT index, a multiply-add, and
+//! one `exp` — no solver, no allocation — which is what lets the verified
+//! store and the shard server price every write inline
+//! (`surrogate_lookup_*` in `BENCH_solver.json` proves the <1 µs budget).
+//!
+//! Every lookup consults the `surrogate.miss` fault site; an injected miss
+//! (or a genuinely out-of-domain query) returns `None`, and the caller
+//! falls back to the analytic model — the fallback is drilled in the fault
+//! harness, not just trusted.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use reram_array::ResetKinetics;
+use reram_core::{Scheme, WriteModel};
+use reram_fault::{site, FaultInjector};
+
+use crate::fit::scheme_key;
+use crate::model::{Pattern, SurrogateModel};
+
+/// A surrogate-priced write: the physics the lookup reconstructed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WriteEstimate {
+    /// Worst-case effective RESET voltage across the concurrent group,
+    /// volts.
+    pub veff_volts: f64,
+    /// RESET-pulse latency at that voltage, ns.
+    pub latency_ns: f64,
+    /// RESET energy of the whole group, pJ (applied × Ion × latency,
+    /// summed over the group's write drivers).
+    pub energy_pj: f64,
+}
+
+/// Why an estimator could not be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EstimatorError {
+    /// The scheme has no stable surrogate key.
+    UnknownScheme(String),
+    /// The artifact has no table for the scheme.
+    Uncalibrated(String),
+}
+
+impl fmt::Display for EstimatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstimatorError::UnknownScheme(s) => write!(f, "no surrogate key for scheme {s}"),
+            EstimatorError::Uncalibrated(k) => {
+                write!(f, "artifact has no table for scheme \"{k}\"")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EstimatorError {}
+
+/// One scheme's bound lookup front-end. Cheap to share (`Arc` the model;
+/// the estimator itself is `Send + Sync`) and safe to query concurrently.
+pub struct SurrogateEstimator {
+    model: Arc<SurrogateModel>,
+    table: usize,
+    write: WriteModel,
+    kinetics: ResetKinetics,
+    i_on: f64,
+    faults: Option<(Arc<FaultInjector>, String)>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl fmt::Debug for SurrogateEstimator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SurrogateEstimator")
+            .field("scheme", &self.model.tables[self.table].scheme)
+            .field("size", &self.model.size)
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+impl SurrogateEstimator {
+    /// Binds `scheme`'s table in `model` to a fresh paper-parameter write
+    /// model at the artifact's geometry.
+    pub fn new(model: Arc<SurrogateModel>, scheme: Scheme) -> Result<Self, EstimatorError> {
+        let key =
+            scheme_key(scheme).ok_or_else(|| EstimatorError::UnknownScheme(scheme.label()))?;
+        let table = model
+            .tables
+            .iter()
+            .position(|t| t.scheme == key)
+            .ok_or_else(|| EstimatorError::Uncalibrated(key.to_string()))?;
+        let geom = reram_array::ArrayGeometry::new(model.size, model.data_width);
+        let write = WriteModel::new(
+            reram_array::ArrayModel::paper_baseline().with_geometry(geom),
+            scheme,
+        );
+        let kinetics = write.model().kinetics();
+        let i_on = write.model().cell().i_on;
+        Ok(Self {
+            model,
+            table,
+            write,
+            kinetics,
+            i_on,
+            faults: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// Routes every lookup through `injector`'s `surrogate.miss` site with
+    /// the given target label.
+    #[must_use]
+    pub fn with_faults(mut self, injector: Arc<FaultInjector>, target: impl Into<String>) -> Self {
+        self.faults = Some((injector, target.into()));
+        self
+    }
+
+    /// The artifact this estimator answers from.
+    #[must_use]
+    pub fn model(&self) -> &SurrogateModel {
+        &self.model
+    }
+
+    /// Lookups answered from the table.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// The RESET-failure threshold of the bound kinetics, volts — callers
+    /// compare a returned [`WriteEstimate::veff_volts`] against this to
+    /// judge the margin (e.g. the verify loop's DRVR pre-escalation).
+    #[must_use]
+    pub fn v_fail(&self) -> f64 {
+        self.kinetics.v_fail()
+    }
+
+    /// Lookups declined (out of domain, would-fail voltage, or injected
+    /// miss) — each one a caller fallback to the analytic model.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    fn miss(&self) -> Option<WriteEstimate> {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Prices a concurrent RESET of data-path `bits` on `row`, placed with
+    /// `pattern`. `None` means the surrogate cannot answer — out of
+    /// calibrated domain, an effective voltage below the RESET-failure
+    /// threshold, or an injected `surrogate.miss` — and the caller must
+    /// fall back to the analytic/solver path.
+    #[must_use]
+    pub fn estimate(&self, row: usize, bits: &[usize], pattern: Pattern) -> Option<WriteEstimate> {
+        if let Some((inj, target)) = &self.faults {
+            if inj.fire(site::SURROGATE_MISS, target).is_some() {
+                return self.miss();
+            }
+        }
+        let count = bits.len();
+        if !self.model.in_domain(row, count) || bits.iter().any(|&b| b >= self.model.data_width) {
+            return self.miss();
+        }
+        let t = &self.model.tables[self.table];
+        let veff = self.model.veff_in(t, row, count, pattern);
+        if veff < self.kinetics.v_fail() {
+            return self.miss();
+        }
+        let latency_ns = self.kinetics.latency_ns(veff);
+        let applied: f64 = bits.iter().map(|&b| self.write.applied_volts(row, b)).sum();
+        let energy_pj = applied * self.i_on * latency_ns * 1e3;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(WriteEstimate {
+            veff_volts: veff,
+            latency_ns,
+            energy_pj,
+        })
+    }
+
+    /// [`estimate`](Self::estimate) for the canonical first `count` bits —
+    /// the shape the shard server prices when it only knows the RESET
+    /// count.
+    #[must_use]
+    pub fn estimate_count(
+        &self,
+        row: usize,
+        count: usize,
+        pattern: Pattern,
+    ) -> Option<WriteEstimate> {
+        const BITS: [usize; 8] = [0, 1, 2, 3, 4, 5, 6, 7];
+        if count == 0 || count > BITS.len() || count > self.model.data_width {
+            return self.miss();
+        }
+        self.estimate(row, &BITS[..count], pattern)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fit::{fit, FitConfig};
+    use reram_fault::{FaultInjector, FaultKind, FaultPlan, FaultSpec};
+    use reram_obs::Obs;
+
+    fn quick_model() -> Arc<SurrogateModel> {
+        let (model, _) = fit(&FitConfig::quick()).expect("fit");
+        Arc::new(model)
+    }
+
+    #[test]
+    fn estimates_track_the_kinetics() {
+        let model = quick_model();
+        let est = SurrogateEstimator::new(Arc::clone(&model), Scheme::Drvr).expect("estimator");
+        let near = est.estimate(0, &[0], Pattern::Even).expect("near row");
+        let mid = est
+            .estimate(model.size / 2, &[0], Pattern::Even)
+            .expect("mid row");
+        assert!(near.latency_ns > 0.0 && mid.latency_ns > 0.0);
+        assert!(near.energy_pj > 0.0);
+        // More concurrent RESETs never raise the worst-case voltage.
+        let one = est.estimate(5, &[0], Pattern::Even).unwrap();
+        let two = est.estimate(5, &[0, 4], Pattern::Even).unwrap();
+        assert!(two.veff_volts <= one.veff_volts + 1e-9);
+        // Group energy exceeds single-bit energy.
+        assert!(two.energy_pj > one.energy_pj);
+        assert_eq!(est.hits(), 4);
+        assert_eq!(est.misses(), 0);
+    }
+
+    #[test]
+    fn out_of_domain_queries_miss() {
+        let model = quick_model();
+        let est = SurrogateEstimator::new(Arc::clone(&model), Scheme::Drvr).expect("estimator");
+        assert!(est.estimate(model.size, &[0], Pattern::Even).is_none());
+        assert!(est.estimate(0, &[], Pattern::Even).is_none());
+        assert!(
+            est.estimate(0, &[0, 1, 2], Pattern::Even).is_none(),
+            "count > calibrated"
+        );
+        assert!(est
+            .estimate(0, &[est.model().data_width], Pattern::Random)
+            .is_none());
+        assert_eq!(est.misses(), 4);
+        assert_eq!(est.hits(), 0);
+    }
+
+    #[test]
+    fn uncalibrated_scheme_is_rejected() {
+        let model = quick_model();
+        match SurrogateEstimator::new(model, Scheme::UdrvrPr) {
+            Err(EstimatorError::Uncalibrated(k)) => assert_eq!(k, "udrvr_pr"),
+            other => panic!("expected Uncalibrated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_miss_forces_fallback() {
+        let obs = Obs::new();
+        let plan = FaultPlan::new(0xFA_17).with(
+            FaultSpec::new(site::SURROGATE_MISS, FaultKind::SurrogateMiss)
+                .target("drill")
+                .occurrence(1),
+        );
+        let inj = Arc::new(FaultInjector::new(plan, &obs));
+        let est = SurrogateEstimator::new(quick_model(), Scheme::Drvr)
+            .expect("estimator")
+            .with_faults(Arc::clone(&inj), "drill");
+        // Occurrence 1 = the second consultation fires.
+        assert!(est.estimate(3, &[0], Pattern::Even).is_some());
+        assert!(
+            est.estimate(3, &[0], Pattern::Even).is_none(),
+            "injected miss must decline the lookup"
+        );
+        assert!(est.estimate(3, &[0], Pattern::Even).is_some());
+        assert_eq!(est.hits(), 2);
+        assert_eq!(est.misses(), 1);
+        assert_eq!(inj.injected(), 1);
+        inj.note_recovery(site::SURROGATE_MISS, "analytic_fallback");
+        assert_eq!(inj.recovered(), 1);
+    }
+}

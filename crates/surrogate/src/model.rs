@@ -1,0 +1,262 @@
+//! The fitted voltage-drop surrogate: a per-(row-section × concurrent-RESET
+//! count × partition pattern) LUT with a rank-1 within-section correction.
+//!
+//! The decomposition follows the physics the paper (and the device–circuit
+//! analysis it builds on) establishes: the worst-case effective RESET
+//! voltage of a concurrent-RESET group is dominated by (a) the bit-line
+//! drop, which the DRVR sections discretize by row group, and (b) the
+//! word-line interaction of the group, which depends on how many cells
+//! RESET together and how they spread over the line. Within a section the
+//! residual is close to linear in row position, and its slope factors to
+//! rank 1 over (section) × (count, pattern) — two small vectors instead of
+//! a per-row table.
+
+use reram_array::Spread;
+
+/// Placement pattern of a concurrent-RESET group along the word-line — the
+/// surrogate's (serializable) mirror of [`reram_array::Spread`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// Evenly spread over the line (the Partition-RESET shape).
+    Even,
+    /// Uniformly random placement (uncoordinated concurrent writes).
+    Random,
+}
+
+/// Number of [`Pattern`] variants (the LUT's innermost dimension).
+pub const PATTERNS: usize = 2;
+
+impl Pattern {
+    /// LUT index of this pattern.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Pattern::Even => 0,
+            Pattern::Random => 1,
+        }
+    }
+
+    /// Stable artifact-file name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Pattern::Even => "even",
+            Pattern::Random => "random",
+        }
+    }
+
+    /// Parses an artifact-file name.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "even" => Some(Pattern::Even),
+            "random" => Some(Pattern::Random),
+            _ => None,
+        }
+    }
+
+    /// Both patterns, in LUT index order.
+    #[must_use]
+    pub fn all() -> [Pattern; PATTERNS] {
+        [Pattern::Even, Pattern::Random]
+    }
+
+    /// The analytic partition model's equivalent placement class.
+    #[must_use]
+    pub fn spread(self) -> Spread {
+        match self {
+            Pattern::Even => Spread::Even,
+            Pattern::Random => Spread::Random,
+        }
+    }
+}
+
+/// One scheme's fitted table plus its committed error bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemeTable {
+    /// Stable scheme key (`drvr`, `drvr_pr`, `udrvr_pr`).
+    pub scheme: String,
+    /// Worst-case effective RESET voltage at the section midpoint,
+    /// `base[g * counts * PATTERNS + (c - 1) * PATTERNS + p]` volts.
+    pub base: Vec<f64>,
+    /// Rank-1 slope factor over sections (one entry per section).
+    pub slope_u: Vec<f64>,
+    /// Rank-1 slope factor over (count, pattern) cells
+    /// (`counts * PATTERNS` entries).
+    pub slope_v: Vec<f64>,
+    /// Committed bound on `|surrogate − solver|` worst-case effective
+    /// voltage over the held-out rows, volts. `surrogate-check` fails CI
+    /// if a fresh sweep exceeds it.
+    pub max_err_volts: f64,
+    /// Mean absolute voltage error over the held-out rows at fit time,
+    /// volts (informational).
+    pub mean_err_volts: f64,
+    /// Committed bound on the relative RESET-latency error the voltage
+    /// error induces through the kinetics (dimensionless fraction).
+    pub max_latency_err_frac: f64,
+    /// Committed bound on the relative RESET-energy error (dimensionless
+    /// fraction; energy is applied × Ion × latency, so this tracks the
+    /// latency bound).
+    pub max_energy_err_frac: f64,
+}
+
+/// The versioned surrogate model: shared calibration domain plus one
+/// [`SchemeTable`] per calibrated scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurrogateModel {
+    /// Artifact format version (see [`crate::artifact::FORMAT_VERSION`]).
+    pub version: u32,
+    /// Seed of the calibration sweep's deterministic column placement.
+    pub seed: u64,
+    /// Array dimension the model was calibrated for (rows = cols).
+    pub size: usize,
+    /// Write drivers per MAT at calibration time (fixes the column groups
+    /// the energy estimate sums over).
+    pub data_width: usize,
+    /// Number of DRVR row sections the LUT is indexed by.
+    pub sections: usize,
+    /// Concurrent-RESET counts covered: `1..=counts`.
+    pub counts: usize,
+    /// Per-scheme tables.
+    pub tables: Vec<SchemeTable>,
+}
+
+impl SurrogateModel {
+    /// Rows per section (`size / sections`).
+    #[must_use]
+    pub fn rows_per_section(&self) -> usize {
+        self.size / self.sections
+    }
+
+    /// The table fitted for `scheme`, if the artifact covers it.
+    #[must_use]
+    pub fn table(&self, scheme: &str) -> Option<&SchemeTable> {
+        self.tables.iter().find(|t| t.scheme == scheme)
+    }
+
+    /// True when `(row, count)` lies inside the calibrated domain.
+    #[must_use]
+    pub fn in_domain(&self, row: usize, count: usize) -> bool {
+        row < self.size && count >= 1 && count <= self.counts
+    }
+
+    /// Surrogate worst-case effective RESET voltage for a `count`-cell
+    /// concurrent RESET on `row` placed with `pattern`, volts. `None` when
+    /// `(row, count)` is out of the calibrated domain or `scheme` was not
+    /// calibrated.
+    ///
+    /// This is the hot-path lookup: two table indexings and a handful of
+    /// float operations (benchmarked well under a microsecond in
+    /// `BENCH_solver.json`'s `surrogate_lookup_*` entries).
+    #[must_use]
+    pub fn veff(&self, scheme: &str, row: usize, count: usize, pattern: Pattern) -> Option<f64> {
+        if !self.in_domain(row, count) {
+            return None;
+        }
+        let t = self.table(scheme)?;
+        Some(self.veff_in(t, row, count, pattern))
+    }
+
+    /// [`SurrogateModel::veff`] with the scheme table already resolved —
+    /// the form the estimator uses per lookup.
+    #[must_use]
+    pub fn veff_in(&self, t: &SchemeTable, row: usize, count: usize, pattern: Pattern) -> f64 {
+        let rps = self.rows_per_section();
+        let g = row / rps;
+        // Normalized position within the section, 0 at the midpoint.
+        let pos = ((row - g * rps) as f64 + 0.5) / rps as f64 - 0.5;
+        let cp = (count - 1) * PATTERNS + pattern.index();
+        t.base[g * self.counts * PATTERNS + cp] + t.slope_u[g] * t.slope_v[cp] * pos
+    }
+}
+
+/// Rank-1 factorization `m ≈ u vᵀ` of a `rows × cols` matrix (row-major)
+/// by alternating least squares, the "low-rank residual correction" of the
+/// fit. Deterministic: fixed all-ones start, fixed iteration count — the
+/// iteration converges to the dominant singular pair long before the cap
+/// for the small, strongly rank-1 slope matrices the calibrator produces.
+#[must_use]
+pub fn rank1_factor(m: &[f64], rows: usize, cols: usize) -> (Vec<f64>, Vec<f64>) {
+    assert_eq!(m.len(), rows * cols, "matrix shape mismatch");
+    let mut u = vec![1.0f64; rows];
+    let mut v = vec![0.0f64; cols];
+    for _ in 0..64 {
+        let uu: f64 = u.iter().map(|x| x * x).sum();
+        if uu == 0.0 {
+            break;
+        }
+        for (j, vj) in v.iter_mut().enumerate() {
+            *vj = (0..rows).map(|i| u[i] * m[i * cols + j]).sum::<f64>() / uu;
+        }
+        let vv: f64 = v.iter().map(|x| x * x).sum();
+        if vv == 0.0 {
+            break;
+        }
+        for (i, ui) in u.iter_mut().enumerate() {
+            *ui = (0..cols).map(|j| v[j] * m[i * cols + j]).sum::<f64>() / vv;
+        }
+    }
+    (u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank1_recovers_an_exactly_rank1_matrix() {
+        let u0 = [1.0, 2.0, -0.5];
+        let v0 = [3.0, -1.0];
+        let m: Vec<f64> = u0
+            .iter()
+            .flat_map(|a| v0.iter().map(move |b| a * b))
+            .collect();
+        let (u, v) = rank1_factor(&m, 3, 2);
+        for i in 0..3 {
+            for j in 0..2 {
+                let got = u[i] * v[j];
+                assert!(
+                    (got - u0[i] * v0[j]).abs() < 1e-12,
+                    "({i},{j}): {got} vs {}",
+                    u0[i] * v0[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_interpolates_between_section_endpoints() {
+        let model = SurrogateModel {
+            version: 1,
+            seed: 7,
+            size: 16,
+            data_width: 8,
+            sections: 2,
+            counts: 1,
+            tables: vec![SchemeTable {
+                scheme: "drvr".into(),
+                base: vec![2.0, 2.0, 3.0, 3.0],
+                slope_u: vec![1.0, 2.0],
+                slope_v: vec![0.5, 0.25],
+                max_err_volts: 0.0,
+                mean_err_volts: 0.0,
+                max_latency_err_frac: 0.0,
+                max_energy_err_frac: 0.0,
+            }],
+        };
+        // Section 0, Even: base 2.0 + 1.0*0.5*pos; rows 0..8 span pos
+        // −0.4375..0.4375.
+        let first = model.veff("drvr", 0, 1, Pattern::Even).unwrap();
+        let last = model.veff("drvr", 7, 1, Pattern::Even).unwrap();
+        assert!((first - (2.0 - 0.5 * 0.4375)).abs() < 1e-12);
+        assert!((last - (2.0 + 0.5 * 0.4375)).abs() < 1e-12);
+        // Midpoint of section 1 sits exactly on its base.
+        let mid = model.veff("drvr", 11, 1, Pattern::Even).unwrap();
+        let mid2 = model.veff("drvr", 12, 1, Pattern::Even).unwrap();
+        assert!((0.5 * (mid + mid2) - 3.0).abs() < 1e-12);
+        // Domain edges.
+        assert!(model.veff("drvr", 16, 1, Pattern::Even).is_none());
+        assert!(model.veff("drvr", 0, 2, Pattern::Even).is_none());
+        assert!(model.veff("udrvr_pr", 0, 1, Pattern::Even).is_none());
+    }
+}
